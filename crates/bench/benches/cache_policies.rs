@@ -1,0 +1,67 @@
+//! Microbenchmarks of the local cache policies: steady-state insertion
+//! (with evictions) and hit-path touch cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gencache_cache::{
+    CodeCache, FlushCache, LruCache, PseudoCircularCache, TraceId, TraceRecord, UnboundedCache,
+};
+use gencache_program::{Addr, Time};
+use std::hint::black_box;
+
+type CacheCtor = fn() -> Box<dyn CodeCache>;
+
+fn rec(id: u64) -> TraceRecord {
+    TraceRecord::new(TraceId::new(id), 242, Addr::new(0x1000 + id))
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_with_eviction");
+    let make: [(&str, CacheCtor); 4] = [
+        ("pseudo_circular", || {
+            Box::new(PseudoCircularCache::new(64 * 1024))
+        }),
+        ("lru", || Box::new(LruCache::new(64 * 1024))),
+        ("flush", || Box::new(FlushCache::new(64 * 1024))),
+        ("unbounded", || Box::new(UnboundedCache::new())),
+    ];
+    for (name, ctor) in make {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut cache = ctor();
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                black_box(cache.insert(rec(id), Time::from_micros(id)).is_ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_touch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("touch_hit");
+    let resident = 200u64;
+    let make: [(&str, CacheCtor); 3] = [
+        ("pseudo_circular", || {
+            Box::new(PseudoCircularCache::new(64 * 1024))
+        }),
+        ("lru", || Box::new(LruCache::new(64 * 1024))),
+        ("flush", || Box::new(FlushCache::new(64 * 1024))),
+    ];
+    for (name, ctor) in make {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut cache = ctor();
+            for id in 0..resident {
+                cache.insert(rec(id), Time::ZERO).unwrap();
+            }
+            let mut id = 0u64;
+            b.iter(|| {
+                id = (id + 1) % resident;
+                black_box(cache.touch(TraceId::new(id), Time::from_micros(id)));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_touch);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of the cache models: access cost on a churn-heavy
+//! stream for the unified baseline and the generational hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gencache_cache::{TraceId, TraceRecord};
+use gencache_core::{
+    CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
+};
+use gencache_program::{Addr, Time};
+use std::hint::black_box;
+
+fn rec(id: u64) -> TraceRecord {
+    TraceRecord::new(TraceId::new(id), 242, Addr::new(0x1000 + id))
+}
+
+/// A mixed stream: 70% re-accesses of a hot set, 30% fresh traces.
+fn drive(model: &mut dyn CacheModel, step: &mut u64) {
+    *step += 1;
+    let id = if *step % 10 < 7 {
+        *step % 64
+    } else {
+        1000 + *step
+    };
+    black_box(model.on_access(rec(id), Time::from_micros(*step)));
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_access");
+    group.bench_function(BenchmarkId::from_parameter("unified"), |b| {
+        let mut model = UnifiedModel::new(64 * 1024);
+        let mut step = 0u64;
+        b.iter(|| drive(&mut model, &mut step));
+    });
+    for (label, proportions, policy) in [
+        (
+            "gen_45_10_45_hit1",
+            Proportions::best_overall(),
+            PromotionPolicy::OnHit { hits: 1 },
+        ),
+        (
+            "gen_33_33_33_ev10",
+            Proportions::even_thirds(),
+            PromotionPolicy::OnEviction { threshold: 10 },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut model =
+                GenerationalModel::new(GenerationalConfig::new(64 * 1024, proportions, policy));
+            let mut step = 0u64;
+            b.iter(|| drive(&mut model, &mut step));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

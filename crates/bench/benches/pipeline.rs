@@ -1,0 +1,24 @@
+//! End-to-end pipeline benchmark: record a scaled-down benchmark through
+//! the DBT frontend, then replay its log into the Figure 9 comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gencache_sim::{compare_figure9, record};
+use gencache_workloads::benchmark;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let profile = benchmark("gzip").expect("known benchmark").scaled_down(4);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("record_gzip_div4", |b| {
+        b.iter(|| black_box(record(&profile).expect("plans")));
+    });
+    let run = record(&profile).expect("plans");
+    group.bench_function("replay_figure9_gzip_div4", |b| {
+        b.iter(|| black_box(compare_figure9(&run.log)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

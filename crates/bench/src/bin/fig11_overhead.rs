@@ -1,0 +1,61 @@
+//! Figure 11: instruction-overhead ratio of generational caches to a
+//! unified cache (Equation 3), for the best 45%-10%-45% layout. Values
+//! below 100% mean the generational scheme spends fewer instructions on
+//! cache management; smaller is better.
+
+use gencache_bench::{by_suite, record_all, HarnessOptions};
+use gencache_sim::report::{bar, geometric_mean, TextTable};
+use gencache_sim::{compare_figure9, Comparison};
+use gencache_workloads::WorkloadProfile;
+
+fn render(title: &str, rows: &[(&WorkloadProfile, &Comparison)]) -> Vec<f64> {
+    println!("\n({title})");
+    let ratios: Vec<f64> = rows.iter().map(|(_, c)| c.overhead_ratio(1)).collect();
+    let max = ratios.iter().copied().fold(0.0f64, f64::max).max(1.0);
+    let mut table = TextTable::new(["Benchmark", "Overhead ratio", ""]);
+    for ((p, _), ratio) in rows.iter().zip(&ratios) {
+        table.row([
+            p.name.clone(),
+            format!("{:.1}%", ratio * 100.0),
+            bar(*ratio, max, 40),
+        ]);
+    }
+    print!("{}", table.render());
+    ratios
+}
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!("Figure 11. Instruction-overhead ratio (generational 45-10-45 / unified).");
+    let runs = record_all(&opts);
+    let comparisons: Vec<(WorkloadProfile, Comparison)> = runs
+        .iter()
+        .map(|(p, r)| {
+            eprintln!("replaying {} ...", p.name);
+            (p.clone(), compare_figure9(&r.log))
+        })
+        .collect();
+    let (spec, inter) = by_suite(&runs);
+    let find = |name: &str| {
+        comparisons
+            .iter()
+            .find(|(p, _)| p.name == name)
+            .map(|(p, c)| (p, c))
+            .expect("every run was compared")
+    };
+    let mut all = Vec::new();
+    if !spec.is_empty() {
+        let rows: Vec<_> = spec.iter().map(|(p, _)| find(&p.name)).collect();
+        all.extend(render("a) SPEC2000 Benchmarks", &rows));
+    }
+    if !inter.is_empty() {
+        let rows: Vec<_> = inter.iter().map(|(p, _)| find(&p.name)).collect();
+        all.extend(render("b) Interactive Windows Benchmarks", &rows));
+    }
+    if let Some(geo) = geometric_mean(&all) {
+        println!(
+            "\ngeometric-mean overhead ratio: {:.1}% (paper: 80.7%, i.e. a 19.3% reduction)",
+            geo * 100.0
+        );
+    }
+}

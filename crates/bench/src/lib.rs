@@ -1,0 +1,169 @@
+//! # gencache-bench
+//!
+//! The benchmark harness regenerating every table and figure of
+//! *Generational Cache Management of Code Traces in Dynamic Optimization
+//! Systems* (Hazelwood & Smith, MICRO 2003). Each `src/bin/` target
+//! reproduces one artifact:
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `table1_benchmarks` | Table 1 — interactive benchmark roster |
+//! | `table2_costs` | Table 2 — overhead cost model |
+//! | `fig1_max_cache_size` | Figure 1 — unbounded cache sizes |
+//! | `fig2_code_expansion` | Figure 2 — code expansion |
+//! | `fig3_insertion_rate` | Figure 3 — trace insertion rates |
+//! | `fig4_unmapped` | Figure 4 — unmapped-memory deletions |
+//! | `fig6_lifetimes` | Figure 6 — trace lifetime histograms |
+//! | `fig9_miss_rates` | Figure 9 — generational miss-rate reduction |
+//! | `fig10_misses_eliminated` | Figure 10 — absolute misses eliminated |
+//! | `fig11_overhead` | Figure 11 — instruction-overhead ratio |
+//! | `sweep_proportions` | §6 proportions × threshold sweep |
+//! | `ablate_local_policy` | §4 local-policy ablation (extension) |
+//! | `ablate_probation` | §5.3 probation-cache ablation (extension) |
+//! | `ablate_exceptions` | §4.2 undeletable-trace ablation (extension) |
+//!
+//! All binaries accept `--scale N` to divide every benchmark's footprint
+//! by `N` (for quick smoke runs) and `--suite spec|interactive` to limit
+//! the benchmark set. Output is deterministic.
+
+#![warn(missing_docs)]
+
+use gencache_sim::{record, RecordedRun};
+use gencache_workloads::{all_benchmarks, Suite, WorkloadProfile};
+
+/// Command-line options shared by every figure binary.
+///
+/// Scaling caveat: `--scale` shrinks footprints for smoke runs, but the
+/// Figure 9/11 economics depend on absolute working-set-to-cache ratios;
+/// below roughly 1/8 scale the small benchmarks degenerate to a handful
+/// of traces and the generational layouts can look arbitrarily bad. Use
+/// full scale for any result you intend to read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarnessOptions {
+    /// Divide every footprint by this factor (1 = full scale).
+    pub scale: u64,
+    /// Restrict to one suite.
+    pub suite: Option<Suite>,
+}
+
+impl HarnessOptions {
+    /// Parses `--scale N` and `--suite spec|interactive` from `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments; these binaries
+    /// are terminal tools, so failing loudly is the right interface.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = HarnessOptions {
+            scale: 1,
+            suite: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    opts.scale = v.parse().expect("--scale must be a positive integer");
+                    assert!(opts.scale > 0, "--scale must be positive");
+                }
+                "--suite" => {
+                    let v = it.next().expect("--suite needs a value");
+                    opts.suite = Some(match v.as_str() {
+                        "spec" | "spec2000" => Suite::Spec2000,
+                        "interactive" | "windows" => Suite::Interactive,
+                        other => panic!("unknown suite {other:?}; use spec|interactive"),
+                    });
+                }
+                other => panic!("unknown argument {other:?}; use --scale N / --suite S"),
+            }
+        }
+        opts
+    }
+
+    /// Parses the current process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        HarnessOptions::parse(std::env::args().skip(1))
+    }
+
+    /// The benchmark profiles selected by these options.
+    pub fn profiles(&self) -> Vec<WorkloadProfile> {
+        all_benchmarks()
+            .into_iter()
+            .filter(|p| self.suite.is_none_or(|s| p.suite == s))
+            .map(|p| {
+                if self.scale > 1 {
+                    p.scaled_down(self.scale)
+                } else {
+                    p
+                }
+            })
+            .collect()
+    }
+}
+
+/// Records every selected benchmark, printing progress to stderr.
+pub fn record_all(opts: &HarnessOptions) -> Vec<Run> {
+    let profiles = opts.profiles();
+    let mut out = Vec::with_capacity(profiles.len());
+    for profile in profiles {
+        eprintln!("recording {} ...", profile.name);
+        let run = record(&profile).expect("calibrated profiles always plan");
+        out.push((profile, run));
+    }
+    out
+}
+
+/// A recorded benchmark paired with its profile.
+pub type Run = (WorkloadProfile, RecordedRun);
+
+/// Splits recorded runs by suite, preserving order: `(spec, interactive)`.
+pub fn by_suite(runs: &[Run]) -> (Vec<&Run>, Vec<&Run>) {
+    let spec = runs
+        .iter()
+        .filter(|(p, _)| p.suite == Suite::Spec2000)
+        .collect();
+    let inter = runs
+        .iter()
+        .filter(|(p, _)| p.suite == Suite::Interactive)
+        .collect();
+    (spec, inter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = HarnessOptions::parse(args(&[]));
+        assert_eq!(o.scale, 1);
+        assert_eq!(o.suite, None);
+    }
+
+    #[test]
+    fn parse_scale_and_suite() {
+        let o = HarnessOptions::parse(args(&["--scale", "8", "--suite", "spec"]));
+        assert_eq!(o.scale, 8);
+        assert_eq!(o.suite, Some(Suite::Spec2000));
+        let o = HarnessOptions::parse(args(&["--suite", "interactive"]));
+        assert_eq!(o.suite, Some(Suite::Interactive));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn parse_rejects_garbage() {
+        let _ = HarnessOptions::parse(args(&["--bogus"]));
+    }
+
+    #[test]
+    fn profiles_filter_by_suite() {
+        let o = HarnessOptions::parse(args(&["--suite", "spec", "--scale", "64"]));
+        let ps = o.profiles();
+        assert_eq!(ps.len(), 26);
+        assert!(ps.iter().all(|p| p.suite == Suite::Spec2000));
+    }
+}

@@ -1,0 +1,187 @@
+//! The [`CodeCache`] trait: the interface every local cache implements.
+
+use std::fmt;
+
+use gencache_program::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::stats::CacheStats;
+
+/// The result of a successful insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertReport {
+    /// Entries the replacement policy evicted to make room, in eviction
+    /// order. The generational manager promotes these to the next cache.
+    pub evicted: Vec<EntryInfo>,
+    /// Arena offset at which the new trace was placed.
+    pub offset: u64,
+}
+
+/// Errors returned by [`CodeCache::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertError {
+    /// The trace is larger than the whole cache.
+    TraceTooLarge {
+        /// Size of the rejected trace.
+        size: u32,
+        /// Cache capacity.
+        capacity: u64,
+    },
+    /// The trace is already resident; use [`CodeCache::touch`] instead.
+    AlreadyResident(TraceId),
+    /// Not enough evictable space (too many pinned entries).
+    NoSpace {
+        /// Size of the rejected trace.
+        size: u32,
+        /// Bytes currently pinned.
+        pinned_bytes: u64,
+    },
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::TraceTooLarge { size, capacity } => {
+                write!(f, "trace of {size} bytes exceeds cache capacity {capacity}")
+            }
+            InsertError::AlreadyResident(id) => write!(f, "trace {id} is already resident"),
+            InsertError::NoSpace { size, pinned_bytes } => write!(
+                f,
+                "no evictable space for {size} bytes ({pinned_bytes} bytes pinned)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A snapshot of cache fragmentation, from the free-gap structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentationReport {
+    /// Total free bytes.
+    pub free_bytes: u64,
+    /// The largest single contiguous free gap.
+    pub largest_gap: u64,
+    /// Number of disjoint free gaps.
+    pub gap_count: usize,
+}
+
+impl FragmentationReport {
+    /// Fraction of free space that is *unusable* for an allocation the
+    /// size of the largest gap: `1 - largest_gap / free_bytes`. Zero when
+    /// all free space is one gap (no fragmentation) and approaches one as
+    /// free space shatters into many small holes.
+    pub fn fragmentation_ratio(&self) -> f64 {
+        if self.free_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_gap as f64 / self.free_bytes as f64
+        }
+    }
+}
+
+/// A software code cache holding variable-size trace bodies.
+///
+/// Implementations differ only in their *replacement policy*; the storage
+/// model (a byte arena with holes) is shared. All caches support the
+/// operations the paper's Section 4 requires of a real system:
+///
+/// * **pinning** (undeletable traces, e.g. during exception handling);
+/// * **forced deletion** (program unmapped the source memory);
+/// * byte-granular capacity accounting.
+pub trait CodeCache: fmt::Debug {
+    /// Capacity in bytes, or `None` for an unbounded cache.
+    fn capacity(&self) -> Option<u64>;
+
+    /// Bytes currently occupied by resident traces.
+    fn used_bytes(&self) -> u64;
+
+    /// Number of resident traces.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no traces are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if the trace is resident.
+    fn contains(&self, id: TraceId) -> bool;
+
+    /// Metadata for a resident trace.
+    fn entry(&self, id: TraceId) -> Option<EntryInfo>;
+
+    /// Records an execution of a resident trace, updating recency and
+    /// access counts. Returns `false` if the trace is not resident.
+    fn touch(&mut self, id: TraceId, now: Time) -> bool;
+
+    /// Inserts a trace, evicting according to the policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`InsertError`]. On error the cache is unchanged except that
+    /// policies are permitted to have already evicted entries while
+    /// searching for space; callers treating errors as fatal should not
+    /// continue using the cache for simulation.
+    fn insert(&mut self, rec: TraceRecord, now: Time) -> Result<InsertReport, InsertError>;
+
+    /// Removes a trace for the given cause (forced unmap deletion or a
+    /// management discard). Returns its final metadata, or `None` if not
+    /// resident. Pinned traces *can* be removed this way: an unmap makes
+    /// the code invalid regardless of pinning.
+    fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo>;
+
+    /// Marks a trace undeletable (`true`) or deletable (`false`).
+    /// Returns `false` if the trace is not resident.
+    fn set_pinned(&mut self, id: TraceId, pinned: bool) -> bool;
+
+    /// Lifetime counters.
+    fn stats(&self) -> &CacheStats;
+
+    /// Current fragmentation snapshot.
+    fn fragmentation(&self) -> FragmentationReport;
+
+    /// Ids of all resident traces (unordered).
+    fn trace_ids(&self) -> Vec<TraceId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_ratio_extremes() {
+        let none = FragmentationReport {
+            free_bytes: 100,
+            largest_gap: 100,
+            gap_count: 1,
+        };
+        assert_eq!(none.fragmentation_ratio(), 0.0);
+
+        let shattered = FragmentationReport {
+            free_bytes: 100,
+            largest_gap: 10,
+            gap_count: 10,
+        };
+        assert!((shattered.fragmentation_ratio() - 0.9).abs() < 1e-12);
+
+        let full = FragmentationReport::default();
+        assert_eq!(full.fragmentation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn insert_error_display() {
+        let e = InsertError::TraceTooLarge {
+            size: 10,
+            capacity: 5,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        let e = InsertError::AlreadyResident(TraceId::new(3));
+        assert!(e.to_string().contains("T3"));
+        let e = InsertError::NoSpace {
+            size: 10,
+            pinned_bytes: 90,
+        };
+        assert!(e.to_string().contains("pinned"));
+    }
+}

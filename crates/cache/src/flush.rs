@@ -1,0 +1,294 @@
+//! A flush-on-full local policy, modeling Dynamo's preemptive flushing.
+//!
+//! Dynamo [2, 3] reacted to cache pressure (interpreted as a program phase
+//! change) by flushing the *entire* code cache and letting the new phase's
+//! hot traces repopulate it. This implementation triggers the flush when
+//! an insertion cannot fit, which is the bound that preemptive flushing
+//! degenerates to under a fixed cache size; it serves as the historical
+//! baseline in the local-policy ablation.
+
+use gencache_program::Time;
+
+use crate::arena::Arena;
+use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
+use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::stats::CacheStats;
+
+/// A fixed-capacity code cache that bump-allocates and flushes everything
+/// (except pinned traces) when full.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_cache::{CodeCache, FlushCache, TraceId, TraceRecord};
+/// use gencache_program::{Addr, Time};
+///
+/// let mut cache = FlushCache::new(100);
+/// cache.insert(TraceRecord::new(TraceId::new(1), 60, Addr::new(0x1)), Time::ZERO)?;
+/// // Overflow: the whole cache is flushed first.
+/// let report = cache.insert(
+///     TraceRecord::new(TraceId::new(2), 60, Addr::new(0x2)), Time::ZERO)?;
+/// assert_eq!(report.evicted.len(), 1);
+/// assert_eq!(cache.len(), 1);
+/// # Ok::<(), gencache_cache::InsertError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlushCache {
+    arena: Arena,
+    capacity: u64,
+    cursor: u64,
+    stats: CacheStats,
+    flushes: u64,
+}
+
+impl FlushCache {
+    /// Creates a cache of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        FlushCache {
+            arena: Arena::new(),
+            capacity,
+            cursor: 0,
+            stats: CacheStats::default(),
+            flushes: 0,
+        }
+    }
+
+    /// Number of whole-cache flushes performed so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flushes all unpinned entries, returning them in offset order, and
+    /// resets the allocation cursor.
+    pub fn flush(&mut self) -> Vec<EntryInfo> {
+        let victims: Vec<TraceId> = self
+            .arena
+            .iter_by_offset()
+            .filter(|e| !e.pinned)
+            .map(|e| e.id())
+            .collect();
+        let mut flushed = Vec::with_capacity(victims.len());
+        for id in victims {
+            let info = self.arena.remove(id).expect("resident");
+            self.stats
+                .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
+            flushed.push(info);
+        }
+        self.cursor = 0;
+        self.flushes += 1;
+        flushed
+    }
+
+    /// Finds a cursor position for `size` bytes, skipping pinned entries.
+    /// Returns `None` if no position exists even in an otherwise-empty
+    /// cache.
+    fn find_slot(&self, mut at: u64, size: u64) -> Option<u64> {
+        loop {
+            if at + size > self.capacity {
+                return None;
+            }
+            match self.arena.first_overlapping(at, at + size) {
+                None => return Some(at),
+                Some(id) => {
+                    // Only pinned entries survive a flush; anything else in
+                    // the way means we are pre-flush and the caller flushes.
+                    let e = self.arena.entry(id).expect("resident");
+                    if !e.pinned {
+                        return None;
+                    }
+                    at = e.end_offset();
+                }
+            }
+        }
+    }
+}
+
+impl CodeCache for FlushCache {
+    fn capacity(&self) -> Option<u64> {
+        Some(self.capacity)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.arena.used_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn contains(&self, id: TraceId) -> bool {
+        self.arena.contains(id)
+    }
+
+    fn entry(&self, id: TraceId) -> Option<EntryInfo> {
+        self.arena.entry(id).copied()
+    }
+
+    fn touch(&mut self, id: TraceId, now: Time) -> bool {
+        match self.arena.entry_mut(id) {
+            Some(e) => {
+                e.access_count += 1;
+                e.last_access = now;
+                self.stats.hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, rec: TraceRecord, now: Time) -> Result<InsertReport, InsertError> {
+        let size = u64::from(rec.size_bytes);
+        if size > self.capacity {
+            return Err(InsertError::TraceTooLarge {
+                size: rec.size_bytes,
+                capacity: self.capacity,
+            });
+        }
+        if self.arena.contains(rec.id) {
+            return Err(InsertError::AlreadyResident(rec.id));
+        }
+
+        let mut evicted = Vec::new();
+        let offset = match self.find_slot(self.cursor, size) {
+            Some(offset) => offset,
+            None => {
+                evicted = self.flush();
+                match self.find_slot(0, size) {
+                    Some(offset) => offset,
+                    None => {
+                        let pinned_bytes = self.arena.used_bytes();
+                        return Err(InsertError::NoSpace {
+                            size: rec.size_bytes,
+                            pinned_bytes,
+                        });
+                    }
+                }
+            }
+        };
+
+        self.arena.place(rec, offset, now);
+        self.cursor = offset + size;
+        self.stats.on_insert(size, self.arena.used_bytes());
+        Ok(InsertReport { evicted, offset })
+    }
+
+    fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
+        let info = self.arena.remove(id)?;
+        self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        Some(info)
+    }
+
+    fn set_pinned(&mut self, id: TraceId, pinned: bool) -> bool {
+        match self.arena.entry_mut(id) {
+            Some(e) => {
+                e.pinned = pinned;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn fragmentation(&self) -> FragmentationReport {
+        self.arena.fragmentation(self.capacity)
+    }
+
+    fn trace_ids(&self) -> Vec<TraceId> {
+        self.arena.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencache_program::Addr;
+
+    fn rec(id: u64, size: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(id), size, Addr::new(0x1000 + id * 0x100))
+    }
+
+    #[test]
+    fn bump_allocation_until_full() {
+        let mut c = FlushCache::new(100);
+        for i in 0..5 {
+            let r = c.insert(rec(i, 20), Time::ZERO).unwrap();
+            assert!(r.evicted.is_empty());
+            assert_eq!(r.offset, u64::from(i as u32) * 20);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.flush_count(), 0);
+    }
+
+    #[test]
+    fn overflow_flushes_everything() {
+        let mut c = FlushCache::new(100);
+        for i in 0..5 {
+            c.insert(rec(i, 20), Time::ZERO).unwrap();
+        }
+        let report = c.insert(rec(5, 20), Time::ZERO).unwrap();
+        assert_eq!(report.evicted.len(), 5);
+        assert_eq!(report.offset, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.flush_count(), 1);
+        assert_eq!(c.stats().capacity_evictions, 5);
+    }
+
+    #[test]
+    fn pinned_traces_survive_flush() {
+        let mut c = FlushCache::new(100);
+        c.insert(rec(1, 40), Time::ZERO).unwrap(); // [0,40)
+        c.insert(rec(2, 40), Time::ZERO).unwrap(); // [40,80)
+        c.set_pinned(TraceId::new(1), true);
+        // 40 bytes won't fit at cursor 80 → flush; trace 1 survives and the
+        // new trace lands right after it.
+        let report = c.insert(rec(3, 40), Time::ZERO).unwrap();
+        assert_eq!(report.evicted.len(), 1);
+        assert_eq!(report.evicted[0].id(), TraceId::new(2));
+        assert!(c.contains(TraceId::new(1)));
+        assert_eq!(report.offset, 40);
+    }
+
+    #[test]
+    fn no_space_when_pinned_blocks_everything() {
+        let mut c = FlushCache::new(100);
+        c.insert(rec(1, 80), Time::ZERO).unwrap();
+        c.set_pinned(TraceId::new(1), true);
+        let err = c.insert(rec(2, 40), Time::ZERO).unwrap_err();
+        assert!(matches!(
+            err,
+            InsertError::NoSpace {
+                pinned_bytes: 80,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn forced_removal_and_hole() {
+        let mut c = FlushCache::new(100);
+        c.insert(rec(1, 40), Time::ZERO).unwrap();
+        c.insert(rec(2, 40), Time::ZERO).unwrap();
+        c.remove(TraceId::new(1), EvictionCause::Unmapped).unwrap();
+        // Bump allocator does not backfill the hole; next insert goes to 80.
+        let report = c.insert(rec(3, 20), Time::ZERO).unwrap();
+        assert_eq!(report.offset, 80);
+        assert_eq!(c.fragmentation().gap_count, 1);
+    }
+
+    #[test]
+    fn oversized_and_duplicate_rejected() {
+        let mut c = FlushCache::new(50);
+        assert!(matches!(
+            c.insert(rec(1, 51), Time::ZERO),
+            Err(InsertError::TraceTooLarge { .. })
+        ));
+        c.insert(rec(1, 10), Time::ZERO).unwrap();
+        assert!(matches!(
+            c.insert(rec(1, 10), Time::ZERO),
+            Err(InsertError::AlreadyResident(_))
+        ));
+    }
+}

@@ -1,0 +1,357 @@
+//! Dynamo's preemptive flushing policy (Bala et al., HPL-1999-77 [2]).
+//!
+//! Dynamo observed that a sharp *rise in trace creation rate* signals a
+//! program phase change: the cached working set is going stale, so the
+//! most profitable reaction is to flush the whole cache pre-emptively and
+//! let the new phase's hot code repopulate it. This differs from
+//! [`FlushCache`](crate::FlushCache), which only flushes when forced by
+//! capacity.
+//!
+//! The detector here follows the published heuristic's shape: track the
+//! insertion rate over a sliding window of recent insertions; when the
+//! current window's rate exceeds the long-run average by a configurable
+//! factor, flush.
+
+use std::collections::VecDeque;
+
+use gencache_program::Time;
+
+use crate::arena::Arena;
+use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
+use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::stats::CacheStats;
+
+/// Configuration of the phase-change detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDetector {
+    /// Number of recent insertions forming the detection window.
+    pub window: usize,
+    /// Flush when the window's insertion rate exceeds the long-run
+    /// average rate by this factor.
+    pub spike_factor: f64,
+    /// Minimum insertions before the detector may fire (warm-up).
+    pub min_insertions: u64,
+}
+
+impl Default for PhaseDetector {
+    fn default() -> Self {
+        PhaseDetector {
+            window: 32,
+            spike_factor: 3.0,
+            min_insertions: 128,
+        }
+    }
+}
+
+/// A code cache flushed pre-emptively on detected phase changes, and as
+/// a fallback when an insertion cannot fit.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_cache::{CodeCache, PhaseDetector, PreemptiveFlushCache,
+///                      TraceId, TraceRecord};
+/// use gencache_program::{Addr, Time};
+///
+/// let mut cache = PreemptiveFlushCache::new(1 << 16, PhaseDetector::default());
+/// let rec = TraceRecord::new(TraceId::new(1), 242, Addr::new(0x1000));
+/// cache.insert(rec, Time::ZERO)?;
+/// assert!(cache.contains(TraceId::new(1)));
+/// # Ok::<(), gencache_cache::InsertError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreemptiveFlushCache {
+    arena: Arena,
+    capacity: u64,
+    cursor: u64,
+    detector: PhaseDetector,
+    /// Timestamps of the most recent insertions (the detection window).
+    recent: VecDeque<Time>,
+    first_insert: Option<Time>,
+    insertions: u64,
+    flushes: u64,
+    stats: CacheStats,
+}
+
+impl PreemptiveFlushCache {
+    /// Creates a cache of `capacity` bytes with the given detector.
+    pub fn new(capacity: u64, detector: PhaseDetector) -> Self {
+        PreemptiveFlushCache {
+            arena: Arena::new(),
+            capacity,
+            cursor: 0,
+            detector,
+            recent: VecDeque::with_capacity(detector.window + 1),
+            first_insert: None,
+            insertions: 0,
+            flushes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of flushes performed (preemptive and capacity-forced).
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Returns `true` if the detector currently sees a phase change:
+    /// the recent-window insertion rate is `spike_factor`× the long-run
+    /// rate.
+    fn phase_change_detected(&self, now: Time) -> bool {
+        if self.insertions < self.detector.min_insertions
+            || self.recent.len() < self.detector.window
+        {
+            return false;
+        }
+        let Some(first) = self.first_insert else {
+            return false;
+        };
+        let total_span = now.saturating_micros_since(first);
+        if total_span == 0 {
+            return false;
+        }
+        let long_run_rate = self.insertions as f64 / total_span as f64;
+        let window_start = *self.recent.front().expect("window nonempty");
+        let window_span = now.saturating_micros_since(window_start).max(1);
+        let window_rate = self.recent.len() as f64 / window_span as f64;
+        window_rate > long_run_rate * self.detector.spike_factor
+    }
+
+    /// Flushes all unpinned entries (stats: capacity evictions) and
+    /// resets the allocation cursor.
+    fn flush(&mut self) -> Vec<EntryInfo> {
+        let victims: Vec<TraceId> = self
+            .arena
+            .iter_by_offset()
+            .filter(|e| !e.pinned)
+            .map(|e| e.id())
+            .collect();
+        let mut flushed = Vec::with_capacity(victims.len());
+        for id in victims {
+            let info = self.arena.remove(id).expect("resident");
+            self.stats
+                .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
+            flushed.push(info);
+        }
+        self.cursor = 0;
+        self.flushes += 1;
+        flushed
+    }
+
+    fn find_slot(&self, mut at: u64, size: u64) -> Option<u64> {
+        loop {
+            if at + size > self.capacity {
+                return None;
+            }
+            match self.arena.first_overlapping(at, at + size) {
+                None => return Some(at),
+                Some(id) => {
+                    let e = self.arena.entry(id).expect("resident");
+                    if !e.pinned {
+                        return None;
+                    }
+                    at = e.end_offset();
+                }
+            }
+        }
+    }
+}
+
+impl CodeCache for PreemptiveFlushCache {
+    fn capacity(&self) -> Option<u64> {
+        Some(self.capacity)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.arena.used_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn contains(&self, id: TraceId) -> bool {
+        self.arena.contains(id)
+    }
+
+    fn entry(&self, id: TraceId) -> Option<EntryInfo> {
+        self.arena.entry(id).copied()
+    }
+
+    fn touch(&mut self, id: TraceId, now: Time) -> bool {
+        match self.arena.entry_mut(id) {
+            Some(e) => {
+                e.access_count += 1;
+                e.last_access = now;
+                self.stats.hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, rec: TraceRecord, now: Time) -> Result<InsertReport, InsertError> {
+        let size = u64::from(rec.size_bytes);
+        if size > self.capacity {
+            return Err(InsertError::TraceTooLarge {
+                size: rec.size_bytes,
+                capacity: self.capacity,
+            });
+        }
+        if self.arena.contains(rec.id) {
+            return Err(InsertError::AlreadyResident(rec.id));
+        }
+
+        // Update the phase detector first: the new insertion is part of
+        // the burst we are trying to detect.
+        self.insertions += 1;
+        self.first_insert.get_or_insert(now);
+        self.recent.push_back(now);
+        while self.recent.len() > self.detector.window {
+            self.recent.pop_front();
+        }
+
+        let mut evicted = Vec::new();
+        if self.phase_change_detected(now) {
+            evicted = self.flush();
+        }
+
+        let offset = match self.find_slot(self.cursor, size) {
+            Some(offset) => offset,
+            None => {
+                // Capacity-forced fallback flush.
+                evicted.extend(self.flush());
+                match self.find_slot(0, size) {
+                    Some(offset) => offset,
+                    None => {
+                        return Err(InsertError::NoSpace {
+                            size: rec.size_bytes,
+                            pinned_bytes: self.arena.used_bytes(),
+                        });
+                    }
+                }
+            }
+        };
+
+        self.arena.place(rec, offset, now);
+        self.cursor = offset + size;
+        self.stats.on_insert(size, self.arena.used_bytes());
+        Ok(InsertReport { evicted, offset })
+    }
+
+    fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
+        let info = self.arena.remove(id)?;
+        self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        Some(info)
+    }
+
+    fn set_pinned(&mut self, id: TraceId, pinned: bool) -> bool {
+        match self.arena.entry_mut(id) {
+            Some(e) => {
+                e.pinned = pinned;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn fragmentation(&self) -> FragmentationReport {
+        self.arena.fragmentation(self.capacity)
+    }
+
+    fn trace_ids(&self) -> Vec<TraceId> {
+        self.arena.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencache_program::Addr;
+
+    fn rec(id: u64, size: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(id), size, Addr::new(0x1000 + id * 0x100))
+    }
+
+    fn detector() -> PhaseDetector {
+        PhaseDetector {
+            window: 8,
+            spike_factor: 3.0,
+            min_insertions: 16,
+        }
+    }
+
+    #[test]
+    fn steady_rate_never_flushes_preemptively() {
+        let mut c = PreemptiveFlushCache::new(1 << 20, detector());
+        // One insertion per 100 µs, uniformly: no spike.
+        for i in 0..200u64 {
+            c.insert(rec(i, 100), Time::from_micros(i * 100)).unwrap();
+        }
+        assert_eq!(c.flush_count(), 0);
+        assert_eq!(c.len(), 200);
+    }
+
+    #[test]
+    fn insertion_burst_triggers_phase_flush() {
+        let mut c = PreemptiveFlushCache::new(1 << 20, detector());
+        // Warm up slowly…
+        for i in 0..32u64 {
+            c.insert(rec(i, 100), Time::from_micros(i * 1000)).unwrap();
+        }
+        assert_eq!(c.flush_count(), 0);
+        // …then a phase change: a dense burst of new traces.
+        for i in 0..16u64 {
+            c.insert(rec(1000 + i, 100), Time::from_micros(32_000 + i))
+                .unwrap();
+        }
+        assert!(c.flush_count() >= 1, "burst should flush pre-emptively");
+        // The old phase's traces are gone.
+        assert!(!c.contains(TraceId::new(0)));
+    }
+
+    #[test]
+    fn capacity_overflow_still_flushes() {
+        let mut c = PreemptiveFlushCache::new(
+            300,
+            PhaseDetector {
+                min_insertions: u64::MAX, // detector disabled
+                ..detector()
+            },
+        );
+        c.insert(rec(1, 150), Time::ZERO).unwrap();
+        c.insert(rec(2, 150), Time::ZERO).unwrap();
+        let report = c.insert(rec(3, 150), Time::ZERO).unwrap();
+        assert_eq!(report.evicted.len(), 2);
+        assert_eq!(c.flush_count(), 1);
+    }
+
+    #[test]
+    fn pinned_traces_survive_phase_flush() {
+        let mut c = PreemptiveFlushCache::new(1 << 20, detector());
+        for i in 0..32u64 {
+            c.insert(rec(i, 100), Time::from_micros(i * 1000)).unwrap();
+        }
+        c.set_pinned(TraceId::new(5), true);
+        for i in 0..16u64 {
+            c.insert(rec(1000 + i, 100), Time::from_micros(32_000 + i))
+                .unwrap();
+        }
+        assert!(c.flush_count() >= 1);
+        assert!(c.contains(TraceId::new(5)), "pinned trace must survive");
+    }
+
+    #[test]
+    fn detector_needs_warmup() {
+        let mut c = PreemptiveFlushCache::new(1 << 20, detector());
+        // A burst right at the start must NOT flush (min_insertions).
+        for i in 0..15u64 {
+            c.insert(rec(i, 100), Time::from_micros(i)).unwrap();
+        }
+        assert_eq!(c.flush_count(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::EvictionCause;
+
+/// Counters maintained by every code cache.
+///
+/// All byte totals count trace body bytes, matching how the paper sizes
+/// its caches. `peak_used_bytes` supplies the *maximum code cache size*
+/// metric of Figure 1 when gathered from an unbounded cache.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_cache::{CodeCache, PseudoCircularCache, TraceId, TraceRecord};
+/// use gencache_program::{Addr, Time};
+///
+/// let mut cache = PseudoCircularCache::new(256);
+/// cache.insert(TraceRecord::new(TraceId::new(1), 200, Addr::new(1)), Time::ZERO)?;
+/// cache.insert(TraceRecord::new(TraceId::new(2), 200, Addr::new(2)), Time::ZERO)?;
+/// let stats = cache.stats();
+/// assert_eq!(stats.insertions, 2);
+/// assert_eq!(stats.capacity_evictions, 1); // trace 1 made way for 2
+/// assert_eq!(stats.peak_used_bytes, 200);
+/// # Ok::<(), gencache_cache::InsertError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Successful insertions.
+    pub insertions: u64,
+    /// Total bytes inserted.
+    pub inserted_bytes: u64,
+    /// Lookups that found their trace resident ([`CodeCache::touch`]).
+    ///
+    /// [`CodeCache::touch`]: crate::CodeCache::touch
+    pub hits: u64,
+    /// Entries evicted by the replacement policy.
+    pub capacity_evictions: u64,
+    /// Bytes evicted by the replacement policy.
+    pub capacity_evicted_bytes: u64,
+    /// Entries deleted because their source memory was unmapped.
+    pub unmap_deletions: u64,
+    /// Bytes deleted due to unmapping.
+    pub unmap_deleted_bytes: u64,
+    /// Entries discarded by explicit management decisions.
+    pub discards: u64,
+    /// Bytes discarded by explicit management decisions.
+    pub discarded_bytes: u64,
+    /// Entries removed because they were promoted to another cache.
+    pub promotions_out: u64,
+    /// Bytes promoted out to another cache.
+    pub promoted_out_bytes: u64,
+    /// High-water mark of resident bytes.
+    pub peak_used_bytes: u64,
+}
+
+impl CacheStats {
+    /// Records an insertion of `bytes`, updating the peak given the new
+    /// resident total `used`.
+    pub fn on_insert(&mut self, bytes: u64, used: u64) {
+        self.insertions += 1;
+        self.inserted_bytes += bytes;
+        self.peak_used_bytes = self.peak_used_bytes.max(used);
+    }
+
+    /// Records a removal of `bytes` with the given cause.
+    pub fn on_remove(&mut self, bytes: u64, cause: EvictionCause) {
+        match cause {
+            EvictionCause::Capacity => {
+                self.capacity_evictions += 1;
+                self.capacity_evicted_bytes += bytes;
+            }
+            EvictionCause::Unmapped => {
+                self.unmap_deletions += 1;
+                self.unmap_deleted_bytes += bytes;
+            }
+            EvictionCause::Discarded => {
+                self.discards += 1;
+                self.discarded_bytes += bytes;
+            }
+            EvictionCause::Promoted => {
+                self.promotions_out += 1;
+                self.promoted_out_bytes += bytes;
+            }
+        }
+    }
+
+    /// All entries removed for any cause.
+    pub fn total_removals(&self) -> u64 {
+        self.capacity_evictions + self.unmap_deletions + self.discards + self.promotions_out
+    }
+
+    /// Fraction of inserted bytes that were later deleted because of
+    /// unmapped memory — the per-cache quantity behind Figure 4.
+    pub fn unmap_deletion_fraction(&self) -> f64 {
+        if self.inserted_bytes == 0 {
+            0.0
+        } else {
+            self.unmap_deleted_bytes as f64 / self.inserted_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_updates_peak() {
+        let mut s = CacheStats::default();
+        s.on_insert(100, 100);
+        s.on_insert(50, 150);
+        s.on_remove(100, EvictionCause::Capacity);
+        s.on_insert(10, 60);
+        assert_eq!(s.peak_used_bytes, 150);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.inserted_bytes, 160);
+    }
+
+    #[test]
+    fn removal_causes_tracked_separately() {
+        let mut s = CacheStats::default();
+        s.on_remove(10, EvictionCause::Capacity);
+        s.on_remove(20, EvictionCause::Unmapped);
+        s.on_remove(30, EvictionCause::Discarded);
+        assert_eq!(s.capacity_evicted_bytes, 10);
+        assert_eq!(s.unmap_deleted_bytes, 20);
+        assert_eq!(s.discarded_bytes, 30);
+        assert_eq!(s.total_removals(), 3);
+    }
+
+    #[test]
+    fn unmap_fraction() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.unmap_deletion_fraction(), 0.0);
+        s.on_insert(100, 100);
+        s.on_remove(15, EvictionCause::Unmapped);
+        assert!((s.unmap_deletion_fraction() - 0.15).abs() < 1e-12);
+    }
+}

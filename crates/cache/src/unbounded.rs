@@ -1,0 +1,191 @@
+//! An unbounded code cache: the management-free default of DynamoRIO.
+//!
+//! Nothing is ever evicted for capacity; the cache simply grows. The paper
+//! uses an unbounded run to measure each benchmark's *maximum code cache
+//! size* (Figure 1) and to record the access log that drives the bounded
+//! cache simulations.
+
+use gencache_program::Time;
+
+use crate::arena::Arena;
+use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
+use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::stats::CacheStats;
+
+/// A code cache with no capacity limit.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_cache::{CodeCache, TraceId, TraceRecord, UnboundedCache};
+/// use gencache_program::{Addr, Time};
+///
+/// let mut cache = UnboundedCache::new();
+/// for i in 0..1000 {
+///     let rec = TraceRecord::new(TraceId::new(i), 100, Addr::new(0x1000 + i));
+///     assert!(cache.insert(rec, Time::ZERO)?.evicted.is_empty());
+/// }
+/// assert_eq!(cache.used_bytes(), 100_000);
+/// assert_eq!(cache.capacity(), None);
+/// # Ok::<(), gencache_cache::InsertError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnboundedCache {
+    arena: Arena,
+    cursor: u64,
+    stats: CacheStats,
+}
+
+impl UnboundedCache {
+    /// Creates an empty unbounded cache.
+    pub fn new() -> Self {
+        UnboundedCache::default()
+    }
+}
+
+impl CodeCache for UnboundedCache {
+    fn capacity(&self) -> Option<u64> {
+        None
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.arena.used_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn contains(&self, id: TraceId) -> bool {
+        self.arena.contains(id)
+    }
+
+    fn entry(&self, id: TraceId) -> Option<EntryInfo> {
+        self.arena.entry(id).copied()
+    }
+
+    fn touch(&mut self, id: TraceId, now: Time) -> bool {
+        match self.arena.entry_mut(id) {
+            Some(e) => {
+                e.access_count += 1;
+                e.last_access = now;
+                self.stats.hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, rec: TraceRecord, now: Time) -> Result<InsertReport, InsertError> {
+        if self.arena.contains(rec.id) {
+            return Err(InsertError::AlreadyResident(rec.id));
+        }
+        let offset = self.cursor;
+        self.arena.place(rec, offset, now);
+        self.cursor += u64::from(rec.size_bytes);
+        self.stats
+            .on_insert(u64::from(rec.size_bytes), self.arena.used_bytes());
+        Ok(InsertReport {
+            evicted: Vec::new(),
+            offset,
+        })
+    }
+
+    fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
+        let info = self.arena.remove(id)?;
+        self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        Some(info)
+    }
+
+    fn set_pinned(&mut self, id: TraceId, pinned: bool) -> bool {
+        match self.arena.entry_mut(id) {
+            Some(e) => {
+                e.pinned = pinned;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn fragmentation(&self) -> FragmentationReport {
+        // Free space is unbounded; report only interior holes up to the
+        // allocation watermark.
+        self.arena.fragmentation(self.arena.high_watermark())
+    }
+
+    fn trace_ids(&self) -> Vec<TraceId> {
+        self.arena.ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencache_program::Addr;
+
+    fn rec(id: u64, size: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(id), size, Addr::new(0x1000 + id * 0x100))
+    }
+
+    #[test]
+    fn never_evicts() {
+        let mut c = UnboundedCache::new();
+        for i in 0..100 {
+            assert!(c
+                .insert(rec(i, 1000), Time::ZERO)
+                .unwrap()
+                .evicted
+                .is_empty());
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.used_bytes(), 100_000);
+        assert_eq!(c.stats().peak_used_bytes, 100_000);
+    }
+
+    #[test]
+    fn peak_survives_unmap_deletions() {
+        let mut c = UnboundedCache::new();
+        c.insert(rec(1, 500), Time::ZERO).unwrap();
+        c.insert(rec(2, 500), Time::ZERO).unwrap();
+        c.remove(TraceId::new(1), EvictionCause::Unmapped).unwrap();
+        c.insert(rec(3, 100), Time::ZERO).unwrap();
+        // Peak was 1000 even though current use is 600.
+        assert_eq!(c.stats().peak_used_bytes, 1000);
+        assert_eq!(c.used_bytes(), 600);
+    }
+
+    #[test]
+    fn holes_reported_up_to_watermark() {
+        let mut c = UnboundedCache::new();
+        c.insert(rec(1, 100), Time::ZERO).unwrap();
+        c.insert(rec(2, 100), Time::ZERO).unwrap();
+        c.remove(TraceId::new(1), EvictionCause::Unmapped).unwrap();
+        let frag = c.fragmentation();
+        assert_eq!(frag.free_bytes, 100);
+        assert_eq!(frag.gap_count, 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = UnboundedCache::new();
+        c.insert(rec(1, 10), Time::ZERO).unwrap();
+        assert!(matches!(
+            c.insert(rec(1, 10), Time::ZERO),
+            Err(InsertError::AlreadyResident(_))
+        ));
+    }
+
+    #[test]
+    fn touch_and_pin() {
+        let mut c = UnboundedCache::new();
+        c.insert(rec(1, 10), Time::ZERO).unwrap();
+        assert!(c.touch(TraceId::new(1), Time::from_micros(3)));
+        assert!(c.set_pinned(TraceId::new(1), true));
+        assert_eq!(c.entry(TraceId::new(1)).unwrap().access_count, 1);
+        assert!(c.entry(TraceId::new(1)).unwrap().pinned);
+    }
+}

@@ -1,0 +1,264 @@
+//! Configuration of a generational code cache.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How traces graduate from the probation cache to the persistent cache
+/// (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PromotionPolicy {
+    /// Figure 8's algorithm: when a probation trace is *evicted*, promote
+    /// it if it was executed more than `threshold` times while on
+    /// probation; otherwise delete it.
+    OnEviction {
+        /// Minimum probation-cache executions required for promotion.
+        threshold: u64,
+    },
+    /// The counter-free variant: the `hits`-th execution of a probation
+    /// trace immediately promotes it to the persistent cache. The paper
+    /// found `hits == 1` performs best with a small (10%) probation cache
+    /// and notes it "obviates the need for complex analysis".
+    OnHit {
+        /// Number of probation executions that triggers promotion.
+        hits: u64,
+    },
+}
+
+impl fmt::Display for PromotionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromotionPolicy::OnEviction { threshold } => {
+                write!(f, "promote-on-eviction(>{threshold} execs)")
+            }
+            PromotionPolicy::OnHit { hits } => write!(f, "promote-on-hit({hits})"),
+        }
+    }
+}
+
+/// Size proportions of the three generational caches. Must sum to 1.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_core::Proportions;
+///
+/// let best = Proportions::best_overall();
+/// assert_eq!(best.to_string(), "45-10-45");
+/// assert!((best.nursery + best.probation + best.persistent - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Proportions {
+    /// Fraction of total capacity given to the nursery.
+    pub nursery: f64,
+    /// Fraction given to the probation cache.
+    pub probation: f64,
+    /// Fraction given to the persistent cache.
+    pub persistent: f64,
+}
+
+impl Proportions {
+    /// Creates a proportion triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the triple does not sum to 1
+    /// within 1e-6.
+    pub fn new(nursery: f64, probation: f64, persistent: f64) -> Self {
+        assert!(
+            nursery >= 0.0 && probation >= 0.0 && persistent >= 0.0,
+            "proportions must be non-negative"
+        );
+        let sum = nursery + probation + persistent;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "proportions must sum to 1, got {sum}"
+        );
+        Proportions {
+            nursery,
+            probation,
+            persistent,
+        }
+    }
+
+    /// The even 33%–33%–33% split of Figure 9's first configuration.
+    pub fn even_thirds() -> Self {
+        Proportions::new(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0)
+    }
+
+    /// The 45%–10%–45% split the paper found best overall.
+    pub fn best_overall() -> Self {
+        Proportions::new(0.45, 0.10, 0.45)
+    }
+
+    /// A probation-heavy 25%–50%–25% split, the third configuration we
+    /// sweep (benchmarks like `eon`, `vpr` and `applu` preferred a larger
+    /// probation cache in the paper).
+    pub fn probation_heavy() -> Self {
+        Proportions::new(0.25, 0.50, 0.25)
+    }
+}
+
+impl fmt::Display for Proportions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0}-{:.0}-{:.0}",
+            self.nursery * 100.0,
+            self.probation * 100.0,
+            self.persistent * 100.0
+        )
+    }
+}
+
+/// Full configuration of a generational cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_core::{GenerationalConfig, Proportions, PromotionPolicy};
+///
+/// // The paper's best configuration over a 1 MB total budget.
+/// let config = GenerationalConfig::new(
+///     1 << 20,
+///     Proportions::best_overall(),
+///     PromotionPolicy::OnHit { hits: 1 },
+/// );
+/// assert_eq!(config.nursery_bytes + config.probation_bytes
+///            + config.persistent_bytes, 1 << 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationalConfig {
+    /// Bytes allotted to the nursery cache.
+    pub nursery_bytes: u64,
+    /// Bytes allotted to the probation cache.
+    pub probation_bytes: u64,
+    /// Bytes allotted to the persistent cache.
+    pub persistent_bytes: u64,
+    /// The probation→persistent promotion rule.
+    pub promotion: PromotionPolicy,
+}
+
+impl GenerationalConfig {
+    /// Splits `total_bytes` by `proportions`, rounding so the three caches
+    /// sum exactly to `total_bytes` (the paper's evaluation compares
+    /// against a unified cache of identical total size, so exact
+    /// accounting matters).
+    pub fn new(total_bytes: u64, proportions: Proportions, promotion: PromotionPolicy) -> Self {
+        let nursery_bytes = (total_bytes as f64 * proportions.nursery).round() as u64;
+        let probation_bytes = (total_bytes as f64 * proportions.probation).round() as u64;
+        let persistent_bytes = total_bytes
+            .saturating_sub(nursery_bytes)
+            .saturating_sub(probation_bytes);
+        GenerationalConfig {
+            nursery_bytes,
+            probation_bytes,
+            persistent_bytes,
+            promotion,
+        }
+    }
+
+    /// Total bytes across the three caches.
+    pub fn total_bytes(&self) -> u64 {
+        self.nursery_bytes + self.probation_bytes + self.persistent_bytes
+    }
+
+    /// The three configurations evaluated in Figure 9, over a total budget:
+    /// 33/33/33 promoting evictees with >10 executions, 45/10/45 promoting
+    /// on the first hit, and 25/50/25 promoting evictees with >5.
+    pub fn figure9_configs(total_bytes: u64) -> [GenerationalConfig; 3] {
+        [
+            GenerationalConfig::new(
+                total_bytes,
+                Proportions::even_thirds(),
+                PromotionPolicy::OnEviction { threshold: 10 },
+            ),
+            GenerationalConfig::new(
+                total_bytes,
+                Proportions::best_overall(),
+                PromotionPolicy::OnHit { hits: 1 },
+            ),
+            GenerationalConfig::new(
+                total_bytes,
+                Proportions::probation_heavy(),
+                PromotionPolicy::OnEviction { threshold: 5 },
+            ),
+        ]
+    }
+}
+
+impl fmt::Display for GenerationalConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_bytes() as f64;
+        if total > 0.0 {
+            write!(
+                f,
+                "{:.0}-{:.0}-{:.0} {}",
+                self.nursery_bytes as f64 / total * 100.0,
+                self.probation_bytes as f64 / total * 100.0,
+                self.persistent_bytes as f64 / total * 100.0,
+                self.promotion
+            )
+        } else {
+            write!(f, "empty {}", self.promotion)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_validate() {
+        let p = Proportions::new(0.45, 0.10, 0.45);
+        assert_eq!(p.to_string(), "45-10-45");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_sum_rejected() {
+        let _ = Proportions::new(0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Proportions::new(-0.5, 1.0, 0.5);
+    }
+
+    #[test]
+    fn config_sizes_sum_exactly() {
+        for total in [999u64, 1000, 1001, 12345, 1 << 20] {
+            let c = GenerationalConfig::new(
+                total,
+                Proportions::even_thirds(),
+                PromotionPolicy::OnHit { hits: 1 },
+            );
+            assert_eq!(c.total_bytes(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn figure9_configs_share_budget() {
+        for c in GenerationalConfig::figure9_configs(1 << 20) {
+            assert_eq!(c.total_bytes(), 1 << 20);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = GenerationalConfig::new(
+            1000,
+            Proportions::best_overall(),
+            PromotionPolicy::OnHit { hits: 1 },
+        );
+        assert_eq!(c.to_string(), "45-10-45 promote-on-hit(1)");
+        let c = GenerationalConfig::new(
+            1000,
+            Proportions::even_thirds(),
+            PromotionPolicy::OnEviction { threshold: 10 },
+        );
+        assert!(c.to_string().contains("promote-on-eviction"));
+    }
+}

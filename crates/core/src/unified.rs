@@ -1,0 +1,193 @@
+//! The unified-cache baseline: one pseudo-circular trace cache.
+//!
+//! The paper's baseline for every benchmark is a single pseudo-circular
+//! cache sized at `0.5 × maxCache`, where `maxCache` is the unbounded
+//! size that benchmark reached (Section 6).
+
+use gencache_cache::{CodeCache, EvictionCause, PseudoCircularCache, TraceId, TraceRecord};
+use gencache_program::Time;
+
+use crate::cost::CostLedger;
+use crate::model::{AccessOutcome, CacheModel, Generation, ModelMetrics};
+
+/// A single bounded pseudo-circular trace cache with miss-cost accounting.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_cache::{TraceId, TraceRecord};
+/// use gencache_core::{CacheModel, UnifiedModel};
+/// use gencache_program::{Addr, Time};
+///
+/// let mut model = UnifiedModel::new(1024);
+/// let rec = TraceRecord::new(TraceId::new(1), 242, Addr::new(0x1000));
+/// assert!(!model.on_access(rec, Time::ZERO).is_hit()); // cold miss
+/// assert!(model.on_access(rec, Time::from_micros(1)).is_hit());
+/// assert_eq!(model.metrics().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct UnifiedModel {
+    cache: Box<dyn CodeCache>,
+    name: String,
+    metrics: ModelMetrics,
+    ledger: CostLedger,
+}
+
+impl UnifiedModel {
+    /// Creates a unified pseudo-circular cache of `capacity` bytes — the
+    /// paper's baseline.
+    pub fn new(capacity: u64) -> Self {
+        UnifiedModel::with_cache("unified", Box::new(PseudoCircularCache::new(capacity)))
+    }
+
+    /// Wraps an arbitrary local policy (LRU, flush-on-full, …) in the
+    /// unified-model cost accounting, for local-policy ablations.
+    pub fn with_cache(name: impl Into<String>, cache: Box<dyn CodeCache>) -> Self {
+        UnifiedModel {
+            cache,
+            name: name.into(),
+            metrics: ModelMetrics::default(),
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// The underlying cache, for inspection.
+    pub fn cache(&self) -> &dyn CodeCache {
+        self.cache.as_ref()
+    }
+}
+
+impl CacheModel for UnifiedModel {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_access(&mut self, rec: TraceRecord, now: Time) -> AccessOutcome {
+        self.metrics.accesses += 1;
+        if self.cache.touch(rec.id, now) {
+            self.metrics.hits += 1;
+            return AccessOutcome::Hit(Generation::Unified);
+        }
+        // Conflict (or cold) miss: regenerate the trace and insert it.
+        self.metrics.misses += 1;
+        self.ledger.charge_miss(rec.size_bytes);
+        match self.cache.insert(rec, now) {
+            Ok(report) => {
+                for victim in &report.evicted {
+                    self.ledger.charge_eviction(victim.size_bytes());
+                }
+            }
+            Err(_) => {
+                // Trace larger than the whole cache (or blocked by pinned
+                // entries): it executes unlinked and is regenerated on
+                // every encounter.
+                self.metrics.uncachable += 1;
+            }
+        }
+        AccessOutcome::Miss
+    }
+
+    fn on_unmap(&mut self, id: TraceId) -> bool {
+        match self.cache.remove(id, EvictionCause::Unmapped) {
+            Some(info) => {
+                self.metrics.unmap_deletions += 1;
+                self.ledger.charge_eviction(info.size_bytes());
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn on_pin(&mut self, id: TraceId, pinned: bool) -> bool {
+        self.cache.set_pinned(id, pinned)
+    }
+
+    fn metrics(&self) -> &ModelMetrics {
+        &self.metrics
+    }
+
+    fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.cache.used_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.cache.capacity().expect("bounded")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencache_program::Addr;
+
+    fn rec(id: u64, size: u32) -> TraceRecord {
+        TraceRecord::new(TraceId::new(id), size, Addr::new(0x1000 + id * 0x100))
+    }
+
+    #[test]
+    fn cold_miss_then_hits() {
+        let mut m = UnifiedModel::new(1000);
+        assert_eq!(m.on_access(rec(1, 200), Time::ZERO), AccessOutcome::Miss);
+        for i in 1..=5 {
+            assert_eq!(
+                m.on_access(rec(1, 200), Time::from_micros(i)),
+                AccessOutcome::Hit(Generation::Unified)
+            );
+        }
+        assert_eq!(m.metrics().accesses, 6);
+        assert_eq!(m.metrics().hits, 5);
+        assert_eq!(m.metrics().misses, 1);
+        assert_eq!(m.ledger().miss_events, 1);
+    }
+
+    #[test]
+    fn conflict_miss_charges_regeneration_and_eviction() {
+        let mut m = UnifiedModel::new(500);
+        m.on_access(rec(1, 300), Time::ZERO);
+        m.on_access(rec(2, 300), Time::ZERO); // evicts 1
+        assert_eq!(m.ledger().eviction_events, 1);
+        // Re-access of 1 is a conflict miss.
+        assert_eq!(m.on_access(rec(1, 300), Time::ZERO), AccessOutcome::Miss);
+        assert_eq!(m.metrics().misses, 3);
+    }
+
+    #[test]
+    fn unmap_removes_and_charges() {
+        let mut m = UnifiedModel::new(1000);
+        m.on_access(rec(1, 200), Time::ZERO);
+        assert!(m.on_unmap(TraceId::new(1)));
+        assert!(!m.on_unmap(TraceId::new(1)));
+        assert_eq!(m.metrics().unmap_deletions, 1);
+        assert_eq!(m.ledger().eviction_events, 1);
+        assert_eq!(m.on_access(rec(1, 200), Time::ZERO), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn oversized_trace_counts_uncachable() {
+        let mut m = UnifiedModel::new(100);
+        assert_eq!(m.on_access(rec(1, 200), Time::ZERO), AccessOutcome::Miss);
+        assert_eq!(m.on_access(rec(1, 200), Time::ZERO), AccessOutcome::Miss);
+        assert_eq!(m.metrics().uncachable, 2);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn pinning_protects_entry() {
+        let mut m = UnifiedModel::new(400);
+        m.on_access(rec(1, 300), Time::ZERO);
+        assert!(m.on_pin(TraceId::new(1), true));
+        // Without the pin, trace 2 would evict trace 1; with it, trace 2
+        // finds no space and trace 1 survives.
+        m.on_access(rec(2, 200), Time::ZERO);
+        assert_eq!(m.metrics().uncachable, 1);
+        assert!(m.on_access(rec(1, 300), Time::ZERO).is_hit());
+        // Unpinning restores normal eviction.
+        assert!(m.on_pin(TraceId::new(1), false));
+        m.on_access(rec(2, 200), Time::ZERO);
+        assert!(!m.on_access(rec(1, 300), Time::ZERO).is_hit());
+    }
+}

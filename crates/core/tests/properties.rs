@@ -1,0 +1,190 @@
+//! Property-based tests of the cache models: structural invariants that
+//! must hold for any access/unmap/pin sequence under any configuration.
+
+use gencache_cache::{CodeCache, TraceId, TraceRecord};
+use gencache_core::{
+    CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
+};
+use gencache_program::{Addr, Time};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { id: u64, size: u32 },
+    Unmap { id: u64 },
+    Pin { id: u64, pinned: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u64..60, 50u32..400).prop_map(|(id, size)| Op::Access { id, size }),
+        1 => (0u64..60).prop_map(|id| Op::Unmap { id }),
+        1 => (0u64..60, any::<bool>()).prop_map(|(id, pinned)| Op::Pin { id, pinned }),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = PromotionPolicy> {
+    prop_oneof![
+        (1u64..4).prop_map(|hits| PromotionPolicy::OnHit { hits }),
+        (0u64..20).prop_map(|threshold| PromotionPolicy::OnEviction { threshold }),
+    ]
+}
+
+/// Runs ops against a model, tracking per-trace sizes consistently
+/// (the same trace id always presents the same size, as in a real log).
+fn run_ops(model: &mut dyn CacheModel, ops: &[Op]) {
+    use std::collections::HashMap;
+    let mut sizes: HashMap<u64, u32> = HashMap::new();
+    for (step, op) in ops.iter().enumerate() {
+        let now = Time::from_micros(step as u64);
+        match *op {
+            Op::Access { id, size } => {
+                let size = *sizes.entry(id).or_insert(size);
+                let rec = TraceRecord::new(TraceId::new(id), size, Addr::new(0x1000 + id));
+                let outcome = model.on_access(rec, now);
+                let _ = outcome;
+            }
+            Op::Unmap { id } => {
+                model.on_unmap(TraceId::new(id));
+            }
+            Op::Pin { id, pinned } => {
+                model.on_pin(TraceId::new(id), pinned);
+            }
+        }
+        // Universal invariants after every step.
+        assert!(model.resident_bytes() <= model.capacity_bytes());
+        let m = model.metrics();
+        assert_eq!(m.hits + m.misses, m.accesses);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unified_model_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        capacity in 500u64..5000,
+    ) {
+        let mut model = UnifiedModel::new(capacity);
+        run_ops(&mut model, &ops);
+    }
+
+    #[test]
+    fn generational_model_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        capacity in 1000u64..8000,
+        policy in policy_strategy(),
+        which in 0usize..4,
+    ) {
+        let proportions = [
+            Proportions::even_thirds(),
+            Proportions::best_overall(),
+            Proportions::probation_heavy(),
+            Proportions::new(0.5, 0.0, 0.5),
+        ][which];
+        let mut model = GenerationalModel::new(GenerationalConfig::new(
+            capacity, proportions, policy,
+        ));
+        run_ops(&mut model, &ops);
+    }
+
+    /// A trace is resident in at most one generation at any time.
+    #[test]
+    fn trace_lives_in_at_most_one_generation(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        capacity in 1000u64..8000,
+        policy in policy_strategy(),
+    ) {
+        let mut model = GenerationalModel::new(GenerationalConfig::new(
+            capacity,
+            Proportions::best_overall(),
+            policy,
+        ));
+        use std::collections::HashMap;
+        let mut sizes: HashMap<u64, u32> = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            let now = Time::from_micros(step as u64);
+            if let Op::Access { id, size } = *op {
+                let size = *sizes.entry(id).or_insert(size);
+                let rec = TraceRecord::new(TraceId::new(id), size, Addr::new(id));
+                model.on_access(rec, now);
+            }
+            for id in sizes.keys() {
+                let tid = TraceId::new(*id);
+                let residencies = [
+                    model.nursery().contains(tid),
+                    model.probation().contains(tid),
+                    model.persistent().contains(tid),
+                ]
+                .iter()
+                .filter(|&&r| r)
+                .count();
+                prop_assert!(residencies <= 1, "trace {tid} in {residencies} caches");
+                // generation_of agrees with the underlying caches.
+                prop_assert_eq!(model.generation_of(tid).is_some(), residencies == 1);
+            }
+        }
+    }
+
+    /// A hit means the trace stays (or moves up); it is never silently
+    /// dropped by an access.
+    #[test]
+    fn hits_never_lose_the_trace(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity in 1000u64..8000,
+    ) {
+        let mut model = GenerationalModel::new(GenerationalConfig::new(
+            capacity,
+            Proportions::best_overall(),
+            PromotionPolicy::OnHit { hits: 1 },
+        ));
+        use std::collections::HashMap;
+        let mut sizes: HashMap<u64, u32> = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            if let Op::Access { id, size } = *op {
+                let size = *sizes.entry(id).or_insert(size);
+                let rec = TraceRecord::new(TraceId::new(id), size, Addr::new(id));
+                let outcome = model.on_access(rec, Time::from_micros(step as u64));
+                if outcome.is_hit() {
+                    prop_assert!(
+                        model.generation_of(rec.id).is_some(),
+                        "hit trace {} vanished",
+                        rec.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Unified and generational models always agree on total accesses and
+    /// each counts misses no smaller than the number of distinct traces.
+    #[test]
+    fn miss_floor_is_distinct_trace_count(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut unified = UnifiedModel::new(4096);
+        let mut gen = GenerationalModel::new(GenerationalConfig::new(
+            4096,
+            Proportions::even_thirds(),
+            PromotionPolicy::OnEviction { threshold: 5 },
+        ));
+        use std::collections::HashSet;
+        let mut distinct: HashSet<u64> = HashSet::new();
+        let mut accesses = 0u64;
+        for (step, op) in ops.iter().enumerate() {
+            if let Op::Access { id, size } = *op {
+                let rec = TraceRecord::new(TraceId::new(id), size.min(400), Addr::new(id));
+                let now = Time::from_micros(step as u64);
+                unified.on_access(rec, now);
+                gen.on_access(rec, now);
+                distinct.insert(id);
+                accesses += 1;
+            }
+        }
+        prop_assert_eq!(unified.metrics().accesses, accesses);
+        prop_assert_eq!(gen.metrics().accesses, accesses);
+        prop_assert!(unified.metrics().misses >= distinct.len() as u64);
+        prop_assert!(gen.metrics().misses >= distinct.len() as u64);
+    }
+}

@@ -1,0 +1,714 @@
+//! The dynamic-optimizer frontend: basic-block caching, trace-head
+//! counting, and Next-Executed-Tail trace selection (Section 4.1).
+//!
+//! The engine consumes the workload's block-execution stream and behaves
+//! like DynamoRIO's frontend:
+//!
+//! 1. Every executed basic block is copied into an (unbounded) **basic
+//!    block cache** on first execution.
+//! 2. Blocks that are targets of backward branches, or exits from existing
+//!    traces, are **trace heads**; each execution of a trace head bumps a
+//!    counter.
+//! 3. When a counter reaches the trace-creation threshold (50), the engine
+//!    enters **trace generation mode** and records the next executed tail:
+//!    blocks are appended until a backward branch is encountered or the
+//!    start of an existing trace is reached.
+//! 4. Once a trace exists for a head, executing the head is a **trace
+//!    access** — the event stream that drives all cache simulations.
+//!    Executing a block that *diverges* from the trace body is a trace
+//!    exit, making the divergent block a new trace-head candidate.
+
+use std::collections::HashMap;
+
+use gencache_cache::TraceId;
+use gencache_program::{Addr, ModuleId, ProgramImage, Time, TRACE_CREATION_THRESHOLD};
+use gencache_workloads::{TimedEvent, WorkloadEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// Upper bound on trace length in blocks, mirroring real systems' caps.
+const MAX_TRACE_BLOCKS: usize = 64;
+
+/// What the frontend reports to its consumer (the recorder).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendEvent {
+    /// A new trace was generated and placed in the trace cache.
+    TraceCreated {
+        /// The freshly built trace.
+        trace: Trace,
+    },
+    /// Execution entered an existing trace at its head.
+    TraceAccess {
+        /// The accessed trace.
+        id: TraceId,
+        /// When the access happened.
+        time: Time,
+    },
+    /// A module was unmapped; these traces are now stale and must be
+    /// deleted from every code cache immediately.
+    TracesInvalidated {
+        /// Ids of the invalidated traces.
+        ids: Vec<TraceId>,
+        /// When the unmap happened.
+        time: Time,
+    },
+}
+
+/// Aggregate counters of one frontend run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontendStats {
+    /// Block-execution events processed.
+    pub exec_events: u64,
+    /// Distinct blocks copied into the basic-block cache.
+    pub bb_blocks: u64,
+    /// Bytes currently resident in the basic-block cache.
+    pub bb_bytes: u64,
+    /// Cumulative unique static code executed (the *application
+    /// footprint*, Equation 1's denominator; never decreases on unmap).
+    pub footprint_bytes: u64,
+    /// Traces generated.
+    pub traces_created: u64,
+    /// Total bytes of generated traces.
+    pub trace_bytes_created: u64,
+    /// Bytes of traces currently live (not invalidated).
+    pub live_trace_bytes: u64,
+    /// Peak of `bb_bytes + live_trace_bytes`: the unbounded code cache
+    /// size of Figure 1.
+    pub peak_cache_bytes: u64,
+    /// Peak of `live_trace_bytes` alone: the `maxCache` used to size the
+    /// managed trace caches in Section 6 (generational management applies
+    /// only to the trace cache).
+    pub peak_trace_bytes: u64,
+    /// Executions that entered an existing trace.
+    pub trace_accesses: u64,
+    /// Traces invalidated by unmapped memory.
+    pub traces_invalidated: u64,
+    /// Bytes of traces invalidated by unmapped memory.
+    pub trace_bytes_invalidated: u64,
+    /// Trace exits caused by divergence from a trace body.
+    pub trace_exits: u64,
+    /// Context switches between the dispatcher and cached code: one to
+    /// enter a trace, one to leave it (Table 2 charges 25 instructions
+    /// each). Without trace linking every trace execution costs two.
+    pub context_switches: u64,
+}
+
+#[derive(Debug)]
+struct TraceGen {
+    head: Addr,
+    body: Vec<Addr>,
+    size_bytes: u32,
+    module: ModuleId,
+}
+
+/// The frontend engine. Owns a copy of the program image so it can apply
+/// unmaps as they stream by.
+#[derive(Debug)]
+pub struct Engine {
+    image: ProgramImage,
+    threshold: u32,
+    /// Blocks resident in the basic-block cache, with their sizes.
+    bb_cache: HashMap<Addr, u32>,
+    /// Trace-head candidates and their execution counters.
+    head_counters: HashMap<Addr, u32>,
+    /// Live traces by head address (one trace per head).
+    traces_by_head: HashMap<Addr, Trace>,
+    /// Live trace ids → head address, for invalidation bookkeeping.
+    heads_by_id: HashMap<TraceId, Addr>,
+    /// Execution position inside a trace body, if any.
+    in_trace: Option<(TraceId, usize)>,
+    /// Active trace-generation recording, if any.
+    generating: Option<TraceGen>,
+    next_trace_id: u64,
+    stats: FrontendStats,
+}
+
+impl Engine {
+    /// Creates an engine over `image` with the standard trace-creation
+    /// threshold of 50.
+    pub fn new(image: ProgramImage) -> Self {
+        Engine::with_threshold(image, TRACE_CREATION_THRESHOLD)
+    }
+
+    /// Creates an engine with a custom trace-creation threshold (for
+    /// sensitivity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_threshold(image: ProgramImage, threshold: u32) -> Self {
+        assert!(threshold > 0, "trace threshold must be nonzero");
+        Engine {
+            image,
+            threshold,
+            bb_cache: HashMap::new(),
+            head_counters: HashMap::new(),
+            traces_by_head: HashMap::new(),
+            heads_by_id: HashMap::new(),
+            in_trace: None,
+            generating: None,
+            next_trace_id: 0,
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Run counters so far.
+    pub fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    /// The number of live traces.
+    pub fn live_trace_count(&self) -> usize {
+        self.traces_by_head.len()
+    }
+
+    /// Looks up a live trace by id.
+    pub fn trace(&self, id: TraceId) -> Option<&Trace> {
+        self.heads_by_id
+            .get(&id)
+            .and_then(|head| self.traces_by_head.get(head))
+    }
+
+    /// Processes one workload event, reporting frontend events to `sink`.
+    pub fn on_event(&mut self, ev: TimedEvent, sink: &mut impl FnMut(FrontendEvent)) {
+        match ev.event {
+            WorkloadEvent::Exec { addr } => self.on_exec(addr, ev.time, sink),
+            WorkloadEvent::Unload { module } => self.on_unload(module, ev.time, sink),
+        }
+    }
+
+    fn on_exec(&mut self, addr: Addr, now: Time, sink: &mut impl FnMut(FrontendEvent)) {
+        self.stats.exec_events += 1;
+
+        // --- Trace generation mode records the executed tail. -----------
+        if self.generating.is_some() {
+            self.extend_generation(addr, now, sink);
+            // Whether or not generation finished, the block itself still
+            // executes below only when generation just finished *because
+            // of this block being a stop condition*; extend_generation
+            // handles the distinction and re-enters on_exec paths itself.
+            return;
+        }
+
+        // --- Execution inside an existing trace. ------------------------
+        if let Some((tid, pos)) = self.in_trace {
+            let head = self.heads_by_id[&tid];
+            let body = self.traces_by_head[&head].body();
+            if pos < body.len() && body[pos] == addr {
+                let next = pos + 1;
+                self.in_trace = if next < body.len() {
+                    Some((tid, next))
+                } else {
+                    None
+                };
+                return;
+            }
+            // Divergence: a trace exit. The divergent block becomes a
+            // trace-head candidate (Section 4.1, rule (b)).
+            self.in_trace = None;
+            self.stats.trace_exits += 1;
+            self.head_counters.entry(addr).or_insert(0);
+        }
+
+        self.dispatch(addr, now, sink);
+    }
+
+    /// Normal dispatch of a block outside any trace context.
+    fn dispatch(&mut self, addr: Addr, now: Time, sink: &mut impl FnMut(FrontendEvent)) {
+        // Entering an existing trace?
+        if let Some(trace) = self.traces_by_head.get(&addr) {
+            let tid = trace.id();
+            let len = trace.body().len();
+            self.stats.trace_accesses += 1;
+            self.stats.context_switches += 2; // dispatcher → trace → back
+            self.in_trace = if len > 1 { Some((tid, 1)) } else { None };
+            sink(FrontendEvent::TraceAccess { id: tid, time: now });
+            return;
+        }
+
+        let Some(block) = self.image.block_at(addr) else {
+            // Executed code in an unmapped region: the workload never does
+            // this by construction; ignore defensively.
+            return;
+        };
+        let size = block.size_bytes();
+        let backward_target = block.ends_in_backward_branch().then(|| {
+            block
+                .terminator()
+                .direct_target()
+                .expect("backward has target")
+        });
+
+        // Copy into the basic-block cache on first execution.
+        if let std::collections::hash_map::Entry::Vacant(e) = self.bb_cache.entry(addr) {
+            e.insert(size);
+            self.stats.bb_blocks += 1;
+            self.stats.bb_bytes += u64::from(size);
+            self.stats.footprint_bytes += u64::from(size);
+            self.update_peak();
+        }
+
+        // A backward branch marks its target as a trace-head candidate
+        // (Section 4.1, rule (a)).
+        if let Some(target) = backward_target {
+            self.head_counters.entry(target).or_insert(0);
+        }
+
+        // Count executions of trace-head candidates and fire generation.
+        if let Some(counter) = self.head_counters.get_mut(&addr) {
+            *counter += 1;
+            if *counter >= self.threshold && !self.traces_by_head.contains_key(&addr) {
+                self.begin_generation(addr, size, now, sink);
+            }
+        }
+    }
+
+    fn begin_generation(
+        &mut self,
+        head: Addr,
+        head_size: u32,
+        now: Time,
+        sink: &mut impl FnMut(FrontendEvent),
+    ) {
+        let module = self
+            .image
+            .module_containing(head)
+            .expect("head resolved above")
+            .id();
+        let head_block = self.image.block_at(head).expect("head resolved above");
+        let ends_backward = head_block.ends_in_backward_branch();
+        self.generating = Some(TraceGen {
+            head,
+            body: vec![head],
+            size_bytes: head_size,
+            module,
+        });
+        // A one-block loop terminates generation immediately.
+        if ends_backward {
+            self.finish_generation(now, sink);
+        }
+    }
+
+    fn extend_generation(&mut self, addr: Addr, now: Time, sink: &mut impl FnMut(FrontendEvent)) {
+        let generating = self.generating.as_ref().expect("checked by caller");
+
+        // Stop condition: reached the start of an existing trace, or
+        // wrapped around to the head being generated.
+        if self.traces_by_head.contains_key(&addr) || addr == generating.head {
+            self.finish_generation(now, sink);
+            // The block still executes normally (it may be a trace access).
+            self.dispatch(addr, now, sink);
+            return;
+        }
+
+        let Some(block) = self.image.block_at(addr) else {
+            self.finish_generation(now, sink);
+            return;
+        };
+        let size = block.size_bytes();
+        let ends_backward = block.ends_in_backward_branch();
+
+        // The tail block also belongs in the basic-block cache.
+        if let std::collections::hash_map::Entry::Vacant(e) = self.bb_cache.entry(addr) {
+            e.insert(size);
+            self.stats.bb_blocks += 1;
+            self.stats.bb_bytes += u64::from(size);
+            self.stats.footprint_bytes += u64::from(size);
+        }
+
+        let generating = self.generating.as_mut().expect("checked by caller");
+        generating.body.push(addr);
+        generating.size_bytes += size;
+        let full = generating.body.len() >= MAX_TRACE_BLOCKS;
+
+        // Stop condition: a backward branch ends the trace (rule (a)).
+        if ends_backward || full {
+            self.finish_generation(now, sink);
+        }
+    }
+
+    fn finish_generation(&mut self, now: Time, sink: &mut impl FnMut(FrontendEvent)) {
+        let generating = self.generating.take().expect("generation active");
+        let id = TraceId::new(self.next_trace_id);
+        self.next_trace_id += 1;
+        let trace = Trace::new(
+            id,
+            generating.head,
+            generating.body,
+            generating.size_bytes,
+            generating.module,
+            now,
+        );
+        self.stats.traces_created += 1;
+        self.stats.trace_bytes_created += u64::from(trace.size_bytes());
+        self.stats.live_trace_bytes += u64::from(trace.size_bytes());
+        self.update_peak();
+        self.heads_by_id.insert(id, trace.head());
+        self.traces_by_head.insert(trace.head(), trace.clone());
+        sink(FrontendEvent::TraceCreated { trace });
+    }
+
+    fn on_unload(&mut self, module: ModuleId, now: Time, sink: &mut impl FnMut(FrontendEvent)) {
+        let Ok(range) = self.image.unmap(module) else {
+            return; // unknown or already unloaded: nothing to invalidate
+        };
+
+        // Drop stale basic blocks (their bytes leave the bb cache but stay
+        // in the cumulative footprint).
+        self.bb_cache.retain(|addr, size| {
+            if range.contains(*addr) {
+                self.stats.bb_bytes -= u64::from(*size);
+                false
+            } else {
+                true
+            }
+        });
+        self.head_counters.retain(|addr, _| !range.contains(*addr));
+
+        // Invalidate traces whose head lies in the unmapped range. (The
+        // workload planner only builds intra-module control flow, so a
+        // trace's body blocks always share the head's module.)
+        let mut ids = Vec::new();
+        self.traces_by_head.retain(|head, trace| {
+            if range.contains(*head) {
+                ids.push(trace.id());
+                self.stats.traces_invalidated += 1;
+                self.stats.trace_bytes_invalidated += u64::from(trace.size_bytes());
+                self.stats.live_trace_bytes -= u64::from(trace.size_bytes());
+                false
+            } else {
+                true
+            }
+        });
+        // HashMap iteration order is instance-specific; sort so the
+        // invalidation event (and thus the recorded log) is deterministic.
+        ids.sort_unstable();
+        for id in &ids {
+            self.heads_by_id.remove(id);
+        }
+        if let Some((tid, _)) = self.in_trace {
+            if ids.contains(&tid) {
+                self.in_trace = None;
+            }
+        }
+        if let Some(generating) = &self.generating {
+            if range.contains(generating.head) {
+                self.generating = None;
+            }
+        }
+        if !ids.is_empty() {
+            sink(FrontendEvent::TracesInvalidated { ids, time: now });
+        }
+    }
+
+    fn update_peak(&mut self) {
+        let current = self.stats.bb_bytes + self.stats.live_trace_bytes;
+        if current > self.stats.peak_cache_bytes {
+            self.stats.peak_cache_bytes = current;
+        }
+        if self.stats.live_trace_bytes > self.stats.peak_trace_bytes {
+            self.stats.peak_trace_bytes = self.stats.live_trace_bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencache_program::{ModuleBuilder, ModuleKind, Region};
+
+    /// A single-module image with one simple loop region.
+    fn loop_image(body_sizes: &[u32]) -> (ProgramImage, Region) {
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(0),
+            "t.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            64 * 1024,
+        );
+        let region = b.add_loop(body_sizes).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+        (image, region)
+    }
+
+    /// Runs `iterations` of the region's loop plus the exit block through
+    /// the engine, collecting frontend events.
+    fn run_loop(
+        engine: &mut Engine,
+        region: &Region,
+        iterations: u32,
+        start_micros: u64,
+    ) -> Vec<FrontendEvent> {
+        let mut events = Vec::new();
+        let mut t = start_micros;
+        for _ in 0..iterations {
+            for &addr in region.path(0) {
+                engine.on_event(
+                    TimedEvent::new(Time::from_micros(t), WorkloadEvent::Exec { addr }),
+                    &mut |e| events.push(e),
+                );
+                t += 1;
+            }
+        }
+        engine.on_event(
+            TimedEvent::new(
+                Time::from_micros(t),
+                WorkloadEvent::Exec {
+                    addr: region.exit_block,
+                },
+            ),
+            &mut |e| events.push(e),
+        );
+        events
+    }
+
+    #[test]
+    fn trace_created_at_threshold() {
+        let (image, region) = loop_image(&[20, 20, 26]);
+        let mut engine = Engine::with_threshold(image, 10);
+        let events = run_loop(&mut engine, &region, 30, 0);
+
+        let created: Vec<&Trace> = events
+            .iter()
+            .filter_map(|e| match e {
+                FrontendEvent::TraceCreated { trace } => Some(trace),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(created.len(), 1, "exactly one trace for a simple loop");
+        let trace = created[0];
+        assert_eq!(trace.head(), region.head);
+        assert_eq!(trace.body().len(), 3);
+        assert_eq!(trace.size_bytes(), 66);
+
+        // Head executions before creation are not trace accesses; the
+        // remaining iterations are.
+        let accesses = events
+            .iter()
+            .filter(|e| matches!(e, FrontendEvent::TraceAccess { .. }))
+            .count();
+        // The head only becomes a candidate once the loop's backward
+        // branch first executes (end of iteration 1), so its counter hits
+        // 10 during iteration 11; the body is recorded over iteration 11;
+        // iterations 12..=30 access the trace: 19 accesses.
+        assert_eq!(accesses, 19);
+        assert_eq!(engine.stats().traces_created, 1);
+    }
+
+    #[test]
+    fn no_trace_below_threshold() {
+        let (image, region) = loop_image(&[20, 26]);
+        let mut engine = Engine::with_threshold(image, 50);
+        let events = run_loop(&mut engine, &region, 49, 0);
+        assert!(events.is_empty());
+        assert_eq!(engine.stats().traces_created, 0);
+        assert_eq!(engine.live_trace_count(), 0);
+    }
+
+    #[test]
+    fn bb_cache_counts_unique_blocks() {
+        let (image, region) = loop_image(&[20, 20, 26]);
+        let mut engine = Engine::with_threshold(image, 1000);
+        run_loop(&mut engine, &region, 5, 0);
+        // 3 body blocks + exit stub.
+        assert_eq!(engine.stats().bb_blocks, 4);
+        assert_eq!(engine.stats().bb_bytes, 66 + 5);
+        assert_eq!(engine.stats().footprint_bytes, 71);
+        // Re-running does not grow the bb cache.
+        run_loop(&mut engine, &region, 5, 1000);
+        assert_eq!(engine.stats().bb_blocks, 4);
+    }
+
+    #[test]
+    fn one_block_self_loop_traces() {
+        let (image, region) = loop_image(&[26]);
+        let mut engine = Engine::with_threshold(image, 5);
+        let events = run_loop(&mut engine, &region, 10, 0);
+        let created = events
+            .iter()
+            .filter(|e| matches!(e, FrontendEvent::TraceCreated { .. }))
+            .count();
+        assert_eq!(created, 1);
+        let trace = engine.trace(TraceId::new(0)).unwrap();
+        assert_eq!(trace.body().len(), 1);
+    }
+
+    #[test]
+    fn call_loop_trace_inlines_helper() {
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(0),
+            "t.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            64 * 1024,
+        );
+        let helper = b.add_function(&[30, 30]).unwrap();
+        let region = b.add_loop_calling(&[20, 20, 26], &[(0, &helper)]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+
+        let mut engine = Engine::with_threshold(image, 5);
+        let events = run_loop(&mut engine, &region, 10, 0);
+        let trace = events
+            .iter()
+            .find_map(|e| match e {
+                FrontendEvent::TraceCreated { trace } => Some(trace),
+                _ => None,
+            })
+            .expect("trace created");
+        // b0, h0, h1, b1, b2: the helper is inlined into the superblock,
+        // duplicating its bytes in the trace cache (code expansion).
+        assert_eq!(trace.body().len(), 5);
+        assert_eq!(trace.size_bytes(), 20 + 30 + 30 + 20 + 26);
+    }
+
+    #[test]
+    fn divergence_creates_secondary_trace() {
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(0),
+            "t.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            64 * 1024,
+        );
+        let region = b.add_branchy_loop(&[20], &[30], &[40], &[26]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+        let mut engine = Engine::with_threshold(image, 5);
+
+        let mut events = Vec::new();
+        let mut push = |e: FrontendEvent| events.push(e);
+        let mut t = 0u64;
+        let mut run_path = |engine: &mut Engine, path: &[Addr], events: &mut Vec<FrontendEvent>| {
+            for &addr in path {
+                engine.on_event(
+                    TimedEvent::new(Time::from_micros(t), WorkloadEvent::Exec { addr }),
+                    &mut |e| events.push(e),
+                );
+                t += 1;
+            }
+        };
+        let _ = &mut push;
+
+        // 6 iterations along path A create the primary trace.
+        for _ in 0..6 {
+            run_path(&mut engine, region.path(0), &mut events);
+        }
+        assert_eq!(engine.stats().traces_created, 1);
+        // Path-B iterations diverge mid-trace; after 5 divergences the
+        // B-block becomes hot and a secondary trace covers B + suffix.
+        for _ in 0..7 {
+            run_path(&mut engine, region.path(1), &mut events);
+        }
+        assert_eq!(engine.stats().traces_created, 2, "secondary trace expected");
+        assert!(engine.stats().trace_exits > 0);
+
+        let secondary = engine.trace(TraceId::new(1)).unwrap();
+        assert_eq!(secondary.head(), region.path(1)[1]); // the B block
+        assert_eq!(secondary.body().len(), 2); // B + suffix
+    }
+
+    #[test]
+    fn unload_invalidates_traces_and_blocks() {
+        let mut dll = ModuleBuilder::new(
+            ModuleId::new(1),
+            "x.dll",
+            ModuleKind::SharedLibrary,
+            Addr::new(0x10_0000),
+            64 * 1024,
+        );
+        let region = dll.add_loop(&[20, 26]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(dll.finish()).unwrap();
+        let mut engine = Engine::with_threshold(image, 5);
+
+        let events = run_loop(&mut engine, &region, 10, 0);
+        assert!(!events.is_empty());
+        assert_eq!(engine.live_trace_count(), 1);
+        let live_before = engine.stats().live_trace_bytes;
+        assert!(live_before > 0);
+
+        let mut out = Vec::new();
+        engine.on_event(
+            TimedEvent::new(
+                Time::from_micros(10_000),
+                WorkloadEvent::Unload {
+                    module: ModuleId::new(1),
+                },
+            ),
+            &mut |e| out.push(e),
+        );
+        let FrontendEvent::TracesInvalidated { ids, .. } = &out[0] else {
+            panic!("expected invalidation event");
+        };
+        assert_eq!(ids.len(), 1);
+        assert_eq!(engine.live_trace_count(), 0);
+        assert_eq!(engine.stats().live_trace_bytes, 0);
+        assert_eq!(engine.stats().bb_bytes, 0);
+        // The cumulative footprint is unaffected.
+        assert_eq!(engine.stats().footprint_bytes, 51);
+        assert_eq!(engine.stats().traces_invalidated, 1);
+    }
+
+    #[test]
+    fn peak_cache_tracks_bb_plus_traces() {
+        let (image, region) = loop_image(&[20, 26]);
+        let mut engine = Engine::with_threshold(image, 5);
+        run_loop(&mut engine, &region, 10, 0);
+        let s = engine.stats();
+        assert_eq!(s.peak_cache_bytes, s.bb_bytes + s.live_trace_bytes);
+        assert!(s.peak_cache_bytes > 0);
+    }
+
+    #[test]
+    fn trace_length_is_capped() {
+        // A loop body of 80 blocks exceeds MAX_TRACE_BLOCKS (64); the
+        // trace must stop at the cap rather than swallow the whole loop.
+        let sizes: Vec<u32> = (0..80).map(|_| 10).collect();
+        let (image, region) = loop_image(&sizes);
+        let mut engine = Engine::with_threshold(image, 5);
+        let events = run_loop(&mut engine, &region, 10, 0);
+        let trace = events
+            .iter()
+            .find_map(|e| match e {
+                FrontendEvent::TraceCreated { trace } => Some(trace),
+                _ => None,
+            })
+            .expect("trace created");
+        assert_eq!(trace.body().len(), 64);
+        assert_eq!(trace.size_bytes(), 64 * 10);
+    }
+
+    #[test]
+    fn second_region_gets_second_trace() {
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(0),
+            "t.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            64 * 1024,
+        );
+        let r1 = b.add_loop(&[20, 26]).unwrap();
+        let r2 = b.add_loop(&[22, 26]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+        let mut engine = Engine::with_threshold(image, 5);
+        run_loop(&mut engine, &r1, 10, 0);
+        run_loop(&mut engine, &r2, 10, 1000);
+        assert_eq!(engine.stats().traces_created, 2);
+        assert_eq!(engine.live_trace_count(), 2);
+        // Distinct heads, distinct ids.
+        let t0 = engine.trace(TraceId::new(0)).unwrap();
+        let t1 = engine.trace(TraceId::new(1)).unwrap();
+        assert_eq!(t0.head(), r1.head);
+        assert_eq!(t1.head(), r2.head);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be nonzero")]
+    fn zero_threshold_rejected() {
+        let _ = Engine::with_threshold(ProgramImage::new(), 0);
+    }
+}

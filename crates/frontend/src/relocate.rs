@@ -1,0 +1,180 @@
+//! Code relocation (Section 5.4).
+//!
+//! Promoting a trace from one code cache to another moves its instructions
+//! to a new address, so every PC-relative instruction (direct branches,
+//! jumps, calls) must be fixed up. The paper notes this is basic dynamic-
+//! optimizer functionality — code is already moved from the program to the
+//! basic-block cache and again into the trace cache. This module provides
+//! that mechanism over the synthetic instruction model, and reports how
+//! much fix-up work a move entails.
+
+use gencache_program::{Addr, InstKind, ProgramImage};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::Trace;
+
+/// The outcome of relocating one trace between cache addresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelocationReport {
+    /// Instructions scanned across the trace body.
+    pub instructions_scanned: u32,
+    /// PC-relative instructions whose displacement was rewritten.
+    pub fixups: u32,
+    /// Bytes copied to the new location.
+    pub bytes_copied: u32,
+}
+
+/// Computes the fix-up work required to move `trace` from cache offset
+/// `old_base` to `new_base`, resolving instruction encodings through the
+/// program image the trace was built from.
+///
+/// A displacement encoded relative to the instruction's position changes
+/// whenever the code moves by a nonzero delta; targets *inside* the moved
+/// trace keep their relative distance and need no rewrite, while targets
+/// outside it (exit stubs, other traces, back to the application) must be
+/// adjusted.
+///
+/// Returns `None` if any of the trace's blocks no longer resolve in the
+/// image (e.g. the module was unmapped — such a trace must be deleted,
+/// not moved).
+pub fn relocate_trace(
+    image: &ProgramImage,
+    trace: &Trace,
+    old_base: u64,
+    new_base: u64,
+) -> Option<RelocationReport> {
+    let delta = new_base as i64 - old_base as i64;
+    let mut report = RelocationReport {
+        bytes_copied: trace.size_bytes(),
+        ..RelocationReport::default()
+    };
+
+    // Addresses of blocks inside the trace: intra-trace targets need no
+    // fix-up because the whole body moves rigidly.
+    let body: &[Addr] = trace.body();
+    for &block_addr in body {
+        let block = image.block_at(block_addr)?;
+        for inst in block.insts() {
+            report.instructions_scanned += 1;
+            if !inst.kind().is_pc_relative() {
+                continue;
+            }
+            let target = match inst.kind() {
+                InstKind::CondBranch { target }
+                | InstKind::Jump { target }
+                | InstKind::Call { target } => *target,
+                _ => unreachable!("is_pc_relative covers exactly these"),
+            };
+            let internal = body.contains(&target);
+            if !internal && delta != 0 {
+                report.fixups += 1;
+            }
+        }
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencache_cache::TraceId;
+    use gencache_program::{ModuleBuilder, ModuleId, ModuleKind, Time};
+
+    fn fixture() -> (ProgramImage, Trace) {
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(0),
+            "t.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            64 * 1024,
+        );
+        let helper = b.add_function(&[30, 30]).unwrap();
+        let region = b.add_loop_calling(&[20, 20, 26], &[(0, &helper)]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+        let body = region.path(0).to_vec();
+        let trace = Trace::new(
+            TraceId::new(0),
+            region.head,
+            body,
+            126,
+            ModuleId::new(0),
+            Time::ZERO,
+        );
+        (image, trace)
+    }
+
+    #[test]
+    fn move_fixes_external_targets_only() {
+        let (image, trace) = fixture();
+        let report = relocate_trace(&image, &trace, 0, 4096).unwrap();
+        assert_eq!(report.bytes_copied, 126);
+        assert!(report.instructions_scanned > 0);
+        // The trace contains: a call to the helper (internal — helper is
+        // in the body), and the loop back-edge (internal — targets the
+        // head). Exactly zero external PC-relative targets here.
+        assert_eq!(report.fixups, 0);
+    }
+
+    #[test]
+    fn zero_delta_needs_no_fixups() {
+        let (image, trace) = fixture();
+        let report = relocate_trace(&image, &trace, 100, 100).unwrap();
+        assert_eq!(report.fixups, 0);
+        assert_eq!(report.bytes_copied, 126);
+    }
+
+    #[test]
+    fn partial_trace_has_external_fixups() {
+        // A secondary trace holding only part of a loop: its back-edge
+        // targets the (external) loop head and must be fixed up.
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(0),
+            "t.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            64 * 1024,
+        );
+        let region = b.add_branchy_loop(&[20], &[30], &[40], &[26]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+        // Secondary trace: B block + suffix (suffix branches to the head,
+        // which is NOT part of this trace).
+        let body = vec![region.path(1)[1], *region.path(1).last().unwrap()];
+        let trace = Trace::new(
+            TraceId::new(1),
+            body[0],
+            body,
+            66,
+            ModuleId::new(0),
+            Time::ZERO,
+        );
+        let report = relocate_trace(&image, &trace, 0, 8192).unwrap();
+        assert_eq!(report.fixups, 1, "the back-edge must be fixed up");
+    }
+
+    #[test]
+    fn unmapped_trace_cannot_be_relocated() {
+        let mut b = ModuleBuilder::new(
+            ModuleId::new(1),
+            "x.dll",
+            ModuleKind::SharedLibrary,
+            Addr::new(0x10_0000),
+            64 * 1024,
+        );
+        let region = b.add_loop(&[20, 26]).unwrap();
+        let mut image = ProgramImage::new();
+        image.map(b.finish()).unwrap();
+        let trace = Trace::new(
+            TraceId::new(0),
+            region.head,
+            region.path(0).to_vec(),
+            46,
+            ModuleId::new(1),
+            Time::ZERO,
+        );
+        assert!(relocate_trace(&image, &trace, 0, 100).is_some());
+        image.unmap(ModuleId::new(1)).unwrap();
+        assert!(relocate_trace(&image, &trace, 0, 100).is_none());
+    }
+}

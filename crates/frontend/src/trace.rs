@@ -1,0 +1,128 @@
+//! Code traces: single-entry multiple-exit superblocks.
+
+use gencache_cache::{TraceId, TraceRecord};
+use gencache_program::{Addr, ModuleId, Time};
+use serde::{Deserialize, Serialize};
+
+/// A superblock trace produced by Next-Executed-Tail selection: the head
+/// block followed by the dynamic tail of blocks executed after it, up to
+/// a backward branch or the start of another trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    id: TraceId,
+    head: Addr,
+    body: Vec<Addr>,
+    size_bytes: u32,
+    module: ModuleId,
+    created: Time,
+}
+
+impl Trace {
+    /// Assembles a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` is empty or does not start with `head`.
+    pub fn new(
+        id: TraceId,
+        head: Addr,
+        body: Vec<Addr>,
+        size_bytes: u32,
+        module: ModuleId,
+        created: Time,
+    ) -> Self {
+        assert!(!body.is_empty(), "a trace must contain blocks");
+        assert_eq!(body[0], head, "a trace must begin at its head");
+        Trace {
+            id,
+            head,
+            body,
+            size_bytes,
+            module,
+            created,
+        }
+    }
+
+    /// The trace identifier.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// The application address of the trace head.
+    pub fn head(&self) -> Addr {
+        self.head
+    }
+
+    /// The block start addresses forming the trace, in execution order.
+    pub fn body(&self) -> &[Addr] {
+        &self.body
+    }
+
+    /// Total encoded bytes of the trace body.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// The module the trace head belongs to.
+    pub fn module(&self) -> ModuleId {
+        self.module
+    }
+
+    /// When the trace was generated.
+    pub fn created(&self) -> Time {
+        self.created
+    }
+
+    /// The cache-facing view of this trace.
+    pub fn record(&self) -> TraceRecord {
+        TraceRecord::new(self.id, self.size_bytes, self.head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_record() {
+        let t = Trace::new(
+            TraceId::new(3),
+            Addr::new(0x1000),
+            vec![Addr::new(0x1000), Addr::new(0x1010)],
+            48,
+            ModuleId::new(0),
+            Time::from_micros(7),
+        );
+        assert_eq!(t.body().len(), 2);
+        let rec = t.record();
+        assert_eq!(rec.id, TraceId::new(3));
+        assert_eq!(rec.size_bytes, 48);
+        assert_eq!(rec.head, Addr::new(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin at its head")]
+    fn body_must_start_at_head() {
+        let _ = Trace::new(
+            TraceId::new(1),
+            Addr::new(0x1000),
+            vec![Addr::new(0x2000)],
+            8,
+            ModuleId::new(0),
+            Time::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain blocks")]
+    fn empty_body_rejected() {
+        let _ = Trace::new(
+            TraceId::new(1),
+            Addr::new(0x1000),
+            Vec::new(),
+            8,
+            ModuleId::new(0),
+            Time::ZERO,
+        );
+    }
+}

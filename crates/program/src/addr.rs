@@ -1,0 +1,253 @@
+//! Virtual addresses and address ranges for the synthetic guest program.
+//!
+//! The dynamic optimizer operates on *application addresses*: every basic
+//! block, trace head, and module occupies a range of guest virtual memory.
+//! [`Addr`] is a newtype over `u64` so that guest addresses cannot be
+//! accidentally mixed with cache offsets or sizes (see C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A guest virtual address.
+///
+/// Addresses are ordered and support offset arithmetic through
+/// [`Addr::offset`] and [`Addr::distance`]. They intentionally do *not*
+/// implement `Add`/`Sub` with other addresses because summing two absolute
+/// addresses is meaningless.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::Addr;
+///
+/// let base = Addr::new(0x40_0000);
+/// let next = base.offset(16);
+/// assert_eq!(next.as_u64() - base.as_u64(), 16);
+/// assert!(base < next);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Used as a sentinel for "no target".
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw `u64`.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw numeric value of this address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address `bytes` bytes past `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows `u64`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Self {
+        Addr(self.0 + bytes)
+    }
+
+    /// Returns the distance in bytes from `self` to `other`.
+    ///
+    /// The result is negative when `other` precedes `self`; this is how
+    /// *backward branches* (loop back-edges) are detected by the trace
+    /// selector.
+    pub fn distance(self, other: Addr) -> i64 {
+        other.0 as i64 - self.0 as i64
+    }
+
+    /// Returns `true` if this address is the null sentinel.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+/// A half-open range of guest addresses `[start, start + len)`.
+///
+/// Used to describe module mappings and the extents covered by basic
+/// blocks. An empty range (`len == 0`) contains no addresses.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, AddrRange};
+///
+/// let range = AddrRange::new(Addr::new(0x1000), 0x100);
+/// assert!(range.contains(Addr::new(0x10ff)));
+/// assert!(!range.contains(Addr::new(0x1100)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    start: Addr,
+    len: u64,
+}
+
+impl AddrRange {
+    /// Creates a range starting at `start` spanning `len` bytes.
+    pub const fn new(start: Addr, len: u64) -> Self {
+        AddrRange { start, len }
+    }
+
+    /// Creates a range from an inclusive start and exclusive end address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn from_bounds(start: Addr, end: Addr) -> Self {
+        assert!(
+            end >= start,
+            "range end {end} precedes start {start}",
+            end = end,
+            start = start
+        );
+        AddrRange {
+            start,
+            len: end.as_u64() - start.as_u64(),
+        }
+    }
+
+    /// The first address in the range.
+    pub const fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// One past the last address in the range.
+    pub fn end(&self) -> Addr {
+        self.start.offset(self.len)
+    }
+
+    /// The length of the range in bytes.
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the range spans no addresses.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `addr` falls inside the range.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Returns `true` if the two ranges share at least one address.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_ordering_and_offset() {
+        let a = Addr::new(0x1000);
+        let b = a.offset(8);
+        assert!(a < b);
+        assert_eq!(a.distance(b), 8);
+        assert_eq!(b.distance(a), -8);
+    }
+
+    #[test]
+    fn addr_null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(1).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr::new(0x40_0000).to_string(), "0x00400000");
+    }
+
+    #[test]
+    fn addr_conversions_roundtrip() {
+        let a: Addr = 0xdead_beef_u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 0xdead_beef);
+    }
+
+    #[test]
+    fn range_contains_bounds() {
+        let r = AddrRange::new(Addr::new(100), 10);
+        assert!(r.contains(Addr::new(100)));
+        assert!(r.contains(Addr::new(109)));
+        assert!(!r.contains(Addr::new(110)));
+        assert!(!r.contains(Addr::new(99)));
+    }
+
+    #[test]
+    fn range_empty_contains_nothing() {
+        let r = AddrRange::new(Addr::new(100), 0);
+        assert!(r.is_empty());
+        assert!(!r.contains(Addr::new(100)));
+    }
+
+    #[test]
+    fn range_from_bounds() {
+        let r = AddrRange::from_bounds(Addr::new(10), Addr::new(30));
+        assert_eq!(r.len(), 20);
+        assert_eq!(r.end(), Addr::new(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn range_from_inverted_bounds_panics() {
+        let _ = AddrRange::from_bounds(Addr::new(30), Addr::new(10));
+    }
+
+    #[test]
+    fn range_overlap_cases() {
+        let a = AddrRange::new(Addr::new(0), 10);
+        let b = AddrRange::new(Addr::new(5), 10);
+        let c = AddrRange::new(Addr::new(10), 10);
+        let empty = AddrRange::new(Addr::new(5), 0);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&empty));
+    }
+}

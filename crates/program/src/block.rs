@@ -1,0 +1,427 @@
+//! Basic blocks: single-entry single-exit instruction sequences.
+//!
+//! Basic blocks are the unit that DynamoRIO copies into its basic-block
+//! cache; sequences of them become superblock traces. A block owns its
+//! instructions and exposes its control-flow terminator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, AddrRange};
+use crate::inst::{Inst, InstKind};
+
+/// A stable identifier for a basic block within a [`ProgramImage`].
+///
+/// Identifiers are assigned by the module builder and are unique across the
+/// whole image (module index in the high bits, block index in the low bits).
+///
+/// [`ProgramImage`]: crate::image::ProgramImage
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(u64);
+
+impl BlockId {
+    /// Builds a block id from a module index and a block index within it.
+    pub const fn new(module_index: u32, block_index: u32) -> Self {
+        BlockId(((module_index as u64) << 32) | block_index as u64)
+    }
+
+    /// The index of the module containing this block.
+    pub const fn module_index(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The index of the block within its module.
+    pub const fn block_index(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The raw 64-bit encoding.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}.{}", self.module_index(), self.block_index())
+    }
+}
+
+/// How control leaves a basic block.
+///
+/// Derived from the final instruction of the block; cached here so trace
+/// selection does not re-scan instruction lists on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Falls through to the next sequential address (block ends without a
+    /// control transfer, e.g. at a block boundary created by an incoming
+    /// branch target).
+    FallThrough {
+        /// The next sequential address.
+        next: Addr,
+    },
+    /// A two-way conditional branch.
+    Branch {
+        /// Address executed when the branch is taken.
+        taken: Addr,
+        /// Address executed when the branch falls through.
+        fallthrough: Addr,
+    },
+    /// An unconditional direct jump.
+    Jump {
+        /// The jump destination.
+        target: Addr,
+    },
+    /// A direct call; control continues at the callee and eventually
+    /// returns to `return_to`.
+    Call {
+        /// The callee entry point.
+        target: Addr,
+        /// The address of the instruction after the call.
+        return_to: Addr,
+    },
+    /// A return; the destination depends on the dynamic call stack.
+    Return,
+    /// An indirect jump; the destination is dynamic.
+    Indirect,
+}
+
+impl Terminator {
+    /// All statically known successor addresses of the block.
+    pub fn static_successors(&self) -> Vec<Addr> {
+        match *self {
+            Terminator::FallThrough { next } => vec![next],
+            Terminator::Branch { taken, fallthrough } => vec![taken, fallthrough],
+            Terminator::Jump { target } => vec![target],
+            Terminator::Call { target, .. } => vec![target],
+            Terminator::Return | Terminator::Indirect => Vec::new(),
+        }
+    }
+
+    /// Returns the taken-path target for direct transfers, if one exists.
+    pub fn direct_target(&self) -> Option<Addr> {
+        match *self {
+            Terminator::Branch { taken, .. } => Some(taken),
+            Terminator::Jump { target } => Some(target),
+            Terminator::Call { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// A single-entry single-exit sequence of instructions.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, BasicBlock, BlockId, Inst, InstKind, Terminator};
+///
+/// let start = Addr::new(0x1000);
+/// let insts = vec![
+///     Inst::new(InstKind::Compute, 3),
+///     Inst::new(InstKind::Jump { target: Addr::new(0x2000) }, 5),
+/// ];
+/// let block = BasicBlock::new(BlockId::new(0, 0), start, insts);
+/// assert_eq!(block.size_bytes(), 8);
+/// assert_eq!(block.terminator(), Terminator::Jump { target: Addr::new(0x2000) });
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    id: BlockId,
+    start: Addr,
+    size_bytes: u32,
+    insts: Vec<Inst>,
+    terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block at `start` from its instruction list.
+    ///
+    /// The terminator is derived from the final instruction; a block whose
+    /// final instruction is not a control transfer falls through to the
+    /// next sequential address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts` is empty or if a control-transfer instruction
+    /// appears anywhere other than the final position (that would violate
+    /// the single-exit property).
+    pub fn new(id: BlockId, start: Addr, insts: Vec<Inst>) -> Self {
+        assert!(!insts.is_empty(), "a basic block must contain instructions");
+        for inst in &insts[..insts.len() - 1] {
+            assert!(
+                !inst.kind().is_control_transfer(),
+                "control transfer in block interior violates single-exit"
+            );
+        }
+        let size_bytes: u32 = insts.iter().map(Inst::size).sum();
+        let end = start.offset(u64::from(size_bytes));
+        let last = insts.last().expect("nonempty");
+        let terminator = match *last.kind() {
+            InstKind::CondBranch { target } => Terminator::Branch {
+                taken: target,
+                fallthrough: end,
+            },
+            InstKind::Jump { target } => Terminator::Jump { target },
+            InstKind::Call { target } => Terminator::Call {
+                target,
+                return_to: end,
+            },
+            InstKind::Return => Terminator::Return,
+            InstKind::IndirectJump => Terminator::Indirect,
+            InstKind::Compute | InstKind::Load | InstKind::Store => {
+                Terminator::FallThrough { next: end }
+            }
+        };
+        BasicBlock {
+            id,
+            start,
+            size_bytes,
+            insts,
+            terminator,
+        }
+    }
+
+    /// The block's image-wide identifier.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The address of the first instruction.
+    pub fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// One past the address of the last instruction byte.
+    pub fn end(&self) -> Addr {
+        self.start.offset(u64::from(self.size_bytes))
+    }
+
+    /// The block's extent in guest memory.
+    pub fn range(&self) -> AddrRange {
+        AddrRange::new(self.start, u64::from(self.size_bytes))
+    }
+
+    /// Total encoded size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// The instructions of the block, in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// How control leaves this block.
+    pub fn terminator(&self) -> Terminator {
+        self.terminator
+    }
+
+    /// Returns `true` if the block ends in a *backward branch* — a
+    /// conditional branch or jump whose taken target does not lie after
+    /// the block start. Backward-branch targets mark potential trace
+    /// heads, and encountering a backward branch ends trace generation
+    /// (Section 4.1). Calls are never backward branches: a call to a
+    /// lower address is ordinary control flow, not a loop back-edge.
+    pub fn ends_in_backward_branch(&self) -> bool {
+        match self.terminator {
+            Terminator::Branch { taken, .. } => taken <= self.start,
+            Terminator::Jump { target } => target <= self.start,
+            _ => false,
+        }
+    }
+
+    /// The number of PC-relative instructions that must be fixed up when
+    /// this block is copied to a different address.
+    pub fn relocatable_inst_count(&self) -> usize {
+        self.insts
+            .iter()
+            .filter(|i| i.kind().is_pc_relative())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(n: u8) -> Inst {
+        Inst::new(InstKind::Compute, n)
+    }
+
+    #[test]
+    fn block_id_packing_roundtrips() {
+        let id = BlockId::new(7, 42);
+        assert_eq!(id.module_index(), 7);
+        assert_eq!(id.block_index(), 42);
+        assert_eq!(id.to_string(), "B7.42");
+    }
+
+    #[test]
+    fn fallthrough_terminator_derived() {
+        let b = BasicBlock::new(BlockId::new(0, 0), Addr::new(100), vec![compute(4)]);
+        assert_eq!(
+            b.terminator(),
+            Terminator::FallThrough {
+                next: Addr::new(104)
+            }
+        );
+        assert_eq!(b.range(), AddrRange::new(Addr::new(100), 4));
+    }
+
+    #[test]
+    fn branch_terminator_has_both_successors() {
+        let b = BasicBlock::new(
+            BlockId::new(0, 1),
+            Addr::new(100),
+            vec![
+                compute(2),
+                Inst::new(
+                    InstKind::CondBranch {
+                        target: Addr::new(50),
+                    },
+                    6,
+                ),
+            ],
+        );
+        let term = b.terminator();
+        assert_eq!(
+            term,
+            Terminator::Branch {
+                taken: Addr::new(50),
+                fallthrough: Addr::new(108),
+            }
+        );
+        assert_eq!(
+            term.static_successors(),
+            vec![Addr::new(50), Addr::new(108)]
+        );
+    }
+
+    #[test]
+    fn call_records_return_address() {
+        let b = BasicBlock::new(
+            BlockId::new(0, 2),
+            Addr::new(0x100),
+            vec![Inst::new(
+                InstKind::Call {
+                    target: Addr::new(0x900),
+                },
+                5,
+            )],
+        );
+        assert_eq!(
+            b.terminator(),
+            Terminator::Call {
+                target: Addr::new(0x900),
+                return_to: Addr::new(0x105),
+            }
+        );
+    }
+
+    #[test]
+    fn backward_branch_detection() {
+        // Taken target precedes the block: backward (a loop back-edge).
+        let back = BasicBlock::new(
+            BlockId::new(0, 3),
+            Addr::new(0x200),
+            vec![Inst::new(
+                InstKind::CondBranch {
+                    target: Addr::new(0x100),
+                },
+                6,
+            )],
+        );
+        assert!(back.ends_in_backward_branch());
+
+        // Taken target lies ahead: forward.
+        let fwd = BasicBlock::new(
+            BlockId::new(0, 4),
+            Addr::new(0x200),
+            vec![Inst::new(
+                InstKind::CondBranch {
+                    target: Addr::new(0x300),
+                },
+                6,
+            )],
+        );
+        assert!(!fwd.ends_in_backward_branch());
+
+        // Self-loop counts as backward.
+        let self_loop = BasicBlock::new(
+            BlockId::new(0, 5),
+            Addr::new(0x200),
+            vec![Inst::new(
+                InstKind::Jump {
+                    target: Addr::new(0x200),
+                },
+                5,
+            )],
+        );
+        assert!(self_loop.ends_in_backward_branch());
+
+        // Returns and indirect jumps are never "backward branches".
+        let ret = BasicBlock::new(
+            BlockId::new(0, 6),
+            Addr::new(0x200),
+            vec![Inst::new(InstKind::Return, 1)],
+        );
+        assert!(!ret.ends_in_backward_branch());
+
+        // A call to a lower address is not a loop back-edge.
+        let call_back = BasicBlock::new(
+            BlockId::new(0, 7),
+            Addr::new(0x200),
+            vec![Inst::new(
+                InstKind::Call {
+                    target: Addr::new(0x100),
+                },
+                5,
+            )],
+        );
+        assert!(!call_back.ends_in_backward_branch());
+    }
+
+    #[test]
+    fn relocatable_count() {
+        let b = BasicBlock::new(
+            BlockId::new(0, 7),
+            Addr::new(0),
+            vec![
+                compute(2),
+                Inst::new(
+                    InstKind::Jump {
+                        target: Addr::new(64),
+                    },
+                    5,
+                ),
+            ],
+        );
+        assert_eq!(b.relocatable_inst_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain instructions")]
+    fn empty_block_rejected() {
+        let _ = BasicBlock::new(BlockId::new(0, 0), Addr::new(0), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-exit")]
+    fn interior_branch_rejected() {
+        let _ = BasicBlock::new(
+            BlockId::new(0, 0),
+            Addr::new(0),
+            vec![
+                Inst::new(
+                    InstKind::Jump {
+                        target: Addr::new(64),
+                    },
+                    5,
+                ),
+                compute(2),
+            ],
+        );
+    }
+}

@@ -1,0 +1,736 @@
+//! Builders for synthetic modules.
+//!
+//! Workload profiles describe programs as collections of *regions* — loop
+//! nests, branchy loops, and callable helper functions. [`ModuleBuilder`]
+//! lays those regions out in a module's address space, producing both the
+//! static control-flow graph and a [`Region`] handle that the workload
+//! generator walks to emit dynamic block-execution events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::block::{BasicBlock, BlockId};
+use crate::inst::{Inst, InstKind};
+use crate::module::{Module, ModuleError, ModuleId, ModuleKind};
+
+/// The maximum encoded size of one synthetic instruction, mirroring x86.
+const MAX_INST_BYTES: u32 = 15;
+/// Encoded size of a conditional branch (Jcc rel32 with prefix).
+const BRANCH_BYTES: u32 = 6;
+/// Encoded size of an unconditional jump (JMP rel32).
+const JUMP_BYTES: u32 = 5;
+/// Encoded size of a return.
+const RET_BYTES: u32 = 1;
+
+/// The shape of a region, recorded for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// A single loop whose body is one straight-line path.
+    Loop,
+    /// A loop containing a two-way diamond: each iteration takes one of
+    /// two alternative paths.
+    BranchyLoop,
+    /// A straight-line callable function ending in a return.
+    Function,
+}
+
+/// A handle describing how to *execute* a region that a builder laid out.
+///
+/// `iteration_paths` lists the block sequences of one loop iteration
+/// (starting at the loop head); simple loops have exactly one path,
+/// branchy loops have two. The generator emits one path per iteration and
+/// finishes with `exit_block` when leaving the region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// The loop-head address: the target of the region's backward branch,
+    /// and therefore the address the trace selector will mark as a trace
+    /// head.
+    pub head: Addr,
+    /// Alternative block sequences for a single iteration.
+    pub iteration_paths: Vec<Vec<Addr>>,
+    /// The block executed when control leaves the loop.
+    pub exit_block: Addr,
+    /// The region's structural kind.
+    pub kind: RegionKind,
+    /// Total static code bytes the region occupies.
+    pub code_bytes: u64,
+}
+
+impl Region {
+    /// The blocks of one iteration along path `path` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn path(&self, path: usize) -> &[Addr] {
+        &self.iteration_paths[path]
+    }
+
+    /// Number of alternative iteration paths.
+    pub fn path_count(&self) -> usize {
+        self.iteration_paths.len()
+    }
+}
+
+/// Errors raised while building a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The region does not fit in the module's remaining address space.
+    OutOfSpace {
+        /// Bytes requested by the region.
+        needed: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A block size was too small to hold its terminator instruction.
+    BlockTooSmall {
+        /// The offending size.
+        size: u32,
+        /// The minimum for this block position.
+        min: u32,
+    },
+    /// The underlying module rejected a block.
+    Module(ModuleError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::OutOfSpace { needed, available } => {
+                write!(f, "region needs {needed} bytes, only {available} available")
+            }
+            BuildError::BlockTooSmall { size, min } => {
+                write!(
+                    f,
+                    "block of {size} bytes cannot hold a {min}-byte terminator"
+                )
+            }
+            BuildError::Module(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Module(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModuleError> for BuildError {
+    fn from(e: ModuleError) -> Self {
+        BuildError::Module(e)
+    }
+}
+
+/// Incrementally lays out regions inside a module's address space.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, ModuleBuilder, ModuleId, ModuleKind};
+///
+/// let mut builder = ModuleBuilder::new(
+///     ModuleId::new(0), "app.exe", ModuleKind::Executable,
+///     Addr::new(0x40_0000), 64 * 1024,
+/// );
+/// let region = builder.add_loop(&[12, 20, 16])?;
+/// assert_eq!(region.path(0).len(), 3);
+/// let module = builder.finish();
+/// assert!(module.code_bytes() > 0);
+/// # Ok::<(), gencache_program::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+    cursor: Addr,
+    next_block_index: u32,
+}
+
+impl ModuleBuilder {
+    /// Starts building a module mapped at `base` with `capacity` bytes of
+    /// address space.
+    pub fn new(
+        id: ModuleId,
+        name: impl Into<String>,
+        kind: ModuleKind,
+        base: Addr,
+        capacity: u64,
+    ) -> Self {
+        ModuleBuilder {
+            module: Module::new(id, name, kind, base, capacity),
+            cursor: base,
+            next_block_index: 0,
+        }
+    }
+
+    /// Bytes of address space not yet occupied by blocks.
+    pub fn remaining_capacity(&self) -> u64 {
+        self.module.range().end().as_u64() - self.cursor.as_u64()
+    }
+
+    /// The address where the next region will begin.
+    pub fn cursor(&self) -> Addr {
+        self.cursor
+    }
+
+    fn next_id(&mut self) -> BlockId {
+        let id = BlockId::new(self.module.id().index(), self.next_block_index);
+        self.next_block_index += 1;
+        id
+    }
+
+    fn check_space(&self, needed: u64) -> Result<(), BuildError> {
+        let available = self.remaining_capacity();
+        if needed > available {
+            return Err(BuildError::OutOfSpace { needed, available });
+        }
+        Ok(())
+    }
+
+    /// Builds the instruction list for a block of `size` bytes whose final
+    /// instruction is `terminator` occupying `term_bytes` bytes; the rest
+    /// is filled with compute/load/store filler.
+    fn fill_block(
+        &mut self,
+        start: Addr,
+        size: u32,
+        terminator: Option<(InstKind, u32)>,
+    ) -> Result<Addr, BuildError> {
+        let term_bytes = terminator.as_ref().map_or(0, |(_, b)| *b);
+        if size < term_bytes.max(1) {
+            return Err(BuildError::BlockTooSmall {
+                size,
+                min: term_bytes.max(1),
+            });
+        }
+        let mut insts = Vec::new();
+        let mut remaining = size - term_bytes;
+        // Cycle filler kinds so blocks have a plausible instruction mix.
+        let mut flavor = start.as_u64();
+        while remaining > 0 {
+            let chunk = remaining.min(MAX_INST_BYTES).min(4) as u8;
+            let kind = match flavor % 3 {
+                0 => InstKind::Compute,
+                1 => InstKind::Load,
+                _ => InstKind::Store,
+            };
+            insts.push(Inst::new(kind, chunk));
+            remaining -= u32::from(chunk);
+            flavor += 1;
+        }
+        if let Some((kind, bytes)) = terminator {
+            insts.push(Inst::new(kind, bytes as u8));
+        }
+        let id = self.next_id();
+        let block = BasicBlock::new(id, start, insts);
+        let end = block.end();
+        self.module.add_block(block)?;
+        Ok(end)
+    }
+
+    /// Adds a simple loop: `body_sizes` blocks laid out sequentially, the
+    /// last ending in a conditional backward branch to the first, followed
+    /// by a one-block exit stub ending in a return.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not fit or a block is smaller than its
+    /// terminator (the final body block needs at least 6 bytes).
+    pub fn add_loop(&mut self, body_sizes: &[u32]) -> Result<Region, BuildError> {
+        assert!(!body_sizes.is_empty(), "a loop needs at least one block");
+        let total: u64 =
+            body_sizes.iter().map(|&s| u64::from(s)).sum::<u64>() + u64::from(RET_BYTES + 4);
+        self.check_space(total)?;
+
+        let head = self.cursor;
+        let mut body = Vec::with_capacity(body_sizes.len());
+        let mut at = head;
+        for (i, &size) in body_sizes.iter().enumerate() {
+            body.push(at);
+            let is_last = i == body_sizes.len() - 1;
+            let term = if is_last {
+                Some((InstKind::CondBranch { target: head }, BRANCH_BYTES))
+            } else {
+                None // fall through to the next body block
+            };
+            at = self.fill_block(at, size, term)?;
+        }
+        // Exit stub: the loop branch's fall-through path.
+        let exit_block = at;
+        at = self.fill_block(at, RET_BYTES + 4, Some((InstKind::Return, RET_BYTES)))?;
+        self.cursor = at;
+
+        Ok(Region {
+            head,
+            iteration_paths: vec![body],
+            exit_block,
+            kind: RegionKind::Loop,
+            code_bytes: total,
+        })
+    }
+
+    /// Adds a loop containing a two-way diamond. Layout, in address order:
+    /// `prefix` blocks, path-A blocks (jumping over B), path-B blocks,
+    /// `suffix` blocks ending in a backward branch to the prefix head, and
+    /// an exit stub.
+    ///
+    /// Each iteration executes `prefix → (A | B) → suffix`; the two
+    /// resulting iteration paths produce *distinct traces* from the same
+    /// trace head under Next-Executed-Tail selection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not fit or a block cannot hold its
+    /// terminator.
+    pub fn add_branchy_loop(
+        &mut self,
+        prefix_sizes: &[u32],
+        path_a_sizes: &[u32],
+        path_b_sizes: &[u32],
+        suffix_sizes: &[u32],
+    ) -> Result<Region, BuildError> {
+        assert!(
+            !prefix_sizes.is_empty()
+                && !path_a_sizes.is_empty()
+                && !path_b_sizes.is_empty()
+                && !suffix_sizes.is_empty(),
+            "all four diamond segments need at least one block"
+        );
+        let total: u64 = prefix_sizes
+            .iter()
+            .chain(path_a_sizes)
+            .chain(path_b_sizes)
+            .chain(suffix_sizes)
+            .map(|&s| u64::from(s))
+            .sum::<u64>()
+            + u64::from(RET_BYTES + 4);
+        self.check_space(total)?;
+
+        let head = self.cursor;
+        // Compute segment start addresses up front so forward branch
+        // targets are known before blocks are materialized.
+        let seg_len = |sizes: &[u32]| sizes.iter().map(|&s| u64::from(s)).sum::<u64>();
+        let a_start = head.offset(seg_len(prefix_sizes));
+        let b_start = a_start.offset(seg_len(path_a_sizes));
+        let suffix_start = b_start.offset(seg_len(path_b_sizes));
+        let exit_addr = suffix_start.offset(seg_len(suffix_sizes));
+
+        let mut prefix = Vec::new();
+        let mut at = head;
+        for (i, &size) in prefix_sizes.iter().enumerate() {
+            prefix.push(at);
+            let term = (i == prefix_sizes.len() - 1)
+                .then_some((InstKind::CondBranch { target: b_start }, BRANCH_BYTES));
+            at = self.fill_block(at, size, term)?;
+        }
+        debug_assert_eq!(at, a_start);
+
+        let mut path_a = Vec::new();
+        for (i, &size) in path_a_sizes.iter().enumerate() {
+            path_a.push(at);
+            let term = (i == path_a_sizes.len() - 1).then_some((
+                InstKind::Jump {
+                    target: suffix_start,
+                },
+                JUMP_BYTES,
+            ));
+            at = self.fill_block(at, size, term)?;
+        }
+        debug_assert_eq!(at, b_start);
+
+        let mut path_b = Vec::new();
+        for &size in path_b_sizes {
+            path_b.push(at);
+            // All fall through; the last falls through into the suffix.
+            at = self.fill_block(at, size, None)?;
+        }
+        debug_assert_eq!(at, suffix_start);
+
+        let mut suffix = Vec::new();
+        for (i, &size) in suffix_sizes.iter().enumerate() {
+            suffix.push(at);
+            let term = (i == suffix_sizes.len() - 1)
+                .then_some((InstKind::CondBranch { target: head }, BRANCH_BYTES));
+            at = self.fill_block(at, size, term)?;
+        }
+        debug_assert_eq!(at, exit_addr);
+
+        let exit_block = at;
+        at = self.fill_block(at, RET_BYTES + 4, Some((InstKind::Return, RET_BYTES)))?;
+        self.cursor = at;
+
+        let iter_a: Vec<Addr> = prefix
+            .iter()
+            .chain(&path_a)
+            .chain(&suffix)
+            .copied()
+            .collect();
+        let iter_b: Vec<Addr> = prefix
+            .iter()
+            .chain(&path_b)
+            .chain(&suffix)
+            .copied()
+            .collect();
+
+        Ok(Region {
+            head,
+            iteration_paths: vec![iter_a, iter_b],
+            exit_block,
+            kind: RegionKind::BranchyLoop,
+            code_bytes: total,
+        })
+    }
+
+    /// Adds a loop whose body blocks call helper functions: like
+    /// [`ModuleBuilder::add_loop`], but each `(block_index, helper)` pair
+    /// makes that body block end in a direct call to `helper`'s entry
+    /// point. The returned region's iteration path *splices the helper's
+    /// blocks in* after each calling block, because that is the dynamic
+    /// execution order — and the order in which Next-Executed-Tail trace
+    /// selection will inline the helper into the loop's trace, duplicating
+    /// its code in the code cache (the code-expansion effect of
+    /// Section 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not fit or a block cannot hold its
+    /// terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a call index refers to the final body block (which must
+    /// hold the loop back-edge), is out of range, or is duplicated, or if
+    /// a helper is not a [`RegionKind::Function`] region.
+    pub fn add_loop_calling(
+        &mut self,
+        body_sizes: &[u32],
+        calls: &[(usize, &Region)],
+    ) -> Result<Region, BuildError> {
+        assert!(!body_sizes.is_empty(), "a loop needs at least one block");
+        let mut seen = Vec::new();
+        for (idx, helper) in calls {
+            assert!(
+                *idx < body_sizes.len() - 1,
+                "call index {idx} must not be the back-edge block"
+            );
+            assert!(!seen.contains(idx), "duplicate call index {idx}");
+            assert_eq!(
+                helper.kind,
+                RegionKind::Function,
+                "call target must be a function region"
+            );
+            seen.push(*idx);
+        }
+        let total: u64 =
+            body_sizes.iter().map(|&s| u64::from(s)).sum::<u64>() + u64::from(RET_BYTES + 4);
+        self.check_space(total)?;
+
+        let head = self.cursor;
+        let mut body = Vec::with_capacity(body_sizes.len());
+        let mut at = head;
+        for (i, &size) in body_sizes.iter().enumerate() {
+            body.push(at);
+            let term = if i == body_sizes.len() - 1 {
+                Some((InstKind::CondBranch { target: head }, BRANCH_BYTES))
+            } else {
+                calls.iter().find(|(idx, _)| *idx == i).map(|(_, helper)| {
+                    (
+                        InstKind::Call {
+                            target: helper.head,
+                        },
+                        JUMP_BYTES,
+                    )
+                })
+            };
+            at = self.fill_block(at, size, term)?;
+        }
+        let exit_block = at;
+        at = self.fill_block(at, RET_BYTES + 4, Some((InstKind::Return, RET_BYTES)))?;
+        self.cursor = at;
+
+        // Splice helper bodies into the dynamic iteration path.
+        let mut path = Vec::new();
+        for (i, &addr) in body.iter().enumerate() {
+            path.push(addr);
+            if let Some((_, helper)) = calls.iter().find(|(idx, _)| *idx == i) {
+                path.extend_from_slice(helper.path(0));
+            }
+        }
+
+        Ok(Region {
+            head,
+            iteration_paths: vec![path],
+            exit_block,
+            kind: RegionKind::Loop,
+            code_bytes: total,
+        })
+    }
+
+    /// Adds a straight-line callable function: `sizes` blocks connected by
+    /// fall-through, the last ending in a return.
+    ///
+    /// The returned [`Region`] has one "iteration path" holding the whole
+    /// function body and `exit_block` equal to the final (returning) block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the function does not fit in the module.
+    pub fn add_function(&mut self, sizes: &[u32]) -> Result<Region, BuildError> {
+        assert!(!sizes.is_empty(), "a function needs at least one block");
+        let total: u64 = sizes.iter().map(|&s| u64::from(s)).sum();
+        self.check_space(total)?;
+
+        let head = self.cursor;
+        let mut body = Vec::with_capacity(sizes.len());
+        let mut at = head;
+        for (i, &size) in sizes.iter().enumerate() {
+            body.push(at);
+            let term = (i == sizes.len() - 1).then_some((InstKind::Return, RET_BYTES));
+            at = self.fill_block(at, size, term)?;
+        }
+        self.cursor = at;
+        let exit_block = *body.last().expect("nonempty");
+
+        Ok(Region {
+            head,
+            iteration_paths: vec![body],
+            exit_block,
+            kind: RegionKind::Function,
+            code_bytes: total,
+        })
+    }
+
+    /// Consumes the builder, returning the populated module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+
+    fn builder(capacity: u64) -> ModuleBuilder {
+        ModuleBuilder::new(
+            ModuleId::new(0),
+            "test.exe",
+            ModuleKind::Executable,
+            Addr::new(0x1000),
+            capacity,
+        )
+    }
+
+    #[test]
+    fn simple_loop_layout() {
+        let mut b = builder(4096);
+        let region = b.add_loop(&[10, 12, 14]).unwrap();
+        let module = b.finish();
+
+        assert_eq!(region.kind, RegionKind::Loop);
+        assert_eq!(region.path_count(), 1);
+        assert_eq!(region.path(0).len(), 3);
+        assert_eq!(region.head, Addr::new(0x1000));
+
+        // The final body block branches backward to the head.
+        let last = module.cfg().block_at(region.path(0)[2]).unwrap();
+        assert_eq!(
+            last.terminator(),
+            Terminator::Branch {
+                taken: region.head,
+                fallthrough: region.exit_block,
+            }
+        );
+        assert!(last.ends_in_backward_branch());
+
+        // Blocks are contiguous with declared sizes.
+        assert_eq!(region.path(0)[1], Addr::new(0x1000 + 10));
+        assert_eq!(region.path(0)[2], Addr::new(0x1000 + 22));
+        assert_eq!(
+            module
+                .cfg()
+                .block_at(region.path(0)[0])
+                .unwrap()
+                .size_bytes(),
+            10
+        );
+
+        // Exit stub returns.
+        let exit = module.cfg().block_at(region.exit_block).unwrap();
+        assert_eq!(exit.terminator(), Terminator::Return);
+    }
+
+    #[test]
+    fn loop_code_bytes_match_module() {
+        let mut b = builder(4096);
+        let region = b.add_loop(&[16, 16]).unwrap();
+        let module = b.finish();
+        assert_eq!(module.code_bytes(), region.code_bytes);
+    }
+
+    #[test]
+    fn branchy_loop_paths_share_prefix_and_suffix() {
+        let mut b = builder(4096);
+        let region = b
+            .add_branchy_loop(&[10, 10], &[12], &[14, 14], &[16])
+            .unwrap();
+        assert_eq!(region.kind, RegionKind::BranchyLoop);
+        assert_eq!(region.path_count(), 2);
+        let a = region.path(0);
+        let bb = region.path(1);
+        assert_eq!(a.len(), 2 + 1 + 1);
+        assert_eq!(bb.len(), 2 + 2 + 1);
+        // Shared prefix and suffix.
+        assert_eq!(a[..2], bb[..2]);
+        assert_eq!(a.last(), bb.last());
+        // Divergent middles.
+        assert_ne!(a[2], bb[2]);
+    }
+
+    #[test]
+    fn branchy_loop_terminators() {
+        let mut b = builder(4096);
+        let region = b.add_branchy_loop(&[10], &[12], &[14], &[16]).unwrap();
+        let module = b.finish();
+
+        // Prefix tail conditionally branches forward to path B.
+        let prefix_tail = module.cfg().block_at(region.path(0)[0]).unwrap();
+        let Terminator::Branch { taken, fallthrough } = prefix_tail.terminator() else {
+            panic!("prefix must end in a conditional branch");
+        };
+        assert_eq!(taken, region.path(1)[1]); // B start
+        assert_eq!(fallthrough, region.path(0)[1]); // A start
+        assert!(!prefix_tail.ends_in_backward_branch());
+
+        // Path A tail jumps over B to the suffix.
+        let a_tail = module.cfg().block_at(region.path(0)[1]).unwrap();
+        assert_eq!(
+            a_tail.terminator(),
+            Terminator::Jump {
+                target: *region.path(0).last().unwrap()
+            }
+        );
+
+        // Suffix branches backward to the head.
+        let suffix = module
+            .cfg()
+            .block_at(*region.path(0).last().unwrap())
+            .unwrap();
+        assert!(suffix.ends_in_backward_branch());
+    }
+
+    #[test]
+    fn function_layout() {
+        let mut b = builder(4096);
+        let region = b.add_function(&[8, 8, 8]).unwrap();
+        let module = b.finish();
+        assert_eq!(region.kind, RegionKind::Function);
+        let tail = module.cfg().block_at(region.exit_block).unwrap();
+        assert_eq!(tail.terminator(), Terminator::Return);
+        assert_eq!(region.exit_block, region.path(0)[2]);
+    }
+
+    #[test]
+    fn regions_are_laid_out_consecutively() {
+        let mut b = builder(65536);
+        let r1 = b.add_loop(&[10, 10]).unwrap();
+        let r2 = b.add_loop(&[10, 10]).unwrap();
+        assert!(r2.head > r1.exit_block);
+        let module = b.finish();
+        // Both loops' blocks exist independently.
+        assert!(module.cfg().block_at(r1.head).is_some());
+        assert!(module.cfg().block_at(r2.head).is_some());
+    }
+
+    #[test]
+    fn call_loop_splices_helper_into_path() {
+        let mut b = builder(8192);
+        let helper = b.add_function(&[16, 16]).unwrap();
+        let region = b.add_loop_calling(&[10, 12, 14], &[(1, &helper)]).unwrap();
+        let module = b.finish();
+
+        // Path: b0, b1, h0, h1, b2 — the helper spliced after its caller.
+        let path = region.path(0);
+        assert_eq!(path.len(), 5);
+        assert_eq!(path[2], helper.path(0)[0]);
+        assert_eq!(path[3], helper.path(0)[1]);
+
+        // The calling block ends in a call to the helper head.
+        let caller = module.cfg().block_at(path[1]).unwrap();
+        let Terminator::Call { target, return_to } = caller.terminator() else {
+            panic!("expected a call terminator");
+        };
+        assert_eq!(target, helper.head);
+        assert_eq!(return_to, path[4]);
+
+        // The back-edge block still loops to the region head.
+        let tail = module.cfg().block_at(path[4]).unwrap();
+        assert!(tail.ends_in_backward_branch());
+    }
+
+    #[test]
+    #[should_panic(expected = "back-edge block")]
+    fn call_on_backedge_block_rejected() {
+        let mut b = builder(8192);
+        let helper = b.add_function(&[16]).unwrap();
+        let _ = b.add_loop_calling(&[10, 12], &[(1, &helper)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "function region")]
+    fn call_target_must_be_function() {
+        let mut b = builder(8192);
+        let not_helper = b.add_loop(&[16, 16]).unwrap();
+        let _ = b.add_loop_calling(&[10, 12, 14], &[(0, &not_helper)]);
+    }
+
+    #[test]
+    fn out_of_space_reported() {
+        let mut b = builder(16);
+        let err = b.add_loop(&[10, 10]).unwrap_err();
+        assert!(matches!(err, BuildError::OutOfSpace { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn block_too_small_for_branch() {
+        let mut b = builder(4096);
+        // Final loop block must hold a 6-byte branch.
+        let err = b.add_loop(&[10, 4]).unwrap_err();
+        assert!(matches!(err, BuildError::BlockTooSmall { min: 6, .. }));
+    }
+
+    #[test]
+    fn remaining_capacity_decreases() {
+        let mut b = builder(1024);
+        let before = b.remaining_capacity();
+        let region = b.add_loop(&[10, 10]).unwrap();
+        assert_eq!(b.remaining_capacity(), before - region.code_bytes);
+    }
+
+    #[test]
+    fn filler_blocks_have_declared_sizes() {
+        let mut b = builder(4096);
+        let region = b.add_loop(&[37, 23]).unwrap();
+        let module = b.finish();
+        assert_eq!(
+            module
+                .cfg()
+                .block_at(region.path(0)[0])
+                .unwrap()
+                .size_bytes(),
+            37
+        );
+        assert_eq!(
+            module
+                .cfg()
+                .block_at(region.path(0)[1])
+                .unwrap()
+                .size_bytes(),
+            23
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! A per-module control-flow graph: the set of basic blocks in a module,
+//! indexed by start address and by id.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::block::{BasicBlock, BlockId};
+
+/// The control-flow graph of one module.
+///
+/// Blocks are stored in address order. The graph is *static*: it describes
+/// all code the module could execute; the dynamic execution path is chosen
+/// by the workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, BasicBlock, BlockId, Cfg, Inst, InstKind};
+///
+/// let mut cfg = Cfg::new();
+/// let b = BasicBlock::new(
+///     BlockId::new(0, 0),
+///     Addr::new(0x1000),
+///     vec![Inst::new(InstKind::Return, 1)],
+/// );
+/// cfg.insert(b)?;
+/// assert!(cfg.block_at(Addr::new(0x1000)).is_some());
+/// assert_eq!(cfg.len(), 1);
+/// # Ok::<(), gencache_program::CfgError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cfg {
+    by_addr: BTreeMap<Addr, BasicBlock>,
+}
+
+/// Errors raised while constructing a [`Cfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// Two blocks share a start address.
+    DuplicateAddress(Addr),
+    /// A new block's byte range overlaps an existing block.
+    OverlappingBlock {
+        /// Start of the block being inserted.
+        new_start: Addr,
+        /// Start of the existing block it collides with.
+        existing_start: Addr,
+    },
+}
+
+impl std::fmt::Display for CfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgError::DuplicateAddress(a) => {
+                write!(f, "a block already starts at {a}")
+            }
+            CfgError::OverlappingBlock {
+                new_start,
+                existing_start,
+            } => write!(
+                f,
+                "block at {new_start} overlaps existing block at {existing_start}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl Cfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Cfg::default()
+    }
+
+    /// Inserts a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::DuplicateAddress`] if a block already starts at
+    /// the same address, or [`CfgError::OverlappingBlock`] if the byte
+    /// ranges collide.
+    pub fn insert(&mut self, block: BasicBlock) -> Result<(), CfgError> {
+        if self.by_addr.contains_key(&block.start()) {
+            return Err(CfgError::DuplicateAddress(block.start()));
+        }
+        // The previous block (by start address) must end at or before the
+        // new block's start; the next block must start at or after its end.
+        if let Some((_, prev)) = self.by_addr.range(..block.start()).next_back() {
+            if prev.end() > block.start() {
+                return Err(CfgError::OverlappingBlock {
+                    new_start: block.start(),
+                    existing_start: prev.start(),
+                });
+            }
+        }
+        if let Some((_, next)) = self.by_addr.range(block.start()..).next() {
+            if block.end() > next.start() {
+                return Err(CfgError::OverlappingBlock {
+                    new_start: block.start(),
+                    existing_start: next.start(),
+                });
+            }
+        }
+        self.by_addr.insert(block.start(), block);
+        Ok(())
+    }
+
+    /// The block starting exactly at `addr`, if any.
+    pub fn block_at(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.by_addr.get(&addr)
+    }
+
+    /// The block whose byte range *contains* `addr`, if any.
+    pub fn block_containing(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.by_addr
+            .range(..=addr)
+            .next_back()
+            .map(|(_, b)| b)
+            .filter(|b| b.range().contains(addr))
+    }
+
+    /// Looks up a block by id. Linear in the number of blocks; intended
+    /// for tests and diagnostics, not the hot path.
+    pub fn block_by_id(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.iter().find(|b| b.id() == id)
+    }
+
+    /// The statically known successor blocks of `block` that exist in this
+    /// graph (targets in other modules are not resolved here).
+    pub fn successors<'a>(&'a self, block: &BasicBlock) -> impl Iterator<Item = &'a BasicBlock> {
+        block
+            .terminator()
+            .static_successors()
+            .into_iter()
+            .filter_map(move |a| self.block_at(a))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// Number of blocks in the graph.
+    pub fn len(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Returns `true` if the graph holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.by_addr.is_empty()
+    }
+
+    /// Total bytes of code across all blocks.
+    pub fn code_bytes(&self) -> u64 {
+        self.by_addr
+            .values()
+            .map(|b| u64::from(b.size_bytes()))
+            .sum()
+    }
+
+    /// Iterates over blocks in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.by_addr.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, InstKind};
+
+    fn block(idx: u32, start: u64, size: u8) -> BasicBlock {
+        BasicBlock::new(
+            BlockId::new(0, idx),
+            Addr::new(start),
+            vec![Inst::new(InstKind::Compute, size)],
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut cfg = Cfg::new();
+        cfg.insert(block(0, 100, 10)).unwrap();
+        cfg.insert(block(1, 110, 10)).unwrap();
+        assert_eq!(cfg.len(), 2);
+        assert_eq!(
+            cfg.block_at(Addr::new(110)).unwrap().id(),
+            BlockId::new(0, 1)
+        );
+        assert!(cfg.block_at(Addr::new(105)).is_none());
+        assert_eq!(
+            cfg.block_containing(Addr::new(105)).unwrap().id(),
+            BlockId::new(0, 0)
+        );
+        assert!(cfg.block_containing(Addr::new(120)).is_none());
+        assert!(cfg.block_containing(Addr::new(99)).is_none());
+    }
+
+    #[test]
+    fn duplicate_start_rejected() {
+        let mut cfg = Cfg::new();
+        cfg.insert(block(0, 100, 10)).unwrap();
+        assert_eq!(
+            cfg.insert(block(1, 100, 4)),
+            Err(CfgError::DuplicateAddress(Addr::new(100)))
+        );
+    }
+
+    #[test]
+    fn overlap_with_previous_rejected() {
+        let mut cfg = Cfg::new();
+        cfg.insert(block(0, 100, 10)).unwrap();
+        let err = cfg.insert(block(1, 105, 4)).unwrap_err();
+        assert!(matches!(err, CfgError::OverlappingBlock { .. }));
+    }
+
+    #[test]
+    fn overlap_with_next_rejected() {
+        let mut cfg = Cfg::new();
+        cfg.insert(block(0, 110, 10)).unwrap();
+        let err = cfg.insert(block(1, 105, 8)).unwrap_err();
+        assert!(matches!(err, CfgError::OverlappingBlock { .. }));
+    }
+
+    #[test]
+    fn adjacent_blocks_allowed() {
+        let mut cfg = Cfg::new();
+        cfg.insert(block(0, 100, 10)).unwrap();
+        cfg.insert(block(1, 90, 10)).unwrap();
+        cfg.insert(block(2, 110, 10)).unwrap();
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.code_bytes(), 30);
+    }
+
+    #[test]
+    fn successors_resolved_within_graph() {
+        let mut cfg = Cfg::new();
+        // Block at 100 branches to 50 (not present) or falls through to 106.
+        let b = BasicBlock::new(
+            BlockId::new(0, 0),
+            Addr::new(100),
+            vec![Inst::new(
+                InstKind::CondBranch {
+                    target: Addr::new(50),
+                },
+                6,
+            )],
+        );
+        cfg.insert(b).unwrap();
+        cfg.insert(block(1, 106, 4)).unwrap();
+        let head = cfg.block_at(Addr::new(100)).unwrap().clone();
+        let succ: Vec<_> = cfg.successors(&head).map(|b| b.start()).collect();
+        assert_eq!(succ, vec![Addr::new(106)]);
+    }
+
+    #[test]
+    fn block_by_id_finds_block() {
+        let mut cfg = Cfg::new();
+        cfg.insert(block(3, 100, 10)).unwrap();
+        assert_eq!(
+            cfg.block_by_id(BlockId::new(0, 3)).unwrap().start(),
+            Addr::new(100)
+        );
+        assert!(cfg.block_by_id(BlockId::new(0, 4)).is_none());
+    }
+}

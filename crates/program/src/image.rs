@@ -1,0 +1,399 @@
+//! The program image: every module the process maps, with load/unload
+//! tracking and cross-module address lookup.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, AddrRange};
+use crate::block::BasicBlock;
+use crate::module::{Module, ModuleId, ModuleKind};
+
+/// The full memory image of a running process: the executable plus all
+/// shared libraries, some of which may currently be unmapped.
+///
+/// A dynamic optimizer consults the image on every new basic block (to copy
+/// its bytes) and must be notified of unmaps so stale traces can be purged
+/// from the code cache.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, Module, ModuleId, ModuleKind, ProgramImage};
+///
+/// let mut image = ProgramImage::new();
+/// let exe = Module::new(ModuleId::new(0), "app.exe", ModuleKind::Executable,
+///                       Addr::new(0x40_0000), 0x1_0000);
+/// image.map(exe)?;
+/// assert!(image.module_containing(Addr::new(0x40_0100)).is_some());
+/// # Ok::<(), gencache_program::ImageError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgramImage {
+    modules: BTreeMap<ModuleId, MappedModule>,
+    /// Index of currently loaded mappings: base address → module id.
+    loaded_index: BTreeMap<Addr, ModuleId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MappedModule {
+    module: Module,
+    loaded: bool,
+}
+
+/// Errors raised by [`ProgramImage`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// A module with the same id was already registered.
+    DuplicateModule(ModuleId),
+    /// The mapping overlaps a currently loaded module.
+    OverlappingMapping {
+        /// The range that could not be mapped.
+        requested: AddrRange,
+        /// The loaded module it collides with.
+        conflicting: ModuleId,
+    },
+    /// The module id is unknown.
+    UnknownModule(ModuleId),
+    /// The module is not currently loaded.
+    NotLoaded(ModuleId),
+    /// The module is already loaded.
+    AlreadyLoaded(ModuleId),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::DuplicateModule(id) => write!(f, "module {id} already registered"),
+            ImageError::OverlappingMapping {
+                requested,
+                conflicting,
+            } => write!(
+                f,
+                "mapping {requested} overlaps loaded module {conflicting}"
+            ),
+            ImageError::UnknownModule(id) => write!(f, "unknown module {id}"),
+            ImageError::NotLoaded(id) => write!(f, "module {id} is not loaded"),
+            ImageError::AlreadyLoaded(id) => write!(f, "module {id} is already loaded"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl ProgramImage {
+    /// Creates an image with no modules.
+    pub fn new() -> Self {
+        ProgramImage::default()
+    }
+
+    /// Registers `module` and maps it into the address space.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is already registered or the mapping overlaps a
+    /// currently loaded module.
+    pub fn map(&mut self, module: Module) -> Result<(), ImageError> {
+        if self.modules.contains_key(&module.id()) {
+            return Err(ImageError::DuplicateModule(module.id()));
+        }
+        self.check_mapping_free(module.range())?;
+        self.loaded_index
+            .insert(module.range().start(), module.id());
+        self.modules.insert(
+            module.id(),
+            MappedModule {
+                module,
+                loaded: true,
+            },
+        );
+        Ok(())
+    }
+
+    fn check_mapping_free(&self, range: AddrRange) -> Result<(), ImageError> {
+        for (_, id) in self.loaded_index.iter() {
+            let m = &self.modules[id].module;
+            if m.range().overlaps(&range) {
+                return Err(ImageError::OverlappingMapping {
+                    requested: range,
+                    conflicting: *id,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Unmaps a loaded module, returning its address range so the caller
+    /// can purge stale code-cache entries covering that range.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is unknown, not loaded, or names the executable
+    /// (the main image is never unmapped before exit).
+    pub fn unmap(&mut self, id: ModuleId) -> Result<AddrRange, ImageError> {
+        let entry = self
+            .modules
+            .get_mut(&id)
+            .ok_or(ImageError::UnknownModule(id))?;
+        if !entry.loaded {
+            return Err(ImageError::NotLoaded(id));
+        }
+        entry.loaded = false;
+        let range = entry.module.range();
+        self.loaded_index.remove(&range.start());
+        Ok(range)
+    }
+
+    /// Re-maps a previously unmapped module at its original base, modeling
+    /// a DLL that the program loads again later.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is unknown, already loaded, or the original range is
+    /// now occupied by another module.
+    pub fn remap(&mut self, id: ModuleId) -> Result<(), ImageError> {
+        let range = {
+            let entry = self.modules.get(&id).ok_or(ImageError::UnknownModule(id))?;
+            if entry.loaded {
+                return Err(ImageError::AlreadyLoaded(id));
+            }
+            entry.module.range()
+        };
+        self.check_mapping_free(range)?;
+        self.loaded_index.insert(range.start(), id);
+        self.modules.get_mut(&id).expect("checked above").loaded = true;
+        Ok(())
+    }
+
+    /// The module with the given id, loaded or not.
+    pub fn module(&self, id: ModuleId) -> Option<&Module> {
+        self.modules.get(&id).map(|m| &m.module)
+    }
+
+    /// Returns `true` if the module is currently mapped.
+    pub fn is_loaded(&self, id: ModuleId) -> bool {
+        self.modules.get(&id).is_some_and(|m| m.loaded)
+    }
+
+    /// The *loaded* module whose mapping contains `addr`.
+    pub fn module_containing(&self, addr: Addr) -> Option<&Module> {
+        let (_, id) = self.loaded_index.range(..=addr).next_back()?;
+        let entry = &self.modules[id];
+        entry.module.range().contains(addr).then_some(&entry.module)
+    }
+
+    /// The basic block starting exactly at `addr` in a loaded module.
+    pub fn block_at(&self, addr: Addr) -> Option<&BasicBlock> {
+        self.module_containing(addr)?.cfg().block_at(addr)
+    }
+
+    /// Iterates over all registered modules (loaded and unloaded).
+    pub fn modules(&self) -> impl Iterator<Item = &Module> {
+        self.modules.values().map(|m| &m.module)
+    }
+
+    /// Iterates over currently loaded modules.
+    pub fn loaded_modules(&self) -> impl Iterator<Item = &Module> {
+        self.modules
+            .values()
+            .filter(|m| m.loaded)
+            .map(|m| &m.module)
+    }
+
+    /// Total static code bytes across all registered modules. This is the
+    /// *application footprint* denominator of the code-expansion equation
+    /// (Equation 1) when every module's code is executed.
+    pub fn total_code_bytes(&self) -> u64 {
+        self.modules.values().map(|m| m.module.code_bytes()).sum()
+    }
+
+    /// The main executable, if one was mapped.
+    pub fn executable(&self) -> Option<&Module> {
+        self.modules
+            .values()
+            .map(|m| &m.module)
+            .find(|m| m.kind() == ModuleKind::Executable)
+    }
+
+    /// Number of registered modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Returns `true` if no modules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use crate::inst::{Inst, InstKind};
+
+    fn exe() -> Module {
+        Module::new(
+            ModuleId::new(0),
+            "app.exe",
+            ModuleKind::Executable,
+            Addr::new(0x40_0000),
+            0x1_0000,
+        )
+    }
+
+    fn dll(idx: u32, base: u64) -> Module {
+        Module::new(
+            ModuleId::new(idx),
+            format!("lib{idx}.dll"),
+            ModuleKind::SharedLibrary,
+            Addr::new(base),
+            0x1000,
+        )
+    }
+
+    #[test]
+    fn map_and_lookup() {
+        let mut image = ProgramImage::new();
+        image.map(exe()).unwrap();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        assert_eq!(image.len(), 2);
+        assert_eq!(
+            image.module_containing(Addr::new(0x10_0800)).unwrap().id(),
+            ModuleId::new(1)
+        );
+        assert!(image.module_containing(Addr::new(0x20_0000)).is_none());
+        assert_eq!(image.executable().unwrap().name(), "app.exe");
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        assert_eq!(
+            image.map(dll(1, 0x20_0000)),
+            Err(ImageError::DuplicateModule(ModuleId::new(1)))
+        );
+    }
+
+    #[test]
+    fn overlapping_mapping_rejected() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        let err = image.map(dll(2, 0x10_0800)).unwrap_err();
+        assert!(matches!(err, ImageError::OverlappingMapping { .. }));
+    }
+
+    #[test]
+    fn unmap_removes_from_lookup() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        let range = image.unmap(ModuleId::new(1)).unwrap();
+        assert_eq!(range.start(), Addr::new(0x10_0000));
+        assert!(!image.is_loaded(ModuleId::new(1)));
+        assert!(image.module_containing(Addr::new(0x10_0800)).is_none());
+        // The metadata is still registered.
+        assert!(image.module(ModuleId::new(1)).is_some());
+    }
+
+    #[test]
+    fn unmap_twice_fails() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        image.unmap(ModuleId::new(1)).unwrap();
+        assert_eq!(
+            image.unmap(ModuleId::new(1)),
+            Err(ImageError::NotLoaded(ModuleId::new(1)))
+        );
+    }
+
+    #[test]
+    fn unmap_unknown_fails() {
+        let mut image = ProgramImage::new();
+        assert_eq!(
+            image.unmap(ModuleId::new(9)),
+            Err(ImageError::UnknownModule(ModuleId::new(9)))
+        );
+    }
+
+    #[test]
+    fn remap_restores_lookup() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        image.unmap(ModuleId::new(1)).unwrap();
+        image.remap(ModuleId::new(1)).unwrap();
+        assert!(image.is_loaded(ModuleId::new(1)));
+        assert!(image.module_containing(Addr::new(0x10_0080)).is_some());
+    }
+
+    #[test]
+    fn remap_loaded_fails() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        assert_eq!(
+            image.remap(ModuleId::new(1)),
+            Err(ImageError::AlreadyLoaded(ModuleId::new(1)))
+        );
+    }
+
+    #[test]
+    fn new_module_can_reuse_unmapped_range() {
+        let mut image = ProgramImage::new();
+        image.map(dll(1, 0x10_0000)).unwrap();
+        image.unmap(ModuleId::new(1)).unwrap();
+        // A different DLL gets mapped into the same address range — the
+        // stale-trace hazard of Section 3.4.
+        image.map(dll(2, 0x10_0000)).unwrap();
+        assert_eq!(
+            image.module_containing(Addr::new(0x10_0010)).unwrap().id(),
+            ModuleId::new(2)
+        );
+        // And the old one can no longer be remapped there.
+        assert!(matches!(
+            image.remap(ModuleId::new(1)),
+            Err(ImageError::OverlappingMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn block_lookup_through_image() {
+        let mut image = ProgramImage::new();
+        let mut m = dll(1, 0x10_0000);
+        m.add_block(BasicBlock::new(
+            BlockId::new(1, 0),
+            Addr::new(0x10_0010),
+            vec![Inst::new(InstKind::Return, 1)],
+        ))
+        .unwrap();
+        image.map(m).unwrap();
+        assert!(image.block_at(Addr::new(0x10_0010)).is_some());
+        assert!(image.block_at(Addr::new(0x10_0011)).is_none());
+        image.unmap(ModuleId::new(1)).unwrap();
+        assert!(image.block_at(Addr::new(0x10_0010)).is_none());
+    }
+
+    #[test]
+    fn footprint_counts_all_modules() {
+        let mut image = ProgramImage::new();
+        let mut m1 = dll(1, 0x10_0000);
+        m1.add_block(BasicBlock::new(
+            BlockId::new(1, 0),
+            Addr::new(0x10_0000),
+            vec![Inst::new(InstKind::Compute, 10)],
+        ))
+        .unwrap();
+        let mut m2 = dll(2, 0x20_0000);
+        m2.add_block(BasicBlock::new(
+            BlockId::new(2, 0),
+            Addr::new(0x20_0000),
+            vec![Inst::new(InstKind::Compute, 20)],
+        ))
+        .unwrap();
+        image.map(m1).unwrap();
+        image.map(m2).unwrap();
+        image.unmap(ModuleId::new(2)).unwrap();
+        // Unloaded modules still count toward the static footprint.
+        assert_eq!(image.total_code_bytes(), 30);
+    }
+}

@@ -1,0 +1,176 @@
+//! A synthetic instruction model.
+//!
+//! The cache-management study never interprets real machine semantics; what
+//! matters is the *control-flow shape* (branches, their directions and
+//! targets) and the *byte size* of code, because the code cache is managed
+//! in bytes. Instructions therefore carry a size and a kind, nothing more.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+
+/// The kind of a synthetic instruction.
+///
+/// Only control transfers carry meaning for trace selection; straight-line
+/// kinds exist so that blocks have realistic instruction mixes and byte
+/// sizes, and so the relocation logic has both position-dependent and
+/// position-independent instructions to fix up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstKind {
+    /// Register-to-register arithmetic or logic. Position independent.
+    Compute,
+    /// A memory load. Position independent.
+    Load,
+    /// A memory store. Position independent.
+    Store,
+    /// A conditional branch to `target` with fall-through.
+    /// Encoded PC-relative, so it needs fix-up when the code is relocated.
+    CondBranch {
+        /// The taken-path destination.
+        target: Addr,
+    },
+    /// An unconditional direct jump to `target`. PC-relative.
+    Jump {
+        /// The jump destination.
+        target: Addr,
+    },
+    /// A direct call to `target`. PC-relative.
+    Call {
+        /// The callee entry point.
+        target: Addr,
+    },
+    /// A return to the caller. The destination is dynamic.
+    Return,
+    /// An indirect jump through a register or memory operand.
+    /// The destination is dynamic.
+    IndirectJump,
+}
+
+impl InstKind {
+    /// Returns `true` if the instruction can transfer control away from the
+    /// next sequential instruction.
+    pub fn is_control_transfer(&self) -> bool {
+        matches!(
+            self,
+            InstKind::CondBranch { .. }
+                | InstKind::Jump { .. }
+                | InstKind::Call { .. }
+                | InstKind::Return
+                | InstKind::IndirectJump
+        )
+    }
+
+    /// Returns the static target of a direct control transfer, if any.
+    pub fn direct_target(&self) -> Option<Addr> {
+        match self {
+            InstKind::CondBranch { target }
+            | InstKind::Jump { target }
+            | InstKind::Call { target } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the encoded instruction references its own address
+    /// (PC-relative) and therefore requires fix-up when copied to a new
+    /// location — the *code relocation* requirement of Section 5.4.
+    pub fn is_pc_relative(&self) -> bool {
+        matches!(
+            self,
+            InstKind::CondBranch { .. } | InstKind::Jump { .. } | InstKind::Call { .. }
+        )
+    }
+}
+
+/// A single synthetic instruction: a kind plus an encoded byte size.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, Inst, InstKind};
+///
+/// let add = Inst::new(InstKind::Compute, 3);
+/// let jcc = Inst::new(InstKind::CondBranch { target: Addr::new(0x1000) }, 6);
+/// assert_eq!(add.size() + jcc.size(), 9);
+/// assert!(jcc.kind().is_control_transfer());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    kind: InstKind,
+    size: u8,
+}
+
+impl Inst {
+    /// Creates an instruction of the given kind occupying `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero: every encodable instruction occupies at
+    /// least one byte.
+    pub fn new(kind: InstKind, size: u8) -> Self {
+        assert!(size > 0, "instruction size must be nonzero");
+        Inst { kind, size }
+    }
+
+    /// The instruction kind.
+    pub fn kind(&self) -> &InstKind {
+        &self.kind
+    }
+
+    /// The encoded size in bytes.
+    pub fn size(&self) -> u32 {
+        u32::from(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_transfer_classification() {
+        assert!(!InstKind::Compute.is_control_transfer());
+        assert!(!InstKind::Load.is_control_transfer());
+        assert!(!InstKind::Store.is_control_transfer());
+        assert!(InstKind::Return.is_control_transfer());
+        assert!(InstKind::IndirectJump.is_control_transfer());
+        assert!(InstKind::Jump {
+            target: Addr::new(4)
+        }
+        .is_control_transfer());
+    }
+
+    #[test]
+    fn direct_targets() {
+        let t = Addr::new(0x2000);
+        assert_eq!(InstKind::CondBranch { target: t }.direct_target(), Some(t));
+        assert_eq!(InstKind::Jump { target: t }.direct_target(), Some(t));
+        assert_eq!(InstKind::Call { target: t }.direct_target(), Some(t));
+        assert_eq!(InstKind::Return.direct_target(), None);
+        assert_eq!(InstKind::IndirectJump.direct_target(), None);
+        assert_eq!(InstKind::Compute.direct_target(), None);
+    }
+
+    #[test]
+    fn pc_relative_instructions_need_fixup() {
+        let t = Addr::new(0x2000);
+        assert!(InstKind::Jump { target: t }.is_pc_relative());
+        assert!(InstKind::CondBranch { target: t }.is_pc_relative());
+        assert!(InstKind::Call { target: t }.is_pc_relative());
+        assert!(!InstKind::Return.is_pc_relative());
+        assert!(!InstKind::IndirectJump.is_pc_relative());
+        assert!(!InstKind::Load.is_pc_relative());
+    }
+
+    #[test]
+    fn inst_size_reported() {
+        let i = Inst::new(InstKind::Compute, 5);
+        assert_eq!(i.size(), 5);
+        assert_eq!(*i.kind(), InstKind::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_inst_rejected() {
+        let _ = Inst::new(InstKind::Compute, 0);
+    }
+}

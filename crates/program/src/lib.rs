@@ -1,0 +1,66 @@
+//! # gencache-program
+//!
+//! The synthetic guest-program substrate for the `gencache` reproduction of
+//! *Generational Cache Management of Code Traces in Dynamic Optimization
+//! Systems* (Hazelwood & Smith, MICRO 2003).
+//!
+//! A dynamic optimizer observes a running program as a stream of executed
+//! basic blocks drawn from a set of loadable modules. This crate models
+//! exactly that much of a "real" program — addresses, instructions, basic
+//! blocks, control-flow graphs, and modules that can be mapped and
+//! unmapped — without interpreting any actual machine semantics, because
+//! code-cache management depends only on control-flow *shape* and code
+//! *size*.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use gencache_program::{
+//!     Addr, ModuleBuilder, ModuleId, ModuleKind, ProgramImage,
+//! };
+//!
+//! // Lay out a module containing one hot loop.
+//! let mut builder = ModuleBuilder::new(
+//!     ModuleId::new(0), "app.exe", ModuleKind::Executable,
+//!     Addr::new(0x40_0000), 64 * 1024,
+//! );
+//! let hot_loop = builder.add_loop(&[12, 20, 16])?;
+//!
+//! // Map it into a process image.
+//! let mut image = ProgramImage::new();
+//! image.map(builder.finish())?;
+//!
+//! // The loop head is a backward-branch target: a future trace head.
+//! let tail = image.block_at(*hot_loop.path(0).last().unwrap()).unwrap();
+//! assert!(tail.ends_in_backward_branch());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod addr;
+mod block;
+mod builder;
+mod cfg;
+mod image;
+mod inst;
+mod module;
+mod time;
+
+pub use addr::{Addr, AddrRange};
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use builder::{BuildError, ModuleBuilder, Region, RegionKind};
+pub use cfg::{Cfg, CfgError};
+pub use image::{ImageError, ProgramImage};
+pub use inst::{Inst, InstKind};
+pub use module::{Module, ModuleError, ModuleId, ModuleKind};
+pub use time::Time;
+
+/// The trace-creation threshold shared by the DBT frontend and the
+/// workload planner: a trace head must execute this many times before a
+/// trace is generated for it (DynamoRIO's default of 50, Section 4.1).
+///
+/// The workload planner sizes loop iteration counts relative to this
+/// constant so that hot regions reliably cross the threshold.
+pub const TRACE_CREATION_THRESHOLD: u32 = 50;

@@ -1,0 +1,253 @@
+//! Loadable modules: the main executable and its shared libraries.
+//!
+//! Windows applications load and unload DLLs throughout their lifetime;
+//! when a module is unmapped, every code-cache trace built from its blocks
+//! must be deleted immediately (Section 3.4). Modules are therefore a
+//! first-class part of the program model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, AddrRange};
+use crate::block::BasicBlock;
+use crate::cfg::Cfg;
+
+/// A stable identifier for a module within a [`ProgramImage`].
+///
+/// [`ProgramImage`]: crate::image::ProgramImage
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(u32);
+
+impl ModuleId {
+    /// Creates a module id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        ModuleId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Whether a module is the main executable or a dynamically loaded library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleKind {
+    /// The main program image; never unmapped before process exit.
+    Executable,
+    /// A shared library; may be unloaded (unmapped) at runtime.
+    SharedLibrary,
+}
+
+/// A contiguous mapping of guest code: name, extent, and control-flow graph.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::{Addr, Module, ModuleId, ModuleKind};
+///
+/// let module = Module::new(
+///     ModuleId::new(0),
+///     "app.exe",
+///     ModuleKind::Executable,
+///     Addr::new(0x40_0000),
+///     0x1_0000,
+/// );
+/// assert!(module.range().contains(Addr::new(0x40_8000)));
+/// assert_eq!(module.name(), "app.exe");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Module {
+    id: ModuleId,
+    name: String,
+    kind: ModuleKind,
+    range: AddrRange,
+    cfg: Cfg,
+}
+
+impl Module {
+    /// Creates an empty module mapped at `base` spanning `len` bytes.
+    pub fn new(
+        id: ModuleId,
+        name: impl Into<String>,
+        kind: ModuleKind,
+        base: Addr,
+        len: u64,
+    ) -> Self {
+        Module {
+            id,
+            name: name.into(),
+            kind,
+            range: AddrRange::new(base, len),
+            cfg: Cfg::new(),
+        }
+    }
+
+    /// The module identifier.
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+
+    /// The module's file name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Executable or shared library.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// The mapped address range.
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// The module's control-flow graph.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Mutable access to the control-flow graph, for builders.
+    pub fn cfg_mut(&mut self) -> &mut Cfg {
+        &mut self.cfg
+    }
+
+    /// Adds a block, checking it lies inside the module mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block extends outside the module range or
+    /// collides with an existing block.
+    pub fn add_block(&mut self, block: BasicBlock) -> Result<(), ModuleError> {
+        if !self.range.contains(block.start()) || block.end() > self.range.end() {
+            return Err(ModuleError::BlockOutsideModule {
+                block_start: block.start(),
+                module: self.range,
+            });
+        }
+        self.cfg.insert(block).map_err(ModuleError::Cfg)
+    }
+
+    /// Total bytes of code in the module's blocks (its *code footprint*
+    /// contribution, used by the code-expansion study).
+    pub fn code_bytes(&self) -> u64 {
+        self.cfg.code_bytes()
+    }
+}
+
+/// Errors raised while populating a [`Module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// The block's byte range is not fully inside the module mapping.
+    BlockOutsideModule {
+        /// Start address of the offending block.
+        block_start: Addr,
+        /// The module's mapped range.
+        module: AddrRange,
+    },
+    /// The underlying graph rejected the block.
+    Cfg(crate::cfg::CfgError),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::BlockOutsideModule {
+                block_start,
+                module,
+            } => write!(f, "block at {block_start} lies outside module {module}"),
+            ModuleError::Cfg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModuleError::Cfg(e) => Some(e),
+            ModuleError::BlockOutsideModule { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use crate::inst::{Inst, InstKind};
+
+    fn module() -> Module {
+        Module::new(
+            ModuleId::new(1),
+            "test.dll",
+            ModuleKind::SharedLibrary,
+            Addr::new(0x1000),
+            0x100,
+        )
+    }
+
+    fn block(start: u64, size: u8) -> BasicBlock {
+        BasicBlock::new(
+            BlockId::new(1, 0),
+            Addr::new(start),
+            vec![Inst::new(InstKind::Compute, size)],
+        )
+    }
+
+    #[test]
+    fn add_block_in_range() {
+        let mut m = module();
+        m.add_block(block(0x1000, 16)).unwrap();
+        assert_eq!(m.code_bytes(), 16);
+        assert!(m.cfg().block_at(Addr::new(0x1000)).is_some());
+    }
+
+    #[test]
+    fn block_before_module_rejected() {
+        let mut m = module();
+        let err = m.add_block(block(0xfff, 8)).unwrap_err();
+        assert!(matches!(err, ModuleError::BlockOutsideModule { .. }));
+    }
+
+    #[test]
+    fn block_past_module_end_rejected() {
+        let mut m = module();
+        let err = m.add_block(block(0x10f8, 16)).unwrap_err();
+        assert!(matches!(err, ModuleError::BlockOutsideModule { .. }));
+    }
+
+    #[test]
+    fn block_exactly_filling_tail_allowed() {
+        let mut m = module();
+        m.add_block(block(0x10f0, 16)).unwrap();
+        assert_eq!(m.code_bytes(), 16);
+    }
+
+    #[test]
+    fn cfg_errors_propagate() {
+        let mut m = module();
+        m.add_block(block(0x1000, 16)).unwrap();
+        let err = m.add_block(block(0x1000, 8)).unwrap_err();
+        assert!(matches!(err, ModuleError::Cfg(_)));
+        // Error display is never empty (C-DEBUG-NONEMPTY analogue for Display).
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let m = module();
+        assert_eq!(m.id(), ModuleId::new(1));
+        assert_eq!(m.kind(), ModuleKind::SharedLibrary);
+        assert_eq!(m.name(), "test.dll");
+        assert_eq!(m.range().len(), 0x100);
+        assert_eq!(m.id().to_string(), "M1");
+    }
+}

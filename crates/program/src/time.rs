@@ -1,0 +1,140 @@
+//! Simulated program-execution time.
+//!
+//! Trace lifetimes (Equation 2 of the paper) and insertion rates (Figure 3)
+//! are defined against wall-clock execution time of the guest program. The
+//! simulator advances a virtual clock as workload events are consumed;
+//! [`Time`] is that clock's instant type, with microsecond resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulated program clock, in microseconds since
+/// program start.
+///
+/// # Examples
+///
+/// ```
+/// use gencache_program::Time;
+///
+/// let t0 = Time::ZERO;
+/// let t1 = t0 + Time::from_micros(1_500_000);
+/// assert_eq!(t1.as_secs_f64(), 1.5);
+/// assert!(t1 > t0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Time(u64);
+
+impl Time {
+    /// Program start.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates an instant `micros` microseconds after program start.
+    pub const fn from_micros(micros: u64) -> Self {
+        Time(micros)
+    }
+
+    /// Creates an instant from fractional seconds after program start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative, got {secs}"
+        );
+        Time((secs * 1_000_000.0).round() as u64)
+    }
+
+    /// Microseconds since program start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since program start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier` in microseconds.
+    pub fn saturating_micros_since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = Time::from_secs_f64(2.5);
+        assert_eq!(t.as_micros(), 2_500_000);
+        assert_eq!(t.as_secs_f64(), 2.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_micros(100);
+        let b = Time::from_micros(40);
+        assert_eq!(a - b, Time::from_micros(60));
+        assert_eq!(a + b, Time::from_micros(140));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_micros(140));
+    }
+
+    #[test]
+    fn saturating_difference() {
+        let a = Time::from_micros(100);
+        let b = Time::from_micros(40);
+        assert_eq!(a.saturating_micros_since(b), 60);
+        assert_eq!(b.saturating_micros_since(a), 0);
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(Time::from_micros(1_500_000).to_string(), "1.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_rejected() {
+        let _ = Time::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Records a benchmark's verbose access log to a JSON file, so bounded
+//! cache simulations can be re-run without re-executing the workload —
+//! the paper's exact methodology ("the verbose logs generated during
+//! execution were reused for all of our simulations").
+//!
+//! Usage: `record_log <benchmark> <output.json> [scale]`
+
+use gencache_sim::record;
+use gencache_workloads::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let (Some(name), Some(out)) = (args.next(), args.next()) else {
+        eprintln!("usage: record_log <benchmark> <output.json> [scale]");
+        std::process::exit(2);
+    };
+    let scale: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(1);
+
+    let Some(mut profile) = benchmark(&name) else {
+        eprintln!("unknown benchmark {name:?}; see gencache_workloads::all_benchmarks()");
+        std::process::exit(2);
+    };
+    if scale > 1 {
+        profile = profile.scaled_down(scale);
+    }
+
+    eprintln!("recording {name} (scale {scale})...");
+    let run = record(&profile)?;
+    run.log.save_json(&out)?;
+    eprintln!(
+        "wrote {} records ({} traces, peak trace cache {} bytes) to {out}",
+        run.log.records.len(),
+        run.summary.traces_created,
+        run.log.peak_trace_bytes,
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Replays a previously recorded verbose log (see `record_log`) into the
+//! Figure 9 cache comparison and prints the results.
+//!
+//! Usage: `replay_log <log.json>`
+
+use gencache_sim::{compare_figure9, AccessLog};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: replay_log <log.json>");
+        std::process::exit(2);
+    };
+    let log = AccessLog::load_json(&path)?;
+    println!(
+        "{}: {} records, {} accesses, peak trace cache {} bytes",
+        log.benchmark,
+        log.records.len(),
+        log.access_count(),
+        log.peak_trace_bytes
+    );
+    let c = compare_figure9(&log);
+    println!(
+        "unified ({} bytes): miss rate {:.3}%",
+        c.capacity,
+        c.unified.miss_rate() * 100.0
+    );
+    for i in 0..c.generational.len() {
+        println!(
+            "{:<44} miss reduction {:+.1}%  overhead ratio {:.1}%",
+            c.generational[i].model,
+            c.miss_rate_reduction(i) * 100.0,
+            c.overhead_ratio(i) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # gencache-sim
+//!
+//! The trace-driven evaluation harness for the `gencache` reproduction of
+//! *Generational Cache Management of Code Traces in Dynamic Optimization
+//! Systems* (Hazelwood & Smith, MICRO 2003).
+//!
+//! The paper's methodology (Section 6) is a two-step pipeline:
+//!
+//! 1. **Record** — run the benchmark under the dynamic optimizer with an
+//!    *unbounded* code cache and capture the verbose log of trace
+//!    creations, trace-cache accesses, and unmap invalidations
+//!    ([`record`], producing an [`AccessLog`]).
+//! 2. **Replay** — drive bounded cache simulators from the log: a unified
+//!    pseudo-circular cache sized at half the benchmark's unbounded peak,
+//!    versus generational hierarchies of identical total size
+//!    ([`compare`], [`compare_figure9`]).
+//!
+//! Plus [`sweep`] for the proportion × promotion-threshold configuration
+//! study, and [`report`] helpers for rendering the paper's tables and
+//! figures as text.
+//!
+//! ```
+//! use gencache_sim::{compare_figure9, record};
+//! use gencache_workloads::{Suite, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile::builder("demo", Suite::Spec2000)
+//!     .footprint_kb(24)
+//!     .build();
+//! let run = record(&profile)?;
+//! let comparison = compare_figure9(&run.log);
+//! println!(
+//!     "unified miss rate {:.2}%, best generational {:.2}%",
+//!     comparison.unified.miss_rate() * 100.0,
+//!     comparison.generational[1].miss_rate() * 100.0,
+//! );
+//! # Ok::<(), gencache_workloads::PlanError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod linking;
+mod log;
+mod recorder;
+mod replay;
+pub mod report;
+mod sweep;
+mod threads;
+
+pub use analysis::{occupancy_series, reuse_profile, ReuseProfile};
+pub use linking::{replay_with_linking, LinkReport, LinkableModel};
+pub use log::{AccessLog, LogRecord};
+pub use recorder::{record, record_with, RecordedRun, RecorderOptions, RunSummary};
+pub use replay::{compare, compare_figure9, replay_into, Comparison, ReplayResult};
+pub use sweep::{best_point, policy_grid, proportion_grid, sweep, SweepPoint};
+pub use threads::{
+    partition_by_module, replay_thread_private, replay_thread_shared, BudgetSplit, ThreadCacheKind,
+    ThreadedOutcome,
+};

@@ -1,0 +1,141 @@
+//! Configuration-space sweeps (Section 6): cache proportions versus
+//! promotion thresholds.
+//!
+//! The paper swept generational cache sizes and observed (1) no
+//! consistent advantage to unbalanced nursery/persistent sizing, and
+//! (2) an "undeniable link" between probation-cache size and promotion
+//! threshold — small probation caches need low thresholds or long-lived
+//! traces are evicted before qualifying.
+
+use gencache_core::{GenerationalConfig, PromotionPolicy, Proportions};
+use serde::{Deserialize, Serialize};
+
+use crate::log::AccessLog;
+use crate::replay::{compare, Comparison};
+
+/// One sweep sample: a configuration and its outcome versus unified.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Nursery fraction of the total budget.
+    pub nursery: f64,
+    /// Probation fraction.
+    pub probation: f64,
+    /// Persistent fraction.
+    pub persistent: f64,
+    /// The promotion policy used.
+    pub promotion: PromotionPolicy,
+    /// Miss-rate reduction versus the unified baseline (positive = win).
+    pub miss_rate_reduction: f64,
+    /// Overhead ratio versus unified (Equation 3; < 1 = win).
+    pub overhead_ratio: f64,
+}
+
+/// The proportion grid the sweep explores (each sums to 1).
+pub fn proportion_grid() -> Vec<Proportions> {
+    vec![
+        Proportions::new(0.25, 0.50, 0.25),
+        Proportions::new(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+        Proportions::new(0.40, 0.20, 0.40),
+        Proportions::new(0.45, 0.10, 0.45),
+        Proportions::new(0.30, 0.10, 0.60),
+        Proportions::new(0.60, 0.10, 0.30),
+    ]
+}
+
+/// The promotion policies the sweep explores.
+pub fn policy_grid() -> Vec<PromotionPolicy> {
+    vec![
+        PromotionPolicy::OnHit { hits: 1 },
+        PromotionPolicy::OnEviction { threshold: 1 },
+        PromotionPolicy::OnEviction { threshold: 5 },
+        PromotionPolicy::OnEviction { threshold: 10 },
+        PromotionPolicy::OnEviction { threshold: 25 },
+    ]
+}
+
+/// Sweeps the full proportion × policy grid over one benchmark log.
+pub fn sweep(log: &AccessLog) -> Vec<SweepPoint> {
+    let capacity = (log.peak_trace_bytes / 2).max(1);
+    let mut points = Vec::new();
+    for proportions in proportion_grid() {
+        for policy in policy_grid() {
+            let config = GenerationalConfig::new(capacity, proportions, policy);
+            let comparison: Comparison = compare(log, &[config]);
+            points.push(SweepPoint {
+                nursery: proportions.nursery,
+                probation: proportions.probation,
+                persistent: proportions.persistent,
+                promotion: policy,
+                miss_rate_reduction: comparison.miss_rate_reduction(0),
+                overhead_ratio: comparison.overhead_ratio(0),
+            });
+        }
+    }
+    points
+}
+
+/// The best point of a sweep by miss-rate reduction.
+pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points.iter().max_by(|a, b| {
+        a.miss_rate_reduction
+            .partial_cmp(&b.miss_rate_reduction)
+            .expect("reductions are finite")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogRecord;
+    use gencache_cache::{TraceId, TraceRecord};
+    use gencache_program::{Addr, Time};
+
+    fn tiny_log() -> AccessLog {
+        let rec = |id: u64| TraceRecord::new(TraceId::new(id), 100, Addr::new(0x1000 + id));
+        let mut records = Vec::new();
+        for id in 0..8 {
+            records.push(LogRecord::Create {
+                record: rec(id),
+                time: Time::from_micros(id),
+            });
+        }
+        for round in 0..20u64 {
+            for id in 0..8 {
+                records.push(LogRecord::Access {
+                    id: TraceId::new(id),
+                    time: Time::from_micros(100 + round * 8 + id),
+                });
+            }
+        }
+        AccessLog {
+            benchmark: "tiny".into(),
+            records,
+            duration: Time::from_secs_f64(1.0),
+            peak_trace_bytes: 800,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_full_grid() {
+        let points = sweep(&tiny_log());
+        assert_eq!(points.len(), proportion_grid().len() * policy_grid().len());
+        for p in &points {
+            assert!((p.nursery + p.probation + p.persistent - 1.0).abs() < 1e-6);
+            assert!(p.overhead_ratio.is_finite());
+        }
+    }
+
+    #[test]
+    fn best_point_is_maximal() {
+        let points = sweep(&tiny_log());
+        let best = best_point(&points).unwrap();
+        for p in &points {
+            assert!(best.miss_rate_reduction >= p.miss_rate_reduction);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_has_no_best() {
+        assert!(best_point(&[]).is_none());
+    }
+}

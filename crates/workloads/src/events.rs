@@ -1,0 +1,84 @@
+//! The dynamic event vocabulary: what a running program looks like to the
+//! dynamic optimizer.
+
+use gencache_program::{Addr, ModuleId, Time};
+use serde::{Deserialize, Serialize};
+
+/// One observable action of the guest program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// The program executed the basic block starting at `addr`.
+    Exec {
+        /// Start address of the executed block.
+        addr: Addr,
+    },
+    /// The program unmapped a module (e.g. `FreeLibrary` on a DLL). The
+    /// optimizer must immediately delete every cached trace built from
+    /// this module's code (Section 3.4).
+    Unload {
+        /// The unmapped module.
+        module: ModuleId,
+    },
+}
+
+/// A [`WorkloadEvent`] stamped with simulated program time and the guest
+/// thread it occurred on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event occurred on the program clock.
+    pub time: Time,
+    /// The guest thread that performed the action (0 for single-threaded
+    /// workloads).
+    pub thread: u32,
+    /// What happened.
+    pub event: WorkloadEvent,
+}
+
+impl TimedEvent {
+    /// Convenience constructor for thread 0.
+    pub fn new(time: Time, event: WorkloadEvent) -> Self {
+        TimedEvent {
+            time,
+            thread: 0,
+            event,
+        }
+    }
+
+    /// Constructor with an explicit guest thread.
+    pub fn with_thread(time: Time, thread: u32, event: WorkloadEvent) -> Self {
+        TimedEvent {
+            time,
+            thread,
+            event,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let e = TimedEvent::new(
+            Time::from_micros(5),
+            WorkloadEvent::Exec {
+                addr: Addr::new(0x1000),
+            },
+        );
+        assert_eq!(e.time, Time::from_micros(5));
+        assert_eq!(
+            e.event,
+            WorkloadEvent::Exec {
+                addr: Addr::new(0x1000)
+            }
+        );
+        assert_eq!(e.thread, 0);
+        let t = TimedEvent::with_thread(Time::ZERO, 3, e.event);
+        assert_eq!(t.thread, 3);
+        let u = WorkloadEvent::Unload {
+            module: ModuleId::new(3),
+        };
+        assert_ne!(e.event, u);
+    }
+}

@@ -1,0 +1,303 @@
+//! The 12 interactive Windows application profiles of Table 1.
+//!
+//! Calibration targets (paper, Section 3): unbounded code caches averaging
+//! ≈ 16.1 MB with `word` ≈ 34.2 MB (Figure 1b) — a twenty-fold increase
+//! over SPEC; insertion rates above 5 KB/s for everything except
+//! `solitaire` (Figure 3b); and ≈ 15% of trace bytes deleted due to DLL
+//! unmapping (Figure 4). Durations are Table 1's measured seconds of
+//! manual user interaction.
+
+use crate::profile::{Suite, WorkloadProfile};
+use crate::spec::EXPANSION;
+
+struct InteractiveParams {
+    name: &'static str,
+    description: &'static str,
+    /// Table 1 "Seconds" column.
+    duration_secs: f64,
+    /// Target unbounded cache size in KB.
+    cache_kb: u64,
+    phases: u32,
+    persistent_frac: f64,
+    medium_frac: f64,
+    dll_count: u32,
+    dll_unload_frac: f64,
+    hot_revisits: u32,
+}
+
+const PARAMS: &[InteractiveParams] = &[
+    InteractiveParams {
+        name: "access",
+        description: "Database App",
+        duration_secs: 202.0,
+        cache_kb: 12_000,
+        phases: 9,
+        persistent_frac: 0.16,
+        medium_frac: 0.06,
+        dll_count: 14,
+        dll_unload_frac: 0.50,
+        hot_revisits: 5,
+    },
+    InteractiveParams {
+        name: "acroread",
+        description: "PDF Viewer",
+        duration_secs: 376.0,
+        cache_kb: 25_000,
+        phases: 10,
+        persistent_frac: 0.16,
+        medium_frac: 0.06,
+        dll_count: 16,
+        dll_unload_frac: 0.60,
+        hot_revisits: 5,
+    },
+    InteractiveParams {
+        name: "defrag",
+        description: "System Util",
+        duration_secs: 46.0,
+        cache_kb: 3_800,
+        phases: 6,
+        persistent_frac: 0.16,
+        medium_frac: 0.05,
+        dll_count: 8,
+        dll_unload_frac: 0.20,
+        hot_revisits: 10,
+    },
+    InteractiveParams {
+        name: "excel",
+        description: "Spreadsheet App",
+        duration_secs: 208.0,
+        cache_kb: 20_000,
+        phases: 10,
+        persistent_frac: 0.18,
+        medium_frac: 0.06,
+        dll_count: 16,
+        dll_unload_frac: 0.50,
+        hot_revisits: 6,
+    },
+    InteractiveParams {
+        name: "iexplore",
+        description: "Web Browser",
+        duration_secs: 247.0,
+        cache_kb: 14_000,
+        phases: 12,
+        persistent_frac: 0.15,
+        medium_frac: 0.06,
+        dll_count: 18,
+        dll_unload_frac: 0.70,
+        hot_revisits: 5,
+    },
+    InteractiveParams {
+        name: "mpeg",
+        description: "Media Player",
+        duration_secs: 257.0,
+        cache_kb: 9_500,
+        phases: 6,
+        persistent_frac: 0.18,
+        medium_frac: 0.05,
+        dll_count: 10,
+        dll_unload_frac: 0.30,
+        hot_revisits: 7,
+    },
+    InteractiveParams {
+        name: "outlook",
+        description: "E-Mail App",
+        duration_secs: 196.0,
+        cache_kb: 17_500,
+        phases: 10,
+        persistent_frac: 0.16,
+        medium_frac: 0.05,
+        dll_count: 16,
+        dll_unload_frac: 0.60,
+        hot_revisits: 5,
+    },
+    InteractiveParams {
+        name: "pinball",
+        description: "3D Game Demo",
+        duration_secs: 372.0,
+        cache_kb: 12_000,
+        phases: 8,
+        persistent_frac: 0.16,
+        medium_frac: 0.05,
+        dll_count: 10,
+        dll_unload_frac: 0.40,
+        hot_revisits: 8,
+    },
+    InteractiveParams {
+        name: "powerpoint",
+        description: "Presentation",
+        duration_secs: 173.0,
+        cache_kb: 15_000,
+        phases: 9,
+        persistent_frac: 0.16,
+        medium_frac: 0.06,
+        dll_count: 15,
+        dll_unload_frac: 0.50,
+        hot_revisits: 5,
+    },
+    InteractiveParams {
+        name: "solitaire",
+        description: "Game",
+        duration_secs: 335.0,
+        cache_kb: 1_600,
+        phases: 8,
+        persistent_frac: 0.16,
+        medium_frac: 0.05,
+        dll_count: 6,
+        dll_unload_frac: 0.30,
+        hot_revisits: 6,
+    },
+    InteractiveParams {
+        name: "winzip",
+        description: "Compression",
+        duration_secs: 92.0,
+        cache_kb: 6_000,
+        phases: 6,
+        persistent_frac: 0.16,
+        medium_frac: 0.05,
+        dll_count: 10,
+        dll_unload_frac: 0.40,
+        hot_revisits: 5,
+    },
+    InteractiveParams {
+        name: "word",
+        description: "Word Processor",
+        duration_secs: 212.0,
+        cache_kb: 34_200,
+        phases: 12,
+        persistent_frac: 0.18,
+        medium_frac: 0.06,
+        dll_count: 20,
+        dll_unload_frac: 0.50,
+        hot_revisits: 5,
+    },
+];
+
+/// All 12 interactive Windows application profiles, in Table 1 order.
+pub fn interactive() -> Vec<WorkloadProfile> {
+    PARAMS
+        .iter()
+        .map(|p| {
+            let footprint_kb = ((p.cache_kb as f64) / EXPANSION).round() as u64;
+            WorkloadProfile::builder(p.name, Suite::Interactive)
+                .description(p.description)
+                .duration_secs(p.duration_secs)
+                .footprint_kb(footprint_kb)
+                .phases(p.phases)
+                .lifetime_mix(p.persistent_frac, p.medium_frac)
+                .dlls(p.dll_count, p.dll_unload_frac)
+                .hot_revisits(p.hot_revisits)
+                .iteration_tuning(25, 6)
+                .build()
+        })
+        .collect()
+}
+
+/// Looks up one interactive profile by name.
+pub fn interactive_benchmark(name: &str) -> Option<WorkloadProfile> {
+    interactive().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_12_table1_entries_present() {
+        let all = interactive();
+        assert_eq!(all.len(), 12);
+        let names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "access",
+                "acroread",
+                "defrag",
+                "excel",
+                "iexplore",
+                "mpeg",
+                "outlook",
+                "pinball",
+                "powerpoint",
+                "solitaire",
+                "winzip",
+                "word",
+            ]
+        );
+        for p in &all {
+            assert!(p.validate().is_ok(), "{} invalid", p.name);
+            assert_eq!(p.suite, Suite::Interactive);
+        }
+    }
+
+    #[test]
+    fn table1_durations_match() {
+        let get = |n: &str| interactive_benchmark(n).unwrap().duration_secs;
+        assert_eq!(get("access"), 202.0);
+        assert_eq!(get("acroread"), 376.0);
+        assert_eq!(get("defrag"), 46.0);
+        assert_eq!(get("excel"), 208.0);
+        assert_eq!(get("iexplore"), 247.0);
+        assert_eq!(get("mpeg"), 257.0);
+        assert_eq!(get("outlook"), 196.0);
+        assert_eq!(get("pinball"), 372.0);
+        assert_eq!(get("powerpoint"), 173.0);
+        assert_eq!(get("solitaire"), 335.0);
+        assert_eq!(get("winzip"), 92.0);
+        assert_eq!(get("word"), 212.0);
+    }
+
+    #[test]
+    fn word_is_largest_and_average_near_16mb() {
+        let all = interactive();
+        let max = all.iter().max_by_key(|p| p.footprint_bytes).unwrap();
+        assert_eq!(max.name, "word");
+        let avg_mb = all
+            .iter()
+            .map(|p| p.footprint_bytes as f64 * EXPANSION / (1024.0 * 1024.0))
+            .sum::<f64>()
+            / all.len() as f64;
+        // Paper: 16.1 MB average.
+        assert!(
+            (11.0..21.0).contains(&avg_mb),
+            "average projected cache {avg_mb:.1} MB too far from 16.1 MB"
+        );
+    }
+
+    #[test]
+    fn twenty_fold_increase_over_spec() {
+        let spec_avg = crate::spec::spec2000()
+            .iter()
+            .map(|p| p.footprint_bytes as f64)
+            .sum::<f64>()
+            / 26.0;
+        let inter_avg = interactive()
+            .iter()
+            .map(|p| p.footprint_bytes as f64)
+            .sum::<f64>()
+            / 12.0;
+        let factor = inter_avg / spec_avg;
+        assert!(
+            (10.0..30.0).contains(&factor),
+            "interactive/SPEC footprint ratio {factor:.1} should be ~20x"
+        );
+    }
+
+    #[test]
+    fn only_solitaire_below_5kbps() {
+        let all = interactive();
+        let slow: Vec<&str> = all
+            .iter()
+            .filter(|p| p.footprint_bytes as f64 * EXPANSION / 1024.0 / p.duration_secs < 5.0)
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(slow, ["solitaire"]);
+    }
+
+    #[test]
+    fn all_interactive_apps_unmap_dlls() {
+        for p in interactive() {
+            assert!(p.dll_unload_frac > 0.0, "{} must unmap DLLs", p.name);
+            assert!(p.dll_count >= 6);
+        }
+    }
+}

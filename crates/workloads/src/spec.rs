@@ -1,0 +1,393 @@
+//! The 26 SPEC CPU2000 benchmark profiles.
+//!
+//! Calibration targets (paper, Section 3): unbounded code caches averaging
+//! ≈ 736 KB with `gcc` ≈ 4.3 MB and `vortex` ≈ 1.6 MB second-largest
+//! (Figure 1a); trace insertion rates below 5 KB/s for most benchmarks,
+//! with `gcc` ≈ 232 KB/s and `perlbmk` ≈ 89 KB/s outliers (Figure 3a);
+//! essentially no unmapped-memory deletions (Figure 4); U-shaped trace
+//! lifetimes (Figure 6a).
+//!
+//! Footprints are set to `targetCache / expansion` with expansion ≈ 4.4×
+//! (the emergent duplication factor of our NET frontend, Figure 2's
+//! "roughly 500%" analogue); durations are set so insertion rates land in
+//! the right regime.
+
+use crate::profile::{Suite, WorkloadProfile};
+
+/// Per-benchmark shape knobs beyond the common SPEC defaults.
+struct SpecParams {
+    name: &'static str,
+    description: &'static str,
+    /// Target unbounded cache size in KB (drives the footprint).
+    cache_kb: u64,
+    duration_secs: f64,
+    phases: u32,
+    persistent_frac: f64,
+    medium_frac: f64,
+    hot_revisits: u32,
+}
+
+/// Emergent code-expansion factor of the synthetic workloads: final cache
+/// (basic blocks + traces) over static footprint.
+pub(crate) const EXPANSION: f64 = 4.4;
+
+const PARAMS: &[SpecParams] = &[
+    // ---- CINT2000 ----------------------------------------------------
+    SpecParams {
+        name: "gzip",
+        description: "Compression",
+        cache_kb: 300,
+        duration_secs: 120.0,
+        phases: 8,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "vpr",
+        description: "FPGA Placement",
+        cache_kb: 500,
+        duration_secs: 140.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.16,
+        hot_revisits: 3,
+    },
+    SpecParams {
+        name: "gcc",
+        description: "C Compiler",
+        cache_kb: 4300,
+        duration_secs: 18.5,
+        phases: 14,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 3,
+    },
+    SpecParams {
+        name: "mcf",
+        description: "Comb. Optimization",
+        cache_kb: 250,
+        duration_secs: 180.0,
+        phases: 5,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "crafty",
+        description: "Chess",
+        cache_kb: 900,
+        duration_secs: 200.0,
+        phases: 12,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 10,
+    },
+    SpecParams {
+        name: "parser",
+        description: "Word Processing",
+        cache_kb: 600,
+        duration_secs: 160.0,
+        phases: 7,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 4,
+    },
+    SpecParams {
+        name: "eon",
+        description: "Ray Tracer",
+        cache_kb: 1100,
+        duration_secs: 250.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.16,
+        hot_revisits: 4,
+    },
+    SpecParams {
+        name: "perlbmk",
+        description: "Perl Interpreter",
+        cache_kb: 1500,
+        duration_secs: 17.0,
+        phases: 10,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 6,
+    },
+    SpecParams {
+        name: "gap",
+        description: "Group Theory",
+        cache_kb: 800,
+        duration_secs: 180.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 8,
+    },
+    SpecParams {
+        name: "vortex",
+        description: "OO Database",
+        cache_kb: 1600,
+        duration_secs: 340.0,
+        phases: 9,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "bzip2",
+        description: "Compression",
+        cache_kb: 350,
+        duration_secs: 130.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 10,
+    },
+    SpecParams {
+        name: "twolf",
+        description: "Place & Route",
+        cache_kb: 550,
+        duration_secs: 170.0,
+        phases: 7,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 7,
+    },
+    // ---- CFP2000 -----------------------------------------------------
+    SpecParams {
+        name: "wupwise",
+        description: "Quantum Chromodynamics",
+        cache_kb: 400,
+        duration_secs: 150.0,
+        phases: 6,
+        persistent_frac: 0.12,
+        medium_frac: 0.04,
+        hot_revisits: 12,
+    },
+    SpecParams {
+        name: "swim",
+        description: "Shallow Water Model",
+        cache_kb: 250,
+        duration_secs: 160.0,
+        phases: 5,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "mgrid",
+        description: "Multi-grid Solver",
+        cache_kb: 300,
+        duration_secs: 170.0,
+        phases: 5,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "applu",
+        description: "Parabolic PDEs",
+        cache_kb: 500,
+        duration_secs: 180.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.16,
+        hot_revisits: 3,
+    },
+    SpecParams {
+        name: "mesa",
+        description: "3-D Graphics",
+        cache_kb: 900,
+        duration_secs: 200.0,
+        phases: 7,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 7,
+    },
+    SpecParams {
+        name: "galgel",
+        description: "Fluid Dynamics",
+        cache_kb: 600,
+        duration_secs: 180.0,
+        phases: 7,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 7,
+    },
+    SpecParams {
+        name: "art",
+        description: "Neural Network",
+        cache_kb: 150,
+        duration_secs: 140.0,
+        phases: 2,
+        persistent_frac: 0.45,
+        medium_frac: 0.05,
+        hot_revisits: 10,
+    },
+    SpecParams {
+        name: "equake",
+        description: "Seismic Simulation",
+        cache_kb: 300,
+        duration_secs: 150.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "facerec",
+        description: "Face Recognition",
+        cache_kb: 500,
+        duration_secs: 160.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 8,
+    },
+    SpecParams {
+        name: "ammp",
+        description: "Computational Chemistry",
+        cache_kb: 450,
+        duration_secs: 170.0,
+        phases: 5,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 4,
+    },
+    SpecParams {
+        name: "lucas",
+        description: "Primality Testing",
+        cache_kb: 300,
+        duration_secs: 150.0,
+        phases: 5,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 9,
+    },
+    SpecParams {
+        name: "fma3d",
+        description: "Crash Simulation",
+        cache_kb: 1200,
+        duration_secs: 280.0,
+        phases: 6,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 8,
+    },
+    SpecParams {
+        name: "sixtrack",
+        description: "Particle Accelerator",
+        cache_kb: 1400,
+        duration_secs: 300.0,
+        phases: 8,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 4,
+    },
+    SpecParams {
+        name: "apsi",
+        description: "Meteorology",
+        cache_kb: 700,
+        duration_secs: 180.0,
+        phases: 7,
+        persistent_frac: 0.14,
+        medium_frac: 0.04,
+        hot_revisits: 7,
+    },
+];
+
+/// All 26 SPEC CPU2000 profiles, in suite order.
+pub fn spec2000() -> Vec<WorkloadProfile> {
+    PARAMS
+        .iter()
+        .map(|p| {
+            let footprint_kb = ((p.cache_kb as f64) / EXPANSION).round() as u64;
+            WorkloadProfile::builder(p.name, Suite::Spec2000)
+                .description(p.description)
+                .duration_secs(p.duration_secs)
+                .footprint_kb(footprint_kb.max(16))
+                .phases(p.phases)
+                .lifetime_mix(p.persistent_frac, p.medium_frac)
+                .dlls(2, 0.0) // libc/libm: loaded once, never unmapped
+                .hot_revisits(p.hot_revisits)
+                .iteration_tuning(25, 6)
+                .build()
+        })
+        .collect()
+}
+
+/// Looks up one SPEC profile by name.
+pub fn spec_benchmark(name: &str) -> Option<WorkloadProfile> {
+    spec2000().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_26_benchmarks_present() {
+        let all = spec2000();
+        assert_eq!(all.len(), 26);
+        for p in &all {
+            assert!(p.validate().is_ok(), "{} invalid", p.name);
+            assert_eq!(p.suite, Suite::Spec2000);
+            assert_eq!(p.dll_unload_frac, 0.0, "SPEC must not unmap code");
+        }
+    }
+
+    #[test]
+    fn gcc_is_largest_then_vortex() {
+        let all = spec2000();
+        let mut sorted: Vec<_> = all.iter().collect();
+        sorted.sort_by_key(|p| std::cmp::Reverse(p.footprint_bytes));
+        assert_eq!(sorted[0].name, "gcc");
+        assert_eq!(sorted[1].name, "vortex");
+    }
+
+    #[test]
+    fn art_is_smallest() {
+        let all = spec2000();
+        let min = all.iter().min_by_key(|p| p.footprint_bytes).unwrap();
+        assert_eq!(min.name, "art");
+    }
+
+    #[test]
+    fn insertion_rate_regime_matches_figure3() {
+        // Estimated insertion rate = projected cache size / duration.
+        let all = spec2000();
+        let rate =
+            |p: &WorkloadProfile| p.footprint_bytes as f64 * EXPANSION / 1024.0 / p.duration_secs;
+        let fast: Vec<&str> = all
+            .iter()
+            .filter(|p| rate(p) > 20.0)
+            .map(|p| p.name.as_str())
+            .collect();
+        assert!(fast.contains(&"gcc"));
+        assert!(fast.contains(&"perlbmk"));
+        assert!(fast.len() <= 3, "only gcc/perlbmk should be fast: {fast:?}");
+        let slow = all.iter().filter(|p| rate(p) < 6.0).count();
+        assert!(slow >= 20, "most SPEC benchmarks insert < ~5 KB/s");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec_benchmark("crafty").is_some());
+        assert!(spec_benchmark("doom").is_none());
+    }
+
+    #[test]
+    fn average_cache_target_near_paper() {
+        let all = spec2000();
+        let avg_cache_kb = all
+            .iter()
+            .map(|p| p.footprint_bytes as f64 * EXPANSION / 1024.0)
+            .sum::<f64>()
+            / all.len() as f64;
+        // Paper: 736 KB average for SPEC2000.
+        assert!(
+            (500.0..1100.0).contains(&avg_cache_kb),
+            "average projected cache {avg_cache_kb:.0} KB too far from 736 KB"
+        );
+    }
+}

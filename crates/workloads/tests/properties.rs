@@ -1,0 +1,110 @@
+//! Property-based tests over randomly generated workload profiles: any
+//! valid profile must plan successfully and stream a well-formed,
+//! deterministic event sequence.
+
+use gencache_program::Time;
+use gencache_workloads::{ExecutionPlan, PlanStep, Suite, WorkloadEvent, WorkloadProfile};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        16u64..128,      // footprint KB (small for speed)
+        1u32..8,         // phases
+        0.05f64..0.45,   // persistent fraction
+        0.0f64..0.25,    // medium fraction
+        0u32..6,         // dll count
+        0.0f64..1.0,     // unload fraction
+        1u32..6,         // hot revisits
+        any::<u64>(),    // seed
+        prop::bool::ANY, // suite
+    )
+        .prop_map(
+            |(kb, phases, persistent, medium, dlls, unload, revisits, seed, spec)| {
+                let suite = if spec {
+                    Suite::Spec2000
+                } else {
+                    Suite::Interactive
+                };
+                WorkloadProfile::builder("prop", suite)
+                    .footprint_kb(kb)
+                    .phases(phases)
+                    .lifetime_mix(persistent, medium.min(1.0 - persistent))
+                    .dlls(dlls, unload)
+                    .hot_revisits(revisits)
+                    .seed(seed)
+                    .duration_secs(5.0)
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_valid_profile_plans(profile in profile_strategy()) {
+        let plan = ExecutionPlan::from_profile(&profile).expect("valid profile plans");
+        prop_assert!(plan.total_exec_events() > 0);
+        prop_assert!(!plan.regions().is_empty());
+        prop_assert!(!plan.steps().is_empty());
+    }
+
+    #[test]
+    fn stream_matches_plan_accounting(profile in profile_strategy()) {
+        let plan = ExecutionPlan::from_profile(&profile).expect("plans");
+        let mut execs = 0u64;
+        let mut unloads = 0usize;
+        let mut last = Time::ZERO;
+        for ev in plan.stream() {
+            prop_assert!(ev.time >= last, "timestamps must be monotone");
+            prop_assert!(ev.time <= plan.duration());
+            last = ev.time;
+            match ev.event {
+                WorkloadEvent::Exec { addr } => {
+                    execs += 1;
+                    prop_assert!(
+                        plan.image().block_at(addr).is_some(),
+                        "exec of unknown block {addr}"
+                    );
+                }
+                WorkloadEvent::Unload { .. } => unloads += 1,
+            }
+        }
+        prop_assert_eq!(execs, plan.total_exec_events());
+        let planned_unloads = plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, PlanStep::Unload { .. }))
+            .count();
+        prop_assert_eq!(unloads, planned_unloads);
+    }
+
+    #[test]
+    fn planning_is_a_pure_function_of_the_profile(profile in profile_strategy()) {
+        let a = ExecutionPlan::from_profile(&profile).expect("plans");
+        let b = ExecutionPlan::from_profile(&profile).expect("plans");
+        prop_assert_eq!(a.total_exec_events(), b.total_exec_events());
+        prop_assert_eq!(a.steps(), b.steps());
+        prop_assert_eq!(a.image().total_code_bytes(), b.image().total_code_bytes());
+    }
+
+    #[test]
+    fn unloaded_modules_never_execute_afterwards(profile in profile_strategy()) {
+        let plan = ExecutionPlan::from_profile(&profile).expect("plans");
+        let mut unloaded: Vec<gencache_program::ModuleId> = Vec::new();
+        for ev in plan.stream() {
+            match ev.event {
+                WorkloadEvent::Unload { module } => unloaded.push(module),
+                WorkloadEvent::Exec { addr } => {
+                    if let Some(module) = plan.image().module_containing(addr) {
+                        prop_assert!(
+                            !unloaded.contains(&module.id()),
+                            "executed code in unloaded module {}",
+                            module.id()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

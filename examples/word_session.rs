@@ -1,0 +1,67 @@
+//! The paper's motivating scenario: a large interactive application.
+//!
+//! Records a (down-scaled) Microsoft-Word-like session — tens of modules,
+//! DLL churn, phase-structured user activity — and compares a unified
+//! trace cache at half the unbounded peak against the generational
+//! layouts of Figure 9.
+//!
+//! Run with: `cargo run --release --example word_session -p gencache-sim`
+//! (add an integer argument to change the down-scale factor, default 16).
+
+use gencache_sim::report::{fmt_bytes, fmt_pct};
+use gencache_sim::{compare_figure9, record};
+use gencache_workloads::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(16);
+    let profile = benchmark("word")
+        .expect("word is a built-in benchmark")
+        .scaled_down(scale);
+    println!(
+        "recording `word` at 1/{scale} scale ({} footprint, {} DLLs, {} phases)...",
+        fmt_bytes(profile.footprint_bytes),
+        profile.dll_count,
+        profile.phases
+    );
+
+    let run = record(&profile)?;
+    let s = &run.summary;
+    println!("\ncharacterization (Figures 1-4, 6):");
+    println!("  max unbounded cache : {}", fmt_bytes(s.max_cache_bytes));
+    println!("  code expansion      : {:.0}%", s.code_expansion_pct);
+    println!("  insertion rate      : {:.1} KB/s", s.insertion_rate_kbps);
+    println!(
+        "  unmapped deletions  : {:.1}% of trace bytes",
+        s.unmapped_frac * 100.0
+    );
+    println!("  traces created      : {}", s.traces_created);
+    let f = s.lifetimes.fractions();
+    println!(
+        "  lifetimes           : <20% {:.0}% | mid {:.0}% | >80% {:.0}%  (U-shaped: {})",
+        f[0] * 100.0,
+        (f[1] + f[2] + f[3]) * 100.0,
+        f[4] * 100.0,
+        s.lifetimes.is_u_shaped()
+    );
+
+    println!("\nreplaying into bounded caches at 0.5 x maxCache (Figures 9-11):");
+    let c = compare_figure9(&run.log);
+    println!(
+        "  unified baseline    : {:.2}% miss rate ({} misses)",
+        c.unified.miss_rate() * 100.0,
+        c.unified.metrics.misses
+    );
+    for i in 0..c.generational.len() {
+        println!(
+            "  {:<42}: miss reduction {}, overhead ratio {:.1}%",
+            c.generational[i].model,
+            fmt_pct(c.miss_rate_reduction(i)),
+            c.overhead_ratio(i) * 100.0
+        );
+    }
+    Ok(())
+}

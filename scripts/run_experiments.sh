@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact into results/, at full scale.
+# Usage: scripts/run_experiments.sh [extra args, e.g. --scale 8]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(
+  table1_benchmarks table2_costs
+  fig1_max_cache_size fig2_code_expansion fig3_insertion_rate
+  fig4_unmapped fig6_lifetimes fig9_miss_rates fig10_misses_eliminated
+  fig11_overhead sweep_proportions sweep_trace_threshold
+  ablate_local_policy ablate_probation ablate_defrag ablate_exceptions
+  ablate_linking threaded_caches best_configs analyze_reuse
+  thread_duplication
+)
+for bin in "${BINS[@]}"; do
+  echo "=== $bin"
+  cargo run --release -q -p gencache-bench --bin "$bin" -- "$@" \
+    > "results/$bin.txt" 2>/dev/null
+done
+echo "all artifacts written to results/"

@@ -1,0 +1,201 @@
+//! Cross-crate integration below the sim layer: program construction,
+//! frontend trace formation, relocation, and cache models wired together
+//! by hand (no recorder).
+
+use gencache_cache::{CodeCache, EvictionCause, PseudoCircularCache, TraceId};
+use gencache_core::{
+    CacheModel, Generation, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions,
+};
+use gencache_frontend::{relocate_trace, Engine, FrontendEvent, Trace};
+use gencache_program::{Addr, ModuleBuilder, ModuleId, ModuleKind, ProgramImage, Region, Time};
+use gencache_workloads::{TimedEvent, WorkloadEvent};
+
+struct Fixture {
+    image: ProgramImage,
+    hot: Region,
+    dll_region: Region,
+}
+
+fn fixture() -> Fixture {
+    let mut exe = ModuleBuilder::new(
+        ModuleId::new(0),
+        "app.exe",
+        ModuleKind::Executable,
+        Addr::new(0x40_0000),
+        64 * 1024,
+    );
+    let helper = exe.add_function(&[30, 30]).unwrap();
+    let hot = exe
+        .add_loop_calling(&[20, 24, 26], &[(1, &helper)])
+        .unwrap();
+
+    let mut dll = ModuleBuilder::new(
+        ModuleId::new(1),
+        "plugin.dll",
+        ModuleKind::SharedLibrary,
+        Addr::new(0x1000_0000),
+        64 * 1024,
+    );
+    let dll_region = dll.add_loop(&[22, 26]).unwrap();
+
+    let mut image = ProgramImage::new();
+    image.map(exe.finish()).unwrap();
+    image.map(dll.finish()).unwrap();
+    Fixture {
+        image,
+        hot,
+        dll_region,
+    }
+}
+
+fn run_region(engine: &mut Engine, region: &Region, iters: u32, t0: u64) -> Vec<FrontendEvent> {
+    let mut events = Vec::new();
+    let mut t = t0;
+    for _ in 0..iters {
+        for &addr in region.path(0) {
+            engine.on_event(
+                TimedEvent::new(Time::from_micros(t), WorkloadEvent::Exec { addr }),
+                &mut |e| events.push(e),
+            );
+            t += 1;
+        }
+    }
+    events
+}
+
+fn created(events: &[FrontendEvent]) -> Vec<Trace> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            FrontendEvent::TraceCreated { trace } => Some(trace.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn frontend_traces_flow_into_generational_model() {
+    let fx = fixture();
+    let mut engine = Engine::with_threshold(fx.image.clone(), 10);
+    let events = run_region(&mut engine, &fx.hot, 40, 0);
+    let traces = created(&events);
+    assert_eq!(traces.len(), 1);
+    let hot = traces[0].record();
+
+    let mut model = GenerationalModel::new(GenerationalConfig::new(
+        2048,
+        Proportions::even_thirds(),
+        PromotionPolicy::OnHit { hits: 1 },
+    ));
+    // Feed every frontend event into the model the way the recorder does.
+    for ev in &events {
+        match ev {
+            FrontendEvent::TraceCreated { trace } => {
+                model.on_access(trace.record(), trace.created());
+            }
+            FrontendEvent::TraceAccess { id, time } => {
+                assert_eq!(*id, hot.id);
+                model.on_access(hot, *time);
+            }
+            FrontendEvent::TracesInvalidated { .. } => unreachable!("no unmaps here"),
+        }
+    }
+    assert_eq!(model.generation_of(hot.id), Some(Generation::Nursery));
+    assert_eq!(model.metrics().misses, 1, "only the cold miss");
+}
+
+#[test]
+fn dll_unload_invalidates_and_model_drops_the_trace() {
+    let fx = fixture();
+    let mut engine = Engine::with_threshold(fx.image.clone(), 10);
+    let events = run_region(&mut engine, &fx.dll_region, 30, 0);
+    let traces = created(&events);
+    assert_eq!(traces.len(), 1);
+    let rec = traces[0].record();
+
+    let mut model = GenerationalModel::new(GenerationalConfig::new(
+        2048,
+        Proportions::best_overall(),
+        PromotionPolicy::OnHit { hits: 1 },
+    ));
+    model.on_access(rec, Time::ZERO);
+    assert!(model.generation_of(rec.id).is_some());
+
+    let mut invalidated = Vec::new();
+    engine.on_event(
+        TimedEvent::new(
+            Time::from_micros(10_000),
+            WorkloadEvent::Unload {
+                module: ModuleId::new(1),
+            },
+        ),
+        &mut |e| {
+            if let FrontendEvent::TracesInvalidated { ids, .. } = e {
+                invalidated.extend(ids);
+            }
+        },
+    );
+    assert_eq!(invalidated, vec![rec.id]);
+    assert!(model.on_unmap(rec.id));
+    assert_eq!(model.generation_of(rec.id), None);
+}
+
+#[test]
+fn promoted_trace_can_be_relocated_with_fixups() {
+    let fx = fixture();
+    let mut engine = Engine::with_threshold(fx.image.clone(), 10);
+    let events = run_region(&mut engine, &fx.hot, 20, 0);
+    let trace = &created(&events)[0];
+    // Promotion moves the trace between caches; the relocation machinery
+    // must succeed and scan every instruction of the trace body.
+    let report = relocate_trace(&fx.image, trace, 0x0, 0x10_0000).unwrap();
+    assert_eq!(report.bytes_copied, trace.size_bytes());
+    assert!(report.instructions_scanned > 0);
+    // After the DLL unmaps, the hot (exe) trace is still relocatable.
+    let mut image = fx.image.clone();
+    image.unmap(ModuleId::new(1)).unwrap();
+    assert!(relocate_trace(&image, trace, 0x0, 0x10_0000).is_some());
+}
+
+#[test]
+fn pinned_trace_survives_pseudo_circular_pressure_end_to_end() {
+    let fx = fixture();
+    let mut engine = Engine::with_threshold(fx.image.clone(), 10);
+    let events = run_region(&mut engine, &fx.hot, 20, 0);
+    let rec = created(&events)[0].record();
+
+    let mut cache = PseudoCircularCache::new(rec.size_bytes as u64 + 64);
+    cache.insert(rec, Time::ZERO).unwrap();
+    cache.set_pinned(rec.id, true);
+    // Hammer the cache with strangers; the pinned trace must survive.
+    for i in 0..100u64 {
+        let stranger =
+            gencache_cache::TraceRecord::new(TraceId::new(1000 + i), 48, Addr::new(0x9000 + i));
+        let _ = cache.insert(stranger, Time::from_micros(i));
+    }
+    assert!(cache.contains(rec.id));
+    cache.set_pinned(rec.id, false);
+    // Unpinned, the next inserts may finally displace it.
+    for i in 0..100u64 {
+        let stranger =
+            gencache_cache::TraceRecord::new(TraceId::new(5000 + i), 48, Addr::new(0x19000 + i));
+        let _ = cache.insert(stranger, Time::from_micros(1000 + i));
+    }
+    assert!(!cache.contains(rec.id));
+}
+
+#[test]
+fn forced_deletion_statistics_propagate() {
+    let fx = fixture();
+    let mut engine = Engine::with_threshold(fx.image.clone(), 10);
+    let events = run_region(&mut engine, &fx.dll_region, 30, 0);
+    let rec = created(&events)[0].record();
+
+    let mut cache = PseudoCircularCache::new(4096);
+    cache.insert(rec, Time::ZERO).unwrap();
+    let gone = cache.remove(rec.id, EvictionCause::Unmapped).unwrap();
+    assert_eq!(gone.record, rec);
+    assert_eq!(cache.stats().unmap_deletions, 1);
+    assert_eq!(cache.stats().unmap_deleted_bytes, u64::from(rec.size_bytes));
+    assert!(cache.stats().unmap_deletion_fraction() > 0.99);
+}

@@ -1,0 +1,142 @@
+//! The paper's headline claims, verified on (down-scaled) built-in
+//! benchmarks. These are *shape* assertions — who wins and in which
+//! direction — not absolute-number matches.
+
+use gencache_sim::{compare_figure9, record};
+use gencache_workloads::{benchmark, interactive, spec2000};
+
+/// §5.1 / Figure 6: trace lifetimes are U-shaped — the short- and
+/// long-lived extremes dominate the middle.
+#[test]
+fn lifetimes_are_u_shaped_on_a_large_app() {
+    let profile = benchmark("excel").expect("built-in").scaled_down(16);
+    let run = record(&profile).expect("plans");
+    let h = run.summary.lifetimes;
+    assert!(h.total() > 50, "need a meaningful trace population");
+    assert!(
+        h.is_u_shaped(),
+        "expected U-shaped lifetimes, got {:?}",
+        h.fractions()
+    );
+    assert!(h.short_lived_fraction() > 0.3);
+    assert!(h.long_lived_fraction() > 0.1);
+}
+
+/// §6.1 / Figure 9: on a large interactive application, the generational
+/// cache reduces the miss rate, and the 45-10-45 promote-on-first-hit
+/// layout is the best of the three.
+#[test]
+fn generational_wins_on_word() {
+    let profile = benchmark("word").expect("built-in").scaled_down(8);
+    let run = record(&profile).expect("plans");
+    let c = compare_figure9(&run.log);
+    let reductions: Vec<f64> = (0..3).map(|i| c.miss_rate_reduction(i)).collect();
+    assert!(
+        reductions.iter().all(|&r| r > 0.05),
+        "all layouts should win on word: {reductions:?}"
+    );
+    assert!(
+        reductions[1] >= reductions[0] && reductions[1] >= reductions[2],
+        "45-10-45 promote-on-hit(1) should be best: {reductions:?}"
+    );
+}
+
+/// §6.2 / Figure 11: the miss-rate win translates into an instruction-
+/// overhead reduction (ratio < 100%) despite the added promotion costs.
+#[test]
+fn overhead_ratio_below_one_on_word() {
+    let profile = benchmark("word").expect("built-in").scaled_down(8);
+    let run = record(&profile).expect("plans");
+    let c = compare_figure9(&run.log);
+    let ratio = c.overhead_ratio(1);
+    assert!(
+        ratio < 0.95,
+        "45-10-45 should cut management overhead, got ratio {ratio:.3}"
+    );
+}
+
+/// §6.1: `art` is the outlier — a small program whose working set cannot
+/// fit once the cache is halved, where partitioning only hurts.
+#[test]
+fn art_is_the_negative_outlier() {
+    let profile = benchmark("art").expect("built-in"); // already tiny
+    let run = record(&profile).expect("plans");
+    let c = compare_figure9(&run.log);
+    assert!(
+        c.miss_rate_reduction(1) < 0.0,
+        "art should regress under generational management, got {:+.3}",
+        c.miss_rate_reduction(1)
+    );
+    assert!(c.overhead_ratio(1) > 1.0);
+}
+
+/// §6.2: `applu` belongs to the trio whose promotion overhead outweighs
+/// its miss-rate win (overhead ratio above 100%), and it prefers a larger
+/// probation cache.
+#[test]
+fn applu_regresses_and_prefers_big_probation() {
+    let profile = benchmark("applu").expect("built-in");
+    let run = record(&profile).expect("plans");
+    let c = compare_figure9(&run.log);
+    assert!(
+        c.overhead_ratio(1) > 1.0,
+        "applu's 45-10-45 overhead should exceed unified, got {:.3}",
+        c.overhead_ratio(1)
+    );
+    assert!(
+        c.miss_rate_reduction(2) > c.miss_rate_reduction(1),
+        "the 50% probation layout should serve applu better"
+    );
+}
+
+/// §3.1 / Figure 1: interactive applications need code caches an order of
+/// magnitude larger than SPEC2000 (the paper reports a twenty-fold mean
+/// increase). Checked on the profile definitions (full scale) without
+/// running everything.
+#[test]
+fn interactive_caches_dwarf_spec() {
+    let spec_mean = spec2000()
+        .iter()
+        .map(|p| p.footprint_bytes as f64)
+        .sum::<f64>()
+        / 26.0;
+    let inter_mean = interactive()
+        .iter()
+        .map(|p| p.footprint_bytes as f64)
+        .sum::<f64>()
+        / 12.0;
+    let factor = inter_mean / spec_mean;
+    assert!(
+        factor > 10.0,
+        "interactive/SPEC footprint ratio only {factor:.1}"
+    );
+}
+
+/// §3.2 / Figure 2: code expansion is substantial and similar across
+/// suites — the cache size is driven by application size, not suite.
+#[test]
+fn code_expansion_is_substantial_for_both_suites() {
+    let spec = record(&benchmark("gzip").expect("built-in")).expect("plans");
+    let inter = record(&benchmark("winzip").expect("built-in").scaled_down(8)).expect("plans");
+    assert!(spec.summary.code_expansion_pct > 200.0);
+    assert!(inter.summary.code_expansion_pct > 200.0);
+    let ratio = spec.summary.code_expansion_pct / inter.summary.code_expansion_pct;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "expansion should be comparable across suites, got {ratio:.2}"
+    );
+}
+
+/// §3.4 / Figure 4: a meaningful share of an interactive application's
+/// traces must be deleted because of unmapped DLLs; SPEC never unmaps.
+#[test]
+fn unmapped_memory_affects_interactive_only() {
+    let inter = record(&benchmark("acroread").expect("built-in").scaled_down(16)).expect("plans");
+    assert!(
+        inter.summary.unmapped_frac > 0.05,
+        "acroread should lose >5% of trace bytes to unmaps, got {:.3}",
+        inter.summary.unmapped_frac
+    );
+    let spec = record(&benchmark("mcf").expect("built-in")).expect("plans");
+    assert_eq!(spec.summary.unmapped_frac, 0.0);
+}

@@ -1,0 +1,60 @@
+//! Seed robustness: the paper-claim shapes must not be artifacts of one
+//! particular RNG seed. Re-running a benchmark with different seeds
+//! changes every layout decision and schedule jitter; the qualitative
+//! results (U-shaped lifetimes, generational win direction) must hold
+//! anyway.
+
+use gencache_sim::{compare_figure9, record};
+use gencache_workloads::benchmark;
+
+#[test]
+fn word_wins_under_alternative_seeds() {
+    let base = benchmark("word").expect("built-in").scaled_down(8);
+    for salt in [0xA5A5u64, 0x1234_5678, 0xDEAD_BEEF] {
+        let mut profile = base.clone();
+        profile.seed ^= salt;
+        let run = record(&profile).expect("plans");
+        let c = compare_figure9(&run.log);
+        let reduction = c.miss_rate_reduction(1);
+        assert!(
+            reduction > 0.05,
+            "seed {salt:#x}: 45-10-45 should still win on word, got {reduction:+.3}"
+        );
+        assert!(
+            c.overhead_ratio(1) < 1.0,
+            "seed {salt:#x}: overhead ratio {:.3} should stay below 1",
+            c.overhead_ratio(1)
+        );
+    }
+}
+
+#[test]
+fn lifetimes_stay_u_shaped_under_alternative_seeds() {
+    let base = benchmark("excel").expect("built-in").scaled_down(16);
+    for salt in [1u64, 2, 3] {
+        let mut profile = base.clone();
+        profile.seed ^= salt << 32;
+        let run = record(&profile).expect("plans");
+        assert!(
+            run.summary.lifetimes.is_u_shaped(),
+            "seed salt {salt}: lifetimes lost the U shape: {:?}",
+            run.summary.lifetimes.fractions()
+        );
+    }
+}
+
+#[test]
+fn art_regresses_under_alternative_seeds() {
+    let base = benchmark("art").expect("built-in");
+    for salt in [7u64, 99] {
+        let mut profile = base.clone();
+        profile.seed ^= salt;
+        let run = record(&profile).expect("plans");
+        let c = compare_figure9(&run.log);
+        assert!(
+            c.miss_rate_reduction(1) <= 0.02,
+            "seed salt {salt}: art should not benefit, got {:+.3}",
+            c.miss_rate_reduction(1)
+        );
+    }
+}
