@@ -9,7 +9,7 @@
 
 use gencache_bench::{record_all, HarnessOptions};
 use gencache_sim::report::{fmt_pct, TextTable};
-use gencache_sim::{best_point, sweep};
+use gencache_sim::{best_point, sweep_with_jobs};
 
 fn main() {
     let mut opts = HarnessOptions::from_env();
@@ -31,7 +31,7 @@ fn main() {
     let mut wins_for_standard = 0usize;
     for (p, r) in &runs {
         eprintln!("sweeping {} ...", p.name);
-        let points = sweep(&r.log);
+        let points = sweep_with_jobs(&r.log, opts.effective_jobs());
         let best = best_point(&points).expect("grid is nonempty");
         let standard = points
             .iter()

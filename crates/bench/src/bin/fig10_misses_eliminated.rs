@@ -2,8 +2,7 @@
 //! code caches compared to a unified cache (the paper plots this on a
 //! logarithmic axis; we print the raw counts).
 
-use gencache_bench::{record_all, HarnessOptions};
-use gencache_sim::compare_figure9;
+use gencache_bench::{compare_all, record_all, HarnessOptions};
 use gencache_sim::report::TextTable;
 
 fn main() {
@@ -17,9 +16,7 @@ fn main() {
         "25-50-25 @5",
         "log10|best|",
     ]);
-    for (p, r) in &runs {
-        eprintln!("replaying {} ...", p.name);
-        let c = compare_figure9(&r.log);
+    for (p, c) in &compare_all(&opts, &runs) {
         let best = (0..3).map(|i| c.misses_eliminated(i)).max().unwrap_or(0);
         let log = if best > 0 { (best as f64).log10() } else { 0.0 };
         table.row([

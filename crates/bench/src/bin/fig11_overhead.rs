@@ -3,9 +3,9 @@
 //! below 100% mean the generational scheme spends fewer instructions on
 //! cache management; smaller is better.
 
-use gencache_bench::{by_suite, record_all, HarnessOptions};
+use gencache_bench::{by_suite, compare_all, record_all, HarnessOptions};
 use gencache_sim::report::{bar, geometric_mean, TextTable};
-use gencache_sim::{compare_figure9, Comparison};
+use gencache_sim::Comparison;
 use gencache_workloads::WorkloadProfile;
 
 fn render(title: &str, rows: &[(&WorkloadProfile, &Comparison)]) -> Vec<f64> {
@@ -28,13 +28,7 @@ fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 11. Instruction-overhead ratio (generational 45-10-45 / unified).");
     let runs = record_all(&opts);
-    let comparisons: Vec<(WorkloadProfile, Comparison)> = runs
-        .iter()
-        .map(|(p, r)| {
-            eprintln!("replaying {} ...", p.name);
-            (p.clone(), compare_figure9(&r.log))
-        })
-        .collect();
+    let comparisons: Vec<(WorkloadProfile, Comparison)> = compare_all(&opts, &runs);
     let (spec, inter) = by_suite(&runs);
     let find = |name: &str| {
         comparisons

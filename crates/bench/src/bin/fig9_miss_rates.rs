@@ -2,9 +2,9 @@
 //! unified cache. Three layouts are compared, every cache sized so the
 //! generational total equals the unified baseline (0.5 × maxCache).
 
-use gencache_bench::{by_suite, record_all, HarnessOptions};
+use gencache_bench::{by_suite, compare_all, record_all, HarnessOptions};
 use gencache_sim::report::{arithmetic_mean, fmt_pct, TextTable};
-use gencache_sim::{compare_figure9, Comparison};
+use gencache_sim::Comparison;
 use gencache_workloads::WorkloadProfile;
 
 fn render(title: &str, comparisons: &[(&WorkloadProfile, Comparison)]) {
@@ -43,13 +43,7 @@ fn main() {
     println!("Figure 9. Miss-rate reduction of generational caches over a unified cache.");
     println!("Configurations: nursery-probation-persistent proportions; @N = promotion rule.");
     let runs = record_all(&opts);
-    let comparisons: Vec<(WorkloadProfile, Comparison)> = runs
-        .iter()
-        .map(|(p, r)| {
-            eprintln!("replaying {} ...", p.name);
-            (p.clone(), compare_figure9(&r.log))
-        })
-        .collect();
+    let comparisons: Vec<(WorkloadProfile, Comparison)> = compare_all(&opts, &runs);
     let (spec, inter) = by_suite(&runs);
     let find = |name: &str| {
         comparisons

@@ -3,9 +3,11 @@
 //! universal win from unbalanced nursery/persistent sizing, and the link
 //! between probation-cache size and promotion threshold.
 
+use std::time::Instant;
+
 use gencache_bench::HarnessOptions;
 use gencache_sim::report::{fmt_pct, TextTable};
-use gencache_sim::{best_point, record, sweep};
+use gencache_sim::{best_point, record, sweep_with_jobs};
 use gencache_workloads::benchmark;
 
 fn main() {
@@ -20,7 +22,14 @@ fn main() {
         }
         eprintln!("recording {name} ...");
         let run = record(&profile).expect("calibrated profile");
-        let points = sweep(&run.log);
+        let jobs = opts.effective_jobs();
+        let started = Instant::now();
+        let points = sweep_with_jobs(&run.log, jobs);
+        eprintln!(
+            "swept {} grid points over {name} in {:.3}s ({jobs} jobs)",
+            points.len(),
+            started.elapsed().as_secs_f64()
+        );
         println!("\nSweep over {name}: miss-rate reduction / overhead ratio vs unified");
         let mut table =
             TextTable::new(["proportions", "policy", "miss reduction", "overhead ratio"]);

@@ -23,12 +23,19 @@
 //! | `ablate_exceptions` | §4.2 undeletable-trace ablation (extension) |
 //!
 //! All binaries accept `--scale N` to divide every benchmark's footprint
-//! by `N` (for quick smoke runs) and `--suite spec|interactive` to limit
-//! the benchmark set. Output is deterministic.
+//! by `N` (for quick smoke runs), `--suite spec|interactive` to limit
+//! the benchmark set, and `--jobs N` to set the worker-thread count
+//! (default: the `GENCACHE_JOBS` environment variable, then the
+//! machine's available parallelism). Record and replay fan out across
+//! benchmarks; output is deterministic and identical for every job
+//! count.
 
 #![warn(missing_docs)]
 
-use gencache_sim::{record, RecordedRun};
+use std::time::Instant;
+
+use gencache_sim::par::par_map_timed;
+use gencache_sim::{compare_figure9, record, Comparison, RecordedRun};
 use gencache_workloads::{all_benchmarks, Suite, WorkloadProfile};
 
 /// Command-line options shared by every figure binary.
@@ -44,10 +51,14 @@ pub struct HarnessOptions {
     pub scale: u64,
     /// Restrict to one suite.
     pub suite: Option<Suite>,
+    /// Worker-thread count; `None` defers to `GENCACHE_JOBS` and then
+    /// the machine's available parallelism.
+    pub jobs: Option<usize>,
 }
 
 impl HarnessOptions {
-    /// Parses `--scale N` and `--suite spec|interactive` from `args`.
+    /// Parses `--scale N`, `--suite spec|interactive` and `--jobs N`
+    /// from `args`.
     ///
     /// # Panics
     ///
@@ -57,6 +68,7 @@ impl HarnessOptions {
         let mut opts = HarnessOptions {
             scale: 1,
             suite: None,
+            jobs: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -74,7 +86,13 @@ impl HarnessOptions {
                         other => panic!("unknown suite {other:?}; use spec|interactive"),
                     });
                 }
-                other => panic!("unknown argument {other:?}; use --scale N / --suite S"),
+                "--jobs" => {
+                    let v = it.next().expect("--jobs needs a value");
+                    let jobs = v.parse().expect("--jobs must be a positive integer");
+                    assert!(jobs > 0, "--jobs must be positive");
+                    opts.jobs = Some(jobs);
+                }
+                other => panic!("unknown argument {other:?}; use --scale N / --suite S / --jobs N"),
             }
         }
         opts
@@ -83,6 +101,12 @@ impl HarnessOptions {
     /// Parses the current process arguments (skipping `argv[0]`).
     pub fn from_env() -> Self {
         HarnessOptions::parse(std::env::args().skip(1))
+    }
+
+    /// The resolved worker-thread count: `--jobs`, else `GENCACHE_JOBS`,
+    /// else the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        gencache_sim::par::effective_jobs(self.jobs)
     }
 
     /// The benchmark profiles selected by these options.
@@ -101,15 +125,53 @@ impl HarnessOptions {
     }
 }
 
-/// Records every selected benchmark, printing progress to stderr.
+/// Records every selected benchmark, fanning benchmarks across the
+/// harness's worker threads and printing per-shard wall-clock timings to
+/// stderr. Output order matches [`HarnessOptions::profiles`] regardless
+/// of the job count.
 pub fn record_all(opts: &HarnessOptions) -> Vec<Run> {
     let profiles = opts.profiles();
+    let jobs = opts.effective_jobs();
+    eprintln!("recording {} benchmarks ({jobs} jobs) ...", profiles.len());
+    let started = Instant::now();
+    let results = par_map_timed(&profiles, jobs, |p| {
+        record(p).expect("calibrated profiles always plan")
+    });
     let mut out = Vec::with_capacity(profiles.len());
-    for profile in profiles {
-        eprintln!("recording {} ...", profile.name);
-        let run = record(&profile).expect("calibrated profiles always plan");
+    for (profile, (run, shard)) in profiles.into_iter().zip(results) {
+        eprintln!("  recorded {:<10} in {:7.3}s", profile.name, shard.as_secs_f64());
         out.push((profile, run));
     }
+    eprintln!(
+        "recorded {} benchmarks in {:.3}s wall-clock",
+        out.len(),
+        started.elapsed().as_secs_f64()
+    );
+    out
+}
+
+/// Replays every recorded run through the Figure 9 three-configuration
+/// comparison, fanning benchmarks across the harness's worker threads
+/// and printing per-shard wall-clock timings to stderr. Output order
+/// matches `runs` and is bit-identical for every job count.
+pub fn compare_all(opts: &HarnessOptions, runs: &[Run]) -> Vec<(WorkloadProfile, Comparison)> {
+    let jobs = opts.effective_jobs();
+    eprintln!("replaying {} benchmarks ({jobs} jobs) ...", runs.len());
+    let started = Instant::now();
+    let results = par_map_timed(runs, jobs, |(_, r)| compare_figure9(&r.log));
+    let out: Vec<(WorkloadProfile, Comparison)> = runs
+        .iter()
+        .zip(results)
+        .map(|((p, _), (c, shard))| {
+            eprintln!("  replayed {:<10} in {:7.3}s", p.name, shard.as_secs_f64());
+            (p.clone(), c)
+        })
+        .collect();
+    eprintln!(
+        "replayed {} benchmarks in {:.3}s wall-clock",
+        out.len(),
+        started.elapsed().as_secs_f64()
+    );
     out
 }
 
@@ -151,6 +213,22 @@ mod tests {
         assert_eq!(o.suite, Some(Suite::Spec2000));
         let o = HarnessOptions::parse(args(&["--suite", "interactive"]));
         assert_eq!(o.suite, Some(Suite::Interactive));
+    }
+
+    #[test]
+    fn parse_jobs() {
+        let o = HarnessOptions::parse(args(&[]));
+        assert_eq!(o.jobs, None);
+        assert!(o.effective_jobs() >= 1);
+        let o = HarnessOptions::parse(args(&["--jobs", "4"]));
+        assert_eq!(o.jobs, Some(4));
+        assert_eq!(o.effective_jobs(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be positive")]
+    fn parse_rejects_zero_jobs() {
+        let _ = HarnessOptions::parse(args(&["--jobs", "0"]));
     }
 
     #[test]

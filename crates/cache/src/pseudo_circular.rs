@@ -59,6 +59,29 @@ impl PseudoCircularCache {
         self.pointer
     }
 
+    /// Inserts a trace promoted from another cache, carrying its
+    /// accumulated metadata — access count, original insert time, last
+    /// access, pin state — instead of starting fresh. This keeps hotness
+    /// and lifetime accounting cumulative across a generational
+    /// hierarchy: a trace's age runs from its first insertion, not from
+    /// its latest promotion.
+    pub fn insert_promoted(
+        &mut self,
+        victim: EntryInfo,
+        now: Time,
+    ) -> Result<InsertReport, InsertError> {
+        let report = self.insert(victim.record, now)?;
+        let entry = self
+            .arena
+            .entry_mut(victim.id())
+            .expect("entry was just inserted");
+        entry.access_count = victim.access_count;
+        entry.insert_time = victim.insert_time;
+        entry.last_access = victim.last_access.max(entry.last_access);
+        entry.pinned = victim.pinned;
+        Ok(report)
+    }
+
     /// Evicts every unpinned entry overlapping `[start, end)`, appending
     /// their metadata to `evicted`. Returns the first *pinned* entry found
     /// in the window, if any (the caller must skip past it).
@@ -134,9 +157,16 @@ impl CodeCache for PseudoCircularCache {
             // Wrap when the trace cannot fit between the pointer and the
             // end of the buffer. The (oldest) unpinned tail entries are
             // evicted — they were next in FIFO order anyway — and any
-            // pinned tail entries are simply skipped by the wrap.
+            // pinned tail entries are simply skipped by the wrap. The
+            // scan must resume past each pinned entry: stopping at the
+            // first one would leave unpinned entries beyond it resident,
+            // violating FIFO order (they would be older than everything
+            // the wrap is about to displace at the front).
             if p + size > self.capacity {
-                self.evict_window(p, self.capacity, &mut evicted);
+                let mut scan = p;
+                while let Some(pinned) = self.evict_window(scan, self.capacity, &mut evicted) {
+                    scan = pinned.end_offset();
+                }
                 p = 0;
                 wraps += 1;
                 if wraps > 2 {
@@ -285,6 +315,32 @@ mod tests {
     }
 
     #[test]
+    fn wrap_evicts_unpinned_entries_beyond_a_pinned_tail_entry() {
+        let mut c = PseudoCircularCache::new(100);
+        c.insert(rec(1, 30), Time::ZERO).unwrap(); // [0,30)
+        c.insert(rec(2, 50), Time::ZERO).unwrap(); // [30,80)
+        c.insert(rec(3, 10), Time::ZERO).unwrap(); // [80,90)
+        c.insert(rec(4, 10), Time::ZERO).unwrap(); // [90,100)
+                                                   // Wrap once so the pointer lands mid-buffer with entries
+                                                   // still occupying the tail behind it.
+        let report = c.insert(rec(5, 30), Time::ZERO).unwrap();
+        assert_eq!(ids(&report), vec![1]);
+        assert_eq!(c.pointer(), 30);
+        c.set_pinned(TraceId::new(3), true);
+        // 75 bytes do not fit in the 70-byte tail ⇒ wrap. The tail scan
+        // hits pinned trace 3 at [80,90); it must keep scanning past it
+        // and still evict trace 4 at [90,100).
+        let report = c.insert(rec(6, 75), Time::ZERO).unwrap();
+        assert_eq!(ids(&report), vec![2, 4, 5]);
+        assert_eq!(report.offset, 0);
+        assert!(c.contains(TraceId::new(3)), "pinned trace must survive");
+        assert!(
+            !c.contains(TraceId::new(4)),
+            "unpinned tail entry beyond the pinned one must not survive the wrap"
+        );
+    }
+
+    #[test]
     fn fully_pinned_cache_reports_no_space() {
         let mut c = PseudoCircularCache::new(100);
         c.insert(rec(1, 50), Time::ZERO).unwrap();
@@ -340,6 +396,25 @@ mod tests {
         let report = c.insert(rec(4, 25), Time::ZERO).unwrap();
         assert!(report.evicted.is_empty());
         assert_eq!(report.offset, 0);
+    }
+
+    #[test]
+    fn insert_promoted_carries_metadata() {
+        let mut donor = PseudoCircularCache::new(100);
+        donor.insert(rec(1, 40), Time::ZERO).unwrap();
+        donor.touch(TraceId::new(1), Time::from_micros(3));
+        donor.touch(TraceId::new(1), Time::from_micros(7));
+        let victim = donor.remove(TraceId::new(1), EvictionCause::Promoted).unwrap();
+
+        let mut target = PseudoCircularCache::new(100);
+        target
+            .insert_promoted(victim, Time::from_micros(10))
+            .unwrap();
+        let e = target.entry(TraceId::new(1)).unwrap();
+        assert_eq!(e.access_count, 2, "access count carried over");
+        assert_eq!(e.insert_time, Time::ZERO, "original insert time kept");
+        assert_eq!(e.last_access, Time::from_micros(10));
+        assert!(!e.pinned);
     }
 
     #[test]

@@ -75,10 +75,13 @@ pub struct EntryInfo {
     /// `true` while the trace must not be evicted (e.g. an exception is
     /// being handled inside it — Section 4.2 "undeletable traces").
     pub pinned: bool,
-    /// Number of times the entry was executed while resident *in this
-    /// cache* (reset on promotion; drives probation-cache promotion).
+    /// Number of times the entry was executed while resident. Reset when
+    /// a trace enters the probation cache — the Figure 8 counter measures
+    /// probation-time executions only — but carried cumulatively into the
+    /// persistent cache, where it records total hotness.
     pub access_count: u64,
-    /// When the entry was inserted into this cache.
+    /// When the entry was inserted. Carried across promotion into the
+    /// persistent cache, so lifetimes span the whole hierarchy.
     pub insert_time: Time,
     /// When the entry was last executed in this cache.
     pub last_access: Time,

@@ -134,7 +134,7 @@ impl GenerationalModel {
     /// study.
     fn promote_to_probation(&mut self, victim: EntryInfo, now: Time) {
         if self.config.probation_bytes == 0 {
-            self.promote_to_persistent(victim.record, now);
+            self.promote_to_persistent(victim, now);
             return;
         }
         self.metrics.promotions_to_probation += 1;
@@ -166,27 +166,30 @@ impl GenerationalModel {
             PromotionPolicy::OnHit { .. } => false,
         };
         if promote {
-            self.promote_to_persistent(victim.record, now);
+            self.promote_to_persistent(victim, now);
         } else {
             self.metrics.probation_discards += 1;
             self.ledger.charge_eviction(victim.size_bytes());
         }
     }
 
-    /// Moves a trace into the persistent cache; persistent evictees are
-    /// deleted outright.
-    fn promote_to_persistent(&mut self, rec: TraceRecord, now: Time) {
+    /// Moves a trace into the persistent cache, carrying the entry
+    /// metadata it accumulated in the cache it came from (access count,
+    /// first insert time, pin state) — promotion relocates a trace, it
+    /// does not create a new one. Persistent evictees are deleted
+    /// outright.
+    fn promote_to_persistent(&mut self, victim: EntryInfo, now: Time) {
         self.metrics.promotions_to_persistent += 1;
-        self.ledger.charge_promotion(rec.size_bytes);
-        match self.persistent.insert(rec, now) {
+        self.ledger.charge_promotion(victim.size_bytes());
+        match self.persistent.insert_promoted(victim, now) {
             Ok(report) => {
-                for victim in report.evicted {
-                    self.ledger.charge_eviction(victim.size_bytes());
+                for evictee in report.evicted {
+                    self.ledger.charge_eviction(evictee.size_bytes());
                 }
             }
             Err(_) => {
                 // Too large for the persistent cache: deleted.
-                self.ledger.charge_eviction(rec.size_bytes);
+                self.ledger.charge_eviction(victim.size_bytes());
             }
         }
     }
@@ -219,10 +222,14 @@ impl CacheModel for GenerationalModel {
                     .expect("touched entry is resident")
                     .access_count;
                 if count >= hits {
-                    self.probation
+                    // Promote the *resident entry*, not the incoming
+                    // access record: the entry carries the access count
+                    // and insert time accumulated on probation.
+                    let victim = self
+                        .probation
                         .remove(rec.id, EvictionCause::Promoted)
                         .expect("touched entry is resident");
-                    self.promote_to_persistent(rec, now);
+                    self.promote_to_persistent(victim, now);
                 }
             }
             return AccessOutcome::Hit(Generation::Probation);
@@ -347,6 +354,29 @@ mod tests {
             m.generation_of(TraceId::new(0)),
             Some(Generation::Persistent)
         );
+    }
+
+    #[test]
+    fn promotion_carries_probation_metadata_into_persistent() {
+        let mut m = model(3000, PromotionPolicy::OnHit { hits: 2 });
+        for id in 0..5 {
+            m.on_access(rec(id, 250), Time::from_micros(id));
+        }
+        // Trace 0 entered probation at t=4µs (displaced by the 5th
+        // insert). Two probation hits promote it under OnHit{2}.
+        m.on_access(rec(0, 250), Time::from_micros(10));
+        m.on_access(rec(0, 250), Time::from_micros(11));
+        let e = m.persistent().entry(TraceId::new(0)).unwrap();
+        assert_eq!(
+            e.access_count, 2,
+            "probation access count must survive promotion"
+        );
+        assert_eq!(
+            e.insert_time,
+            Time::from_micros(4),
+            "insert time must not reset at promotion"
+        );
+        assert_eq!(e.last_access, Time::from_micros(11));
     }
 
     #[test]

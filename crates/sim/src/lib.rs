@@ -16,8 +16,10 @@
 //!    ([`compare`], [`compare_figure9`]).
 //!
 //! Plus [`sweep`] for the proportion × promotion-threshold configuration
-//! study, and [`report`] helpers for rendering the paper's tables and
-//! figures as text.
+//! study, [`par`] for the deterministic thread-scoped fan-out that
+//! drives it (and the suite-level drivers in `gencache-bench`), and
+//! [`report`] helpers for rendering the paper's tables and figures as
+//! text.
 //!
 //! ```
 //! use gencache_sim::{compare_figure9, record};
@@ -42,6 +44,7 @@
 mod analysis;
 mod linking;
 mod log;
+pub mod par;
 mod recorder;
 mod replay;
 pub mod report;
@@ -53,7 +56,7 @@ pub use linking::{replay_with_linking, LinkReport, LinkableModel};
 pub use log::{AccessLog, LogRecord};
 pub use recorder::{record, record_with, RecordedRun, RecorderOptions, RunSummary};
 pub use replay::{compare, compare_figure9, replay_into, Comparison, ReplayResult};
-pub use sweep::{best_point, policy_grid, proportion_grid, sweep, SweepPoint};
+pub use sweep::{best_point, policy_grid, proportion_grid, sweep, sweep_with_jobs, SweepPoint};
 pub use threads::{
     partition_by_module, replay_thread_private, replay_thread_shared, BudgetSplit, ThreadCacheKind,
     ThreadedOutcome,

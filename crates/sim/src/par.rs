@@ -1,0 +1,143 @@
+//! Parallel fan-out on `std::thread::scope` — no external dependencies.
+//!
+//! The replay engine is embarrassingly parallel at two grains: grid
+//! points within one benchmark's [`sweep`](crate::sweep), and whole
+//! benchmarks within a suite run. Both fan out through [`par_map`]:
+//! workers claim items from a shared atomic cursor, but every result is
+//! written to the slot of its *input* index, so output order equals
+//! input order regardless of scheduling and the results are
+//! bit-identical to a serial run. Simulation itself never shares mutable
+//! state — each worker replays against its own cache models, reading a
+//! shared immutable [`AccessLog`](crate::AccessLog).
+//!
+//! Worker count resolution (see [`effective_jobs`]): explicit request
+//! (a binary's `--jobs N`) → `GENCACHE_JOBS` environment variable →
+//! the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resolves a worker count: an explicit request (e.g. a `--jobs` flag)
+/// wins, then the `GENCACHE_JOBS` environment variable, then the
+/// machine's available parallelism. Zero and unparsable values are
+/// ignored; the result is always at least 1.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    requested
+        .filter(|&j| j > 0)
+        .or_else(|| {
+            std::env::var("GENCACHE_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&j: &usize| j > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped threads, returning the
+/// results in input order. Deterministic: the output is identical to
+/// `items.iter().map(f).collect()` for any `jobs`.
+///
+/// A panic inside `f` propagates to the caller once all workers stop
+/// (the standard `thread::scope` join behaviour).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_timed(items, jobs, f)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// Like [`par_map`], but pairs each result with the wall-clock time its
+/// shard took, so suite drivers can report per-benchmark timings.
+pub fn par_map_timed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<(R, Duration)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    let timed = |item: &T| {
+        let started = Instant::now();
+        let result = f(item);
+        (result, started.elapsed())
+    };
+    if jobs == 1 {
+        return items.iter().map(timed).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(R, Duration)>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("no poisoned slot") = Some(timed(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("no poisoned slot")
+                .expect("every claimed slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(&items, jobs, |&x| x * x + 1), serial);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_oversubscribed_input() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u64], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_timed_reports_a_duration_per_item() {
+        let out = par_map_timed(&[1u64, 2, 3], 2, |&x| x * 10);
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn effective_jobs_precedence() {
+        // All env manipulation lives in this one test so concurrently
+        // running tests never observe a transient GENCACHE_JOBS value.
+        std::env::remove_var("GENCACHE_JOBS");
+        assert_eq!(effective_jobs(Some(3)), 3);
+        assert!(effective_jobs(None) >= 1);
+        std::env::set_var("GENCACHE_JOBS", "5");
+        assert_eq!(effective_jobs(None), 5);
+        assert_eq!(effective_jobs(Some(2)), 2, "explicit request beats env");
+        std::env::set_var("GENCACHE_JOBS", "0");
+        assert!(effective_jobs(None) >= 1, "zero is ignored");
+        std::env::set_var("GENCACHE_JOBS", "not-a-number");
+        assert!(effective_jobs(None) >= 1, "garbage is ignored");
+        std::env::remove_var("GENCACHE_JOBS");
+    }
+}

@@ -53,34 +53,51 @@ pub fn policy_grid() -> Vec<PromotionPolicy> {
     ]
 }
 
-/// Sweeps the full proportion × policy grid over one benchmark log.
+/// Sweeps the full proportion × policy grid over one benchmark log,
+/// fanning the grid points across [`effective_jobs`](crate::par::effective_jobs)
+/// worker threads (override with `GENCACHE_JOBS`).
 pub fn sweep(log: &AccessLog) -> Vec<SweepPoint> {
+    sweep_with_jobs(log, crate::par::effective_jobs(None))
+}
+
+/// [`sweep`] with an explicit worker count. Each grid point replays the
+/// shared read-only log against its own cache models; the results are
+/// reassembled in grid order, so the output is bit-identical for every
+/// `jobs` value (enforced by `tests/par_determinism.rs`).
+pub fn sweep_with_jobs(log: &AccessLog, jobs: usize) -> Vec<SweepPoint> {
     let capacity = (log.peak_trace_bytes / 2).max(1);
-    let mut points = Vec::new();
-    for proportions in proportion_grid() {
-        for policy in policy_grid() {
-            let config = GenerationalConfig::new(capacity, proportions, policy);
-            let comparison: Comparison = compare(log, &[config]);
-            points.push(SweepPoint {
-                nursery: proportions.nursery,
-                probation: proportions.probation,
-                persistent: proportions.persistent,
-                promotion: policy,
-                miss_rate_reduction: comparison.miss_rate_reduction(0),
-                overhead_ratio: comparison.overhead_ratio(0),
-            });
+    let grid: Vec<(Proportions, PromotionPolicy)> = proportion_grid()
+        .into_iter()
+        .flat_map(|proportions| policy_grid().into_iter().map(move |p| (proportions, p)))
+        .collect();
+    crate::par::par_map(&grid, jobs, |&(proportions, policy)| {
+        let config = GenerationalConfig::new(capacity, proportions, policy);
+        let comparison: Comparison = compare(log, &[config]);
+        SweepPoint {
+            nursery: proportions.nursery,
+            probation: proportions.probation,
+            persistent: proportions.persistent,
+            promotion: policy,
+            miss_rate_reduction: comparison.miss_rate_reduction(0),
+            overhead_ratio: comparison.overhead_ratio(0),
         }
-    }
-    points
+    })
 }
 
 /// The best point of a sweep by miss-rate reduction.
+///
+/// A log with no accesses yields NaN reductions (0/0 miss rates); NaN
+/// ranks below every real number here, so such points are never chosen
+/// over a finite one and the function never panics.
 pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
-    points.iter().max_by(|a, b| {
-        a.miss_rate_reduction
-            .partial_cmp(&b.miss_rate_reduction)
-            .expect("reductions are finite")
-    })
+    fn rank(p: &SweepPoint) -> f64 {
+        if p.miss_rate_reduction.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            p.miss_rate_reduction
+        }
+    }
+    points.iter().max_by(|a, b| rank(a).total_cmp(&rank(b)))
 }
 
 #[cfg(test)]
@@ -137,5 +154,36 @@ mod tests {
     #[test]
     fn empty_sweep_has_no_best() {
         assert!(best_point(&[]).is_none());
+    }
+
+    #[test]
+    fn zero_access_log_does_not_panic() {
+        // No accesses at all: both miss rates are 0/0 = NaN. The sweep
+        // must still cover the grid and best_point must not panic.
+        let log = AccessLog {
+            benchmark: "empty".into(),
+            records: Vec::new(),
+            duration: Time::from_secs_f64(1.0),
+            peak_trace_bytes: 800,
+        };
+        let points = sweep(&log);
+        assert_eq!(points.len(), proportion_grid().len() * policy_grid().len());
+        assert!(best_point(&points).is_some());
+    }
+
+    #[test]
+    fn nan_points_never_beat_finite_ones() {
+        let mut points = sweep(&tiny_log());
+        let finite_best = best_point(&points).unwrap().miss_rate_reduction;
+        points.push(SweepPoint {
+            nursery: 0.3,
+            probation: 0.4,
+            persistent: 0.3,
+            promotion: PromotionPolicy::OnHit { hits: 1 },
+            miss_rate_reduction: f64::NAN,
+            overhead_ratio: f64::NAN,
+        });
+        let best = best_point(&points).unwrap();
+        assert_eq!(best.miss_rate_reduction, finite_best);
     }
 }

@@ -338,16 +338,54 @@ impl ExecutionPlan {
 
             let mut prev_chunk: &[usize] = &[];
             for round in 0..rounds {
-                // New phase-local regions warm up (on their home thread).
-                if let Some(chunk) = chunks.get(round) {
-                    for &r in *chunk {
-                        let iters = warmup(&mut rng, profile);
-                        steps.push(PlanStep::Run {
-                            region: r,
-                            iterations: iters,
-                            variant_seed: rng.gen(),
-                            thread: regions[r].home_thread,
-                        });
+                // Persistent regions run every round of every phase —
+                // *interleaved* with the new chunk's warmups, the way an
+                // event loop's dispatch code keeps running between bursts
+                // of freshly loaded code. The interleaving is what keeps
+                // a displaced long-lived trace alive: evicted into a
+                // small probation cache mid-flood, it is re-executed
+                // after the next warmup burst (a few KB of churn), not
+                // after the whole flood (which would flush it and lock
+                // the hierarchy into a regenerate-discard cycle).
+                // Shared across threads: each step picks a (seeded)
+                // random thread, so over the run every thread executes
+                // every shared region and each thread's private code
+                // cache ends up building its own copy of the hot traces.
+                let run_persistent = |rng: &mut StdRng, steps: &mut Vec<PlanStep>, per: usize| {
+                    let iters = if p == 0 && round == 0 {
+                        warmup(rng, profile)
+                    } else {
+                        revisit(rng, profile)
+                    };
+                    let thread = if profile.threads > 1 {
+                        rng.gen_range(0..profile.threads)
+                    } else {
+                        0
+                    };
+                    steps.push(PlanStep::Run {
+                        region: per,
+                        iterations: iters,
+                        variant_seed: rng.gen(),
+                        thread,
+                    });
+                };
+                let mut drained = 0usize;
+                // New phase-local regions warm up (on their home thread),
+                // with the round's persistent runs spread evenly between
+                // them.
+                let chunk: &[usize] = chunks.get(round).copied().unwrap_or(&[]);
+                for (k, &r) in chunk.iter().enumerate() {
+                    let iters = warmup(&mut rng, profile);
+                    steps.push(PlanStep::Run {
+                        region: r,
+                        iterations: iters,
+                        variant_seed: rng.gen(),
+                        thread: regions[r].home_thread,
+                    });
+                    let target = (k + 1) * persistents.len() / chunk.len();
+                    while drained < target {
+                        run_persistent(&mut rng, &mut steps, persistents[drained]);
+                        drained += 1;
                     }
                 }
                 // The previous chunk gets one more short burst, so
@@ -376,30 +414,13 @@ impl ExecutionPlan {
                         });
                     }
                 }
-                // Persistent regions run every round of every phase.
-                // Shared across threads: each step picks a (seeded)
-                // random thread, so over the run every thread executes
-                // every shared region and each thread's private code
-                // cache ends up building its own copy of the hot traces.
-                for &per in &persistents {
-                    let iters = if p == 0 && round == 0 {
-                        warmup(&mut rng, profile)
-                    } else {
-                        revisit(&mut rng, profile)
-                    };
-                    let thread = if profile.threads > 1 {
-                        rng.gen_range(0..profile.threads)
-                    } else {
-                        0
-                    };
-                    steps.push(PlanStep::Run {
-                        region: per,
-                        iterations: iters,
-                        variant_seed: rng.gen(),
-                        thread,
-                    });
+                // Any persistents not drained by the interleave (always
+                // all of them when the round has no new chunk).
+                while drained < persistents.len() {
+                    run_persistent(&mut rng, &mut steps, persistents[drained]);
+                    drained += 1;
                 }
-                prev_chunk = chunks.get(round).copied().unwrap_or(&[]);
+                prev_chunk = chunk;
             }
             // Phase ends: unmap this phase's doomed DLLs.
             for &id in &unload_at_phase[p as usize] {

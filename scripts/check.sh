@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lints: the exact gate a change must pass.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release"
+cargo build --release
+
+echo "=== cargo test -q"
+cargo test -q
+
+echo "=== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "all checks passed"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates every paper artifact into results/, at full scale.
-# Usage: scripts/run_experiments.sh [extra args, e.g. --scale 8]
+# Usage: scripts/run_experiments.sh [extra args, e.g. --scale 8 --jobs 4]
+# Workers default to all cores (override with --jobs N or GENCACHE_JOBS);
+# output is bit-identical for any job count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results

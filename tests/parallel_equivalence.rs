@@ -1,0 +1,41 @@
+//! Suite-level parallel determinism: `record_all` and `compare_all` must
+//! produce byte-identical results (via serde_json) for any `--jobs`
+//! value. The suite driver fans whole benchmarks across workers, so this
+//! guards the reassembly-in-input-order contract end to end.
+
+use gencache_bench::{compare_all, record_all, HarnessOptions};
+use gencache_workloads::Suite;
+
+fn opts(jobs: usize) -> HarnessOptions {
+    HarnessOptions {
+        scale: 64,
+        suite: Some(Suite::Interactive),
+        jobs: Some(jobs),
+    }
+}
+
+#[test]
+fn suite_fanout_is_byte_identical_across_job_counts() {
+    let baseline = record_all(&opts(1));
+    let baseline_logs = serde_json::to_string(
+        &baseline.iter().map(|(_, r)| &r.log).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let baseline_cmp = serde_json::to_string(&compare_all(&opts(1), &baseline)).unwrap();
+    for jobs in [2, 8] {
+        let runs = record_all(&opts(jobs));
+        let logs = serde_json::to_string(
+            &runs.iter().map(|(_, r)| &r.log).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(
+            baseline_logs, logs,
+            "record_all with {jobs} jobs diverged from serial"
+        );
+        let cmp = serde_json::to_string(&compare_all(&opts(jobs), &runs)).unwrap();
+        assert_eq!(
+            baseline_cmp, cmp,
+            "compare_all with {jobs} jobs diverged from serial"
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the small API surface the workspace's benches use —
+//! `Criterion::benchmark_group`, `bench_function`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — backed by a simple
+//! median-of-batches wall-clock timer. It reports ns/iter to stdout; it
+//! does not do statistical analysis, HTML reports, or comparison against
+//! saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark (split across batches).
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+/// Batches used for the median.
+const BATCHES: usize = 15;
+
+/// Names one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The per-iteration timing driver handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating the per-batch iteration count,
+    /// then recording [`BATCHES`] batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that takes ~1/BATCHES of
+        // the measuring time.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_TIME / (BATCHES as u32) || iters > u64::MAX / 2 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_batch = iters;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's batch count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            iters_per_batch: 0,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let iters = bencher.iters_per_batch;
+        println!(
+            "{full:<50} {:>14.1} ns/iter  ({iters} iters/batch, median of {BATCHES})",
+            bencher.median_ns()
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line (the first
+    /// free argument, as `cargo bench -- <filter>` passes it).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.benchmark_group(name.clone()).bench_function(name, f);
+        self
+    }
+}
+
+/// Bundles bench functions into a single runner fn (criterion API).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters_per_batch: 0,
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        let ns = b.median_ns();
+        assert!(ns.is_finite() && ns >= 0.0);
+        assert!(b.iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("touch".into()),
+        };
+        assert!(c.matches("group/touch_hit"));
+        assert!(!c.matches("group/insert"));
+        let open = Criterion { filter: None };
+        assert!(open.matches("anything"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! simplified serialization framework with the same *surface* the
+//! workspace uses — `use serde::{Serialize, Deserialize}` plus the
+//! derives — but a much smaller contract: types convert to and from an
+//! owned JSON-like [`Value`] tree. The vendored `serde_json` renders that
+//! tree as real JSON text.
+//!
+//! Not supported (and not used anywhere in the workspace): `#[serde(...)]`
+//! attributes, generic types, zero-copy deserialization, non-self-describing
+//! formats.
+
+// Lets the `::serde::` paths emitted by the derive macro resolve when the
+// derives are used inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// An owned JSON-like value tree: the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and the `serde_json` text layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers (kept separate so `u64::MAX` round-trips).
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order (field order is deterministic, so
+    /// serialized output is byte-stable).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given description.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a required field of an object value (derive-generated code).
+pub fn obj_field<'v>(v: &'v Value, ty: &str, field: &str) -> Result<&'v Value, DeError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| DeError::new(format!("expected object for {ty}, got {v:?}")))?;
+    pairs
+        .iter()
+        .find(|(k, _)| k == field)
+        .map(|(_, val)| val)
+        .ok_or_else(|| DeError::new(format!("missing field {ty}.{field}")))
+}
+
+/// Looks up a required element of an array value (derive-generated code).
+pub fn arr_elem<'v>(v: &'v Value, ty: &str, index: usize, len: usize) -> Result<&'v Value, DeError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| DeError::new(format!("expected {len}-element array for {ty}")))?;
+    if items.len() != len {
+        return Err(DeError::new(format!(
+            "expected {len} elements for {ty}, got {}",
+            items.len()
+        )));
+    }
+    Ok(&items[index])
+}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::new(format!(
+                            "{n} out of range for {}", stringify!($t)))),
+                    Value::Int(n) => u64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError::new(format!(
+                            "{n} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::new(format!(
+                        "expected {}, got {v:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).and_then(|n| {
+            usize::try_from(n).map_err(|_| DeError::new(format!("{n} out of range for usize")))
+        })
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n < 0 { Value::Int(n) } else { Value::UInt(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n).map_err(|_| {
+                        DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                    })?,
+                    _ => {
+                        return Err(DeError::new(format!(
+                            "expected {}, got {v:?}", stringify!($t))))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::new(format!("expected f64, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            _ => Err(DeError::new(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected {N}-element array, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected 2-tuple, got {v:?}")))?;
+        if items.len() != 2 {
+            return Err(DeError::new(format!(
+                "expected 2-tuple, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs in key order, so
+/// output stays deterministic even for `HashMap`.
+fn map_to_value<'m, K, V>(entries: impl Iterator<Item = (&'m K, &'m V)>) -> Value
+where
+    K: Serialize + Ord + 'm,
+    V: Serialize + 'm,
+{
+    let mut pairs: Vec<(&K, &V)> = entries.collect();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    Value::Array(
+        pairs
+            .into_iter()
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+impl<K: Serialize + Ord + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord + Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<(K, V)>::from_value(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn derive_struct_and_enum_roundtrip() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Point {
+            x: u32,
+            y: f64,
+            label: String,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Wrap(u64);
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Shape {
+            Empty,
+            Dot { at: Point },
+            Pair(u32, u32),
+            Tag(Wrap),
+        }
+
+        let p = Point {
+            x: 3,
+            y: -0.25,
+            label: "a\"b".into(),
+        };
+        assert_eq!(Point::from_value(&p.to_value()).unwrap(), p);
+        assert_eq!(Wrap::from_value(&Wrap(9).to_value()).unwrap(), Wrap(9));
+        for s in [
+            Shape::Empty,
+            Shape::Dot {
+                at: Point {
+                    x: 1,
+                    y: 2.0,
+                    label: String::new(),
+                },
+            },
+            Shape::Pair(4, 5),
+            Shape::Tag(Wrap(6)),
+        ] {
+            assert_eq!(Shape::from_value(&s.to_value()).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stand-in.
+//!
+//! The registry is unreachable in this build environment, so these
+//! derives are written against `proc_macro` alone (no `syn`/`quote`).
+//! They hand-parse the item definition out of the token stream —
+//! supporting exactly the shapes the workspace uses: non-generic named
+//! structs, tuple structs, and enums with unit / named-field / tuple
+//! variants — and emit impls of the simplified value-tree traits in the
+//! vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item we are deriving for.
+enum ItemKind {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — arity recorded.
+    TupleStruct(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(...)`) at the head of `tokens`.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute after '#': {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits the tokens of a brace/paren group at top-level commas,
+/// treating `<...>` angle nesting as opaque so generic argument commas
+/// (e.g. `HashMap<K, V>`) do not split a field.
+fn split_top_level_commas(tokens: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field chunk
+/// (`[attrs] [vis] name : Type`).
+fn field_name(chunk: Vec<TokenTree>) -> String {
+    let mut it = chunk.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected field name, found {other:?}"),
+    }
+}
+
+fn parse_variants(tokens: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .map(|chunk| {
+            let mut it = chunk.into_iter().peekable();
+            skip_attrs_and_vis(&mut it);
+            let name = match it.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let kind = match it.next() {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(
+                        split_top_level_commas(g.stream())
+                            .into_iter()
+                            .map(field_name)
+                            .collect(),
+                    )
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level_commas(g.stream()).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+                other => panic!("unsupported variant shape: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("the offline serde derive does not support generic types ({name})");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(
+                    split_top_level_commas(g.stream())
+                        .into_iter()
+                        .map(field_name)
+                        .collect(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(split_top_level_commas(g.stream()).len())
+            }
+            other => panic!("unsupported struct shape for {name}: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {pats} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let entries: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    entries.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::obj_field(v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         ::serde::arr_elem(v, \"{name}\", {i}, {n})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::obj_field(inner, \"{name}::{vname}\", \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = if *n == 1 {
+                            vec!["::serde::Deserialize::from_value(inner)?".to_string()]
+                        } else {
+                            (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         ::serde::arr_elem(inner, \"{name}::{vname}\", {i}, {n})?)?"
+                                    )
+                                })
+                                .collect()
+                        };
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {} \
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                       ::std::format!(\"unknown unit variant {{other}} for {name}\"))), \
+                   }}, \
+                   ::serde::Value::Object(pairs) if pairs.len() == 1 => {{ \
+                     let (tag, inner) = &pairs[0]; \
+                     match tag.as_str() {{ \
+                       {} \
+                       other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"unknown variant {{other}} for {name}\"))), \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"expected {name} variant, got {{v:?}}\"))), \
+                 }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Derives the simplified `serde::Serialize` (value-tree construction).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the simplified `serde::Deserialize` (value-tree readback).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
