@@ -1,0 +1,363 @@
+//! `explain` — a trace-grounded narrative of one benchmark's cache
+//! behaviour, built from the event stream rather than the end-of-run
+//! counters.
+//!
+//! For the chosen benchmark it records the workload, replays it through
+//! the unified baseline and the best generational layout with full
+//! instrumentation, and prints per-phase, per-region activity, occupancy
+//! timelines, trace-lifetime histograms and the worst
+//! evicted-then-remissed traces — the churn signature behind miss-rate
+//! cliffs.
+//!
+//! ```text
+//! explain --bench word --scale 16 [--top 10] [--jobs N]
+//!         [--events-out FILE.jsonl] [--metrics-out FILE.json]
+//! explain --parse-events FILE.jsonl   # validate a JSONL export
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
+use gencache_obs::{
+    CacheEvent, EventRecord, Log2Histogram, MetricsObserver, MetricsReport, Observer, Region,
+};
+use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
+use gencache_sim::{collect_events, record, ReplayResult};
+use gencache_workloads::{benchmark, WorkloadProfile};
+
+struct ExplainOptions {
+    bench: String,
+    top: usize,
+    parse_events: Option<String>,
+    harness: HarnessOptions,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
+    let mut opts = ExplainOptions {
+        bench: "word".to_string(),
+        top: 10,
+        parse_events: None,
+        harness: HarnessOptions {
+            scale: 1,
+            ..HarnessOptions::default()
+        },
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => {
+                opts.bench = it.next().expect("--bench needs a benchmark name");
+            }
+            "--top" => {
+                let v = it.next().expect("--top needs a value");
+                opts.top = v.parse().expect("--top must be a non-negative integer");
+            }
+            "--parse-events" => {
+                opts.parse_events = Some(it.next().expect("--parse-events needs a file path"));
+            }
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                opts.harness.scale = v.parse().expect("--scale must be a positive integer");
+                assert!(opts.harness.scale > 0, "--scale must be positive");
+            }
+            "--jobs" => {
+                let v = it.next().expect("--jobs needs a value");
+                let jobs: usize = v.parse().expect("--jobs must be a positive integer");
+                assert!(jobs > 0, "--jobs must be positive");
+                opts.harness.jobs = Some(jobs);
+            }
+            "--events-out" => {
+                opts.harness.events_out =
+                    Some(it.next().expect("--events-out needs a file path"));
+            }
+            "--metrics-out" => {
+                opts.harness.metrics_out =
+                    Some(it.next().expect("--metrics-out needs a file path"));
+            }
+            other => panic!(
+                "unknown argument {other:?}; use --bench NAME / --scale N / --jobs N / \
+                 --top N / --events-out FILE / --metrics-out FILE / --parse-events FILE"
+            ),
+        }
+    }
+    opts
+}
+
+/// Validation mode: parse a `--events-out` JSONL file back into typed
+/// [`EventRecord`]s and summarize it, failing loudly on any bad line.
+fn parse_events(path: &str) -> ExitCode {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut totals: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.expect("readable line");
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<EventRecord>(&line) {
+            Ok(record) => {
+                lines += 1;
+                *totals.entry((record.source, record.model)).or_default() += 1;
+            }
+            Err(e) => {
+                eprintln!("{path}:{}: bad event record: {e:?}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{path}: {lines} events parse cleanly");
+    let mut table = TextTable::new(["benchmark", "model", "events"]);
+    for ((source, model), count) in &totals {
+        table.row([source.clone(), model.clone(), count.to_string()]);
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+/// The phase index (0-based) an event time falls into.
+fn phase_of(time_us: u64, duration_us: u64, phases: u64) -> usize {
+    if duration_us == 0 {
+        return 0;
+    }
+    ((time_us.saturating_mul(phases) / duration_us).min(phases - 1)) as usize
+}
+
+fn render_phase_table(
+    profile: &WorkloadProfile,
+    duration_us: u64,
+    events: &[CacheEvent],
+    regions: &[Region],
+) {
+    let phases = u64::from(profile.phases.max(1));
+    let mut observers: Vec<MetricsObserver> =
+        (0..phases).map(|_| MetricsObserver::new()).collect();
+    for event in events {
+        let p = phase_of(event.time().as_micros(), duration_us, phases);
+        observers[p].on_event(event);
+    }
+    println!("\nPer-phase activity (phase-local deltas):");
+    let mut table = TextTable::new([
+        "phase", "region", "hits", "inserts", "cap-evt", "flush", "unmap", "discard", "promote→",
+    ]);
+    for (p, observer) in observers.iter().enumerate() {
+        let report = observer.report();
+        let miss_rate = report.miss_rate() * 100.0;
+        for (i, &region) in regions.iter().enumerate() {
+            let r = report.region(region);
+            let activity = r.hits
+                + r.inserts
+                + r.capacity_evictions
+                + r.flush_evictions
+                + r.unmap_evictions
+                + r.discards
+                + r.promotions_out;
+            if activity == 0 {
+                continue;
+            }
+            let label = if i == 0 {
+                format!("{p} ({miss_rate:.1}% miss)")
+            } else {
+                String::new()
+            };
+            table.row([
+                label,
+                region.name().to_string(),
+                r.hits.to_string(),
+                r.inserts.to_string(),
+                r.capacity_evictions.to_string(),
+                r.flush_evictions.to_string(),
+                r.unmap_evictions.to_string(),
+                r.discards.to_string(),
+                r.promotions_out.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+}
+
+fn render_timeline(report: &MetricsReport, regions: &[Region]) {
+    if report.timeline.is_empty() {
+        return;
+    }
+    println!("\nOccupancy timeline (resident bytes per region, run left→right):");
+    for &region in regions {
+        let series: Vec<u64> = report
+            .timeline
+            .iter()
+            .map(|s| s.resident[region.index()])
+            .collect();
+        let peak = series.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            continue;
+        }
+        println!(
+            "  {:>10} {} peak {}",
+            region.name(),
+            sparkline(&series),
+            fmt_bytes(peak)
+        );
+    }
+    // Interval miss rates: differences of the cumulative sample counters.
+    let mut rates = Vec::with_capacity(report.timeline.len());
+    let mut prev = (0u64, 0u64);
+    for s in &report.timeline {
+        let accesses = (s.hits + s.misses).saturating_sub(prev.0 + prev.1);
+        let misses = s.misses.saturating_sub(prev.1);
+        // Sparkline buckets are coarse; per-mille keeps small rates visible.
+        rates.push((misses * 1000).checked_div(accesses).unwrap_or(0));
+        prev = (s.hits, s.misses);
+    }
+    println!("  {:>10} {} (per interval)", "miss rate", sparkline(&rates));
+}
+
+fn render_churn(report: &MetricsReport, top: usize) {
+    let entries = &report.top_churn[..report.top_churn.len().min(top)];
+    if entries.is_empty() {
+        println!("\nNo evicted-then-remissed traces: the cache is not churning.");
+        return;
+    }
+    println!("\nTop evicted-then-remissed traces (regeneration churn):");
+    let max = entries.iter().map(|e| e.remisses).max().unwrap_or(1);
+    let mut table = TextTable::new(["trace", "bytes", "evictions", "remisses", ""]);
+    for e in entries {
+        table.row([
+            format!("t{}", e.trace),
+            e.bytes.to_string(),
+            e.evictions.to_string(),
+            e.remisses.to_string(),
+            bar(e.remisses as f64, max as f64, 30),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn render_histogram(label: &str, hist: &Log2Histogram) {
+    if hist.is_empty() {
+        return;
+    }
+    println!("\n{label} (log2 buckets, µs):");
+    let peak = hist.counts().iter().copied().max().unwrap_or(1);
+    for (b, &count) in hist.counts().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let (lo, hi) = Log2Histogram::bucket_range(b);
+        println!(
+            "  [{lo:>10}, {hi:>10}] {count:>8} {}",
+            bar(count as f64, peak as f64, 30)
+        );
+    }
+}
+
+fn explain_model(
+    profile: &WorkloadProfile,
+    duration_us: u64,
+    label: &str,
+    result: &ReplayResult,
+    events: &[CacheEvent],
+    sample_every: u64,
+    top: usize,
+) {
+    let mut observer = MetricsObserver::with_timeline(sample_every);
+    for event in events {
+        observer.on_event(event);
+    }
+    let report = observer.report();
+
+    println!("\n=== {label}: {} ===", result.model);
+    println!(
+        "{} accesses, {} hits, {} misses ({:.2}% miss rate), {} events",
+        report.accesses,
+        report.hits,
+        report.misses,
+        report.miss_rate() * 100.0,
+        events.len(),
+    );
+    let regions: Vec<Region> = Region::ALL
+        .into_iter()
+        .filter(|r| {
+            let m = report.region(*r);
+            m.inserts + m.hits + m.promotions_in > 0
+        })
+        .collect();
+    for &region in &regions {
+        let r = report.region(region);
+        println!(
+            "  {:>10}: {} inserted / {} hits / {} cap + {} flush + {} unmap + {} discard \
+             evictions / peak {}",
+            region.name(),
+            r.inserts,
+            r.hits,
+            r.capacity_evictions,
+            r.flush_evictions,
+            r.unmap_evictions,
+            r.discards,
+            fmt_bytes(r.peak_resident_bytes),
+        );
+    }
+
+    render_phase_table(profile, duration_us, events, &regions);
+    render_timeline(&report, &regions);
+    render_churn(&report, top);
+    for &region in &regions {
+        let r = report.region(region);
+        render_histogram(
+            &format!("{} trace lifetime at eviction", region.name()),
+            &r.lifetime_us,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args(std::env::args().skip(1));
+    if let Some(path) = &opts.parse_events {
+        return parse_events(path);
+    }
+
+    let mut profile = benchmark(&opts.bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {:?}", opts.bench));
+    if opts.harness.scale > 1 {
+        profile = profile.scaled_down(opts.harness.scale);
+    }
+    eprintln!("recording {} ...", profile.name);
+    let run = record(&profile).expect("calibrated profiles always plan");
+    let capacity = (run.log.peak_trace_bytes / 2).max(1);
+    let duration_us = run.log.duration.as_micros();
+    let sample_every = (run.log.access_count() / 64).max(1);
+
+    println!(
+        "explain {}: {} log records, {} accesses, budget {} (0.5 × maxCache {}), {} phases",
+        profile.name,
+        run.log.records.len(),
+        run.log.access_count(),
+        fmt_bytes(capacity),
+        fmt_bytes(run.log.peak_trace_bytes),
+        profile.phases,
+    );
+
+    for (label, spec) in export_specs() {
+        let (result, events) = collect_events(&run.log, spec);
+        explain_model(
+            &profile,
+            duration_us,
+            label,
+            &result,
+            &events,
+            sample_every,
+            opts.top,
+        );
+    }
+
+    let runs = vec![(profile, run)];
+    export_telemetry(&opts.harness, &runs).expect("telemetry export failed");
+    ExitCode::SUCCESS
+}

@@ -2,13 +2,14 @@
 //! code caches compared to a unified cache (the paper plots this on a
 //! logarithmic axis; we print the raw counts).
 
-use gencache_bench::{compare_all, record_all, HarnessOptions};
+use gencache_bench::{compare_all, export_telemetry, record_all, HarnessOptions};
 use gencache_sim::report::TextTable;
 
 fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 10. Cache misses eliminated vs a unified cache (log-scale in the paper).");
     let runs = record_all(&opts);
+    export_telemetry(&opts, &runs).expect("telemetry export failed");
     let mut table = TextTable::new([
         "Benchmark",
         "33-33-33 @10",

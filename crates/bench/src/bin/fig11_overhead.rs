@@ -3,7 +3,7 @@
 //! below 100% mean the generational scheme spends fewer instructions on
 //! cache management; smaller is better.
 
-use gencache_bench::{by_suite, compare_all, record_all, HarnessOptions};
+use gencache_bench::{by_suite, compare_all, export_telemetry, record_all, HarnessOptions};
 use gencache_sim::report::{bar, geometric_mean, TextTable};
 use gencache_sim::Comparison;
 use gencache_workloads::WorkloadProfile;
@@ -28,6 +28,7 @@ fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 11. Instruction-overhead ratio (generational 45-10-45 / unified).");
     let runs = record_all(&opts);
+    export_telemetry(&opts, &runs).expect("telemetry export failed");
     let comparisons: Vec<(WorkloadProfile, Comparison)> = compare_all(&opts, &runs);
     let (spec, inter) = by_suite(&runs);
     let find = |name: &str| {

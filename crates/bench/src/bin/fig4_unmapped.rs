@@ -1,13 +1,14 @@
 //! Figure 4: percentage of code traces that must be removed from the code
 //! cache due to unmapped memory.
 
-use gencache_bench::{by_suite, record_all, HarnessOptions};
+use gencache_bench::{by_suite, export_telemetry, record_all, HarnessOptions};
 use gencache_sim::report::{arithmetic_mean, bar, TextTable};
 
 fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 4. Trace bytes deleted due to unmapped memory (%).");
     let runs = record_all(&opts);
+    export_telemetry(&opts, &runs).expect("telemetry export failed");
     let (spec, inter) = by_suite(&runs);
 
     if !spec.is_empty() {

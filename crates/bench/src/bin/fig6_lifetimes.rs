@@ -2,7 +2,7 @@
 //! (Equation 2). The y-axis is the unweighted (static) share of traces in
 //! each lifetime bucket; the paper's observation is the U shape.
 
-use gencache_bench::{by_suite, record_all, HarnessOptions};
+use gencache_bench::{by_suite, export_telemetry, record_all, HarnessOptions};
 use gencache_sim::report::{bar, TextTable};
 use gencache_sim::RecordedRun;
 use gencache_workloads::WorkloadProfile;
@@ -55,6 +55,7 @@ fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 6. Trace lifetimes as a percentage of execution time.");
     let runs = record_all(&opts);
+    export_telemetry(&opts, &runs).expect("telemetry export failed");
     let (spec, inter) = by_suite(&runs);
     if !spec.is_empty() {
         render("a) SPEC2000 Benchmarks", &spec);

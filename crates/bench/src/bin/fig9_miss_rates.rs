@@ -2,7 +2,7 @@
 //! unified cache. Three layouts are compared, every cache sized so the
 //! generational total equals the unified baseline (0.5 × maxCache).
 
-use gencache_bench::{by_suite, compare_all, record_all, HarnessOptions};
+use gencache_bench::{by_suite, compare_all, export_telemetry, record_all, HarnessOptions};
 use gencache_sim::report::{arithmetic_mean, fmt_pct, TextTable};
 use gencache_sim::Comparison;
 use gencache_workloads::WorkloadProfile;
@@ -43,6 +43,7 @@ fn main() {
     println!("Figure 9. Miss-rate reduction of generational caches over a unified cache.");
     println!("Configurations: nursery-probation-persistent proportions; @N = promotion rule.");
     let runs = record_all(&opts);
+    export_telemetry(&opts, &runs).expect("telemetry export failed");
     let comparisons: Vec<(WorkloadProfile, Comparison)> = compare_all(&opts, &runs);
     let (spec, inter) = by_suite(&runs);
     let find = |name: &str| {

@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use gencache_bench::HarnessOptions;
+use gencache_bench::{export_telemetry, HarnessOptions, Run};
 use gencache_sim::report::{fmt_pct, TextTable};
 use gencache_sim::{best_point, record, sweep_with_jobs};
 use gencache_workloads::benchmark;
@@ -14,6 +14,7 @@ fn main() {
     // The sweep is per-benchmark; pick a representative mid-size one by
     // default and let `--suite`/`--scale` narrow the cost.
     let opts = HarnessOptions::from_env();
+    let mut runs: Vec<Run> = Vec::new();
     let names = ["crafty", "word"];
     for name in names {
         let mut profile = benchmark(name).expect("known benchmark");
@@ -57,5 +58,7 @@ fn main() {
                 fmt_pct(best.miss_rate_reduction),
             );
         }
+        runs.push((profile, run));
     }
+    export_telemetry(&opts, &runs).expect("telemetry export failed");
 }

@@ -32,10 +32,17 @@
 
 #![warn(missing_docs)]
 
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
-use gencache_sim::par::par_map_timed;
-use gencache_sim::{compare_figure9, record, Comparison, RecordedRun};
+use gencache_obs::{JsonlSink, MetricsReport};
+use serde::{Serialize, Value};
+use gencache_sim::par::{par_map, par_map_timed};
+use gencache_sim::{
+    collect_metrics, compare_figure9_metered, record, replay_observed, Comparison, ModelSpec,
+    ProgressMeter, RecordedRun,
+};
 use gencache_workloads::{all_benchmarks, Suite, WorkloadProfile};
 
 /// Command-line options shared by every figure binary.
@@ -45,7 +52,7 @@ use gencache_workloads::{all_benchmarks, Suite, WorkloadProfile};
 /// below roughly 1/8 scale the small benchmarks degenerate to a handful
 /// of traces and the generational layouts can look arbitrarily bad. Use
 /// full scale for any result you intend to read.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HarnessOptions {
     /// Divide every footprint by this factor (1 = full scale).
     pub scale: u64,
@@ -54,11 +61,20 @@ pub struct HarnessOptions {
     /// Worker-thread count; `None` defers to `GENCACHE_JOBS` and then
     /// the machine's available parallelism.
     pub jobs: Option<usize>,
+    /// Write the full cache-event stream here as JSONL (one
+    /// [`EventRecord`](gencache_obs::EventRecord) per line).
+    pub events_out: Option<String>,
+    /// Write aggregated per-benchmark and suite-merged metrics here as
+    /// one JSON document.
+    pub metrics_out: Option<String>,
+    /// Print a rate-limited records-replayed/total heartbeat to stderr.
+    pub progress: bool,
 }
 
 impl HarnessOptions {
-    /// Parses `--scale N`, `--suite spec|interactive` and `--jobs N`
-    /// from `args`.
+    /// Parses `--scale N`, `--suite spec|interactive`, `--jobs N`,
+    /// `--events-out FILE`, `--metrics-out FILE` and `--progress` from
+    /// `args`.
     ///
     /// # Panics
     ///
@@ -67,8 +83,7 @@ impl HarnessOptions {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = HarnessOptions {
             scale: 1,
-            suite: None,
-            jobs: None,
+            ..HarnessOptions::default()
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -92,7 +107,19 @@ impl HarnessOptions {
                     assert!(jobs > 0, "--jobs must be positive");
                     opts.jobs = Some(jobs);
                 }
-                other => panic!("unknown argument {other:?}; use --scale N / --suite S / --jobs N"),
+                "--events-out" => {
+                    opts.events_out = Some(it.next().expect("--events-out needs a file path"));
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(it.next().expect("--metrics-out needs a file path"));
+                }
+                "--progress" => {
+                    opts.progress = true;
+                }
+                other => panic!(
+                    "unknown argument {other:?}; use --scale N / --suite S / --jobs N / \
+                     --events-out FILE / --metrics-out FILE / --progress"
+                ),
             }
         }
         opts
@@ -158,7 +185,18 @@ pub fn compare_all(opts: &HarnessOptions, runs: &[Run]) -> Vec<(WorkloadProfile,
     let jobs = opts.effective_jobs();
     eprintln!("replaying {} benchmarks ({jobs} jobs) ...", runs.len());
     let started = Instant::now();
-    let results = par_map_timed(runs, jobs, |(_, r)| compare_figure9(&r.log));
+    // Each Figure 9 comparison replays the log into four models:
+    // unified plus the three generational configurations.
+    let total_records: u64 = runs.iter().map(|(_, r)| r.log.records.len() as u64 * 4).sum();
+    let meter = if opts.progress {
+        ProgressMeter::new("replay", total_records)
+    } else {
+        ProgressMeter::disabled("replay", total_records)
+    };
+    let results = par_map_timed(runs, jobs, |(_, r)| compare_figure9_metered(&r.log, &meter));
+    if opts.progress {
+        meter.finish();
+    }
     let out: Vec<(WorkloadProfile, Comparison)> = runs
         .iter()
         .zip(results)
@@ -177,6 +215,102 @@ pub fn compare_all(opts: &HarnessOptions, runs: &[Run]) -> Vec<(WorkloadProfile,
 
 /// A recorded benchmark paired with its profile.
 pub type Run = (WorkloadProfile, RecordedRun);
+
+/// The organizations exported by `--events-out` / `--metrics-out`: the
+/// unified baseline and the paper's best-overall generational layout
+/// (45%–10%–45%, promote on first probation hit).
+pub fn export_specs() -> [(&'static str, ModelSpec); 2] {
+    [
+        ("unified", ModelSpec::Unified),
+        ("gen-45-10-45@hit1", ModelSpec::best_generational()),
+    ]
+}
+
+/// Timeline sampling interval giving roughly 64 occupancy samples per
+/// replay. Keyed on access counts, not wall clock, so the timeline is
+/// deterministic.
+fn sample_interval(log: &gencache_sim::AccessLog) -> u64 {
+    (log.access_count() / 64).max(1)
+}
+
+/// Honors `--events-out` and `--metrics-out`: replays every recorded
+/// run through the [`export_specs`] models with instrumentation attached
+/// and writes the requested artifacts. A no-op when neither flag is set.
+pub fn export_telemetry(opts: &HarnessOptions, runs: &[Run]) -> io::Result<()> {
+    if let Some(path) = &opts.events_out {
+        let lines = write_events(path, runs)?;
+        eprintln!("wrote {lines} events to {path}");
+    }
+    if let Some(path) = &opts.metrics_out {
+        write_metrics(path, runs, opts.effective_jobs())?;
+        eprintln!("wrote metrics to {path}");
+    }
+    Ok(())
+}
+
+fn write_events(path: &str, runs: &[Run]) -> io::Result<u64> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    let mut lines = 0u64;
+    for (profile, run) in runs {
+        for (label, spec) in export_specs() {
+            let sink = JsonlSink::new(writer, profile.name.clone(), label);
+            let (_, sink) = replay_observed(&run.log, spec, sink);
+            lines += sink.lines();
+            writer = sink.finish()?;
+        }
+    }
+    writer.flush()?;
+    Ok(lines)
+}
+
+fn write_metrics(path: &str, runs: &[Run], jobs: usize) -> io::Result<()> {
+    // Per-benchmark reports fan out across workers; the suite-level
+    // merge folds them in input-index order, so the document is
+    // bit-identical for every jobs value.
+    let per_bench: Vec<Vec<MetricsReport>> = par_map(runs, jobs, |(_, run)| {
+        export_specs()
+            .iter()
+            .map(|&(_, spec)| collect_metrics(&run.log, spec, sample_interval(&run.log)).1)
+            .collect()
+    });
+    let mut suite: Vec<MetricsReport> =
+        export_specs().iter().map(|_| MetricsReport::new()).collect();
+    let mut benchmarks = Vec::with_capacity(runs.len());
+    for ((profile, _), reports) in runs.iter().zip(&per_bench) {
+        let mut pairs = vec![("benchmark".to_string(), Value::Str(profile.name.clone()))];
+        for ((&(label, _), report), merged) in
+            export_specs().iter().zip(reports).zip(suite.iter_mut())
+        {
+            merged.merge(report);
+            pairs.push((label.to_string(), report.to_value()));
+        }
+        benchmarks.push(Value::Object(pairs));
+    }
+    let suite_pairs: Vec<(String, Value)> = export_specs()
+        .iter()
+        .zip(&suite)
+        .map(|(&(label, _), merged)| (label.to_string(), merged.to_value()))
+        .collect();
+    let doc = RawValue(Value::Object(vec![
+        ("suite".to_string(), Value::Object(suite_pairs)),
+        ("benchmarks".to_string(), Value::Array(benchmarks)),
+    ]));
+    let json = serde_json::to_string(&doc)
+        .map_err(|e| io::Error::other(format!("{e:?}")))?;
+    let mut file = File::create(path)?;
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Adapter so an already-assembled [`Value`] tree can go through
+/// `serde_json::to_string`, which wants a [`Serialize`] type.
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
 
 /// Splits recorded runs by suite, preserving order: `(spec, interactive)`.
 pub fn by_suite(runs: &[Run]) -> (Vec<&Run>, Vec<&Run>) {

@@ -5,17 +5,35 @@ use std::fmt;
 use gencache_program::Time;
 use serde::{Deserialize, Serialize};
 
-use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::record::{EntryInfo, Evicted, EvictionCause, TraceId, TraceRecord};
 use crate::stats::CacheStats;
 
 /// The result of a successful insertion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InsertReport {
     /// Entries the replacement policy evicted to make room, in eviction
-    /// order. The generational manager promotes these to the next cache.
-    pub evicted: Vec<EntryInfo>,
+    /// order, each tagged with its cause (`Capacity` for pointer-driven
+    /// eviction, `Flush` when a flushing policy cleared the cache). The
+    /// generational manager promotes capacity victims to the next cache.
+    pub evicted: Vec<Evicted>,
     /// Arena offset at which the new trace was placed.
     pub offset: u64,
+    /// How many times the replacement pointer was forced past a protected
+    /// entry while searching for space (pin skips in the pseudo-circular
+    /// policy, second chances in CLOCK). Zero for policies without a
+    /// pointer.
+    pub pointer_resets: u32,
+}
+
+impl InsertReport {
+    /// A report with the given victims and offset and no pointer resets.
+    pub fn new(evicted: Vec<Evicted>, offset: u64) -> Self {
+        InsertReport {
+            evicted,
+            offset,
+            pointer_resets: 0,
+        }
+    }
 }
 
 /// Errors returned by [`CodeCache::insert`].

@@ -15,7 +15,7 @@ use gencache_program::Time;
 
 use crate::arena::Arena;
 use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
-use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::record::{EntryInfo, Evicted, EvictionCause, TraceId, TraceRecord};
 use crate::stats::CacheStats;
 
 /// A fixed-capacity code cache managed by CLOCK (second-chance) eviction.
@@ -73,7 +73,7 @@ impl ClockCache {
         start: u64,
         end: u64,
         honor_bits: bool,
-        evicted: &mut Vec<EntryInfo>,
+        evicted: &mut Vec<Evicted>,
     ) -> Option<EntryInfo> {
         loop {
             let id = self.arena.first_overlapping(start, end)?;
@@ -90,7 +90,10 @@ impl ClockCache {
             self.arena.remove(id);
             self.stats
                 .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
-            evicted.push(info);
+            evicted.push(Evicted {
+                entry: info,
+                cause: EvictionCause::Capacity,
+            });
         }
     }
 }
@@ -144,6 +147,7 @@ impl CodeCache for ClockCache {
         let mut evicted = Vec::new();
         let mut p = self.pointer;
         let mut wraps = 0u32;
+        let mut pointer_resets = 0u32;
         // After two full sweeps every reference bit has been cleared;
         // stop honoring them so the insert cannot starve.
         loop {
@@ -164,6 +168,7 @@ impl CodeCache for ClockCache {
                 None => break,
                 Some(protected) => {
                     p = protected.end_offset();
+                    pointer_resets += 1;
                 }
             }
         }
@@ -171,13 +176,19 @@ impl CodeCache for ClockCache {
         self.arena.place(rec, p, now);
         self.pointer = p + size;
         self.stats.on_insert(size, self.arena.used_bytes());
-        Ok(InsertReport { evicted, offset: p })
+        self.stats.debug_assert_identity(self.arena.len() as u64);
+        Ok(InsertReport {
+            evicted,
+            offset: p,
+            pointer_resets,
+        })
     }
 
     fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
         let info = self.arena.remove(id)?;
         self.referenced.remove(&id);
         self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        self.stats.debug_assert_identity(self.arena.len() as u64);
         Some(info)
     }
 

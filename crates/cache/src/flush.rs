@@ -11,7 +11,7 @@ use gencache_program::Time;
 
 use crate::arena::Arena;
 use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
-use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::record::{EntryInfo, Evicted, EvictionCause, TraceId, TraceRecord};
 use crate::stats::CacheStats;
 
 /// A fixed-capacity code cache that bump-allocates and flushes everything
@@ -58,9 +58,9 @@ impl FlushCache {
         self.flushes
     }
 
-    /// Flushes all unpinned entries, returning them in offset order, and
-    /// resets the allocation cursor.
-    pub fn flush(&mut self) -> Vec<EntryInfo> {
+    /// Flushes all unpinned entries, returning them in offset order with
+    /// [`EvictionCause::Flush`], and resets the allocation cursor.
+    pub fn flush(&mut self) -> Vec<Evicted> {
         let victims: Vec<TraceId> = self
             .arena
             .iter_by_offset()
@@ -71,8 +71,11 @@ impl FlushCache {
         for id in victims {
             let info = self.arena.remove(id).expect("resident");
             self.stats
-                .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
-            flushed.push(info);
+                .on_remove(u64::from(info.size_bytes()), EvictionCause::Flush);
+            flushed.push(Evicted {
+                entry: info,
+                cause: EvictionCause::Flush,
+            });
         }
         self.cursor = 0;
         self.flushes += 1;
@@ -169,12 +172,14 @@ impl CodeCache for FlushCache {
         self.arena.place(rec, offset, now);
         self.cursor = offset + size;
         self.stats.on_insert(size, self.arena.used_bytes());
-        Ok(InsertReport { evicted, offset })
+        self.stats.debug_assert_identity(self.arena.len() as u64);
+        Ok(InsertReport::new(evicted, offset))
     }
 
     fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
         let info = self.arena.remove(id)?;
         self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        self.stats.debug_assert_identity(self.arena.len() as u64);
         Some(info)
     }
 
@@ -233,7 +238,8 @@ mod tests {
         assert_eq!(report.offset, 0);
         assert_eq!(c.len(), 1);
         assert_eq!(c.flush_count(), 1);
-        assert_eq!(c.stats().capacity_evictions, 5);
+        assert_eq!(c.stats().flush_evictions, 5);
+        assert_eq!(c.stats().capacity_evictions, 0);
     }
 
     #[test]

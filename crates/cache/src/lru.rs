@@ -15,7 +15,7 @@ use gencache_program::Time;
 
 use crate::arena::Arena;
 use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
-use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::record::{EntryInfo, Evicted, EvictionCause, TraceId, TraceRecord};
 use crate::stats::CacheStats;
 
 /// A fixed-capacity code cache managed by LRU replacement with first-fit
@@ -240,19 +240,24 @@ impl CodeCache for LruCache {
             self.remove_from_recency(victim);
             self.stats
                 .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
-            evicted.push(info);
+            evicted.push(Evicted {
+                entry: info,
+                cause: EvictionCause::Capacity,
+            });
         };
 
         self.arena.place(rec, offset, now);
         self.bump_recency(rec.id);
         self.stats.on_insert(size, self.arena.used_bytes());
-        Ok(InsertReport { evicted, offset })
+        self.stats.debug_assert_identity(self.arena.len() as u64);
+        Ok(InsertReport::new(evicted, offset))
     }
 
     fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
         let info = self.arena.remove(id)?;
         self.remove_from_recency(id);
         self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        self.stats.debug_assert_identity(self.arena.len() as u64);
         Some(info)
     }
 

@@ -18,7 +18,7 @@ use gencache_program::Time;
 
 use crate::arena::Arena;
 use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
-use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::record::{EntryInfo, Evicted, EvictionCause, TraceId, TraceRecord};
 use crate::stats::CacheStats;
 
 /// Configuration of the phase-change detector.
@@ -117,9 +117,9 @@ impl PreemptiveFlushCache {
         window_rate > long_run_rate * self.detector.spike_factor
     }
 
-    /// Flushes all unpinned entries (stats: capacity evictions) and
-    /// resets the allocation cursor.
-    fn flush(&mut self) -> Vec<EntryInfo> {
+    /// Flushes all unpinned entries (stats: flush evictions) and resets
+    /// the allocation cursor.
+    fn flush(&mut self) -> Vec<Evicted> {
         let victims: Vec<TraceId> = self
             .arena
             .iter_by_offset()
@@ -130,8 +130,11 @@ impl PreemptiveFlushCache {
         for id in victims {
             let info = self.arena.remove(id).expect("resident");
             self.stats
-                .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
-            flushed.push(info);
+                .on_remove(u64::from(info.size_bytes()), EvictionCause::Flush);
+            flushed.push(Evicted {
+                entry: info,
+                cause: EvictionCause::Flush,
+            });
         }
         self.cursor = 0;
         self.flushes += 1;
@@ -236,12 +239,14 @@ impl CodeCache for PreemptiveFlushCache {
         self.arena.place(rec, offset, now);
         self.cursor = offset + size;
         self.stats.on_insert(size, self.arena.used_bytes());
-        Ok(InsertReport { evicted, offset })
+        self.stats.debug_assert_identity(self.arena.len() as u64);
+        Ok(InsertReport::new(evicted, offset))
     }
 
     fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
         let info = self.arena.remove(id)?;
         self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        self.stats.debug_assert_identity(self.arena.len() as u64);
         Some(info)
     }
 

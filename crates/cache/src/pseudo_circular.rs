@@ -16,7 +16,7 @@ use gencache_program::Time;
 
 use crate::arena::Arena;
 use crate::cache::{CodeCache, FragmentationReport, InsertError, InsertReport};
-use crate::record::{EntryInfo, EvictionCause, TraceId, TraceRecord};
+use crate::record::{EntryInfo, Evicted, EvictionCause, TraceId, TraceRecord};
 use crate::stats::CacheStats;
 
 /// A fixed-capacity code cache managed by the pseudo-circular policy.
@@ -89,7 +89,7 @@ impl PseudoCircularCache {
         &mut self,
         start: u64,
         end: u64,
-        evicted: &mut Vec<EntryInfo>,
+        evicted: &mut Vec<Evicted>,
     ) -> Option<EntryInfo> {
         loop {
             let id = self.arena.first_overlapping(start, end)?;
@@ -100,7 +100,10 @@ impl PseudoCircularCache {
             self.arena.remove(id);
             self.stats
                 .on_remove(u64::from(info.size_bytes()), EvictionCause::Capacity);
-            evicted.push(info);
+            evicted.push(Evicted {
+                entry: info,
+                cause: EvictionCause::Capacity,
+            });
         }
     }
 }
@@ -153,6 +156,7 @@ impl CodeCache for PseudoCircularCache {
         let mut evicted = Vec::new();
         let mut p = self.pointer;
         let mut wraps = 0u32;
+        let mut pointer_resets = 0u32;
         loop {
             // Wrap when the trace cannot fit between the pointer and the
             // end of the buffer. The (oldest) unpinned tail entries are
@@ -166,6 +170,7 @@ impl CodeCache for PseudoCircularCache {
                 let mut scan = p;
                 while let Some(pinned) = self.evict_window(scan, self.capacity, &mut evicted) {
                     scan = pinned.end_offset();
+                    pointer_resets += 1;
                 }
                 p = 0;
                 wraps += 1;
@@ -183,6 +188,7 @@ impl CodeCache for PseudoCircularCache {
                     // Undeletable trace: reset the pointer to just past it
                     // and restart the eviction scan (Section 4.3).
                     p = pinned.end_offset();
+                    pointer_resets += 1;
                 }
             }
         }
@@ -190,12 +196,18 @@ impl CodeCache for PseudoCircularCache {
         self.arena.place(rec, p, now);
         self.pointer = p + size;
         self.stats.on_insert(size, self.arena.used_bytes());
-        Ok(InsertReport { evicted, offset: p })
+        self.stats.debug_assert_identity(self.arena.len() as u64);
+        Ok(InsertReport {
+            evicted,
+            offset: p,
+            pointer_resets,
+        })
     }
 
     fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
         let info = self.arena.remove(id)?;
         self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        self.stats.debug_assert_identity(self.arena.len() as u64);
         Some(info)
     }
 

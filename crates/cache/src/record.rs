@@ -116,6 +116,9 @@ pub enum EvictionCause {
     /// Deleted by an explicit management decision (e.g. a probation trace
     /// that failed to reach the promotion threshold).
     Discarded,
+    /// Removed by a whole-cache flush (flush-on-full or preemptive
+    /// phase-change flushing, Section 5.2).
+    Flush,
     /// Removed from this cache because it was promoted to another cache
     /// in a generational hierarchy.
     Promoted,
@@ -128,6 +131,18 @@ pub struct Evicted {
     pub entry: EntryInfo,
     /// Why it was removed.
     pub cause: EvictionCause,
+}
+
+impl Evicted {
+    /// The victim's size in bytes (shorthand for `entry.size_bytes()`).
+    pub fn size_bytes(&self) -> u32 {
+        self.entry.size_bytes()
+    }
+
+    /// The victim's trace id (shorthand for `entry.id()`).
+    pub fn id(&self) -> TraceId {
+        self.entry.id()
+    }
 }
 
 #[cfg(test)]

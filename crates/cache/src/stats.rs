@@ -43,6 +43,11 @@ pub struct CacheStats {
     pub unmap_deletions: u64,
     /// Bytes deleted due to unmapping.
     pub unmap_deleted_bytes: u64,
+    /// Entries removed by a whole-cache flush (flush-on-full and
+    /// preemptive flushing policies).
+    pub flush_evictions: u64,
+    /// Bytes removed by whole-cache flushes.
+    pub flush_evicted_bytes: u64,
     /// Entries discarded by explicit management decisions.
     pub discards: u64,
     /// Bytes discarded by explicit management decisions.
@@ -83,12 +88,36 @@ impl CacheStats {
                 self.promotions_out += 1;
                 self.promoted_out_bytes += bytes;
             }
+            EvictionCause::Flush => {
+                self.flush_evictions += 1;
+                self.flush_evicted_bytes += bytes;
+            }
         }
     }
 
     /// All entries removed for any cause.
     pub fn total_removals(&self) -> u64 {
-        self.capacity_evictions + self.unmap_deletions + self.discards + self.promotions_out
+        self.capacity_evictions
+            + self.unmap_deletions
+            + self.discards
+            + self.promotions_out
+            + self.flush_evictions
+    }
+
+    /// Debug-checks the conservation identity every cache must maintain:
+    /// every inserted entry is either still resident or was removed for
+    /// exactly one cause (`insertions == resident + all removals`).
+    /// Compiles to nothing in release builds.
+    #[inline]
+    pub fn debug_assert_identity(&self, resident_entries: u64) {
+        debug_assert_eq!(
+            self.insertions,
+            resident_entries + self.total_removals(),
+            "cache stats identity violated: {} insertions != {} resident + {} removals",
+            self.insertions,
+            resident_entries,
+            self.total_removals(),
+        );
     }
 
     /// Fraction of inserted bytes that were later deleted because of

@@ -85,15 +85,14 @@ impl CodeCache for UnboundedCache {
         self.cursor += u64::from(rec.size_bytes);
         self.stats
             .on_insert(u64::from(rec.size_bytes), self.arena.used_bytes());
-        Ok(InsertReport {
-            evicted: Vec::new(),
-            offset,
-        })
+        self.stats.debug_assert_identity(self.arena.len() as u64);
+        Ok(InsertReport::new(Vec::new(), offset))
     }
 
     fn remove(&mut self, id: TraceId, cause: EvictionCause) -> Option<EntryInfo> {
         let info = self.arena.remove(id)?;
         self.stats.on_remove(u64::from(info.size_bytes()), cause);
+        self.stats.debug_assert_identity(self.arena.len() as u64);
         Some(info)
     }
 

@@ -25,6 +25,7 @@
 use gencache_cache::{
     CodeCache, EntryInfo, EvictionCause, PseudoCircularCache, TraceId, TraceRecord,
 };
+use gencache_obs::{CacheEvent, NullObserver, Observer, Region};
 use gencache_program::Time;
 
 use crate::config::{GenerationalConfig, PromotionPolicy};
@@ -54,18 +55,28 @@ use crate::model::{AccessOutcome, CacheModel, Generation, ModelMetrics};
 /// assert!(model.on_access(rec, Time::from_micros(1)).is_hit());
 /// ```
 #[derive(Debug)]
-pub struct GenerationalModel {
+pub struct GenerationalModel<O: Observer = NullObserver> {
     nursery: PseudoCircularCache,
     probation: PseudoCircularCache,
     persistent: PseudoCircularCache,
     config: GenerationalConfig,
     metrics: ModelMetrics,
     ledger: CostLedger,
+    observer: O,
 }
 
 impl GenerationalModel {
-    /// Creates the hierarchy described by `config`.
+    /// Creates the hierarchy described by `config`, uninstrumented
+    /// (the [`NullObserver`] compiles the event emission away).
     pub fn new(config: GenerationalConfig) -> Self {
+        GenerationalModel::observed(config, NullObserver)
+    }
+}
+
+impl<O: Observer> GenerationalModel<O> {
+    /// Creates the hierarchy described by `config` with every cache
+    /// event reported to `observer`.
+    pub fn observed(config: GenerationalConfig, observer: O) -> Self {
         GenerationalModel {
             nursery: PseudoCircularCache::new(config.nursery_bytes),
             probation: PseudoCircularCache::new(config.probation_bytes),
@@ -73,7 +84,24 @@ impl GenerationalModel {
             config,
             metrics: ModelMetrics::default(),
             ledger: CostLedger::new(),
+            observer,
         }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the model, returning the observer (e.g. to extract a
+    /// metrics report after a replay).
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// The configuration this model was built with.
@@ -109,13 +137,44 @@ impl GenerationalModel {
         &self.persistent
     }
 
+    /// Emits an [`CacheEvent::Evict`] for an entry that left the
+    /// hierarchy entirely, deriving lifetime and idle durations from
+    /// the entry's metadata.
+    fn emit_evict(&mut self, region: Region, entry: &EntryInfo, cause: EvictionCause, now: Time) {
+        self.observer.on_event(&CacheEvent::Evict {
+            region,
+            trace: entry.id(),
+            bytes: entry.size_bytes(),
+            cause,
+            age_us: now.saturating_micros_since(entry.insert_time),
+            idle_us: now.saturating_micros_since(entry.last_access),
+            time: now,
+        });
+    }
+
     /// Inserts a freshly generated trace into the nursery and runs the
     /// promotion cascade of Figure 8 on everything it displaces.
     fn insert_new_trace(&mut self, rec: TraceRecord, now: Time) {
         match self.nursery.insert(rec, now) {
             Ok(report) => {
+                if self.observer.enabled() {
+                    if report.pointer_resets > 0 {
+                        self.observer.on_event(&CacheEvent::PointerReset {
+                            region: Region::Nursery,
+                            resets: report.pointer_resets,
+                            time: now,
+                        });
+                    }
+                    self.observer.on_event(&CacheEvent::Insert {
+                        region: Region::Nursery,
+                        trace: rec.id,
+                        bytes: rec.size_bytes,
+                        used: self.nursery.used_bytes(),
+                        time: now,
+                    });
+                }
                 for victim in report.evicted {
-                    self.promote_to_probation(victim, now);
+                    self.promote_to_probation(victim.entry, now);
                 }
             }
             Err(_) => {
@@ -134,15 +193,31 @@ impl GenerationalModel {
     /// study.
     fn promote_to_probation(&mut self, victim: EntryInfo, now: Time) {
         if self.config.probation_bytes == 0 {
-            self.promote_to_persistent(victim, now);
+            self.promote_to_persistent(victim, Region::Nursery, now);
             return;
         }
         self.metrics.promotions_to_probation += 1;
         self.ledger.charge_promotion(victim.size_bytes());
+        if self.observer.enabled() {
+            self.observer.on_event(&CacheEvent::Promote {
+                from: Region::Nursery,
+                to: Region::Probation,
+                trace: victim.id(),
+                bytes: victim.size_bytes(),
+                time: now,
+            });
+        }
         match self.probation.insert(victim.record, now) {
             Ok(report) => {
+                if self.observer.enabled() && report.pointer_resets > 0 {
+                    self.observer.on_event(&CacheEvent::PointerReset {
+                        region: Region::Probation,
+                        resets: report.pointer_resets,
+                        time: now,
+                    });
+                }
                 for pvictim in report.evicted {
-                    self.judge_probation_evictee(pvictim, now);
+                    self.judge_probation_evictee(pvictim.entry, now);
                 }
             }
             Err(_) => {
@@ -150,6 +225,9 @@ impl GenerationalModel {
                 // failed probation (deleted).
                 self.metrics.probation_discards += 1;
                 self.ledger.charge_eviction(victim.size_bytes());
+                if self.observer.enabled() {
+                    self.emit_evict(Region::Probation, &victim, EvictionCause::Discarded, now);
+                }
             }
         }
     }
@@ -166,10 +244,13 @@ impl GenerationalModel {
             PromotionPolicy::OnHit { .. } => false,
         };
         if promote {
-            self.promote_to_persistent(victim, now);
+            self.promote_to_persistent(victim, Region::Probation, now);
         } else {
             self.metrics.probation_discards += 1;
             self.ledger.charge_eviction(victim.size_bytes());
+            if self.observer.enabled() {
+                self.emit_evict(Region::Probation, &victim, EvictionCause::Discarded, now);
+            }
         }
     }
 
@@ -178,24 +259,46 @@ impl GenerationalModel {
     /// first insert time, pin state) — promotion relocates a trace, it
     /// does not create a new one. Persistent evictees are deleted
     /// outright.
-    fn promote_to_persistent(&mut self, victim: EntryInfo, now: Time) {
+    fn promote_to_persistent(&mut self, victim: EntryInfo, from: Region, now: Time) {
         self.metrics.promotions_to_persistent += 1;
         self.ledger.charge_promotion(victim.size_bytes());
+        if self.observer.enabled() {
+            self.observer.on_event(&CacheEvent::Promote {
+                from,
+                to: Region::Persistent,
+                trace: victim.id(),
+                bytes: victim.size_bytes(),
+                time: now,
+            });
+        }
         match self.persistent.insert_promoted(victim, now) {
             Ok(report) => {
+                if self.observer.enabled() && report.pointer_resets > 0 {
+                    self.observer.on_event(&CacheEvent::PointerReset {
+                        region: Region::Persistent,
+                        resets: report.pointer_resets,
+                        time: now,
+                    });
+                }
                 for evictee in report.evicted {
                     self.ledger.charge_eviction(evictee.size_bytes());
+                    if self.observer.enabled() {
+                        self.emit_evict(Region::Persistent, &evictee.entry, evictee.cause, now);
+                    }
                 }
             }
             Err(_) => {
                 // Too large for the persistent cache: deleted.
                 self.ledger.charge_eviction(victim.size_bytes());
+                if self.observer.enabled() {
+                    self.emit_evict(Region::Persistent, &victim, EvictionCause::Discarded, now);
+                }
             }
         }
     }
 }
 
-impl CacheModel for GenerationalModel {
+impl<O: Observer> CacheModel for GenerationalModel<O> {
     fn name(&self) -> String {
         format!("generational {}", self.config)
     }
@@ -203,16 +306,52 @@ impl CacheModel for GenerationalModel {
     fn on_access(&mut self, rec: TraceRecord, now: Time) -> AccessOutcome {
         self.metrics.accesses += 1;
 
+        // Reuse intervals need the pre-touch access time; only pay for
+        // the extra lookup when instrumented.
+        let prev_access = if self.observer.enabled() {
+            [&self.nursery, &self.persistent, &self.probation]
+                .iter()
+                .find_map(|c| c.entry(rec.id))
+                .map(|e| e.last_access)
+        } else {
+            None
+        };
+        let reuse_us = prev_access.map_or(0, |t| now.saturating_micros_since(t));
+
         if self.nursery.touch(rec.id, now) {
             self.metrics.hits += 1;
+            if self.observer.enabled() {
+                self.observer.on_event(&CacheEvent::Hit {
+                    region: Region::Nursery,
+                    trace: rec.id,
+                    reuse_us,
+                    time: now,
+                });
+            }
             return AccessOutcome::Hit(Generation::Nursery);
         }
         if self.persistent.touch(rec.id, now) {
             self.metrics.hits += 1;
+            if self.observer.enabled() {
+                self.observer.on_event(&CacheEvent::Hit {
+                    region: Region::Persistent,
+                    trace: rec.id,
+                    reuse_us,
+                    time: now,
+                });
+            }
             return AccessOutcome::Hit(Generation::Persistent);
         }
         if self.probation.touch(rec.id, now) {
             self.metrics.hits += 1;
+            if self.observer.enabled() {
+                self.observer.on_event(&CacheEvent::Hit {
+                    region: Region::Probation,
+                    trace: rec.id,
+                    reuse_us,
+                    time: now,
+                });
+            }
             // Counter-free promotion: the N-th probation hit immediately
             // upgrades the trace to the persistent cache (Section 5.3).
             if let PromotionPolicy::OnHit { hits } = self.config.promotion {
@@ -229,7 +368,7 @@ impl CacheModel for GenerationalModel {
                         .probation
                         .remove(rec.id, EvictionCause::Promoted)
                         .expect("touched entry is resident");
-                    self.promote_to_persistent(victim, now);
+                    self.promote_to_persistent(victim, Region::Probation, now);
                 }
             }
             return AccessOutcome::Hit(Generation::Probation);
@@ -238,15 +377,32 @@ impl CacheModel for GenerationalModel {
         // Conflict (or cold) miss: regenerate and insert as a new trace.
         self.metrics.misses += 1;
         self.ledger.charge_miss(rec.size_bytes);
+        if self.observer.enabled() {
+            self.observer.on_event(&CacheEvent::Miss {
+                trace: rec.id,
+                bytes: rec.size_bytes,
+                time: now,
+            });
+        }
         self.insert_new_trace(rec, now);
         AccessOutcome::Miss
     }
 
     fn on_unmap(&mut self, id: TraceId) -> bool {
-        for cache in [&mut self.nursery, &mut self.probation, &mut self.persistent] {
+        for region in [Region::Nursery, Region::Probation, Region::Persistent] {
+            let cache = match region {
+                Region::Nursery => &mut self.nursery,
+                Region::Probation => &mut self.probation,
+                _ => &mut self.persistent,
+            };
             if let Some(info) = cache.remove(id, EvictionCause::Unmapped) {
                 self.metrics.unmap_deletions += 1;
                 self.ledger.charge_eviction(info.size_bytes());
+                if self.observer.enabled() {
+                    // Unmap log records carry no timestamp; the trace's
+                    // last access is the best available clock.
+                    self.emit_evict(region, &info, EvictionCause::Unmapped, info.last_access);
+                }
                 return true;
             }
         }
@@ -254,9 +410,34 @@ impl CacheModel for GenerationalModel {
     }
 
     fn on_pin(&mut self, id: TraceId, pinned: bool) -> bool {
-        self.nursery.set_pinned(id, pinned)
-            || self.probation.set_pinned(id, pinned)
-            || self.persistent.set_pinned(id, pinned)
+        for region in [Region::Nursery, Region::Probation, Region::Persistent] {
+            let cache = match region {
+                Region::Nursery => &mut self.nursery,
+                Region::Probation => &mut self.probation,
+                _ => &mut self.persistent,
+            };
+            if cache.set_pinned(id, pinned) {
+                if self.observer.enabled() {
+                    let time = cache.entry(id).map(|e| e.last_access).unwrap_or(Time::ZERO);
+                    let event = if pinned {
+                        CacheEvent::Pin {
+                            region,
+                            trace: id,
+                            time,
+                        }
+                    } else {
+                        CacheEvent::Unpin {
+                            region,
+                            trace: id,
+                            time,
+                        }
+                    };
+                    self.observer.on_event(&event);
+                }
+                return true;
+            }
+        }
+        false
     }
 
     fn metrics(&self) -> &ModelMetrics {

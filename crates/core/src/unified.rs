@@ -5,6 +5,7 @@
 //! size that benchmark reached (Section 6).
 
 use gencache_cache::{CodeCache, EvictionCause, PseudoCircularCache, TraceId, TraceRecord};
+use gencache_obs::{CacheEvent, NullObserver, Observer, Region};
 use gencache_program::Time;
 
 use crate::cost::CostLedger;
@@ -26,11 +27,12 @@ use crate::model::{AccessOutcome, CacheModel, Generation, ModelMetrics};
 /// assert_eq!(model.metrics().misses, 1);
 /// ```
 #[derive(Debug)]
-pub struct UnifiedModel {
+pub struct UnifiedModel<O: Observer = NullObserver> {
     cache: Box<dyn CodeCache>,
     name: String,
     metrics: ModelMetrics,
     ledger: CostLedger,
+    observer: O,
 }
 
 impl UnifiedModel {
@@ -43,11 +45,33 @@ impl UnifiedModel {
     /// Wraps an arbitrary local policy (LRU, flush-on-full, …) in the
     /// unified-model cost accounting, for local-policy ablations.
     pub fn with_cache(name: impl Into<String>, cache: Box<dyn CodeCache>) -> Self {
+        UnifiedModel::with_cache_observed(name, cache, NullObserver)
+    }
+}
+
+impl<O: Observer> UnifiedModel<O> {
+    /// Like [`UnifiedModel::new`], with `observer` receiving every
+    /// [`CacheEvent`] the model emits.
+    pub fn observed(capacity: u64, observer: O) -> Self {
+        UnifiedModel::with_cache_observed(
+            "unified",
+            Box::new(PseudoCircularCache::new(capacity)),
+            observer,
+        )
+    }
+
+    /// Like [`UnifiedModel::with_cache`], with an attached observer.
+    pub fn with_cache_observed(
+        name: impl Into<String>,
+        cache: Box<dyn CodeCache>,
+        observer: O,
+    ) -> Self {
         UnifiedModel {
             cache,
             name: name.into(),
             metrics: ModelMetrics::default(),
             ledger: CostLedger::new(),
+            observer,
         }
     }
 
@@ -55,26 +79,89 @@ impl UnifiedModel {
     pub fn cache(&self) -> &dyn CodeCache {
         self.cache.as_ref()
     }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the model, returning the observer (to finish a sink or
+    /// extract a report).
+    pub fn into_observer(self) -> O {
+        self.observer
+    }
 }
 
-impl CacheModel for UnifiedModel {
+impl<O: Observer> CacheModel for UnifiedModel<O> {
     fn name(&self) -> String {
         self.name.clone()
     }
 
     fn on_access(&mut self, rec: TraceRecord, now: Time) -> AccessOutcome {
         self.metrics.accesses += 1;
+        let prev_access = if self.observer.enabled() {
+            self.cache.entry(rec.id).map(|e| e.last_access)
+        } else {
+            None
+        };
         if self.cache.touch(rec.id, now) {
             self.metrics.hits += 1;
+            if self.observer.enabled() {
+                self.observer.on_event(&CacheEvent::Hit {
+                    region: Region::Unified,
+                    trace: rec.id,
+                    reuse_us: prev_access.map_or(0, |t| now.saturating_micros_since(t)),
+                    time: now,
+                });
+            }
             return AccessOutcome::Hit(Generation::Unified);
         }
         // Conflict (or cold) miss: regenerate the trace and insert it.
         self.metrics.misses += 1;
         self.ledger.charge_miss(rec.size_bytes);
+        if self.observer.enabled() {
+            self.observer.on_event(&CacheEvent::Miss {
+                trace: rec.id,
+                bytes: rec.size_bytes,
+                time: now,
+            });
+        }
         match self.cache.insert(rec, now) {
             Ok(report) => {
                 for victim in &report.evicted {
                     self.ledger.charge_eviction(victim.size_bytes());
+                    if self.observer.enabled() {
+                        self.observer.on_event(&CacheEvent::Evict {
+                            region: Region::Unified,
+                            trace: victim.entry.id(),
+                            bytes: victim.entry.size_bytes(),
+                            cause: victim.cause,
+                            age_us: now.saturating_micros_since(victim.entry.insert_time),
+                            idle_us: now.saturating_micros_since(victim.entry.last_access),
+                            time: now,
+                        });
+                    }
+                }
+                if self.observer.enabled() {
+                    if report.pointer_resets > 0 {
+                        self.observer.on_event(&CacheEvent::PointerReset {
+                            region: Region::Unified,
+                            resets: report.pointer_resets,
+                            time: now,
+                        });
+                    }
+                    self.observer.on_event(&CacheEvent::Insert {
+                        region: Region::Unified,
+                        trace: rec.id,
+                        bytes: rec.size_bytes,
+                        used: self.cache.used_bytes(),
+                        time: now,
+                    });
                 }
             }
             Err(_) => {
@@ -92,6 +179,19 @@ impl CacheModel for UnifiedModel {
             Some(info) => {
                 self.metrics.unmap_deletions += 1;
                 self.ledger.charge_eviction(info.size_bytes());
+                if self.observer.enabled() {
+                    // Unmap log records carry no timestamp; the trace's
+                    // last access is the best available clock.
+                    self.observer.on_event(&CacheEvent::Evict {
+                        region: Region::Unified,
+                        trace: info.id(),
+                        bytes: info.size_bytes(),
+                        cause: EvictionCause::Unmapped,
+                        age_us: info.last_access.saturating_micros_since(info.insert_time),
+                        idle_us: 0,
+                        time: info.last_access,
+                    });
+                }
                 true
             }
             None => false,
@@ -99,7 +199,29 @@ impl CacheModel for UnifiedModel {
     }
 
     fn on_pin(&mut self, id: TraceId, pinned: bool) -> bool {
-        self.cache.set_pinned(id, pinned)
+        let changed = self.cache.set_pinned(id, pinned);
+        if changed && self.observer.enabled() {
+            let time = self
+                .cache
+                .entry(id)
+                .map(|e| e.last_access)
+                .unwrap_or(Time::ZERO);
+            let event = if pinned {
+                CacheEvent::Pin {
+                    region: Region::Unified,
+                    trace: id,
+                    time,
+                }
+            } else {
+                CacheEvent::Unpin {
+                    region: Region::Unified,
+                    trace: id,
+                    time,
+                }
+            };
+            self.observer.on_event(&event);
+        }
+        changed
     }
 
     fn metrics(&self) -> &ModelMetrics {

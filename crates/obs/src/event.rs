@@ -1,0 +1,246 @@
+//! Typed cache-management events.
+//!
+//! Every state change a cache model makes is describable by one
+//! [`CacheEvent`]: the event stream is a complete account of the
+//! simulation, from which counters, histograms, occupancy timelines —
+//! or the cache's own [`CacheStats`](gencache_cache::CacheStats) — can
+//! be reconstructed after the fact.
+
+use std::fmt;
+
+use gencache_cache::{EvictionCause, TraceId};
+use gencache_program::Time;
+use serde::{Deserialize, Serialize};
+
+/// Which cache of a model an event refers to.
+///
+/// A unified model uses only [`Region::Unified`]; a generational
+/// hierarchy uses the other three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// The single cache of a unified (non-generational) model.
+    Unified,
+    /// The nursery cache, where new traces are born.
+    Nursery,
+    /// The probation cache, where nursery evictees prove reuse.
+    Probation,
+    /// The persistent cache, holding promoted long-lived traces.
+    Persistent,
+}
+
+impl Region {
+    /// All regions, in index order.
+    pub const ALL: [Region; 4] = [
+        Region::Unified,
+        Region::Nursery,
+        Region::Probation,
+        Region::Persistent,
+    ];
+
+    /// A dense index in `0..4`, for per-region arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Region::Unified => 0,
+            Region::Nursery => 1,
+            Region::Probation => 2,
+            Region::Persistent => 3,
+        }
+    }
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Unified => "unified",
+            Region::Nursery => "nursery",
+            Region::Probation => "probation",
+            Region::Persistent => "persistent",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One cache-management event, emitted by a model as it replays a log.
+///
+/// Durations are in microseconds (the resolution of
+/// [`Time`](gencache_program::Time)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheEvent {
+    /// A new trace entered a cache region.
+    Insert {
+        /// The region inserted into.
+        region: Region,
+        /// The inserted trace.
+        trace: TraceId,
+        /// Trace body size in bytes.
+        bytes: u32,
+        /// Resident bytes in the region *after* the insertion.
+        used: u64,
+        /// When the insertion happened.
+        time: Time,
+    },
+    /// An access found its trace resident.
+    Hit {
+        /// The region that held the trace.
+        region: Region,
+        /// The trace hit.
+        trace: TraceId,
+        /// Microseconds since the trace's previous access (its reuse
+        /// interval); zero for the first access after insertion.
+        reuse_us: u64,
+        /// When the access happened.
+        time: Time,
+    },
+    /// An access missed everywhere; the trace must be (re)generated.
+    Miss {
+        /// The trace missed.
+        trace: TraceId,
+        /// Trace body size in bytes.
+        bytes: u32,
+        /// When the access happened.
+        time: Time,
+    },
+    /// A trace left the hierarchy entirely (it is resident nowhere).
+    Evict {
+        /// The region it was removed from.
+        region: Region,
+        /// The removed trace.
+        trace: TraceId,
+        /// Trace body size in bytes.
+        bytes: u32,
+        /// Why it was removed.
+        cause: EvictionCause,
+        /// Microseconds the trace was resident (its lifetime, measured
+        /// from first insertion across promotions).
+        age_us: u64,
+        /// Microseconds since its last access (eviction idle time).
+        idle_us: u64,
+        /// When the removal happened.
+        time: Time,
+    },
+    /// A trace moved from one region to another in a generational
+    /// hierarchy, staying resident.
+    Promote {
+        /// The region it left.
+        from: Region,
+        /// The region it entered.
+        to: Region,
+        /// The promoted trace.
+        trace: TraceId,
+        /// Trace body size in bytes.
+        bytes: u32,
+        /// When the promotion happened.
+        time: Time,
+    },
+    /// A trace became undeletable (e.g. an exception is being handled
+    /// inside it).
+    Pin {
+        /// The region holding the trace.
+        region: Region,
+        /// The pinned trace.
+        trace: TraceId,
+        /// When the pin happened (the trace's last access: pin log
+        /// records carry no timestamp of their own).
+        time: Time,
+    },
+    /// A pinned trace became deletable again.
+    Unpin {
+        /// The region holding the trace.
+        region: Region,
+        /// The unpinned trace.
+        trace: TraceId,
+        /// When the unpin happened (the trace's last access).
+        time: Time,
+    },
+    /// The replacement pointer was forced past protected entries while
+    /// searching for insertion space (Section 4.3 pin skips, CLOCK
+    /// second chances).
+    PointerReset {
+        /// The region whose pointer reset.
+        region: Region,
+        /// How many times the pointer was reset during one insertion.
+        resets: u32,
+        /// When the insertion that caused the resets happened.
+        time: Time,
+    },
+}
+
+impl CacheEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Time {
+        match *self {
+            CacheEvent::Insert { time, .. }
+            | CacheEvent::Hit { time, .. }
+            | CacheEvent::Miss { time, .. }
+            | CacheEvent::Evict { time, .. }
+            | CacheEvent::Promote { time, .. }
+            | CacheEvent::Pin { time, .. }
+            | CacheEvent::Unpin { time, .. }
+            | CacheEvent::PointerReset { time, .. } => time,
+        }
+    }
+
+    /// The trace the event concerns, if it concerns exactly one.
+    pub fn trace(&self) -> Option<TraceId> {
+        match *self {
+            CacheEvent::Insert { trace, .. }
+            | CacheEvent::Hit { trace, .. }
+            | CacheEvent::Miss { trace, .. }
+            | CacheEvent::Evict { trace, .. }
+            | CacheEvent::Promote { trace, .. }
+            | CacheEvent::Pin { trace, .. }
+            | CacheEvent::Unpin { trace, .. } => Some(trace),
+            CacheEvent::PointerReset { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_index_roundtrip() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Region::Probation.to_string(), "probation");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = CacheEvent::Miss {
+            trace: TraceId::new(7),
+            bytes: 100,
+            time: Time::from_micros(42),
+        };
+        assert_eq!(ev.time(), Time::from_micros(42));
+        assert_eq!(ev.trace(), Some(TraceId::new(7)));
+        let ev = CacheEvent::PointerReset {
+            region: Region::Unified,
+            resets: 2,
+            time: Time::ZERO,
+        };
+        assert_eq!(ev.trace(), None);
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let ev = CacheEvent::Evict {
+            region: Region::Persistent,
+            trace: TraceId::new(9),
+            bytes: 240,
+            cause: EvictionCause::Flush,
+            age_us: 1_000,
+            idle_us: 10,
+            time: Time::from_micros(2_000),
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: CacheEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(ev, back);
+    }
+}

@@ -1,0 +1,162 @@
+//! Log2-bucketed histograms for long-tailed duration/size distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram whose bucket `b` counts values in `[2^(b-1), 2^b)`
+/// (bucket 0 counts exactly zero). Integer-only, so merging shards is
+/// exact and order-independent — a requirement for the deterministic
+/// parallel-aggregation guarantee.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    /// `counts[b]` is the number of recorded values in bucket `b`. The
+    /// vector only grows as large as the largest bucket used, keeping
+    /// serialized output minimal.
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index for `value`: 0 for 0, otherwise
+    /// `floor(log2(value)) + 1`.
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive value range `[lo, hi]` covered by bucket `b`.
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (b - 1);
+            let hi = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+            (lo, hi)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let b = Log2Histogram::bucket_of(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every count of `other` into `self`. Exact and commutative.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Per-bucket counts, trimmed at the largest used bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0..=1.0`): the top of the
+    /// first bucket whose cumulative count reaches `q × total`. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (b, count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= threshold.max(1) {
+                return Log2Histogram::bucket_range(b).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..=64 {
+            let (lo, hi) = Log2Histogram::bucket_range(b);
+            assert_eq!(Log2Histogram::bucket_of(lo), b);
+            assert_eq!(Log2Histogram::bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn record_and_merge_are_exact() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [0u64, 1, 5, 100, 1000] {
+            a.record(v);
+        }
+        for v in [7u64, 8, 1_000_000] {
+            b.record(v);
+        }
+        let mut merged_ab = a.clone();
+        merged_ab.merge(&b);
+        let mut merged_ba = b.clone();
+        merged_ba.merge(&a);
+        assert_eq!(merged_ab, merged_ba, "merge is commutative");
+        assert_eq!(merged_ab.total(), 8);
+        assert_eq!(merged_ab.max(), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) >= 50);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = Log2Histogram::new();
+        h.record(12);
+        h.record(90_000);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Log2Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

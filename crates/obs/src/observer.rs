@@ -1,0 +1,227 @@
+//! The [`Observer`] trait and basic sinks.
+
+use std::fmt;
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::CacheEvent;
+
+/// Receives the typed event stream from an instrumented cache model.
+///
+/// Models are generic over their observer and call it behind an
+/// `if observer.enabled()` guard, so with [`NullObserver`] (whose
+/// `enabled` is a constant `false`) monomorphization deletes both the
+/// call *and* the event construction — observability is zero-cost when
+/// off.
+pub trait Observer: fmt::Debug {
+    /// Whether this observer wants events at all. Emission sites guard
+    /// event construction on this, so a constant `false` compiles the
+    /// instrumentation away.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Only called while [`Observer::enabled`]
+    /// returns `true`.
+    fn on_event(&mut self, event: &CacheEvent);
+}
+
+/// The do-nothing observer: the default for every model, optimized out
+/// entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn on_event(&mut self, _event: &CacheEvent) {}
+}
+
+/// Fan-out: a pair of observers both receive every event, letting one
+/// replay feed e.g. a metrics aggregator and a JSONL sink at once.
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn on_event(&mut self, event: &CacheEvent) {
+        if self.0.enabled() {
+            self.0.on_event(event);
+        }
+        if self.1.enabled() {
+            self.1.on_event(event);
+        }
+    }
+}
+
+/// Mutable references forward to the referent, so an observer owned by
+/// the caller can be lent to a model for one replay.
+impl<O: Observer> Observer for &mut O {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn on_event(&mut self, event: &CacheEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// An observer that buffers every event in memory, for tests and
+/// small-scale analysis.
+#[derive(Debug, Clone, Default)]
+pub struct EventBuffer {
+    /// The events received so far, in emission order.
+    pub events: Vec<CacheEvent>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        EventBuffer::default()
+    }
+}
+
+impl Observer for EventBuffer {
+    fn on_event(&mut self, event: &CacheEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// One line of a JSONL event export: the event plus the labels needed
+/// to interleave streams from several benchmarks or models in one file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// What produced the event (typically the benchmark name).
+    pub source: String,
+    /// The model configuration that was replaying (e.g. `"unified"`).
+    pub model: String,
+    /// The event itself.
+    pub event: CacheEvent,
+}
+
+/// A streaming JSONL sink: every event becomes one [`EventRecord`]
+/// line on the underlying writer.
+///
+/// Write failures panic: the sink is a terminal-tool export path where
+/// losing events silently would be worse than dying loudly.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    source: String,
+    model: String,
+    lines: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a sink labelling every line with `source` and `model`.
+    pub fn new(writer: W, source: impl Into<String>, model: impl Into<String>) -> Self {
+        JsonlSink {
+            writer,
+            source: source.into(),
+            model: model.into(),
+            lines: 0,
+        }
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("source", &self.source)
+            .field("model", &self.model)
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> Observer for JsonlSink<W> {
+    fn on_event(&mut self, event: &CacheEvent) {
+        let record = EventRecord {
+            source: self.source.clone(),
+            model: self.model.clone(),
+            event: *event,
+        };
+        let line = serde_json::to_string(&record).expect("events always serialize");
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("event sink write failed");
+        self.lines += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Region;
+    use gencache_cache::TraceId;
+    use gencache_program::Time;
+
+    fn hit() -> CacheEvent {
+        CacheEvent::Hit {
+            region: Region::Unified,
+            trace: TraceId::new(1),
+            reuse_us: 5,
+            time: Time::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver.enabled());
+    }
+
+    #[test]
+    fn buffer_collects_and_tee_fans_out() {
+        let mut tee = (EventBuffer::new(), EventBuffer::new());
+        assert!(tee.enabled());
+        tee.on_event(&hit());
+        assert_eq!(tee.0.events.len(), 1);
+        assert_eq!(tee.1.events.len(), 1);
+
+        // A tee with a null half still works and skips the null side.
+        let mut half = (NullObserver, EventBuffer::new());
+        assert!(half.enabled());
+        half.on_event(&hit());
+        assert_eq!(half.1.events.len(), 1);
+    }
+
+    #[test]
+    fn borrowed_observer_forwards() {
+        let mut buf = EventBuffer::new();
+        {
+            let lent = &mut buf;
+            lent.on_event(&hit());
+        }
+        assert_eq!(buf.events.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new(), "word", "unified");
+        sink.on_event(&hit());
+        sink.on_event(&hit());
+        assert_eq!(sink.lines(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        for line in text.lines() {
+            let rec: EventRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(rec.source, "word");
+            assert_eq!(rec.model, "unified");
+            assert_eq!(rec.event, hit());
+        }
+    }
+}

@@ -45,18 +45,27 @@ mod analysis;
 mod linking;
 mod log;
 pub mod par;
+mod progress;
 mod recorder;
 mod replay;
 pub mod report;
 mod sweep;
+mod telemetry;
 mod threads;
 
 pub use analysis::{occupancy_series, reuse_profile, ReuseProfile};
 pub use linking::{replay_with_linking, LinkReport, LinkableModel};
 pub use log::{AccessLog, LogRecord};
+pub use progress::{ProgressMeter, PROGRESS_BATCH};
 pub use recorder::{record, record_with, RecordedRun, RecorderOptions, RunSummary};
-pub use replay::{compare, compare_figure9, replay_into, Comparison, ReplayResult};
+pub use replay::{
+    compare, compare_figure9, compare_figure9_metered, compare_metered, replay_into,
+    replay_into_metered, Comparison, ReplayResult,
+};
 pub use sweep::{best_point, policy_grid, proportion_grid, sweep, sweep_with_jobs, SweepPoint};
+pub use telemetry::{
+    collect_events, collect_metrics, replay_observed, suite_metrics, ModelSpec,
+};
 pub use threads::{
     partition_by_module, replay_thread_private, replay_thread_shared, BudgetSplit, ThreadCacheKind,
     ThreadedOutcome,

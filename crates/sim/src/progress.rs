@@ -1,0 +1,164 @@
+//! A rate-limited stderr progress heartbeat for long replays.
+//!
+//! Suite runs at small `--jobs` counts can take minutes with no output;
+//! [`ProgressMeter`] gives the operator a records-replayed/total heartbeat
+//! without perturbing the measurement. It is lock-free (two atomics), all
+//! printing is rate-limited to one line per interval, and a disabled
+//! meter reduces to a relaxed atomic add — cheap enough to leave in the
+//! replay hot path unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How many log records a replay loop accumulates locally before
+/// flushing them into the shared meter. Keeps the shared-counter
+/// traffic negligible at high worker counts.
+pub const PROGRESS_BATCH: u64 = 4096;
+
+/// A shared, thread-safe progress counter that prints a heartbeat line
+/// to stderr at most once per interval.
+///
+/// ```
+/// use gencache_sim::ProgressMeter;
+///
+/// let meter = ProgressMeter::disabled("replay", 1000);
+/// meter.add(250);
+/// assert_eq!(meter.done(), 250);
+/// ```
+#[derive(Debug)]
+pub struct ProgressMeter {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    /// Milliseconds-since-start of the last heartbeat print; workers race
+    /// on it with compare-exchange so exactly one wins each interval.
+    last_print_ms: AtomicU64,
+    interval: Duration,
+    enabled: bool,
+}
+
+impl ProgressMeter {
+    /// A live meter expecting `total` units of work, printing at most
+    /// every 500 ms.
+    pub fn new(label: impl Into<String>, total: u64) -> Self {
+        ProgressMeter::with_interval(label, total, Duration::from_millis(500))
+    }
+
+    /// A live meter with an explicit heartbeat interval.
+    pub fn with_interval(label: impl Into<String>, total: u64, interval: Duration) -> Self {
+        ProgressMeter {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+            interval,
+            enabled: true,
+        }
+    }
+
+    /// A meter that counts but never prints — the default when
+    /// `--progress` is not given, so call sites need no branching.
+    pub fn disabled(label: impl Into<String>, total: u64) -> Self {
+        ProgressMeter {
+            enabled: false,
+            ..ProgressMeter::new(label, total)
+        }
+    }
+
+    /// Records `n` more completed units; prints a heartbeat if the
+    /// interval has elapsed since the last one.
+    pub fn add(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.started.elapsed();
+        let elapsed_ms = elapsed.as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        if elapsed_ms.saturating_sub(last) < self.interval.as_millis() as u64 {
+            return;
+        }
+        // One worker wins the interval; losers skip silently.
+        if self
+            .last_print_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.print_line(done, elapsed);
+        }
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// The expected total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Prints a final summary line (unconditionally, if the meter is
+    /// enabled). Call once when the run completes.
+    pub fn finish(&self) {
+        if self.enabled {
+            self.print_line(self.done(), self.started.elapsed());
+        }
+    }
+
+    fn print_line(&self, done: u64, elapsed: Duration) {
+        let percent = if self.total > 0 {
+            done as f64 / self.total as f64 * 100.0
+        } else {
+            100.0
+        };
+        let rate = if elapsed.as_secs_f64() > 0.0 {
+            done as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{}] {done}/{} records ({percent:.1}%) in {:.1}s — {:.0} rec/s",
+            self.label,
+            self.total,
+            elapsed.as_secs_f64(),
+            rate,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_across_threads() {
+        let meter = ProgressMeter::disabled("test", 8 * 1000);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        meter.add(100);
+                    }
+                });
+            }
+        });
+        assert_eq!(meter.done(), 8000);
+        assert_eq!(meter.total(), 8000);
+    }
+
+    #[test]
+    fn live_meter_rate_limits_prints() {
+        // Interval of one hour: only the explicit finish() line may print.
+        // We can't capture stderr here, but we can at least drive the
+        // code path and confirm the counter stays exact.
+        let meter = ProgressMeter::with_interval("test", 100, Duration::from_secs(3600));
+        for _ in 0..100 {
+            meter.add(1);
+        }
+        meter.finish();
+        assert_eq!(meter.done(), 100);
+    }
+}

@@ -11,6 +11,7 @@ use gencache_core::{
 use serde::{Deserialize, Serialize};
 
 use crate::log::{AccessLog, LogRecord};
+use crate::progress::{ProgressMeter, PROGRESS_BATCH};
 
 /// Replays `log` into `model`, returning nothing; inspect the model's
 /// metrics and ledger afterwards.
@@ -42,6 +43,47 @@ pub fn replay_into(log: &AccessLog, model: &mut dyn CacheModel) {
                 model.on_pin(id, false);
             }
         }
+    }
+}
+
+/// [`replay_into`] with a shared [`ProgressMeter`] heartbeat.
+///
+/// Progress is flushed into the meter every [`PROGRESS_BATCH`] records
+/// (and once at the end), so the shared-atomic traffic stays negligible
+/// even with many workers replaying concurrently.
+pub fn replay_into_metered(log: &AccessLog, model: &mut dyn CacheModel, meter: &ProgressMeter) {
+    let mut catalog: HashMap<TraceId, TraceRecord> = HashMap::new();
+    let mut pending = 0u64;
+    for record in &log.records {
+        match *record {
+            LogRecord::Create { record, time } => {
+                catalog.insert(record.id, record);
+                model.on_access(record, time);
+            }
+            LogRecord::Access { id, time } => {
+                let rec = catalog
+                    .get(&id)
+                    .expect("access to a trace never created; corrupt log");
+                model.on_access(*rec, time);
+            }
+            LogRecord::Invalidate { id, .. } => {
+                model.on_unmap(id);
+            }
+            LogRecord::Pin { id } => {
+                model.on_pin(id, true);
+            }
+            LogRecord::Unpin { id } => {
+                model.on_pin(id, false);
+            }
+        }
+        pending += 1;
+        if pending == PROGRESS_BATCH {
+            meter.add(pending);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        meter.add(pending);
     }
 }
 
@@ -108,10 +150,22 @@ impl Comparison {
 /// Capacity follows the paper: half the cache size the benchmark needed
 /// to avoid management entirely.
 pub fn compare(log: &AccessLog, configs: &[GenerationalConfig]) -> Comparison {
+    let meter = ProgressMeter::disabled("replay", 0);
+    compare_metered(log, configs, &meter)
+}
+
+/// [`compare`] with a shared [`ProgressMeter`]: each of the
+/// `1 + configs.len()` model replays reports per-record progress, so a
+/// suite driver can show a live heartbeat across its whole fan-out.
+pub fn compare_metered(
+    log: &AccessLog,
+    configs: &[GenerationalConfig],
+    meter: &ProgressMeter,
+) -> Comparison {
     let capacity = (log.peak_trace_bytes / 2).max(1);
 
     let mut unified = UnifiedModel::new(capacity);
-    replay_into(log, &mut unified);
+    replay_into_metered(log, &mut unified, meter);
     let unified_result = ReplayResult {
         model: unified.name(),
         metrics: *unified.metrics(),
@@ -126,7 +180,7 @@ pub fn compare(log: &AccessLog, configs: &[GenerationalConfig]) -> Comparison {
             "configs must share the budget"
         );
         let mut model = GenerationalModel::new(*config);
-        replay_into(log, &mut model);
+        replay_into_metered(log, &mut model, meter);
         generational.push(ReplayResult {
             model: model.name(),
             metrics: *model.metrics(),
@@ -145,8 +199,14 @@ pub fn compare(log: &AccessLog, configs: &[GenerationalConfig]) -> Comparison {
 /// Convenience: the three Figure 9 configurations over the log's standard
 /// capacity.
 pub fn compare_figure9(log: &AccessLog) -> Comparison {
+    let meter = ProgressMeter::disabled("replay", 0);
+    compare_figure9_metered(log, &meter)
+}
+
+/// [`compare_figure9`] with a shared [`ProgressMeter`] heartbeat.
+pub fn compare_figure9_metered(log: &AccessLog, meter: &ProgressMeter) -> Comparison {
     let capacity = (log.peak_trace_bytes / 2).max(1);
-    compare(log, &GenerationalConfig::figure9_configs(capacity))
+    compare_metered(log, &GenerationalConfig::figure9_configs(capacity), meter)
 }
 
 #[cfg(test)]

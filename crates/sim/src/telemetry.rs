@@ -1,0 +1,198 @@
+//! Observer-aware replay: event capture and mergeable metrics.
+//!
+//! These helpers wrap [`replay_into`](crate::replay_into) with the
+//! instrumented model constructors from `gencache-core`, producing either
+//! a full [`CacheEvent`] stream (for JSONL export and the `explain`
+//! tool) or an aggregated [`MetricsReport`].
+//!
+//! The per-benchmark reports are mergeable, and [`suite_metrics`] folds
+//! them **in input-index order** after a [`par_map`](crate::par::par_map)
+//! fan-out — so the merged suite report is bit-identical for every
+//! worker count, extending the repo's determinism guarantee to
+//! telemetry collection.
+
+use gencache_core::{
+    CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
+};
+use gencache_obs::{CacheEvent, EventBuffer, MetricsObserver, MetricsReport, Observer};
+
+use crate::log::AccessLog;
+use crate::replay::{replay_into, ReplayResult};
+
+/// Which cache organization to instrument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelSpec {
+    /// The unified pseudo-circular baseline at `0.5 × maxCache`.
+    Unified,
+    /// A generational hierarchy over the same total budget.
+    Generational {
+        /// Nursery/probation/persistent split of the budget.
+        proportions: Proportions,
+        /// When probation traces are promoted.
+        policy: PromotionPolicy,
+    },
+}
+
+impl ModelSpec {
+    /// The paper's best-overall generational configuration:
+    /// 45%–10%–45% with promotion on first probation hit.
+    pub fn best_generational() -> Self {
+        ModelSpec::Generational {
+            proportions: Proportions::best_overall(),
+            policy: PromotionPolicy::OnHit { hits: 1 },
+        }
+    }
+
+    /// Builds the concrete config for a benchmark whose standard budget
+    /// is `capacity` bytes, if this spec is generational.
+    pub fn generational_config(&self, capacity: u64) -> Option<GenerationalConfig> {
+        match *self {
+            ModelSpec::Unified => None,
+            ModelSpec::Generational {
+                proportions,
+                policy,
+            } => Some(GenerationalConfig::new(capacity, proportions, policy)),
+        }
+    }
+}
+
+/// Replays `log` into the model described by `spec` with `observer`
+/// attached, returning the replay outcome and the observer back.
+pub fn replay_observed<O: Observer>(
+    log: &AccessLog,
+    spec: ModelSpec,
+    observer: O,
+) -> (ReplayResult, O) {
+    let capacity = (log.peak_trace_bytes / 2).max(1);
+    match spec.generational_config(capacity) {
+        None => {
+            let mut model = UnifiedModel::observed(capacity, observer);
+            replay_into(log, &mut model);
+            let result = ReplayResult {
+                model: model.name(),
+                metrics: *model.metrics(),
+                ledger: *model.ledger(),
+            };
+            (result, model.into_observer())
+        }
+        Some(config) => {
+            let mut model = GenerationalModel::observed(config, observer);
+            replay_into(log, &mut model);
+            let result = ReplayResult {
+                model: model.name(),
+                metrics: *model.metrics(),
+                ledger: *model.ledger(),
+            };
+            (result, model.into_observer())
+        }
+    }
+}
+
+/// Replays `log` and captures the complete event stream.
+pub fn collect_events(log: &AccessLog, spec: ModelSpec) -> (ReplayResult, Vec<CacheEvent>) {
+    let (result, buffer) = replay_observed(log, spec, EventBuffer::new());
+    (result, buffer.events)
+}
+
+/// Replays `log` and aggregates a [`MetricsReport`]. `sample_every`
+/// controls the occupancy timeline (one sample per that many accesses;
+/// 0 disables the timeline).
+pub fn collect_metrics(
+    log: &AccessLog,
+    spec: ModelSpec,
+    sample_every: u64,
+) -> (ReplayResult, MetricsReport) {
+    let (result, observer) = replay_observed(log, spec, MetricsObserver::with_timeline(sample_every));
+    (result, observer.report())
+}
+
+/// Collects per-benchmark metrics across `jobs` workers and merges them
+/// into one suite-level report.
+///
+/// The merge folds the shard reports in **input-index order**, so the
+/// result is bit-identical to a serial run for any `jobs` — the same
+/// contract `tests/par_determinism.rs` enforces for the sweep engine.
+pub fn suite_metrics(
+    logs: &[AccessLog],
+    spec: ModelSpec,
+    sample_every: u64,
+    jobs: usize,
+) -> MetricsReport {
+    let shards = crate::par::par_map(logs, jobs, |log| collect_metrics(log, spec, sample_every).1);
+    let mut merged = MetricsReport::new();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogRecord;
+    use gencache_cache::{TraceId, TraceRecord};
+    use gencache_program::{Addr, Time};
+
+    fn churn_log(name: &str, seed: u64) -> AccessLog {
+        let rec = |id: u64| TraceRecord::new(TraceId::new(id), 120, Addr::new(0x1000 + id));
+        let mut records = Vec::new();
+        let mut t = 0u64;
+        for id in 0..10 {
+            t += 1;
+            records.push(LogRecord::Create {
+                record: rec(seed * 1000 + id),
+                time: Time::from_micros(t),
+            });
+        }
+        for round in 0..30u64 {
+            for id in 0..10 {
+                t += 1;
+                records.push(LogRecord::Access {
+                    id: TraceId::new(seed * 1000 + (id + round) % 10),
+                    time: Time::from_micros(t),
+                });
+            }
+        }
+        AccessLog {
+            benchmark: name.into(),
+            records,
+            duration: Time::from_secs_f64(1.0),
+            peak_trace_bytes: 10 * 120,
+        }
+    }
+
+    #[test]
+    fn metrics_agree_with_model_counters() {
+        let log = churn_log("agree", 1);
+        for spec in [ModelSpec::Unified, ModelSpec::best_generational()] {
+            let (result, report) = collect_metrics(&log, spec, 0);
+            assert_eq!(report.accesses, result.metrics.accesses);
+            assert_eq!(report.hits, result.metrics.hits);
+            assert_eq!(report.misses, result.metrics.misses);
+        }
+    }
+
+    #[test]
+    fn events_and_metrics_describe_the_same_run() {
+        let log = churn_log("same", 2);
+        let spec = ModelSpec::best_generational();
+        let (_, events) = collect_events(&log, spec);
+        let mut replayed = MetricsObserver::with_timeline(16);
+        for event in &events {
+            replayed.on_event(event);
+        }
+        let (_, direct) = collect_metrics(&log, spec, 16);
+        assert_eq!(replayed.report(), direct);
+    }
+
+    #[test]
+    fn suite_metrics_are_jobs_invariant() {
+        let logs = vec![churn_log("a", 1), churn_log("b", 2), churn_log("c", 3)];
+        let spec = ModelSpec::best_generational();
+        let serial = suite_metrics(&logs, spec, 32, 1);
+        for jobs in [2, 8] {
+            assert_eq!(suite_metrics(&logs, spec, 32, jobs), serial);
+        }
+        assert!(serial.accesses > 0);
+    }
+}

@@ -10,7 +10,16 @@ cargo build --release
 echo "=== cargo test -q"
 cargo test -q
 
+echo "=== cargo test --doc -q"
+cargo test --doc -q
+
 echo "=== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== explain smoke: event export round-trips through serde"
+events="$(mktemp /tmp/gencache-events.XXXXXX.jsonl)"
+trap 'rm -f "$events"' EXIT
+./target/release/explain --bench word --scale 64 --events-out "$events" > /dev/null
+./target/release/explain --parse-events "$events"
 
 echo "all checks passed"

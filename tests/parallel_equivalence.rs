@@ -4,6 +4,7 @@
 //! guards the reassembly-in-input-order contract end to end.
 
 use gencache_bench::{compare_all, record_all, HarnessOptions};
+use gencache_sim::{suite_metrics, AccessLog, ModelSpec};
 use gencache_workloads::Suite;
 
 fn opts(jobs: usize) -> HarnessOptions {
@@ -11,6 +12,7 @@ fn opts(jobs: usize) -> HarnessOptions {
         scale: 64,
         suite: Some(Suite::Interactive),
         jobs: Some(jobs),
+        ..HarnessOptions::default()
     }
 }
 
@@ -37,5 +39,21 @@ fn suite_fanout_is_byte_identical_across_job_counts() {
             baseline_cmp, cmp,
             "compare_all with {jobs} jobs diverged from serial"
         );
+    }
+}
+
+#[test]
+fn suite_metrics_are_byte_identical_across_job_counts() {
+    let runs = record_all(&opts(1));
+    let logs: Vec<AccessLog> = runs.iter().map(|(_, r)| r.log.clone()).collect();
+    for spec in [ModelSpec::Unified, ModelSpec::best_generational()] {
+        let serial = serde_json::to_string(&suite_metrics(&logs, spec, 64, 1)).unwrap();
+        for jobs in [2, 8] {
+            let sharded = serde_json::to_string(&suite_metrics(&logs, spec, 64, jobs)).unwrap();
+            assert_eq!(
+                serial, sharded,
+                "merged metrics with {jobs} jobs diverged from serial ({spec:?})"
+            );
+        }
     }
 }
