@@ -1,0 +1,347 @@
+//! `delta` — phase-by-phase comparison of two exported event streams.
+//!
+//! The first offline event-stream consumer beyond `explain`: it never
+//! re-records or re-replays anything. Given one or two `--events-out`
+//! JSONL exports it pairs up streams, slices each pair into equal time
+//! phases, and reports per-phase deltas in event volume, miss rate,
+//! occupancy and Table 2-attributed instruction overhead — ending with
+//! the suite-level Equation 3 overhead ratio computed purely from the
+//! streams.
+//!
+//! ```text
+//! delta FILE.jsonl
+//!     # diff the two exported models (unified vs gen-45-10-45@hit1)
+//!     # benchmark by benchmark within one export
+//! delta LEFT.jsonl RIGHT.jsonl
+//!     # diff identical (benchmark, model) streams across two exports
+//!     # (e.g. two proportion configs, or before/after a change)
+//! delta LEFT.jsonl RIGHT.jsonl --left-model unified --right-model gen-45-10-45@hit1
+//!     # explicit model pairing
+//! delta FILE.jsonl --phases 12 --bench word
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+use gencache_bench::export_specs;
+use gencache_obs::{
+    cost, overhead_ratio, CacheEvent, CostLedger, CostObserver, EventRecord, Observer,
+};
+use gencache_sim::report::{bar, fmt_bytes, TextTable};
+
+struct DeltaOptions {
+    left: String,
+    right: Option<String>,
+    left_model: Option<String>,
+    right_model: Option<String>,
+    bench: Option<String>,
+    phases: u32,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
+    let mut opts = DeltaOptions {
+        left: String::new(),
+        right: None,
+        left_model: None,
+        right_model: None,
+        bench: None,
+        phases: 8,
+    };
+    let mut files = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--left-model" => {
+                opts.left_model = Some(it.next().expect("--left-model needs a model label"));
+            }
+            "--right-model" => {
+                opts.right_model = Some(it.next().expect("--right-model needs a model label"));
+            }
+            "--bench" => {
+                opts.bench = Some(it.next().expect("--bench needs a benchmark name"));
+            }
+            "--phases" => {
+                let v = it.next().expect("--phases needs a value");
+                opts.phases = v.parse().expect("--phases must be a positive integer");
+                assert!(opts.phases > 0, "--phases must be positive");
+            }
+            flag if flag.starts_with("--") => panic!(
+                "unknown argument {flag:?}; use LEFT.jsonl [RIGHT.jsonl] / --left-model M / \
+                 --right-model M / --bench NAME / --phases N"
+            ),
+            file => files.push(file.to_string()),
+        }
+    }
+    match files.len() {
+        1 => opts.left = files.remove(0),
+        2 => {
+            opts.right = Some(files.remove(1));
+            opts.left = files.remove(0);
+        }
+        n => panic!("expected 1 or 2 JSONL files, got {n}"),
+    }
+    opts
+}
+
+/// Event streams keyed by `(benchmark, model)` in deterministic order.
+type Streams = BTreeMap<(String, String), Vec<CacheEvent>>;
+
+fn load_streams(path: &str) -> Result<Streams, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut streams: Streams = BTreeMap::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: EventRecord = serde_json::from_str(&line)
+            .map_err(|e| format!("{path}:{}: bad event record: {e:?}", i + 1))?;
+        streams
+            .entry((record.source, record.model))
+            .or_default()
+            .push(record.event);
+    }
+    Ok(streams)
+}
+
+/// One paired comparison: a display name plus the two streams.
+struct Pair<'a> {
+    name: String,
+    left: &'a [CacheEvent],
+    right: &'a [CacheEvent],
+}
+
+/// Pairs streams: with explicit model labels, benchmark-by-benchmark
+/// across the two (possibly identical) files; otherwise identical
+/// `(benchmark, model)` keys across two files.
+fn pair_streams<'a>(opts: &DeltaOptions, left: &'a Streams, right: &'a Streams) -> Vec<Pair<'a>> {
+    let mut pairs = Vec::new();
+    if let (Some(lm), Some(rm)) = (&opts.left_model, &opts.right_model) {
+        let benchmarks: Vec<&String> = left
+            .keys()
+            .filter(|(_, m)| m == lm)
+            .map(|(b, _)| b)
+            .collect();
+        for b in benchmarks {
+            if opts.bench.as_ref().is_some_and(|want| want != b) {
+                continue;
+            }
+            let l = left.get(&(b.clone(), lm.clone()));
+            let r = right.get(&(b.clone(), rm.clone()));
+            if let (Some(l), Some(r)) = (l, r) {
+                pairs.push(Pair {
+                    name: b.clone(),
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+    } else {
+        for ((b, m), l) in left {
+            if opts.bench.as_ref().is_some_and(|want| want != b) {
+                continue;
+            }
+            if let Some(r) = right.get(&(b.clone(), m.clone())) {
+                pairs.push(Pair {
+                    name: format!("{b} [{m}]"),
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+    }
+    pairs
+}
+
+/// Phase-local aggregates of one stream side.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseSide {
+    events: u64,
+    hits: u64,
+    misses: u64,
+    peak_resident: u64,
+}
+
+impl PhaseSide {
+    fn miss_pct(&self) -> f64 {
+        let accesses = self.hits + self.misses;
+        if accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / accesses as f64
+        }
+    }
+}
+
+fn phase_of(time_us: u64, duration_us: u64, phases: u32) -> usize {
+    if duration_us == 0 {
+        return 0;
+    }
+    let p = u64::from(phases);
+    (time_us.saturating_mul(p) / duration_us).min(p - 1) as usize
+}
+
+/// Aggregates one side into per-phase counters and a cost attribution.
+/// Resident occupancy is reconstructed by integrating insert/evict/
+/// promote byte flows across the whole hierarchy.
+fn analyze(events: &[CacheEvent], duration_us: u64, phases: u32) -> (Vec<PhaseSide>, Vec<CostLedger>, CostLedger) {
+    let mut sides = vec![PhaseSide::default(); phases as usize];
+    let mut resident = 0i64;
+    let mut cost_observer = CostObserver::with_phases(phases, duration_us);
+    for event in events {
+        cost_observer.on_event(event);
+        let p = phase_of(event.time().as_micros(), duration_us, phases);
+        let side = &mut sides[p];
+        side.events += 1;
+        match *event {
+            CacheEvent::Hit { .. } => side.hits += 1,
+            CacheEvent::Miss { .. } => side.misses += 1,
+            CacheEvent::Insert { bytes, .. } => resident += i64::from(bytes),
+            CacheEvent::Evict { bytes, .. } => resident -= i64::from(bytes),
+            _ => {}
+        }
+        side.peak_resident = side.peak_resident.max(resident.max(0) as u64);
+    }
+    let report = cost_observer.into_report();
+    let ledgers = report.phases.iter().map(|p| p.ledger).collect();
+    (sides, ledgers, report.total)
+}
+
+fn render_pair(pair: &Pair<'_>, phases: u32) -> (CostLedger, CostLedger) {
+    // Shared phase boundaries: both sides are sliced over the same span.
+    let duration_us = pair
+        .left
+        .iter()
+        .chain(pair.right)
+        .map(|e| e.time().as_micros())
+        .max()
+        .map_or(0, |t| t + 1);
+    let (left, left_ledgers, left_total) = analyze(pair.left, duration_us, phases);
+    let (right, right_ledgers, right_total) = analyze(pair.right, duration_us, phases);
+
+    println!(
+        "\n=== {}: {} vs {} events, {:.2} vs {:.2} Minstr attributed, ratio {:.3} ===",
+        pair.name,
+        pair.left.len(),
+        pair.right.len(),
+        left_total.total() / 1e6,
+        right_total.total() / 1e6,
+        overhead_ratio(&right_total, &left_total),
+    );
+    let peak_delta = left_ledgers
+        .iter()
+        .zip(&right_ledgers)
+        .map(|(l, r)| (r.total() - l.total()).abs())
+        .fold(0.0, f64::max);
+    let mut table = TextTable::new([
+        "phase", "Δevents", "miss% L", "miss% R", "peak L", "peak R", "Minstr L", "Minstr R",
+        "ΔMinstr", "",
+    ]);
+    for (p, ((l, r), (ll, rl))) in left
+        .iter()
+        .zip(&right)
+        .zip(left_ledgers.iter().zip(&right_ledgers))
+        .enumerate()
+    {
+        if l.events == 0 && r.events == 0 {
+            continue;
+        }
+        let delta = rl.total() - ll.total();
+        table.row([
+            p.to_string(),
+            format!("{:+}", r.events as i64 - l.events as i64),
+            format!("{:.1}", l.miss_pct()),
+            format!("{:.1}", r.miss_pct()),
+            fmt_bytes(l.peak_resident),
+            fmt_bytes(r.peak_resident),
+            format!("{:.2}", ll.total() / 1e6),
+            format!("{:.2}", rl.total() / 1e6),
+            format!("{:+.2}", delta / 1e6),
+            bar(delta.abs(), peak_delta, 20),
+        ]);
+    }
+    print!("{}", table.render());
+    (left_total, right_total)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args(std::env::args().skip(1));
+    let left = match load_streams(&opts.left) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let right_streams;
+    let right = match &opts.right {
+        Some(path) => match load_streams(path) {
+            Ok(s) => {
+                right_streams = s;
+                &right_streams
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => &left,
+    };
+
+    // One file and no explicit models: diff the two standard exports.
+    let mut opts = opts;
+    if opts.right.is_none() && opts.left_model.is_none() && opts.right_model.is_none() {
+        let [(l, _), (r, _)] = export_specs();
+        opts.left_model = Some(l.to_string());
+        opts.right_model = Some(r.to_string());
+    }
+
+    let pairs = pair_streams(&opts, &left, right);
+    if pairs.is_empty() {
+        eprintln!(
+            "no comparable stream pairs found (left has {} streams, right has {})",
+            left.len(),
+            right.len(),
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "delta: {} pair(s), {} phases{}",
+        pairs.len(),
+        opts.phases,
+        match (&opts.left_model, &opts.right_model) {
+            (Some(l), Some(r)) => format!(", {l} vs {r}"),
+            _ => String::new(),
+        },
+    );
+    let mut suite_left = CostLedger::new();
+    let mut suite_right = CostLedger::new();
+    for pair in &pairs {
+        let (l, r) = render_pair(pair, opts.phases);
+        suite_left.merge(&l);
+        suite_right.merge(&r);
+    }
+
+    println!(
+        "\nSuite totals: left {:.2} Minstr ({} misses, {} evictions, {} promotions), \
+         right {:.2} Minstr ({} misses, {} evictions, {} promotions)",
+        suite_left.total() / 1e6,
+        suite_left.miss_events,
+        suite_left.eviction_events,
+        suite_left.promotion_events,
+        suite_right.total() / 1e6,
+        suite_right.miss_events,
+        suite_right.eviction_events,
+        suite_right.promotion_events,
+    );
+    println!(
+        "Equation 3 overhead ratio (right/left): {:.3}  \
+         [miss service ≈ {:.0} instructions for a median 242 B trace]",
+        overhead_ratio(&suite_right, &suite_left),
+        cost::miss_service(242),
+    );
+    ExitCode::SUCCESS
+}

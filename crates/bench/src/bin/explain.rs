@@ -22,7 +22,8 @@ use std::process::ExitCode;
 
 use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
 use gencache_obs::{
-    CacheEvent, EventRecord, Log2Histogram, MetricsObserver, MetricsReport, Observer, Region,
+    CacheEvent, CostObserver, EventRecord, Log2Histogram, MetricsObserver, MetricsReport, Observer,
+    Region, SamplingObserver, SamplingParams,
 };
 use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
 use gencache_sim::{collect_events, record, ReplayResult};
@@ -77,9 +78,21 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
                 opts.harness.metrics_out =
                     Some(it.next().expect("--metrics-out needs a file path"));
             }
+            "--sample" => {
+                let v = it.next().expect("--sample needs a value");
+                let n: u64 = v.parse().expect("--sample must be a positive integer");
+                assert!(n > 0, "--sample must be positive");
+                opts.harness.sample = Some(n);
+            }
+            "--sample-seed" => {
+                let v = it.next().expect("--sample-seed needs a value");
+                opts.harness.sample_seed =
+                    v.parse().expect("--sample-seed must be an integer");
+            }
             other => panic!(
                 "unknown argument {other:?}; use --bench NAME / --scale N / --jobs N / \
-                 --top N / --events-out FILE / --metrics-out FILE / --parse-events FILE"
+                 --top N / --events-out FILE / --metrics-out FILE / --sample N / \
+                 --sample-seed S / --parse-events FILE"
             ),
         }
     }
@@ -240,6 +253,141 @@ fn render_churn(report: &MetricsReport, top: usize) {
     print!("{}", table.render());
 }
 
+/// Prices the event stream through the Table 2 formulas and prints the
+/// per-phase / per-region / per-cause attribution. The attributed total
+/// is checked against the model's own ledger — same formulas charged in
+/// the same order, so they must agree to the bit.
+fn render_costs(
+    profile: &WorkloadProfile,
+    duration_us: u64,
+    result: &ReplayResult,
+    events: &[CacheEvent],
+) {
+    let mut observer = CostObserver::with_phases(profile.phases.max(1), duration_us);
+    for event in events {
+        observer.on_event(event);
+    }
+    let report = observer.into_report();
+    let total = report.total.total();
+    let reconciled = report.total == result.ledger;
+    println!(
+        "\nAttributed instruction overhead (Table 2 pricing): {:.2} Minstr{}",
+        total / 1e6,
+        if reconciled {
+            " — reconciles exactly with the model ledger"
+        } else {
+            " — MISMATCH against the model ledger"
+        },
+    );
+    for (name, instructions) in report.total.components() {
+        if instructions == 0.0 {
+            continue;
+        }
+        println!(
+            "  {name:>16}: {:>10.2} Minstr ({:>4.1}%)",
+            instructions / 1e6,
+            100.0 * instructions / total.max(f64::MIN_POSITIVE),
+        );
+    }
+
+    println!("\nPer-phase attributed overhead:");
+    let peak = report
+        .phases
+        .iter()
+        .map(|p| p.ledger.total())
+        .fold(0.0, f64::max);
+    let mut table = TextTable::new(["phase", "misses", "evicts", "promotes", "Minstr", ""]);
+    for (p, phase) in report.phases.iter().enumerate() {
+        let t = phase.ledger.total();
+        if t == 0.0 {
+            continue;
+        }
+        table.row([
+            p.to_string(),
+            phase.ledger.miss_events.to_string(),
+            phase.ledger.eviction_events.to_string(),
+            phase.ledger.promotion_events.to_string(),
+            format!("{:.2}", t / 1e6),
+            bar(t, peak, 30),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let top = report.top_phases(5);
+    if !top.is_empty() {
+        let list: Vec<String> = top
+            .iter()
+            .map(|&(p, t)| format!("{p} ({:.2} Minstr)", t / 1e6))
+            .collect();
+        println!("Top phases by cost: {}", list.join(", "));
+    }
+
+    let attributed: f64 = report.regions.iter().map(|r| r.ledger.total()).sum();
+    if attributed > 0.0 {
+        println!("Per-region management overhead (evictions by cause + promotions in):");
+        for region in Region::ALL {
+            let rc = report.region(region);
+            if rc.ledger.total() == 0.0 {
+                continue;
+            }
+            let evict_total = rc.ledger.evictions.max(f64::MIN_POSITIVE);
+            let causes: Vec<String> = rc
+                .causes()
+                .iter()
+                .filter(|(_, c)| c.events > 0)
+                .map(|(name, c)| {
+                    format!("{name} {:.1}%", 100.0 * c.instructions / evict_total)
+                })
+                .collect();
+            println!(
+                "  {:>10}: {:>8.2} Minstr ({} evict / {} promote events{}{})",
+                region.name(),
+                rc.ledger.total() / 1e6,
+                rc.ledger.eviction_events,
+                rc.ledger.promotion_events,
+                if causes.is_empty() { "" } else { "; evictions: " },
+                causes.join(", "),
+            );
+        }
+    }
+}
+
+/// Replays the events through a bounded-memory sampling observer and
+/// prints what it kept, plus reuse-interval quantiles from the raw-value
+/// reservoir.
+fn render_sampling(params: SamplingParams, sample_every: u64, events: &[CacheEvent]) {
+    let mut observer = SamplingObserver::with_timeline(params, sample_every);
+    for event in events {
+        observer.on_event(event);
+    }
+    let report = observer.report();
+    let s = &report.summary;
+    println!(
+        "\nSampling (1-in-{}, seed {}): kept {} / skipped {} histogram values, \
+         timeline {} samples (stride {}), churn tracked {} / skipped {} traces",
+        params.stride,
+        params.seed,
+        s.hist_recorded,
+        s.hist_skipped,
+        report.metrics.timeline.len(),
+        s.timeline_stride,
+        s.churn_tracked,
+        s.churn_skipped,
+    );
+    let r = &report.reuse_sample;
+    if !r.values.is_empty() {
+        println!(
+            "  reuse interval µs from a {}-value reservoir of {} hits: \
+             p50 {} / p90 {} / p99 {}",
+            r.values.len(),
+            r.seen,
+            r.quantile(0.5).unwrap_or(0),
+            r.quantile(0.9).unwrap_or(0),
+            r.quantile(0.99).unwrap_or(0),
+        );
+    }
+}
+
 fn render_histogram(label: &str, hist: &Log2Histogram) {
     if hist.is_empty() {
         return;
@@ -265,8 +413,9 @@ fn explain_model(
     result: &ReplayResult,
     events: &[CacheEvent],
     sample_every: u64,
-    top: usize,
+    opts: &ExplainOptions,
 ) {
+    let top = opts.top;
     let mut observer = MetricsObserver::with_timeline(sample_every);
     for event in events {
         observer.on_event(event);
@@ -306,6 +455,10 @@ fn explain_model(
     }
 
     render_phase_table(profile, duration_us, events, &regions);
+    render_costs(profile, duration_us, result, events);
+    if let Some(params) = opts.harness.sampling_params() {
+        render_sampling(params, sample_every, events);
+    }
     render_timeline(&report, &regions);
     render_churn(&report, top);
     for &region in &regions {
@@ -353,7 +506,7 @@ fn main() -> ExitCode {
             &result,
             &events,
             sample_every,
-            opts.top,
+            &opts,
         );
     }
 

@@ -21,6 +21,8 @@
 //! | `ablate_local_policy` | §4 local-policy ablation (extension) |
 //! | `ablate_probation` | §5.3 probation-cache ablation (extension) |
 //! | `ablate_exceptions` | §4.2 undeletable-trace ablation (extension) |
+//! | `explain` | one benchmark's event stream as a narrative (extension) |
+//! | `delta` | phase-by-phase diff of two exported event streams (extension) |
 //!
 //! All binaries accept `--scale N` to divide every benchmark's footprint
 //! by `N` (for quick smoke runs), `--suite spec|interactive` to limit
@@ -28,7 +30,8 @@
 //! (default: the `GENCACHE_JOBS` environment variable, then the
 //! machine's available parallelism). Record and replay fan out across
 //! benchmarks; output is deterministic and identical for every job
-//! count.
+//! count. Observability flags: `--events-out` / `--metrics-out` /
+//! `--sample N` / `--sample-seed S` / `--progress`.
 
 #![warn(missing_docs)]
 
@@ -36,12 +39,12 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
-use gencache_obs::{JsonlSink, MetricsReport};
+use gencache_obs::{CostReport, JsonlSink, MetricsReport, SampledReport, SamplingParams};
 use serde::{Serialize, Value};
 use gencache_sim::par::{par_map, par_map_timed};
 use gencache_sim::{
-    collect_metrics, compare_figure9_metered, record, replay_observed, Comparison, ModelSpec,
-    ProgressMeter, RecordedRun,
+    collect_costs, collect_metrics, collect_sampled, compare_figure9_metered, record,
+    replay_observed, Comparison, ModelSpec, ProgressMeter, RecordedRun,
 };
 use gencache_workloads::{all_benchmarks, Suite, WorkloadProfile};
 
@@ -69,6 +72,12 @@ pub struct HarnessOptions {
     pub metrics_out: Option<String>,
     /// Print a rate-limited records-replayed/total heartbeat to stderr.
     pub progress: bool,
+    /// Record 1-in-N distribution values through a bounded-memory
+    /// [`SamplingObserver`](gencache_obs::SamplingObserver) and add a
+    /// `sampled` section to `--metrics-out` (counters stay exact).
+    pub sample: Option<u64>,
+    /// Seed for the sampling observer's striding/reservoir decisions.
+    pub sample_seed: u64,
 }
 
 impl HarnessOptions {
@@ -116,9 +125,20 @@ impl HarnessOptions {
                 "--progress" => {
                     opts.progress = true;
                 }
+                "--sample" => {
+                    let v = it.next().expect("--sample needs a value");
+                    let n: u64 = v.parse().expect("--sample must be a positive integer");
+                    assert!(n > 0, "--sample must be positive");
+                    opts.sample = Some(n);
+                }
+                "--sample-seed" => {
+                    let v = it.next().expect("--sample-seed needs a value");
+                    opts.sample_seed = v.parse().expect("--sample-seed must be an integer");
+                }
                 other => panic!(
                     "unknown argument {other:?}; use --scale N / --suite S / --jobs N / \
-                     --events-out FILE / --metrics-out FILE / --progress"
+                     --events-out FILE / --metrics-out FILE / --progress / --sample N / \
+                     --sample-seed S"
                 ),
             }
         }
@@ -134,6 +154,20 @@ impl HarnessOptions {
     /// else the machine's available parallelism.
     pub fn effective_jobs(&self) -> usize {
         gencache_sim::par::effective_jobs(self.jobs)
+    }
+
+    /// The sampling knobs implied by `--sample N` / `--sample-seed S`:
+    /// 1-in-N histogram striding and churn tracking, a 512-sample
+    /// timeline cap, and a 1024-value reuse reservoir. `None` when
+    /// `--sample` was not given.
+    pub fn sampling_params(&self) -> Option<SamplingParams> {
+        self.sample.map(|n| SamplingParams {
+            stride: n,
+            timeline_cap: 512,
+            churn_every: n,
+            reservoir: 1024,
+            seed: self.sample_seed,
+        })
     }
 
     /// The benchmark profiles selected by these options.
@@ -242,10 +276,24 @@ pub fn export_telemetry(opts: &HarnessOptions, runs: &[Run]) -> io::Result<()> {
         eprintln!("wrote {lines} events to {path}");
     }
     if let Some(path) = &opts.metrics_out {
-        write_metrics(path, runs, opts.effective_jobs())?;
+        write_metrics(path, runs, opts)?;
         eprintln!("wrote metrics to {path}");
     }
     Ok(())
+}
+
+/// One model's section of the metrics document: exact aggregates, the
+/// Table 2 cost attribution, and (under `--sample`) the bounded-memory
+/// sampled report.
+fn spec_section(metrics: &MetricsReport, costs: &CostReport, sampled: Option<&SampledReport>) -> Value {
+    let mut pairs = vec![
+        ("metrics".to_string(), metrics.to_value()),
+        ("costs".to_string(), costs.to_value()),
+    ];
+    if let Some(s) = sampled {
+        pairs.push(("sampled".to_string(), s.to_value()));
+    }
+    Value::Object(pairs)
 }
 
 fn write_events(path: &str, runs: &[Run]) -> io::Result<u64> {
@@ -263,33 +311,56 @@ fn write_events(path: &str, runs: &[Run]) -> io::Result<u64> {
     Ok(lines)
 }
 
-fn write_metrics(path: &str, runs: &[Run], jobs: usize) -> io::Result<()> {
+/// Per-benchmark artifacts for one exported model: exact metrics, cost
+/// attribution, optional sampled report.
+type SpecReports = (MetricsReport, CostReport, Option<SampledReport>);
+
+fn write_metrics(path: &str, runs: &[Run], opts: &HarnessOptions) -> io::Result<()> {
+    let jobs = opts.effective_jobs();
+    let sampling = opts.sampling_params();
     // Per-benchmark reports fan out across workers; the suite-level
-    // merge folds them in input-index order, so the document is
+    // merges fold them in input-index order, so the document is
     // bit-identical for every jobs value.
-    let per_bench: Vec<Vec<MetricsReport>> = par_map(runs, jobs, |(_, run)| {
+    let per_bench: Vec<Vec<SpecReports>> = par_map(runs, jobs, |(profile, run)| {
         export_specs()
             .iter()
-            .map(|&(_, spec)| collect_metrics(&run.log, spec, sample_interval(&run.log)).1)
+            .map(|&(_, spec)| {
+                let every = sample_interval(&run.log);
+                let metrics = collect_metrics(&run.log, spec, every).1;
+                let costs = collect_costs(&run.log, spec, profile.phases.max(1)).1;
+                let sampled = sampling.map(|p| collect_sampled(&run.log, spec, p, every).1);
+                (metrics, costs, sampled)
+            })
             .collect()
     });
-    let mut suite: Vec<MetricsReport> =
-        export_specs().iter().map(|_| MetricsReport::new()).collect();
+    let mut suite: Vec<SpecReports> = export_specs()
+        .iter()
+        .map(|_| (MetricsReport::new(), CostReport::new(1), None))
+        .collect();
     let mut benchmarks = Vec::with_capacity(runs.len());
     for ((profile, _), reports) in runs.iter().zip(&per_bench) {
         let mut pairs = vec![("benchmark".to_string(), Value::Str(profile.name.clone()))];
-        for ((&(label, _), report), merged) in
+        for ((&(label, _), (metrics, costs, sampled)), merged) in
             export_specs().iter().zip(reports).zip(suite.iter_mut())
         {
-            merged.merge(report);
-            pairs.push((label.to_string(), report.to_value()));
+            merged.0.merge(metrics);
+            merged.1.merge(costs);
+            if let Some(s) = sampled {
+                match merged.2.as_mut() {
+                    None => merged.2 = Some(s.clone()),
+                    Some(m) => m.merge(s),
+                }
+            }
+            pairs.push((label.to_string(), spec_section(metrics, costs, sampled.as_ref())));
         }
         benchmarks.push(Value::Object(pairs));
     }
     let suite_pairs: Vec<(String, Value)> = export_specs()
         .iter()
         .zip(&suite)
-        .map(|(&(label, _), merged)| (label.to_string(), merged.to_value()))
+        .map(|(&(label, _), (metrics, costs, sampled))| {
+            (label.to_string(), spec_section(metrics, costs, sampled.as_ref()))
+        })
         .collect();
     let doc = RawValue(Value::Object(vec![
         ("suite".to_string(), Value::Object(suite_pairs)),
@@ -357,6 +428,18 @@ mod tests {
         let o = HarnessOptions::parse(args(&["--jobs", "4"]));
         assert_eq!(o.jobs, Some(4));
         assert_eq!(o.effective_jobs(), 4);
+    }
+
+    #[test]
+    fn parse_sample_flags() {
+        let o = HarnessOptions::parse(args(&["--sample", "8", "--sample-seed", "42"]));
+        assert_eq!(o.sample, Some(8));
+        assert_eq!(o.sample_seed, 42);
+        let p = o.sampling_params().unwrap();
+        assert_eq!(p.stride, 8);
+        assert_eq!(p.churn_every, 8);
+        assert_eq!(p.seed, 42);
+        assert!(HarnessOptions::parse(args(&[])).sampling_params().is_none());
     }
 
     #[test]

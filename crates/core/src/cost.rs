@@ -1,190 +1,25 @@
-//! The instruction-overhead cost model of Table 2.
+//! The instruction-overhead cost model of Table 2 — re-exported.
 //!
-//! The paper measured DynamoRIO's key management events with Pentium-4
-//! performance counters (via PAPI) and fit formulas against trace size.
-//! Its evaluation — and therefore ours — charges these fitted costs per
-//! event; Figure 11's overhead ratio is the quotient of two such ledgers
-//! (Equation 3).
+//! The formulas and [`CostLedger`] moved to
+//! [`gencache_obs::cost`](gencache_obs::cost) so the observer layer can
+//! price the event stream ([`gencache_obs::CostObserver`]) without a
+//! dependency cycle (`gencache-core` depends on `gencache-obs`, not the
+//! other way round). This shim keeps every existing
+//! `gencache_core::cost::…` and `gencache_core::{CostLedger,
+//! overhead_ratio}` path compiling unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use gencache_core::CostLedger;
+//!
+//! let mut ledger = CostLedger::new();
+//! ledger.charge_miss(242);      // regenerate + 2 context switches + copy
+//! assert_eq!(ledger.miss_events, 1);
+//! assert!(ledger.total() > 80_000.0); // a miss costs ~85k instructions
+//! ```
 
-use serde::{Deserialize, Serialize};
-
-/// Instruction cost of generating a trace of `size_bytes`:
-/// `865 * size^0.8`.
-///
-/// For the median 242-byte trace this is ≈ 69,834 instructions.
-pub fn trace_generation(size_bytes: u32) -> f64 {
-    865.0 * f64::from(size_bytes).powf(0.8)
-}
-
-/// Instruction cost of one DynamoRIO context switch: 25.
-pub fn context_switch() -> f64 {
-    25.0
-}
-
-/// Instruction cost of evicting (deleting) a trace of `size_bytes`:
-/// `2.75 * size + 2650`.
-pub fn eviction(size_bytes: u32) -> f64 {
-    2.75 * f64::from(size_bytes) + 2650.0
-}
-
-/// Instruction cost of promoting (relocating) a trace of `size_bytes`
-/// between caches: `22 * size + 8030`. Also the cost of the initial copy
-/// from the basic-block cache into the trace cache.
-pub fn promotion(size_bytes: u32) -> f64 {
-    22.0 * f64::from(size_bytes) + 8030.0
-}
-
-/// Full cost of servicing one trace-cache conflict miss: two context
-/// switches, one trace regeneration, and one copy into the trace cache
-/// (same cost as a promotion). ≈ 85,000 instructions for an average
-/// trace.
-pub fn miss_service(size_bytes: u32) -> f64 {
-    2.0 * context_switch() + trace_generation(size_bytes) + promotion(size_bytes)
-}
-
-/// An accumulator of management-instruction overhead, split by event kind.
-///
-/// # Examples
-///
-/// ```
-/// use gencache_core::CostLedger;
-///
-/// let mut ledger = CostLedger::new();
-/// ledger.charge_miss(242);      // regenerate + 2 context switches + copy
-/// ledger.charge_eviction(242);  // delete one resident trace
-/// assert_eq!(ledger.miss_events, 1);
-/// assert!(ledger.total() > 80_000.0); // a miss costs ~85k instructions
-/// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
-pub struct CostLedger {
-    /// Instructions spent regenerating traces after misses.
-    pub trace_generation: f64,
-    /// Instructions spent in context switches.
-    pub context_switches: f64,
-    /// Instructions spent evicting/deleting traces.
-    pub evictions: f64,
-    /// Instructions spent promoting traces between caches (and copying
-    /// new traces into the trace cache).
-    pub promotions: f64,
-    /// Number of miss-service events charged.
-    pub miss_events: u64,
-    /// Number of eviction events charged.
-    pub eviction_events: u64,
-    /// Number of promotion events charged.
-    pub promotion_events: u64,
-}
-
-impl CostLedger {
-    /// Creates an empty ledger.
-    pub fn new() -> Self {
-        CostLedger::default()
-    }
-
-    /// Charges the full service cost of a conflict miss on a trace of
-    /// `size_bytes`.
-    pub fn charge_miss(&mut self, size_bytes: u32) {
-        self.trace_generation += trace_generation(size_bytes);
-        self.context_switches += 2.0 * context_switch();
-        self.promotions += promotion(size_bytes); // bb→trace cache copy
-        self.miss_events += 1;
-    }
-
-    /// Charges one eviction/deletion of a trace of `size_bytes`.
-    pub fn charge_eviction(&mut self, size_bytes: u32) {
-        self.evictions += eviction(size_bytes);
-        self.eviction_events += 1;
-    }
-
-    /// Charges one inter-cache promotion of a trace of `size_bytes`.
-    pub fn charge_promotion(&mut self, size_bytes: u32) {
-        self.promotions += promotion(size_bytes);
-        self.promotion_events += 1;
-    }
-
-    /// Total management instructions accumulated.
-    pub fn total(&self) -> f64 {
-        self.trace_generation + self.context_switches + self.evictions + self.promotions
-    }
-}
-
-/// Equation 3: `generational / unified` total-overhead ratio. Below 1.0
-/// means the generational scheme spends fewer instructions on cache
-/// management. Returns 1.0 when the unified overhead is zero (no
-/// management happened at all under either scheme).
-pub fn overhead_ratio(generational: &CostLedger, unified: &CostLedger) -> f64 {
-    let u = unified.total();
-    if u == 0.0 {
-        1.0
-    } else {
-        generational.total() / u
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// The paper's worked example: a 242-byte (median) trace costs 69,834
-    /// instructions to generate, 3,316 to evict, and 13,354 to promote.
-    #[test]
-    fn table2_median_trace_values() {
-        assert!((trace_generation(242) - 69_834.0).abs() < 100.0);
-        assert!((eviction(242) - 3_315.5).abs() < 1.0);
-        assert!((promotion(242) - 13_354.0).abs() < 1.0);
-        assert_eq!(context_switch(), 25.0);
-    }
-
-    /// "For an average trace, this amounts to approximately 85,000
-    /// instructions."
-    #[test]
-    fn miss_service_near_85k() {
-        let cost = miss_service(242);
-        assert!(
-            (80_000.0..90_000.0).contains(&cost),
-            "miss service cost {cost} out of range"
-        );
-    }
-
-    #[test]
-    fn ledger_accumulates() {
-        let mut ledger = CostLedger::new();
-        ledger.charge_miss(242);
-        ledger.charge_eviction(242);
-        ledger.charge_promotion(242);
-        assert_eq!(ledger.miss_events, 1);
-        assert_eq!(ledger.eviction_events, 1);
-        assert_eq!(ledger.promotion_events, 1);
-        let expected = miss_service(242) + eviction(242) + promotion(242);
-        assert!((ledger.total() - expected).abs() < 1e-9);
-    }
-
-    #[test]
-    fn ratio_of_empty_ledgers_is_one() {
-        let a = CostLedger::new();
-        let b = CostLedger::new();
-        assert_eq!(overhead_ratio(&a, &b), 1.0);
-    }
-
-    #[test]
-    fn ratio_below_one_when_generational_cheaper() {
-        let mut unified = CostLedger::new();
-        unified.charge_miss(242);
-        unified.charge_miss(242);
-        let mut generational = CostLedger::new();
-        generational.charge_miss(242);
-        generational.charge_promotion(242);
-        assert!(overhead_ratio(&generational, &unified) < 1.0);
-    }
-
-    #[test]
-    fn costs_scale_with_size() {
-        assert!(trace_generation(1000) > trace_generation(100));
-        assert!(eviction(1000) > eviction(100));
-        assert!(promotion(1000) > promotion(100));
-        // Generation dominates eviction and promotion at every size.
-        for s in [32u32, 242, 1024, 4096] {
-            assert!(trace_generation(s) > promotion(s));
-            assert!(promotion(s) > eviction(s));
-        }
-    }
-}
+pub use gencache_obs::cost::{
+    context_switch, eviction, miss_service, overhead_ratio, promotion, trace_generation,
+    CostLedger,
+};

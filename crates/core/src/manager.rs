@@ -198,21 +198,33 @@ impl<O: Observer> GenerationalModel<O> {
         }
         self.metrics.promotions_to_probation += 1;
         self.ledger.charge_promotion(victim.size_bytes());
+        let (id, bytes) = (victim.id(), victim.size_bytes());
         if self.observer.enabled() {
             self.observer.on_event(&CacheEvent::Promote {
                 from: Region::Nursery,
                 to: Region::Probation,
-                trace: victim.id(),
-                bytes: victim.size_bytes(),
+                trace: id,
+                bytes,
                 time: now,
             });
         }
         match self.probation.insert(victim.record, now) {
             Ok(report) => {
-                if self.observer.enabled() && report.pointer_resets > 0 {
-                    self.observer.on_event(&CacheEvent::PointerReset {
+                if self.observer.enabled() {
+                    if report.pointer_resets > 0 {
+                        self.observer.on_event(&CacheEvent::PointerReset {
+                            region: Region::Probation,
+                            resets: report.pointer_resets,
+                            time: now,
+                        });
+                    }
+                    // The arrival accounting counterpart of the Promote
+                    // above: the probation cache counted an insert.
+                    self.observer.on_event(&CacheEvent::PromotedIn {
                         region: Region::Probation,
-                        resets: report.pointer_resets,
+                        trace: id,
+                        bytes,
+                        used: self.probation.used_bytes(),
                         time: now,
                     });
                 }
@@ -262,21 +274,33 @@ impl<O: Observer> GenerationalModel<O> {
     fn promote_to_persistent(&mut self, victim: EntryInfo, from: Region, now: Time) {
         self.metrics.promotions_to_persistent += 1;
         self.ledger.charge_promotion(victim.size_bytes());
+        let (id, bytes) = (victim.id(), victim.size_bytes());
         if self.observer.enabled() {
             self.observer.on_event(&CacheEvent::Promote {
                 from,
                 to: Region::Persistent,
-                trace: victim.id(),
-                bytes: victim.size_bytes(),
+                trace: id,
+                bytes,
                 time: now,
             });
         }
         match self.persistent.insert_promoted(victim, now) {
             Ok(report) => {
-                if self.observer.enabled() && report.pointer_resets > 0 {
-                    self.observer.on_event(&CacheEvent::PointerReset {
+                if self.observer.enabled() {
+                    if report.pointer_resets > 0 {
+                        self.observer.on_event(&CacheEvent::PointerReset {
+                            region: Region::Persistent,
+                            resets: report.pointer_resets,
+                            time: now,
+                        });
+                    }
+                    // Arrival accounting: `insert_promoted` counted an
+                    // insert in the persistent cache's local stats.
+                    self.observer.on_event(&CacheEvent::PromotedIn {
                         region: Region::Persistent,
-                        resets: report.pointer_resets,
+                        trace: id,
+                        bytes,
+                        used: self.persistent.used_bytes(),
                         time: now,
                     });
                 }

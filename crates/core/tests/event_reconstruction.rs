@@ -11,9 +11,11 @@ use gencache_cache::{
 use gencache_core::{
     CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
 };
+use gencache_cache::CacheStats;
 use gencache_obs::{reconstruct_stats, EventBuffer, MetricsObserver, Region};
 use gencache_program::{Addr, Time};
 use proptest::prelude::*;
+use proptest::Just;
 
 const CAPACITY: u64 = 2048;
 
@@ -76,6 +78,25 @@ fn policies() -> Vec<(&'static str, Box<dyn CodeCache>)> {
     ]
 }
 
+/// Promotion policies the generational reconstruction tests sweep.
+fn policy_strategy() -> impl Strategy<Value = PromotionPolicy> {
+    prop_oneof![
+        Just(PromotionPolicy::OnHit { hits: 1 }),
+        Just(PromotionPolicy::OnHit { hits: 2 }),
+        Just(PromotionPolicy::OnEviction { threshold: 1 }),
+        Just(PromotionPolicy::OnEviction { threshold: 3 }),
+    ]
+}
+
+/// Bytes removed from a cache for any cause.
+fn removed_bytes(s: &CacheStats) -> u64 {
+    s.capacity_evicted_bytes
+        + s.unmap_deleted_bytes
+        + s.flush_evicted_bytes
+        + s.discarded_bytes
+        + s.promoted_out_bytes
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -116,5 +137,48 @@ proptest! {
             .map(|r| report.region(*r).resident_bytes)
             .sum();
         prop_assert_eq!(event_resident, model.resident_bytes());
+    }
+
+    /// Per-region reconstruction of the generational hierarchy. With
+    /// even thirds of a 2048-byte budget every region (682 B) holds any
+    /// generated trace (< 400 B), so no promotion can fail and the
+    /// `Promote`/`PromotedIn` pairing covers every inter-region move:
+    ///
+    /// * The **persistent** region reconstructs *exactly* — full
+    ///   [`CacheStats`] equality, causes included. Nothing leaves the
+    ///   persistent cache except by eviction or unmap, and every arrival
+    ///   is a `PromotedIn`.
+    /// * The **nursery** and **probation** caches tag policy evictions
+    ///   as `Capacity` locally, while the hierarchy narrates the
+    ///   evictee's fate (`Promote` onward, or `Evict`/`Discarded` after
+    ///   failing probation). Everything except that cause split — entry
+    ///   and byte inflow, hits, peak occupancy, and total outflow — must
+    ///   still agree exactly.
+    #[test]
+    fn generational_regions_reconstruct_from_events(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        policy in policy_strategy(),
+    ) {
+        let config = GenerationalConfig::new(CAPACITY, Proportions::even_thirds(), policy);
+        let mut model = GenerationalModel::observed(config, EventBuffer::new());
+        drive(&mut model, &ops);
+        let nursery = *model.nursery().stats();
+        let probation = *model.probation().stats();
+        let persistent = *model.persistent().stats();
+        let events = model.into_observer().events;
+
+        let reconstructed = reconstruct_stats(&events, Region::Persistent);
+        prop_assert_eq!(reconstructed, persistent, "persistent region diverged ({:?})", policy);
+
+        for (region, stats) in [(Region::Nursery, nursery), (Region::Probation, probation)] {
+            let r = reconstruct_stats(&events, region);
+            prop_assert_eq!(r.insertions, stats.insertions, "{:?} insertions", region);
+            prop_assert_eq!(r.inserted_bytes, stats.inserted_bytes, "{:?} bytes in", region);
+            prop_assert_eq!(r.hits, stats.hits, "{:?} hits", region);
+            prop_assert_eq!(r.peak_used_bytes, stats.peak_used_bytes, "{:?} peak", region);
+            prop_assert_eq!(r.total_removals(), stats.total_removals(), "{:?} removals", region);
+            prop_assert_eq!(removed_bytes(&r), removed_bytes(&stats), "{:?} bytes out", region);
+            prop_assert_eq!(r.unmap_deletions, stats.unmap_deletions, "{:?} unmaps", region);
+        }
     }
 }

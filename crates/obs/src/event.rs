@@ -136,6 +136,26 @@ pub enum CacheEvent {
         /// When the promotion happened.
         time: Time,
     },
+    /// A promoted trace *arrived* in its destination region: the
+    /// accounting counterpart of [`CacheEvent::Promote`], emitted right
+    /// after the receiving cache accepted the trace. `Promote` describes
+    /// the transfer (and is what the cost model prices); `PromotedIn`
+    /// carries the receiving region's post-arrival occupancy so
+    /// [`reconstruct_stats`](crate::reconstruct_stats) can account the
+    /// arrival as an insertion — making persistent-region reconstruction
+    /// exact instead of approximate.
+    PromotedIn {
+        /// The region the trace arrived in.
+        region: Region,
+        /// The arriving trace.
+        trace: TraceId,
+        /// Trace body size in bytes.
+        bytes: u32,
+        /// Resident bytes in the region *after* the arrival.
+        used: u64,
+        /// When the promotion happened.
+        time: Time,
+    },
     /// A trace became undeletable (e.g. an exception is being handled
     /// inside it).
     Pin {
@@ -178,6 +198,7 @@ impl CacheEvent {
             | CacheEvent::Miss { time, .. }
             | CacheEvent::Evict { time, .. }
             | CacheEvent::Promote { time, .. }
+            | CacheEvent::PromotedIn { time, .. }
             | CacheEvent::Pin { time, .. }
             | CacheEvent::Unpin { time, .. }
             | CacheEvent::PointerReset { time, .. } => time,
@@ -192,6 +213,7 @@ impl CacheEvent {
             | CacheEvent::Miss { trace, .. }
             | CacheEvent::Evict { trace, .. }
             | CacheEvent::Promote { trace, .. }
+            | CacheEvent::PromotedIn { trace, .. }
             | CacheEvent::Pin { trace, .. }
             | CacheEvent::Unpin { trace, .. } => Some(trace),
             CacheEvent::PointerReset { .. } => None,

@@ -44,12 +44,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cost;
 mod event;
 mod hist;
 mod metrics;
 mod observer;
 mod reconstruct;
+mod sample;
 
+pub use cost::{
+    overhead_ratio, CauseCost, CostLedger, CostObserver, CostReport, PhaseCost, RegionCost,
+};
 pub use event::{CacheEvent, Region};
 pub use hist::Log2Histogram;
 pub use metrics::{
@@ -57,3 +62,4 @@ pub use metrics::{
 };
 pub use observer::{EventBuffer, EventRecord, JsonlSink, NullObserver, Observer};
 pub use reconstruct::reconstruct_stats;
+pub use sample::{ReservoirSnapshot, SampledReport, SamplingObserver, SamplingParams, SamplingSummary};

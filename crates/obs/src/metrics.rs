@@ -187,7 +187,7 @@ impl MetricsReport {
 
 /// Sorts churn entries by (remisses desc, evictions desc, trace asc)
 /// and keeps the top [`TOP_CHURN`].
-fn sort_churn(mut entries: Vec<ChurnEntry>) -> Vec<ChurnEntry> {
+pub(crate) fn sort_churn(mut entries: Vec<ChurnEntry>) -> Vec<ChurnEntry> {
     entries.sort_by(|a, b| {
         b.remisses
             .cmp(&a.remisses)
@@ -199,10 +199,10 @@ fn sort_churn(mut entries: Vec<ChurnEntry>) -> Vec<ChurnEntry> {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct ChurnState {
-    bytes: u32,
-    evictions: u64,
-    remisses: u64,
+pub(crate) struct ChurnState {
+    pub(crate) bytes: u32,
+    pub(crate) evictions: u64,
+    pub(crate) remisses: u64,
 }
 
 /// An [`Observer`] that aggregates the event stream into a
@@ -374,6 +374,9 @@ impl Observer for MetricsObserver {
                 target.resident_bytes += bytes;
                 target.peak_resident_bytes = target.peak_resident_bytes.max(target.resident_bytes);
             }
+            // Pure accounting duplicate of `Promote`, which already moved
+            // the resident bytes and counted the promotion.
+            CacheEvent::PromotedIn { .. } => {}
             CacheEvent::Pin { region, .. } => self.region_mut(region).pins += 1,
             CacheEvent::Unpin { region, .. } => self.region_mut(region).unpins += 1,
             CacheEvent::PointerReset { region, resets, .. } => {

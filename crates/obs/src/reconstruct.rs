@@ -15,12 +15,14 @@ use crate::event::{CacheEvent, Region};
 ///
 /// Covers the operations a *local* cache performs: insertions, hits and
 /// cause-tagged removals. A [`CacheEvent::Promote`] out of `region` is
-/// a removal with [`EvictionCause::Promoted`]; a promotion *into* a
-/// region is not an insertion at the local-stats level (generational
-/// models account promoted arrivals through `insert_promoted`, which
-/// does count — those streams emit a matching `Insert` only for new
-/// traces, so hierarchy-level reconstruction is approximate for the
-/// persistent cache; single-cache models reconstruct exactly).
+/// a removal with [`EvictionCause::Promoted`]; the matching
+/// [`CacheEvent::PromotedIn`] arrival is an insertion into the receiving
+/// region (generational models account promoted arrivals through
+/// `insert_promoted`, which counts as an insert in the receiver's local
+/// stats). With both directions covered, the persistent region of a
+/// generational hierarchy reconstructs exactly, not approximately — the
+/// property tests in `crates/core/tests/event_reconstruction.rs` assert
+/// full [`CacheStats`] equality there.
 pub fn reconstruct_stats(events: &[CacheEvent], region: Region) -> CacheStats {
     let mut stats = CacheStats::default();
     for event in events {
@@ -46,6 +48,14 @@ pub fn reconstruct_stats(events: &[CacheEvent], region: Region) -> CacheStats {
             }
             CacheEvent::Promote { from, bytes, .. } if from == region => {
                 stats.on_remove(u64::from(bytes), EvictionCause::Promoted);
+            }
+            CacheEvent::PromotedIn {
+                region: r,
+                bytes,
+                used,
+                ..
+            } if r == region => {
+                stats.on_insert(u64::from(bytes), used);
             }
             _ => {}
         }

@@ -64,7 +64,8 @@ pub use replay::{
 };
 pub use sweep::{best_point, policy_grid, proportion_grid, sweep, sweep_with_jobs, SweepPoint};
 pub use telemetry::{
-    collect_events, collect_metrics, replay_observed, suite_metrics, ModelSpec,
+    collect_costs, collect_events, collect_metrics, collect_sampled, replay_observed, suite_costs,
+    suite_metrics, suite_sampled, ModelSpec,
 };
 pub use threads::{
     partition_by_module, replay_thread_private, replay_thread_shared, BudgetSplit, ThreadCacheKind,

@@ -14,7 +14,10 @@
 use gencache_core::{
     CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
 };
-use gencache_obs::{CacheEvent, EventBuffer, MetricsObserver, MetricsReport, Observer};
+use gencache_obs::{
+    CacheEvent, CostObserver, CostReport, EventBuffer, MetricsObserver, MetricsReport, Observer,
+    SampledReport, SamplingObserver, SamplingParams,
+};
 
 use crate::log::AccessLog;
 use crate::replay::{replay_into, ReplayResult};
@@ -126,6 +129,72 @@ pub fn suite_metrics(
     merged
 }
 
+/// Replays `log` and prices the event stream through the Table 2
+/// formulas, attributing instruction overhead to `phases` equal time
+/// slices (and to regions and eviction causes within each).
+///
+/// The returned [`CostReport::total`] is charged in event order — the
+/// same order the model charged its own [`ReplayResult::ledger`] — so
+/// the two are bitwise-equal, not merely close (the property test in
+/// `crates/core/tests/cost_attribution.rs` enforces this).
+pub fn collect_costs(log: &AccessLog, spec: ModelSpec, phases: u32) -> (ReplayResult, CostReport) {
+    let observer = CostObserver::with_phases(phases, log.duration.as_micros());
+    let (result, observer) = replay_observed(log, spec, observer);
+    (result, observer.into_report())
+}
+
+/// Collects per-benchmark cost reports across `jobs` workers and merges
+/// them into one suite-level report.
+///
+/// Phase `i` of the merged report aggregates the `i`-th *fraction* of
+/// each benchmark's run (each report's phases cover that benchmark's
+/// own duration). The merge folds shards in **input-index order**, so
+/// the result is bit-identical to a serial run for any `jobs`.
+pub fn suite_costs(logs: &[AccessLog], spec: ModelSpec, phases: u32, jobs: usize) -> CostReport {
+    let shards = crate::par::par_map(logs, jobs, |log| collect_costs(log, spec, phases).1);
+    let mut merged = CostReport::new(phases.max(1) as usize);
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+/// Replays `log` through a bounded-memory [`SamplingObserver`]:
+/// counters exact, distributions sampled per `params`, occupancy
+/// timeline sampled every `sample_every` accesses (0 disables it).
+pub fn collect_sampled(
+    log: &AccessLog,
+    spec: ModelSpec,
+    params: SamplingParams,
+    sample_every: u64,
+) -> (ReplayResult, SampledReport) {
+    let observer = SamplingObserver::with_timeline(params, sample_every);
+    let (result, observer) = replay_observed(log, spec, observer);
+    (result, observer.report())
+}
+
+/// Collects per-benchmark sampled reports across `jobs` workers and
+/// merges them in **input-index order** — bit-identical for any `jobs`.
+pub fn suite_sampled(
+    logs: &[AccessLog],
+    spec: ModelSpec,
+    params: SamplingParams,
+    sample_every: u64,
+    jobs: usize,
+) -> SampledReport {
+    let shards = crate::par::par_map(logs, jobs, |log| {
+        collect_sampled(log, spec, params, sample_every).1
+    });
+    let mut merged: Option<SampledReport> = None;
+    for shard in &shards {
+        match merged.as_mut() {
+            None => merged = Some(shard.clone()),
+            Some(m) => m.merge(shard),
+        }
+    }
+    merged.unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +252,45 @@ mod tests {
         }
         let (_, direct) = collect_metrics(&log, spec, 16);
         assert_eq!(replayed.report(), direct);
+    }
+
+    #[test]
+    fn cost_report_total_equals_model_ledger() {
+        let log = churn_log("cost", 4);
+        for spec in [ModelSpec::Unified, ModelSpec::best_generational()] {
+            let (result, report) = collect_costs(&log, spec, 8);
+            // Same formulas, charged in the same order: bitwise equal.
+            assert_eq!(report.total, result.ledger);
+            let phase_events: u64 = report.phases.iter().map(|p| p.ledger.miss_events).sum();
+            assert_eq!(phase_events, result.ledger.miss_events);
+        }
+    }
+
+    #[test]
+    fn sampled_counters_match_unsampled_metrics() {
+        let log = churn_log("sampled", 5);
+        let spec = ModelSpec::best_generational();
+        let (_, exact) = collect_metrics(&log, spec, 0);
+        let (_, sampled) = collect_sampled(&log, spec, SamplingParams::bounded(17), 0);
+        assert_eq!(sampled.metrics.accesses, exact.accesses);
+        assert_eq!(sampled.metrics.hits, exact.hits);
+        assert_eq!(sampled.metrics.misses, exact.misses);
+    }
+
+    #[test]
+    fn suite_costs_and_sampled_are_jobs_invariant() {
+        let logs = vec![churn_log("x", 1), churn_log("y", 2), churn_log("z", 3)];
+        let spec = ModelSpec::best_generational();
+        let costs = suite_costs(&logs, spec, 6, 1);
+        let sampled = suite_sampled(&logs, spec, SamplingParams::bounded(9), 16, 1);
+        for jobs in [2, 8] {
+            assert_eq!(suite_costs(&logs, spec, 6, jobs), costs);
+            assert_eq!(
+                suite_sampled(&logs, spec, SamplingParams::bounded(9), 16, jobs),
+                sampled
+            );
+        }
+        assert!(costs.total.total() > 0.0);
     }
 
     #[test]

@@ -17,9 +17,18 @@ echo "=== cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "=== explain smoke: event export round-trips through serde"
-events="$(mktemp /tmp/gencache-events.XXXXXX.jsonl)"
+mkdir -p target/tmp
+events="target/tmp/check-events.jsonl"
 trap 'rm -f "$events"' EXIT
 ./target/release/explain --bench word --scale 64 --events-out "$events" > /dev/null
 ./target/release/explain --parse-events "$events"
+
+echo "=== delta smoke: stream diff reports a non-empty phase table"
+delta_out="$(./target/release/delta "$events" --phases 6)"
+echo "$delta_out" | grep -q "Equation 3 overhead ratio" \
+  || { echo "delta printed no suite overhead ratio"; exit 1; }
+rows="$(echo "$delta_out" | grep -cE '^[0-9]+ ')"
+[ "$rows" -ge 1 ] \
+  || { echo "delta phase table is empty"; exit 1; }
 
 echo "all checks passed"
