@@ -27,7 +27,8 @@ use std::process::ExitCode;
 
 use gencache_bench::export_specs;
 use gencache_obs::{
-    cost, overhead_ratio, CacheEvent, CostLedger, CostObserver, EventRecord, Observer,
+    cost, overhead_ratio, parse_stream_line, CacheEvent, CostLedger, CostObserver, Observer,
+    StreamLine,
 };
 use gencache_sim::report::{bar, fmt_bytes, TextTable};
 
@@ -91,19 +92,48 @@ type Streams = BTreeMap<(String, String), Vec<CacheEvent>>;
 fn load_streams(path: &str) -> Result<Streams, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let mut streams: Streams = BTreeMap::new();
+    let mut saw_header = false;
+    let mut warned = false;
     for (i, line) in BufReader::new(file).lines().enumerate() {
         let line = line.map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if line.trim().is_empty() {
             continue;
         }
-        let record: EventRecord = serde_json::from_str(&line)
-            .map_err(|e| format!("{path}:{}: bad event record: {e:?}", i + 1))?;
-        streams
-            .entry((record.source, record.model))
-            .or_default()
-            .push(record.event);
+        match parse_stream_line(&line).map_err(|e| format!("{path}:{}: {e}", i + 1))? {
+            StreamLine::Header(header) => {
+                // Unknown schema versions are rejected rather than
+                // silently misread as event deltas.
+                header
+                    .validate()
+                    .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                saw_header = true;
+            }
+            StreamLine::Meta(_) => {}
+            StreamLine::Event(record) => {
+                if !saw_header && !warned {
+                    eprintln!("warning: {path} has no schema header (pre-v2 export)");
+                    warned = true;
+                }
+                streams
+                    .entry((record.source, record.model))
+                    .or_default()
+                    .push(record.event);
+            }
+        }
     }
     Ok(streams)
+}
+
+/// Renders a stream map's keys for error messages.
+fn stream_keys(streams: &Streams) -> String {
+    if streams.is_empty() {
+        return "none".to_string();
+    }
+    streams
+        .keys()
+        .map(|(b, m)| format!("({b}, {m})"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// One paired comparison: a display name plus the two streams.
@@ -301,10 +331,17 @@ fn main() -> ExitCode {
     let pairs = pair_streams(&opts, &left, right);
     if pairs.is_empty() {
         eprintln!(
-            "no comparable stream pairs found (left has {} streams, right has {})",
-            left.len(),
-            right.len(),
+            "error: the two exports share no comparable (benchmark, model) stream pairs\n\
+             left  ({}): {}\n\
+             right ({}): {}",
+            opts.left,
+            stream_keys(&left),
+            opts.right.as_deref().unwrap_or(&opts.left),
+            stream_keys(right),
         );
+        if let (Some(l), Some(r)) = (&opts.left_model, &opts.right_model) {
+            eprintln!("pairing required model {l:?} on the left and {r:?} on the right");
+        }
         return ExitCode::FAILURE;
     }
 

@@ -22,8 +22,8 @@ use std::process::ExitCode;
 
 use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
 use gencache_obs::{
-    CacheEvent, CostObserver, EventRecord, Log2Histogram, MetricsObserver, MetricsReport, Observer,
-    Region, SamplingObserver, SamplingParams,
+    parse_stream_line, CacheEvent, CostObserver, Log2Histogram, MetricsObserver, MetricsReport,
+    Observer, Region, SamplingObserver, SamplingParams, StreamLine,
 };
 use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
 use gencache_sim::{collect_events, record, ReplayResult};
@@ -99,8 +99,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
     opts
 }
 
-/// Validation mode: parse a `--events-out` JSONL file back into typed
-/// [`EventRecord`]s and summarize it, failing loudly on any bad line.
+/// Validation mode: parse a `--events-out` JSONL file back into its
+/// typed framing (schema header, per-stream run metadata, event
+/// records) and summarize it, failing loudly on any bad line or on a
+/// schema version this build does not understand.
 fn parse_events(path: &str) -> ExitCode {
     let file = match File::open(path) {
         Ok(f) => f,
@@ -111,23 +113,42 @@ fn parse_events(path: &str) -> ExitCode {
     };
     let mut totals: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut lines = 0u64;
+    let mut metas = 0u64;
+    let mut header = None;
     for (i, line) in BufReader::new(file).lines().enumerate() {
         let line = line.expect("readable line");
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<EventRecord>(&line) {
-            Ok(record) => {
+        match parse_stream_line(&line) {
+            Ok(StreamLine::Header(h)) => {
+                if let Err(e) = h.validate() {
+                    eprintln!("{path}:{}: {e}", i + 1);
+                    return ExitCode::FAILURE;
+                }
+                header = Some(h);
+            }
+            Ok(StreamLine::Meta(_)) => metas += 1,
+            Ok(StreamLine::Event(record)) => {
                 lines += 1;
                 *totals.entry((record.source, record.model)).or_default() += 1;
             }
             Err(e) => {
-                eprintln!("{path}:{}: bad event record: {e:?}", i + 1);
+                eprintln!("{path}:{}: {e}", i + 1);
                 return ExitCode::FAILURE;
             }
         }
     }
-    println!("{path}: {lines} events parse cleanly");
+    match &header {
+        Some(h) => println!(
+            "{path}: {} v{}, {lines} events and {metas} run-metadata lines parse cleanly",
+            h.schema, h.version
+        ),
+        None => {
+            eprintln!("warning: {path} has no schema header (pre-v2 export)");
+            println!("{path}: {lines} events parse cleanly");
+        }
+    }
     let mut table = TextTable::new(["benchmark", "model", "events"]);
     for ((source, model), count) in &totals {
         table.row([source.clone(), model.clone(), count.to_string()]);

@@ -1,0 +1,625 @@
+//! `simulate` — offline what-if replay of an exported event stream
+//! against hypothetical cache layouts.
+//!
+//! The paper's methodology separates the frontend request stream from
+//! cache management: one recorded stream can evaluate *any* layout.
+//! This tool closes that loop offline. It parses a `--events-out`
+//! export back into each benchmark's canonical frontend trace, then
+//! drives the ordinary replay machinery against configurations that
+//! were never recorded — any capacity, any nursery/probation/persistent
+//! split, any promotion rule, any local replacement policy — producing
+//! the same metrics/cost documents the live path emits. A Belady-style
+//! furthest-next-use oracle provides a lower-bound row, and `--watch`
+//! turns the tool into a regression gate against a stored baseline.
+//!
+//! ```text
+//! simulate --events FILE.jsonl [--spec unified] [--spec 30-20-50@evict5] ...
+//!          [--grid] [--oracle] [--capacity BYTES] [--jobs N]
+//!          [--bench NAME] [--model LABEL]
+//!          [--metrics-out FILE.json] [--baseline-out FILE.json]
+//!          [--watch BASELINE.json] [--tolerance FRAC]
+//! ```
+//!
+//! Spec labels: `unified`, a local policy (`lru`, `clock`,
+//! `flush-on-full`, `preemptive-flush`, `pseudo-circular`, `unbounded`),
+//! or `N-P-S@hitK` / `N-P-S@evictK` generational layouts. Defaults to
+//! the two configurations the live export records, so
+//! `simulate --events X --metrics-out Y` on an unmodified stream
+//! reproduces the live `--metrics-out` document byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gencache_bench::{export_specs, metrics_doc, sample_interval, write_metrics_doc, SpecReports};
+use gencache_obs::{
+    oracle_replay, parse_stream_line, reconstruct_trace, CacheEvent, OracleResult, RunMeta,
+    SimTrace, StreamLine,
+};
+use gencache_sim::par::{effective_jobs, par_map};
+use gencache_sim::report::TextTable;
+use gencache_sim::{
+    parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, trace_to_log,
+    AccessLog, ModelSpec, SimSpec, SimulatedSpec,
+};
+use serde::{Deserialize, Serialize};
+
+const USAGE: &str = "use --events FILE / --spec LABEL / --grid / --oracle / --capacity BYTES / \
+     --jobs N / --bench NAME / --model LABEL / --metrics-out FILE / --baseline-out FILE / \
+     --watch FILE / --tolerance FRAC";
+
+struct SimOptions {
+    events: String,
+    specs: Vec<String>,
+    grid: bool,
+    oracle: bool,
+    capacity: Option<u64>,
+    jobs: Option<usize>,
+    bench: Option<String>,
+    model: Option<String>,
+    metrics_out: Option<String>,
+    baseline_out: Option<String>,
+    watch: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> SimOptions {
+    let mut opts = SimOptions {
+        events: String::new(),
+        specs: Vec::new(),
+        grid: false,
+        oracle: false,
+        capacity: None,
+        jobs: None,
+        bench: None,
+        model: None,
+        metrics_out: None,
+        baseline_out: None,
+        watch: None,
+        tolerance: 0.0,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => opts.events = it.next().expect("--events needs a file path"),
+            "--spec" => opts.specs.push(it.next().expect("--spec needs a label")),
+            "--grid" => opts.grid = true,
+            "--oracle" => opts.oracle = true,
+            "--capacity" => {
+                let v = it.next().expect("--capacity needs a byte count");
+                let bytes: u64 = v.parse().expect("--capacity must be a positive integer");
+                assert!(bytes > 0, "--capacity must be positive");
+                opts.capacity = Some(bytes);
+            }
+            "--jobs" => {
+                let v = it.next().expect("--jobs needs a value");
+                let jobs: usize = v.parse().expect("--jobs must be a positive integer");
+                assert!(jobs > 0, "--jobs must be positive");
+                opts.jobs = Some(jobs);
+            }
+            "--bench" => opts.bench = Some(it.next().expect("--bench needs a benchmark name")),
+            "--model" => opts.model = Some(it.next().expect("--model needs a model label")),
+            "--metrics-out" => {
+                opts.metrics_out = Some(it.next().expect("--metrics-out needs a file path"));
+            }
+            "--baseline-out" => {
+                opts.baseline_out = Some(it.next().expect("--baseline-out needs a file path"));
+            }
+            "--watch" => opts.watch = Some(it.next().expect("--watch needs a baseline file")),
+            "--tolerance" => {
+                let v = it.next().expect("--tolerance needs a fraction");
+                opts.tolerance = v.parse().expect("--tolerance must be a number");
+                assert!(opts.tolerance >= 0.0, "--tolerance must be non-negative");
+            }
+            other => panic!("unknown argument {other:?}; {USAGE}"),
+        }
+    }
+    assert!(!opts.events.is_empty(), "--events FILE is required; {USAGE}");
+    opts
+}
+
+/// One benchmark's streams as loaded from the export: event streams per
+/// model (in first-appearance order) and any run metadata.
+#[derive(Default)]
+struct BenchStreams {
+    models: Vec<String>,
+    events: BTreeMap<String, Vec<CacheEvent>>,
+    meta: BTreeMap<String, RunMeta>,
+}
+
+/// The parsed export: benchmarks in first-appearance order.
+struct Export {
+    order: Vec<String>,
+    benches: BTreeMap<String, BenchStreams>,
+}
+
+fn load_export(path: &str) -> Result<Export, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut export = Export {
+        order: Vec::new(),
+        benches: BTreeMap::new(),
+    };
+    let mut saw_header = false;
+    let mut first_content_line = true;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed =
+            parse_stream_line(&line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        match parsed {
+            StreamLine::Header(header) => {
+                header
+                    .validate()
+                    .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                saw_header = true;
+            }
+            StreamLine::Meta(meta) => {
+                let bench = bench_entry(&mut export, &meta.source);
+                if !bench.models.contains(&meta.model) {
+                    bench.models.push(meta.model.clone());
+                }
+                bench.meta.insert(meta.model.clone(), meta);
+            }
+            StreamLine::Event(record) => {
+                let bench = bench_entry(&mut export, &record.source);
+                if !bench.models.contains(&record.model) {
+                    bench.models.push(record.model.clone());
+                }
+                bench.events.entry(record.model).or_default().push(record.event);
+            }
+        }
+        if first_content_line && !saw_header {
+            eprintln!(
+                "warning: {path} has no schema header (pre-v2 export); run metadata is \
+                 unavailable, so --capacity is required"
+            );
+        }
+        first_content_line = false;
+    }
+    if export.order.is_empty() {
+        return Err(format!("{path} contains no event streams"));
+    }
+    Ok(export)
+}
+
+fn bench_entry<'a>(export: &'a mut Export, source: &str) -> &'a mut BenchStreams {
+    if !export.benches.contains_key(source) {
+        export.order.push(source.to_string());
+        export.benches.insert(source.to_string(), BenchStreams::default());
+    }
+    export.benches.get_mut(source).expect("just inserted")
+}
+
+/// One benchmark ready to simulate: its recovered frontend trace plus
+/// the replay parameters the events alone cannot supply.
+struct SimInput {
+    name: String,
+    trace: SimTrace,
+    log: AccessLog,
+    capacity: u64,
+    phases: u32,
+}
+
+/// Recovers each benchmark's frontend trace from its streams.
+///
+/// When the export carries several models of the same benchmark, every
+/// stream must reconstruct to the *same* frontend trace — the frontend
+/// is independent of cache management by construction, so a mismatch
+/// means the file mixes runs and simulating it would be meaningless.
+fn reconstruct_inputs(export: &Export, opts: &SimOptions) -> Result<Vec<SimInput>, String> {
+    let mut inputs = Vec::new();
+    for name in &export.order {
+        if opts.bench.as_ref().is_some_and(|want| want != name) {
+            continue;
+        }
+        let bench = &export.benches[name];
+        let chosen = match &opts.model {
+            Some(label) => {
+                if !bench.events.contains_key(label) {
+                    return Err(format!(
+                        "{name}: no stream for model {label:?}; available: {}",
+                        bench.models.join(", ")
+                    ));
+                }
+                label.clone()
+            }
+            None => bench.models.first().expect("non-empty bench").clone(),
+        };
+        let trace = reconstruct_trace(&bench.events[&chosen])
+            .map_err(|e| format!("{name} [{chosen}]: {e}"))?;
+        for (model, events) in &bench.events {
+            if model == &chosen {
+                continue;
+            }
+            let other = reconstruct_trace(events).map_err(|e| format!("{name} [{model}]: {e}"))?;
+            if other != trace {
+                return Err(format!(
+                    "{name}: streams for {chosen:?} and {model:?} reconstruct different \
+                     frontend traces ({} vs {} ops) — the export mixes runs",
+                    trace.ops.len(),
+                    other.ops.len()
+                ));
+            }
+        }
+        let meta = bench.meta.get(&chosen);
+        let peak = match (meta, opts.capacity) {
+            (Some(m), _) => m.peak_trace_bytes,
+            // Pre-v2 stream: peak footprint unknown; an explicit
+            // capacity pins the budget and the peak is only cosmetic.
+            (None, Some(capacity)) => capacity * 2,
+            (None, None) => {
+                return Err(format!(
+                    "{name}: stream carries no run metadata (pre-v2 export); \
+                     pass --capacity to fix the cache budget"
+                ))
+            }
+        };
+        let duration_us = meta.map_or_else(
+            || {
+                trace
+                    .ops
+                    .iter()
+                    .filter_map(|op| match *op {
+                        gencache_obs::TraceOp::Create { time, .. }
+                        | gencache_obs::TraceOp::Access { time, .. }
+                        | gencache_obs::TraceOp::Invalidate { time, .. } => {
+                            Some(time.as_micros())
+                        }
+                        _ => None,
+                    })
+                    .max()
+                    .map_or(0, |t| t + 1)
+            },
+            |m| m.duration_us,
+        );
+        let capacity = opts.capacity.unwrap_or_else(|| (peak / 2).max(1));
+        let phases = meta.map_or(1, |m| m.phases.max(1));
+        let log = trace_to_log(&trace, name.clone(), duration_us, peak);
+        inputs.push(SimInput {
+            name: name.clone(),
+            trace,
+            log,
+            capacity,
+            phases,
+        });
+    }
+    if inputs.is_empty() {
+        return Err(match &opts.bench {
+            Some(want) => format!(
+                "benchmark {want:?} not in export; available: {}",
+                export.order.join(", ")
+            ),
+            None => "no benchmarks selected".to_string(),
+        });
+    }
+    Ok(inputs)
+}
+
+/// Resolves the spec list: explicit `--spec` labels, plus the §6 sweep
+/// grid under `--grid`, defaulting to the live export's configurations.
+fn resolve_specs(opts: &SimOptions) -> Result<Vec<SimSpec>, String> {
+    let mut specs = Vec::new();
+    for label in &opts.specs {
+        specs.push(parse_spec(label)?);
+    }
+    if opts.grid {
+        specs.push(SimSpec::Model(ModelSpec::Unified));
+        for proportions in proportion_grid() {
+            for policy in policy_grid() {
+                specs.push(SimSpec::Model(ModelSpec::Generational {
+                    proportions,
+                    policy,
+                }));
+            }
+        }
+    }
+    if specs.is_empty() {
+        for (_, spec) in export_specs() {
+            specs.push(SimSpec::Model(spec));
+        }
+    }
+    // Dedupe by label, keeping first appearance.
+    let mut seen = Vec::new();
+    specs.retain(|s| {
+        let label = s.label();
+        if seen.contains(&label) {
+            false
+        } else {
+            seen.push(label);
+            true
+        }
+    });
+    Ok(specs)
+}
+
+/// The compact per-(benchmark, spec) summary `--baseline-out` stores
+/// and `--watch` compares against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BaselineRow {
+    benchmark: String,
+    spec: String,
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    uncachable: u64,
+    minstr: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    schema: String,
+    version: u32,
+    rows: Vec<BaselineRow>,
+}
+
+const BASELINE_SCHEMA: &str = "gencache-sim-baseline";
+const BASELINE_VERSION: u32 = 1;
+
+fn baseline_row(benchmark: &str, sim: &SimulatedSpec) -> BaselineRow {
+    BaselineRow {
+        benchmark: benchmark.to_string(),
+        spec: sim.label.clone(),
+        accesses: sim.metrics.accesses,
+        hits: sim.metrics.hits,
+        misses: sim.metrics.misses,
+        uncachable: sim.result.metrics.uncachable,
+        minstr: sim.costs.total.total(),
+    }
+}
+
+fn oracle_row(benchmark: &str, oracle: &OracleResult) -> BaselineRow {
+    BaselineRow {
+        benchmark: benchmark.to_string(),
+        spec: "oracle".to_string(),
+        accesses: oracle.accesses,
+        hits: oracle.hits,
+        misses: oracle.misses,
+        uncachable: oracle.uncachable,
+        minstr: 0.0,
+    }
+}
+
+/// Relative drift between a baseline and a current value.
+fn drift(base: f64, current: f64) -> f64 {
+    if base == current {
+        0.0
+    } else {
+        (current - base).abs() / base.abs().max(1.0)
+    }
+}
+
+/// Diffs the simulated rows against a stored baseline. Any row drifting
+/// past `tolerance` (relative), or missing from the current run, is a
+/// violation.
+fn watch(path: &str, rows: &[BaselineRow], tolerance: f64) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let baseline: Baseline =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a simulate baseline: {e}"))?;
+    if baseline.schema != BASELINE_SCHEMA {
+        return Err(format!(
+            "{path}: schema {:?} is not {BASELINE_SCHEMA:?}",
+            baseline.schema
+        ));
+    }
+    if baseline.version != BASELINE_VERSION {
+        return Err(format!(
+            "{path}: unsupported baseline version {} (this build understands {})",
+            baseline.version, BASELINE_VERSION
+        ));
+    }
+    let mut violations = 0usize;
+    println!("\nregression watch against {path} (tolerance {tolerance}):");
+    for base in &baseline.rows {
+        let Some(current) = rows
+            .iter()
+            .find(|r| r.benchmark == base.benchmark && r.spec == base.spec)
+        else {
+            println!("  MISSING {} [{}]: row not simulated", base.benchmark, base.spec);
+            violations += 1;
+            continue;
+        };
+        let worst = [
+            ("accesses", base.accesses as f64, current.accesses as f64),
+            ("hits", base.hits as f64, current.hits as f64),
+            ("misses", base.misses as f64, current.misses as f64),
+            ("uncachable", base.uncachable as f64, current.uncachable as f64),
+            ("Minstr", base.minstr, current.minstr),
+        ]
+        .into_iter()
+        .map(|(field, b, c)| (field, b, c, drift(b, c)))
+        .max_by(|a, b| a.3.total_cmp(&b.3))
+        .expect("non-empty field list");
+        if worst.3 > tolerance {
+            println!(
+                "  FAIL {} [{}]: {} drifted {:.4}% ({} -> {})",
+                base.benchmark,
+                base.spec,
+                worst.0,
+                worst.3 * 100.0,
+                worst.1,
+                worst.2,
+            );
+            violations += 1;
+        }
+    }
+    let tracked = baseline.rows.len();
+    let fresh = rows
+        .iter()
+        .filter(|r| {
+            !baseline
+                .rows
+                .iter()
+                .any(|b| b.benchmark == r.benchmark && b.spec == r.spec)
+        })
+        .count();
+    println!(
+        "  {} baseline rows checked, {} violations, {} new rows not in baseline",
+        tracked, violations, fresh
+    );
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args(std::env::args().skip(1));
+    let export = match load_export(&opts.events) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inputs = match reconstruct_inputs(&export, &opts) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match resolve_specs(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = effective_jobs(opts.jobs);
+    eprintln!(
+        "simulating {} benchmarks x {} specs ({jobs} jobs) ...",
+        inputs.len(),
+        specs.len()
+    );
+    let started = Instant::now();
+
+    // Fan the whole benchmark x spec cross product across the worker
+    // pool; results reassemble in input order, so every output below is
+    // bit-identical for any --jobs value.
+    let cells: Vec<(usize, SimSpec)> = inputs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| specs.iter().map(move |&s| (i, s)))
+        .collect();
+    let simulated: Vec<SimulatedSpec> = par_map(&cells, jobs, |&(i, spec)| {
+        let input = &inputs[i];
+        let every = sample_interval(&input.log);
+        let (result, metrics) = simulate_metrics(&input.log, spec, input.capacity, every);
+        let (_, costs) = simulate_costs(&input.log, spec, input.capacity, input.phases);
+        SimulatedSpec {
+            label: spec.label(),
+            result,
+            metrics,
+            costs,
+        }
+    });
+    let per_bench: Vec<&[SimulatedSpec]> = simulated.chunks(specs.len()).collect();
+    let oracles: Vec<Option<OracleResult>> = if opts.oracle {
+        par_map(&inputs, jobs, |input| {
+            Some(oracle_replay(&input.trace, input.capacity))
+        })
+    } else {
+        inputs.iter().map(|_| None).collect()
+    };
+    let elapsed = started.elapsed();
+
+    let mut rows: Vec<BaselineRow> = Vec::new();
+    for ((input, sims), oracle) in inputs.iter().zip(&per_bench).zip(&oracles) {
+        println!(
+            "\n=== {}: {} ops, capacity {} bytes, {} phases ===",
+            input.name,
+            input.trace.ops.len(),
+            input.capacity,
+            input.phases,
+        );
+        let mut table = TextTable::new(["spec", "accesses", "hits", "misses", "miss%", "Minstr"]);
+        for sim in *sims {
+            table.row([
+                sim.label.clone(),
+                sim.metrics.accesses.to_string(),
+                sim.metrics.hits.to_string(),
+                sim.metrics.misses.to_string(),
+                format!("{:.2}", sim.metrics.miss_rate() * 100.0),
+                format!("{:.2}", sim.costs.total.total() / 1e6),
+            ]);
+            rows.push(baseline_row(&input.name, sim));
+        }
+        if let Some(oracle) = oracle {
+            table.row([
+                "oracle".to_string(),
+                oracle.accesses.to_string(),
+                oracle.hits.to_string(),
+                oracle.misses.to_string(),
+                format!("{:.2}", oracle.miss_rate() * 100.0),
+                "lower bound".to_string(),
+            ]);
+            rows.push(oracle_row(&input.name, oracle));
+        }
+        print!("{}", table.render());
+    }
+    eprintln!(
+        "simulated {} replays in {:.3}s wall-clock",
+        simulated.len(),
+        elapsed.as_secs_f64()
+    );
+
+    if let Some(path) = &opts.metrics_out {
+        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        let benchmarks: Vec<(String, Vec<SpecReports>)> = inputs
+            .iter()
+            .zip(&per_bench)
+            .map(|(input, sims)| {
+                let reports = sims
+                    .iter()
+                    .map(|sim| (sim.metrics.clone(), sim.costs.clone(), None))
+                    .collect();
+                (input.name.clone(), reports)
+            })
+            .collect();
+        if let Err(e) = write_metrics_doc(path, metrics_doc(&labels, &benchmarks)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote metrics to {path}");
+    }
+
+    if let Some(path) = &opts.baseline_out {
+        let doc = Baseline {
+            schema: BASELINE_SCHEMA.to_string(),
+            version: BASELINE_VERSION,
+            rows: rows.clone(),
+        };
+        let json = match serde_json::to_string(&doc) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot serialize baseline: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let written = File::create(path).and_then(|mut f| {
+            f.write_all(json.as_bytes())?;
+            f.write_all(b"\n")
+        });
+        if let Err(e) = written {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote baseline ({} rows) to {path}", rows.len());
+    }
+
+    if let Some(path) = &opts.watch {
+        match watch(path, &rows, opts.tolerance) {
+            Ok(0) => println!("watch: OK"),
+            Ok(n) => {
+                println!("watch: {n} violation(s)");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

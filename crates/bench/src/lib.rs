@@ -23,6 +23,7 @@
 //! | `ablate_exceptions` | §4.2 undeletable-trace ablation (extension) |
 //! | `explain` | one benchmark's event stream as a narrative (extension) |
 //! | `delta` | phase-by-phase diff of two exported event streams (extension) |
+//! | `simulate` | offline what-if replay of an exported stream (extension) |
 //!
 //! All binaries accept `--scale N` to divide every benchmark's footprint
 //! by `N` (for quick smoke runs), `--suite spec|interactive` to limit
@@ -39,7 +40,10 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
-use gencache_obs::{CostReport, JsonlSink, MetricsReport, SampledReport, SamplingParams};
+use gencache_obs::{
+    CostReport, JsonlSink, MetricsReport, RunMeta, SampledReport, SamplingParams, StreamHeader,
+    METRICS_SCHEMA, METRICS_VERSION,
+};
 use serde::{Serialize, Value};
 use gencache_sim::par::{par_map, par_map_timed};
 use gencache_sim::{
@@ -262,8 +266,9 @@ pub fn export_specs() -> [(&'static str, ModelSpec); 2] {
 
 /// Timeline sampling interval giving roughly 64 occupancy samples per
 /// replay. Keyed on access counts, not wall clock, so the timeline is
-/// deterministic.
-fn sample_interval(log: &gencache_sim::AccessLog) -> u64 {
+/// deterministic — and reproducible by the offline simulator, whose
+/// reconstructed log preserves the access count exactly.
+pub fn sample_interval(log: &gencache_sim::AccessLog) -> u64 {
     (log.access_count() / 64).max(1)
 }
 
@@ -298,9 +303,25 @@ fn spec_section(metrics: &MetricsReport, costs: &CostReport, sampled: Option<&Sa
 
 fn write_events(path: &str, runs: &[Run]) -> io::Result<u64> {
     let mut writer = BufWriter::new(File::create(path)?);
-    let mut lines = 0u64;
+    let header =
+        serde_json::to_string(&StreamHeader::current()).map_err(|e| io::Error::other(format!("{e:?}")))?;
+    writeln!(writer, "{header}")?;
+    let mut lines = 1u64;
     for (profile, run) in runs {
         for (label, spec) in export_specs() {
+            // The run facts the events alone cannot reproduce; the
+            // offline simulator rebuilds capacity / cost attribution
+            // from these.
+            let meta = RunMeta {
+                source: profile.name.clone(),
+                model: label.to_string(),
+                duration_us: run.log.duration.as_micros(),
+                peak_trace_bytes: run.log.peak_trace_bytes,
+                phases: profile.phases.max(1),
+            };
+            let meta = serde_json::to_string(&meta).map_err(|e| io::Error::other(format!("{e:?}")))?;
+            writeln!(writer, "{meta}")?;
+            lines += 1;
             let sink = JsonlSink::new(writer, profile.name.clone(), label);
             let (_, sink) = replay_observed(&run.log, spec, sink);
             lines += sink.lines();
@@ -313,14 +334,71 @@ fn write_events(path: &str, runs: &[Run]) -> io::Result<u64> {
 
 /// Per-benchmark artifacts for one exported model: exact metrics, cost
 /// attribution, optional sampled report.
-type SpecReports = (MetricsReport, CostReport, Option<SampledReport>);
+pub type SpecReports = (MetricsReport, CostReport, Option<SampledReport>);
+
+/// Assembles the `--metrics-out` document from per-benchmark report
+/// rows: one entry per benchmark, each carrying one [`SpecReports`] per
+/// label in `labels` order.
+///
+/// Shared by the live export and the offline `simulate` tool — both
+/// paths produce a document through this one function, so a simulation
+/// of a recorded stream under its original configuration is comparable
+/// to the live document byte-for-byte. Suite-level merges fold rows in
+/// input order, keeping the document identical for every job count.
+pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)]) -> Value {
+    let mut suite: Vec<SpecReports> = labels
+        .iter()
+        .map(|_| (MetricsReport::new(), CostReport::new(1), None))
+        .collect();
+    let mut bench_values = Vec::with_capacity(benchmarks.len());
+    for (name, reports) in benchmarks {
+        let mut pairs = vec![("benchmark".to_string(), Value::Str(name.clone()))];
+        for ((label, (metrics, costs, sampled)), merged) in
+            labels.iter().zip(reports).zip(suite.iter_mut())
+        {
+            merged.0.merge(metrics);
+            merged.1.merge(costs);
+            if let Some(s) = sampled {
+                match merged.2.as_mut() {
+                    None => merged.2 = Some(s.clone()),
+                    Some(m) => m.merge(s),
+                }
+            }
+            pairs.push((label.clone(), spec_section(metrics, costs, sampled.as_ref())));
+        }
+        bench_values.push(Value::Object(pairs));
+    }
+    let suite_pairs: Vec<(String, Value)> = labels
+        .iter()
+        .zip(&suite)
+        .map(|(label, (metrics, costs, sampled))| {
+            (label.clone(), spec_section(metrics, costs, sampled.as_ref()))
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".to_string(), Value::Str(METRICS_SCHEMA.to_string())),
+        ("version".to_string(), Value::UInt(u64::from(METRICS_VERSION))),
+        ("suite".to_string(), Value::Object(suite_pairs)),
+        ("benchmarks".to_string(), Value::Array(bench_values)),
+    ])
+}
+
+/// Serializes an assembled metrics document to `path` (single JSON
+/// document, trailing newline).
+pub fn write_metrics_doc(path: &str, doc: Value) -> io::Result<()> {
+    let json =
+        serde_json::to_string(&RawValue(doc)).map_err(|e| io::Error::other(format!("{e:?}")))?;
+    let mut file = File::create(path)?;
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")
+}
 
 fn write_metrics(path: &str, runs: &[Run], opts: &HarnessOptions) -> io::Result<()> {
     let jobs = opts.effective_jobs();
     let sampling = opts.sampling_params();
-    // Per-benchmark reports fan out across workers; the suite-level
-    // merges fold them in input-index order, so the document is
-    // bit-identical for every jobs value.
+    // Per-benchmark reports fan out across workers; document assembly
+    // folds them in input-index order, so the output is bit-identical
+    // for every jobs value.
     let per_bench: Vec<Vec<SpecReports>> = par_map(runs, jobs, |(profile, run)| {
         export_specs()
             .iter()
@@ -333,44 +411,16 @@ fn write_metrics(path: &str, runs: &[Run], opts: &HarnessOptions) -> io::Result<
             })
             .collect()
     });
-    let mut suite: Vec<SpecReports> = export_specs()
+    let labels: Vec<String> = export_specs()
         .iter()
-        .map(|_| (MetricsReport::new(), CostReport::new(1), None))
+        .map(|&(label, _)| label.to_string())
         .collect();
-    let mut benchmarks = Vec::with_capacity(runs.len());
-    for ((profile, _), reports) in runs.iter().zip(&per_bench) {
-        let mut pairs = vec![("benchmark".to_string(), Value::Str(profile.name.clone()))];
-        for ((&(label, _), (metrics, costs, sampled)), merged) in
-            export_specs().iter().zip(reports).zip(suite.iter_mut())
-        {
-            merged.0.merge(metrics);
-            merged.1.merge(costs);
-            if let Some(s) = sampled {
-                match merged.2.as_mut() {
-                    None => merged.2 = Some(s.clone()),
-                    Some(m) => m.merge(s),
-                }
-            }
-            pairs.push((label.to_string(), spec_section(metrics, costs, sampled.as_ref())));
-        }
-        benchmarks.push(Value::Object(pairs));
-    }
-    let suite_pairs: Vec<(String, Value)> = export_specs()
+    let benchmarks: Vec<(String, Vec<SpecReports>)> = runs
         .iter()
-        .zip(&suite)
-        .map(|(&(label, _), (metrics, costs, sampled))| {
-            (label.to_string(), spec_section(metrics, costs, sampled.as_ref()))
-        })
+        .zip(per_bench)
+        .map(|((profile, _), reports)| (profile.name.clone(), reports))
         .collect();
-    let doc = RawValue(Value::Object(vec![
-        ("suite".to_string(), Value::Object(suite_pairs)),
-        ("benchmarks".to_string(), Value::Array(benchmarks)),
-    ]));
-    let json = serde_json::to_string(&doc)
-        .map_err(|e| io::Error::other(format!("{e:?}")))?;
-    let mut file = File::create(path)?;
-    file.write_all(json.as_bytes())?;
-    file.write_all(b"\n")
+    write_metrics_doc(path, metrics_doc(&labels, &benchmarks))
 }
 
 /// Adapter so an already-assembled [`Value`] tree can go through

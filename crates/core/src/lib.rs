@@ -62,6 +62,7 @@ pub mod cost;
 mod lifetime;
 mod manager;
 mod model;
+mod replay;
 mod unified;
 
 pub use config::{GenerationalConfig, PromotionPolicy, Proportions};
@@ -69,4 +70,5 @@ pub use cost::{overhead_ratio, CostLedger};
 pub use lifetime::{LifetimeHistogram, LifetimeTracker};
 pub use manager::GenerationalModel;
 pub use model::{AccessOutcome, CacheModel, Generation, ModelMetrics};
+pub use replay::replay_trace;
 pub use unified::UnifiedModel;

@@ -25,7 +25,7 @@
 use gencache_cache::{
     CodeCache, EntryInfo, EvictionCause, PseudoCircularCache, TraceId, TraceRecord,
 };
-use gencache_obs::{CacheEvent, NullObserver, Observer, Region};
+use gencache_obs::{CacheEvent, FrontendOp, NullObserver, Observer, Region};
 use gencache_program::Time;
 
 use crate::config::{GenerationalConfig, PromotionPolicy};
@@ -412,7 +412,7 @@ impl<O: Observer> CacheModel for GenerationalModel<O> {
         AccessOutcome::Miss
     }
 
-    fn on_unmap(&mut self, id: TraceId) -> bool {
+    fn on_unmap(&mut self, id: TraceId, now: Time) -> bool {
         for region in [Region::Nursery, Region::Probation, Region::Persistent] {
             let cache = match region {
                 Region::Nursery => &mut self.nursery,
@@ -423,17 +423,22 @@ impl<O: Observer> CacheModel for GenerationalModel<O> {
                 self.metrics.unmap_deletions += 1;
                 self.ledger.charge_eviction(info.size_bytes());
                 if self.observer.enabled() {
-                    // Unmap log records carry no timestamp; the trace's
-                    // last access is the best available clock.
-                    self.emit_evict(region, &info, EvictionCause::Unmapped, info.last_access);
+                    self.emit_evict(region, &info, EvictionCause::Unmapped, now);
                 }
                 return true;
             }
         }
+        if self.observer.enabled() {
+            self.observer.on_event(&CacheEvent::Noop {
+                op: FrontendOp::Unmap,
+                trace: id,
+                time: now,
+            });
+        }
         false
     }
 
-    fn on_pin(&mut self, id: TraceId, pinned: bool) -> bool {
+    fn on_pin(&mut self, id: TraceId, pinned: bool, now: Time) -> bool {
         for region in [Region::Nursery, Region::Probation, Region::Persistent] {
             let cache = match region {
                 Region::Nursery => &mut self.nursery,
@@ -442,24 +447,34 @@ impl<O: Observer> CacheModel for GenerationalModel<O> {
             };
             if cache.set_pinned(id, pinned) {
                 if self.observer.enabled() {
-                    let time = cache.entry(id).map(|e| e.last_access).unwrap_or(Time::ZERO);
                     let event = if pinned {
                         CacheEvent::Pin {
                             region,
                             trace: id,
-                            time,
+                            time: now,
                         }
                     } else {
                         CacheEvent::Unpin {
                             region,
                             trace: id,
-                            time,
+                            time: now,
                         }
                     };
                     self.observer.on_event(&event);
                 }
                 return true;
             }
+        }
+        if self.observer.enabled() {
+            self.observer.on_event(&CacheEvent::Noop {
+                op: if pinned {
+                    FrontendOp::Pin
+                } else {
+                    FrontendOp::Unpin
+                },
+                trace: id,
+                time: now,
+            });
         }
         false
     }
@@ -649,10 +664,11 @@ mod tests {
             m.generation_of(TraceId::new(0)),
             Some(Generation::Persistent)
         );
-        assert!(m.on_unmap(TraceId::new(0)));
-        assert!(m.on_unmap(TraceId::new(1)));
-        assert!(m.on_unmap(TraceId::new(4)));
-        assert!(!m.on_unmap(TraceId::new(99)));
+        let t = Time::from_micros(2);
+        assert!(m.on_unmap(TraceId::new(0), t));
+        assert!(m.on_unmap(TraceId::new(1), t));
+        assert!(m.on_unmap(TraceId::new(4), t));
+        assert!(!m.on_unmap(TraceId::new(99), t));
         assert_eq!(m.metrics().unmap_deletions, 3);
         assert_eq!(m.generation_of(TraceId::new(0)), None);
     }
@@ -686,8 +702,8 @@ mod tests {
     fn pin_works_across_generations() {
         let mut m = model(3000, PromotionPolicy::OnHit { hits: 1 });
         m.on_access(rec(1, 250), Time::ZERO);
-        assert!(m.on_pin(TraceId::new(1), true));
-        assert!(!m.on_pin(TraceId::new(9), true));
+        assert!(m.on_pin(TraceId::new(1), true, Time::ZERO));
+        assert!(!m.on_pin(TraceId::new(9), true, Time::ZERO));
         assert!(m.nursery().entry(TraceId::new(1)).unwrap().pinned);
     }
 

@@ -111,13 +111,22 @@ pub trait CacheModel: fmt::Debug {
     /// charges regeneration costs and re-inserts the trace.
     fn on_access(&mut self, rec: TraceRecord, now: Time) -> AccessOutcome;
 
-    /// Deletes a trace because its source memory was unmapped. Returns
-    /// `true` if the trace was resident somewhere.
-    fn on_unmap(&mut self, id: TraceId) -> bool;
+    /// Deletes a trace because its source memory was unmapped at time
+    /// `now`. Returns `true` if the trace was resident somewhere.
+    ///
+    /// Instrumented models emit an event on *every* call — an
+    /// [`Evict`](gencache_obs::CacheEvent::Evict) when the trace was
+    /// resident, a [`Noop`](gencache_obs::CacheEvent::Noop) otherwise —
+    /// so the exported stream records the complete frontend op sequence.
+    fn on_unmap(&mut self, id: TraceId, now: Time) -> bool;
 
-    /// Pins or unpins a resident trace (undeletable traces, Section 4.2).
-    /// Returns `true` if the trace was resident somewhere.
-    fn on_pin(&mut self, id: TraceId, pinned: bool) -> bool;
+    /// Pins or unpins a resident trace (undeletable traces, Section 4.2)
+    /// at time `now`. Returns `true` if the trace was resident somewhere.
+    ///
+    /// Like [`CacheModel::on_unmap`], instrumented models emit a
+    /// [`Noop`](gencache_obs::CacheEvent::Noop) when the trace is not
+    /// resident, keeping the frontend op stream complete.
+    fn on_pin(&mut self, id: TraceId, pinned: bool, now: Time) -> bool;
 
     /// Hit/miss counters.
     fn metrics(&self) -> &ModelMetrics;

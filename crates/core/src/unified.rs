@@ -5,7 +5,7 @@
 //! size that benchmark reached (Section 6).
 
 use gencache_cache::{CodeCache, EvictionCause, PseudoCircularCache, TraceId, TraceRecord};
-use gencache_obs::{CacheEvent, NullObserver, Observer, Region};
+use gencache_obs::{CacheEvent, FrontendOp, NullObserver, Observer, Region};
 use gencache_program::Time;
 
 use crate::cost::CostLedger;
@@ -174,49 +174,63 @@ impl<O: Observer> CacheModel for UnifiedModel<O> {
         AccessOutcome::Miss
     }
 
-    fn on_unmap(&mut self, id: TraceId) -> bool {
+    fn on_unmap(&mut self, id: TraceId, now: Time) -> bool {
         match self.cache.remove(id, EvictionCause::Unmapped) {
             Some(info) => {
                 self.metrics.unmap_deletions += 1;
                 self.ledger.charge_eviction(info.size_bytes());
                 if self.observer.enabled() {
-                    // Unmap log records carry no timestamp; the trace's
-                    // last access is the best available clock.
                     self.observer.on_event(&CacheEvent::Evict {
                         region: Region::Unified,
                         trace: info.id(),
                         bytes: info.size_bytes(),
                         cause: EvictionCause::Unmapped,
-                        age_us: info.last_access.saturating_micros_since(info.insert_time),
-                        idle_us: 0,
-                        time: info.last_access,
+                        age_us: now.saturating_micros_since(info.insert_time),
+                        idle_us: now.saturating_micros_since(info.last_access),
+                        time: now,
                     });
                 }
                 true
             }
-            None => false,
+            None => {
+                if self.observer.enabled() {
+                    self.observer.on_event(&CacheEvent::Noop {
+                        op: FrontendOp::Unmap,
+                        trace: id,
+                        time: now,
+                    });
+                }
+                false
+            }
         }
     }
 
-    fn on_pin(&mut self, id: TraceId, pinned: bool) -> bool {
+    fn on_pin(&mut self, id: TraceId, pinned: bool, now: Time) -> bool {
         let changed = self.cache.set_pinned(id, pinned);
-        if changed && self.observer.enabled() {
-            let time = self
-                .cache
-                .entry(id)
-                .map(|e| e.last_access)
-                .unwrap_or(Time::ZERO);
-            let event = if pinned {
-                CacheEvent::Pin {
-                    region: Region::Unified,
-                    trace: id,
-                    time,
+        if self.observer.enabled() {
+            let event = if changed {
+                if pinned {
+                    CacheEvent::Pin {
+                        region: Region::Unified,
+                        trace: id,
+                        time: now,
+                    }
+                } else {
+                    CacheEvent::Unpin {
+                        region: Region::Unified,
+                        trace: id,
+                        time: now,
+                    }
                 }
             } else {
-                CacheEvent::Unpin {
-                    region: Region::Unified,
+                CacheEvent::Noop {
+                    op: if pinned {
+                        FrontendOp::Pin
+                    } else {
+                        FrontendOp::Unpin
+                    },
                     trace: id,
-                    time,
+                    time: now,
                 }
             };
             self.observer.on_event(&event);
@@ -281,8 +295,8 @@ mod tests {
     fn unmap_removes_and_charges() {
         let mut m = UnifiedModel::new(1000);
         m.on_access(rec(1, 200), Time::ZERO);
-        assert!(m.on_unmap(TraceId::new(1)));
-        assert!(!m.on_unmap(TraceId::new(1)));
+        assert!(m.on_unmap(TraceId::new(1), Time::from_micros(1)));
+        assert!(!m.on_unmap(TraceId::new(1), Time::from_micros(2)));
         assert_eq!(m.metrics().unmap_deletions, 1);
         assert_eq!(m.ledger().eviction_events, 1);
         assert_eq!(m.on_access(rec(1, 200), Time::ZERO), AccessOutcome::Miss);
@@ -301,14 +315,14 @@ mod tests {
     fn pinning_protects_entry() {
         let mut m = UnifiedModel::new(400);
         m.on_access(rec(1, 300), Time::ZERO);
-        assert!(m.on_pin(TraceId::new(1), true));
+        assert!(m.on_pin(TraceId::new(1), true, Time::ZERO));
         // Without the pin, trace 2 would evict trace 1; with it, trace 2
         // finds no space and trace 1 survives.
         m.on_access(rec(2, 200), Time::ZERO);
         assert_eq!(m.metrics().uncachable, 1);
         assert!(m.on_access(rec(1, 300), Time::ZERO).is_hit());
         // Unpinning restores normal eviction.
-        assert!(m.on_pin(TraceId::new(1), false));
+        assert!(m.on_pin(TraceId::new(1), false, Time::ZERO));
         m.on_access(rec(2, 200), Time::ZERO);
         assert!(!m.on_access(rec(1, 300), Time::ZERO).is_hit());
     }

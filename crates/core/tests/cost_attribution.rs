@@ -47,7 +47,7 @@ fn drive(model: &mut dyn CacheModel, ops: &[Op]) {
                 model.on_access(TraceRecord::new(TraceId::new(id), bytes, Addr::new(id)), now);
             }
             Op::Unmap { id } => {
-                model.on_unmap(TraceId::new(id));
+                model.on_unmap(TraceId::new(id), now);
             }
         }
     }

@@ -45,10 +45,10 @@ fn run_ops(model: &mut dyn CacheModel, ops: &[Op]) {
                 let _ = outcome;
             }
             Op::Unmap { id } => {
-                model.on_unmap(TraceId::new(id));
+                model.on_unmap(TraceId::new(id), now);
             }
             Op::Pin { id, pinned } => {
-                model.on_pin(TraceId::new(id), pinned);
+                model.on_pin(TraceId::new(id), pinned, now);
             }
         }
         // Universal invariants after every step.

@@ -426,6 +426,7 @@ impl Observer for CostObserver {
             | CacheEvent::PromotedIn { .. }
             | CacheEvent::Pin { .. }
             | CacheEvent::Unpin { .. }
+            | CacheEvent::Noop { .. }
             | CacheEvent::PointerReset { .. } => {}
         }
     }

@@ -64,6 +64,24 @@ impl fmt::Display for Region {
     }
 }
 
+/// The kind of frontend request a [`CacheEvent::Noop`] records.
+///
+/// The frontend's stream of trace executions, unmaps and pin windows is
+/// independent of cache management (the paper's Section 6 methodology),
+/// but an unmap or pin targeting a trace the *replaying* model no longer
+/// holds would otherwise leave no mark in the event stream — and the
+/// stream could not be replayed against a different layout in which the
+/// trace *was* resident. `Noop` events close that gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrontendOp {
+    /// The program unmapped the trace's source memory.
+    Unmap,
+    /// The trace was requested pinned (undeletable).
+    Pin,
+    /// The trace was requested unpinned.
+    Unpin,
+}
+
 /// One cache-management event, emitted by a model as it replays a log.
 ///
 /// Durations are in microseconds (the resolution of
@@ -163,8 +181,9 @@ pub enum CacheEvent {
         region: Region,
         /// The pinned trace.
         trace: TraceId,
-        /// When the pin happened (the trace's last access: pin log
-        /// records carry no timestamp of their own).
+        /// When the pin happened. Pin log records carry no timestamp of
+        /// their own, so replay passes the time of the most recent timed
+        /// record as the pin's clock.
         time: Time,
     },
     /// A pinned trace became deletable again.
@@ -173,7 +192,21 @@ pub enum CacheEvent {
         region: Region,
         /// The unpinned trace.
         trace: TraceId,
-        /// When the unpin happened (the trace's last access).
+        /// When the unpin happened (see [`CacheEvent::Pin`] on clocks).
+        time: Time,
+    },
+    /// A frontend request that had no cache effect in the replaying
+    /// model: an unmap of a non-resident trace, or a pin/unpin of a
+    /// trace held nowhere. Recorded so the complete frontend op stream —
+    /// which is independent of cache layout — survives in the export and
+    /// can be replayed against *hypothetical* configurations in which
+    /// the trace might still be resident (the `simulate` tool).
+    Noop {
+        /// Which frontend request went unanswered.
+        op: FrontendOp,
+        /// The trace the request named.
+        trace: TraceId,
+        /// When the request happened.
         time: Time,
     },
     /// The replacement pointer was forced past protected entries while
@@ -201,6 +234,7 @@ impl CacheEvent {
             | CacheEvent::PromotedIn { time, .. }
             | CacheEvent::Pin { time, .. }
             | CacheEvent::Unpin { time, .. }
+            | CacheEvent::Noop { time, .. }
             | CacheEvent::PointerReset { time, .. } => time,
         }
     }
@@ -215,7 +249,8 @@ impl CacheEvent {
             | CacheEvent::Promote { trace, .. }
             | CacheEvent::PromotedIn { trace, .. }
             | CacheEvent::Pin { trace, .. }
-            | CacheEvent::Unpin { trace, .. } => Some(trace),
+            | CacheEvent::Unpin { trace, .. }
+            | CacheEvent::Noop { trace, .. } => Some(trace),
             CacheEvent::PointerReset { .. } => None,
         }
     }

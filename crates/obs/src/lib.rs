@@ -49,17 +49,26 @@ mod event;
 mod hist;
 mod metrics;
 mod observer;
+mod oracle;
 mod reconstruct;
 mod sample;
+mod schema;
+mod simstream;
 
 pub use cost::{
     overhead_ratio, CauseCost, CostLedger, CostObserver, CostReport, PhaseCost, RegionCost,
 };
-pub use event::{CacheEvent, Region};
+pub use event::{CacheEvent, FrontendOp, Region};
 pub use hist::Log2Histogram;
 pub use metrics::{
     ChurnEntry, MetricsObserver, MetricsReport, RegionMetrics, TimelineSample, TOP_CHURN,
 };
 pub use observer::{EventBuffer, EventRecord, JsonlSink, NullObserver, Observer};
+pub use oracle::{oracle_replay, OracleResult};
 pub use reconstruct::reconstruct_stats;
+pub use schema::{
+    parse_stream_line, RunMeta, StreamHeader, StreamLine, EVENTS_SCHEMA, EVENTS_VERSION,
+    METRICS_SCHEMA, METRICS_VERSION,
+};
+pub use simstream::{reconstruct_trace, SimTrace, TraceOp};
 pub use sample::{ReservoirSnapshot, SampledReport, SamplingObserver, SamplingParams, SamplingSummary};

@@ -379,6 +379,9 @@ impl Observer for MetricsObserver {
             CacheEvent::PromotedIn { .. } => {}
             CacheEvent::Pin { region, .. } => self.region_mut(region).pins += 1,
             CacheEvent::Unpin { region, .. } => self.region_mut(region).unpins += 1,
+            // Frontend requests that changed nothing in this model; only
+            // the offline trace reconstruction consumes them.
+            CacheEvent::Noop { .. } => {}
             CacheEvent::PointerReset { region, resets, .. } => {
                 self.region_mut(region).pointer_resets += u64::from(resets);
             }

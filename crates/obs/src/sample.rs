@@ -496,6 +496,8 @@ impl<O: Observer> Observer for SamplingObserver<O> {
             CacheEvent::PromotedIn { .. } => {}
             CacheEvent::Pin { region, .. } => self.region_mut(region).pins += 1,
             CacheEvent::Unpin { region, .. } => self.region_mut(region).unpins += 1,
+            // Frontend requests that changed nothing in this model.
+            CacheEvent::Noop { .. } => {}
             CacheEvent::PointerReset { region, resets, .. } => {
                 self.region_mut(region).pointer_resets += u64::from(resets);
             }

@@ -1,0 +1,193 @@
+//! Versioned framing for the JSONL event export.
+//!
+//! A `--events-out` file is a sequence of self-describing JSON lines:
+//!
+//! 1. exactly one [`StreamHeader`] as the first line, naming the schema
+//!    and its version;
+//! 2. one [`RunMeta`] line per `(source, model)` stream, carrying the
+//!    run facts that are *not* recoverable from the events themselves
+//!    (capacity basis, wall-clock duration, phase count);
+//! 3. [`EventRecord`] lines, one per [`CacheEvent`](crate::CacheEvent).
+//!
+//! Consumers call [`parse_stream_line`] per line and branch on the
+//! returned [`StreamLine`]; unknown versions are rejected up front
+//! instead of misparsing silently. Version 1 files (plain event lines,
+//! no header) still parse — every line is an event — so old exports
+//! remain readable by consumers that choose to warn instead of reject.
+
+use serde::{Deserialize, Serialize};
+
+use crate::observer::EventRecord;
+
+/// The schema name every event export declares.
+pub const EVENTS_SCHEMA: &str = "gencache-events";
+
+/// The version this crate writes and understands.
+///
+/// * v1 — bare [`EventRecord`] lines, no framing (PR 2–3 exports).
+/// * v2 — [`StreamHeader`] first line, [`RunMeta`] per stream, and
+///   [`CacheEvent::Noop`](crate::CacheEvent::Noop) events making the
+///   frontend op sequence complete (required by the `simulate` tool).
+pub const EVENTS_VERSION: u32 = 2;
+
+/// The schema name every `--metrics-out` document declares in its
+/// top-level `schema` field.
+pub const METRICS_SCHEMA: &str = "gencache-metrics";
+
+/// The metrics-document version this crate's consumers understand.
+///
+/// * v1 — `suite`/`benchmarks` only, no self-description (PR 2–3).
+/// * v2 — adds the top-level `schema`/`version` fields.
+pub const METRICS_VERSION: u32 = 2;
+
+/// The first line of a versioned event export.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamHeader {
+    /// Schema name; always [`EVENTS_SCHEMA`].
+    pub schema: String,
+    /// Schema version; see [`EVENTS_VERSION`].
+    pub version: u32,
+}
+
+impl StreamHeader {
+    /// The header this crate writes.
+    pub fn current() -> Self {
+        StreamHeader {
+            schema: EVENTS_SCHEMA.to_string(),
+            version: EVENTS_VERSION,
+        }
+    }
+
+    /// Checks the header names a schema/version this crate understands.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != EVENTS_SCHEMA {
+            return Err(format!(
+                "unknown schema {:?} (expected {EVENTS_SCHEMA:?})",
+                self.schema
+            ));
+        }
+        if self.version != EVENTS_VERSION {
+            return Err(format!(
+                "unsupported {} version {} (this build understands version {})",
+                self.schema, self.version, EVENTS_VERSION
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Run facts for one `(source, model)` stream that the events alone
+/// cannot reproduce: what the replay was driven with, not what the
+/// cache did.
+///
+/// `peak_trace_bytes` is the unbounded footprint that fixes the paper's
+/// capacity rule (`capacity = peak / 2`); `duration_us` and `phases`
+/// parameterize phase-bucketed cost attribution. The offline `simulate`
+/// tool needs all three to rebuild a [`MetricsReport`](crate::MetricsReport)
+/// / [`CostReport`](crate::CostReport) pair identical to the live path's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Benchmark the stream was recorded from.
+    pub source: String,
+    /// Model label the stream was replayed into (e.g. `"unified"`).
+    pub model: String,
+    /// Wall-clock span of the recorded run, in microseconds.
+    pub duration_us: u64,
+    /// Peak unbounded trace footprint of the recording, in bytes.
+    pub peak_trace_bytes: u64,
+    /// Program phase count of the workload profile.
+    pub phases: u32,
+}
+
+/// One parsed line of a versioned event export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamLine {
+    /// The file-level schema header.
+    Header(StreamHeader),
+    /// Per-stream run metadata.
+    Meta(RunMeta),
+    /// An event line.
+    Event(EventRecord),
+}
+
+/// Parses one JSONL line of an event export.
+///
+/// Line kinds are disambiguated structurally: the vendored
+/// deserializer errors on missing fields, so each shape matches
+/// exactly one of [`StreamHeader`] (`schema`/`version`), [`RunMeta`]
+/// (`duration_us`/…) and [`EventRecord`] (`event`).
+pub fn parse_stream_line(line: &str) -> Result<StreamLine, String> {
+    if let Ok(header) = serde_json::from_str::<StreamHeader>(line) {
+        return Ok(StreamLine::Header(header));
+    }
+    if let Ok(meta) = serde_json::from_str::<RunMeta>(line) {
+        return Ok(StreamLine::Meta(meta));
+    }
+    match serde_json::from_str::<EventRecord>(line) {
+        Ok(record) => Ok(StreamLine::Event(record)),
+        Err(e) => Err(format!("unrecognized stream line: {e}: {line}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheEvent, Region};
+    use gencache_cache::TraceId;
+    use gencache_program::Time;
+
+    #[test]
+    fn header_roundtrip_and_validation() {
+        let header = StreamHeader::current();
+        let line = serde_json::to_string(&header).unwrap();
+        match parse_stream_line(&line).unwrap() {
+            StreamLine::Header(h) => {
+                assert_eq!(h, header);
+                h.validate().unwrap();
+            }
+            other => panic!("expected header, got {other:?}"),
+        }
+        let future = StreamHeader {
+            schema: EVENTS_SCHEMA.into(),
+            version: EVENTS_VERSION + 1,
+        };
+        assert!(future.validate().is_err());
+        let alien = StreamHeader {
+            schema: "not-ours".into(),
+            version: EVENTS_VERSION,
+        };
+        assert!(alien.validate().is_err());
+    }
+
+    #[test]
+    fn meta_and_event_lines_disambiguate() {
+        let meta = RunMeta {
+            source: "word".into(),
+            model: "unified".into(),
+            duration_us: 1_000_000,
+            peak_trace_bytes: 4096,
+            phases: 3,
+        };
+        let line = serde_json::to_string(&meta).unwrap();
+        assert_eq!(parse_stream_line(&line).unwrap(), StreamLine::Meta(meta));
+
+        let record = EventRecord {
+            source: "word".into(),
+            model: "unified".into(),
+            event: CacheEvent::Hit {
+                region: Region::Unified,
+                trace: TraceId::new(1),
+                reuse_us: 0,
+                time: Time::ZERO,
+            },
+        };
+        let line = serde_json::to_string(&record).unwrap();
+        assert_eq!(parse_stream_line(&line).unwrap(), StreamLine::Event(record));
+    }
+
+    #[test]
+    fn garbage_lines_error() {
+        assert!(parse_stream_line("{\"what\":1}").is_err());
+        assert!(parse_stream_line("not json").is_err());
+    }
+}

@@ -215,24 +215,28 @@ pub fn occupancy_series(
     let stride = (n / samples).max(1);
     let mut series = Vec::with_capacity(samples);
     let mut catalog: HashMap<TraceId, gencache_cache::TraceRecord> = HashMap::new();
+    let mut now = gencache_program::Time::ZERO;
     for (i, record) in log.records.iter().enumerate() {
         match *record {
             LogRecord::Create { record, time } => {
                 catalog.insert(record.id, record);
+                now = time;
                 model.on_access(record, time);
             }
             LogRecord::Access { id, time } => {
                 let rec = catalog[&id];
+                now = time;
                 model.on_access(rec, time);
             }
-            LogRecord::Invalidate { id, .. } => {
-                model.on_unmap(id);
+            LogRecord::Invalidate { id, time } => {
+                now = time;
+                model.on_unmap(id, time);
             }
             LogRecord::Pin { id } => {
-                model.on_pin(id, true);
+                model.on_pin(id, true, now);
             }
             LogRecord::Unpin { id } => {
-                model.on_pin(id, false);
+                model.on_pin(id, false, now);
             }
         }
         if i % stride == stride - 1 && series.len() < samples {

@@ -49,6 +49,7 @@ mod progress;
 mod recorder;
 mod replay;
 pub mod report;
+mod simulate;
 mod sweep;
 mod telemetry;
 mod threads;
@@ -61,6 +62,10 @@ pub use recorder::{record, record_with, RecordedRun, RecorderOptions, RunSummary
 pub use replay::{
     compare, compare_figure9, compare_figure9_metered, compare_metered, replay_into,
     replay_into_metered, Comparison, ReplayResult,
+};
+pub use simulate::{
+    parse_spec, replay_sim_observed, simulate_costs, simulate_grid, simulate_metrics,
+    trace_to_log, LocalPolicy, SimSpec, SimulatedSpec,
 };
 pub use sweep::{best_point, policy_grid, proportion_grid, sweep, sweep_with_jobs, SweepPoint};
 pub use telemetry::{

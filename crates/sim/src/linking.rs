@@ -94,16 +94,20 @@ pub fn replay_with_linking(log: &AccessLog, model: &mut dyn LinkableModel) -> Li
     let mut links: HashMap<(TraceId, TraceId), (Time, Time)> = HashMap::new();
     let mut catalog = HashMap::new();
     let mut prev: Option<TraceId> = None;
+    // Clock for untimed pin records: the most recent timed record.
+    let mut now = Time::ZERO;
 
     for record in &log.records {
         match *record {
             LogRecord::Create { record, time } => {
                 catalog.insert(record.id, record);
+                now = time;
                 model.on_access(record, time);
                 prev = Some(record.id);
             }
             LogRecord::Access { id, time } => {
                 let rec = catalog[&id];
+                now = time;
                 // Epochs *before* this access services (a miss will
                 // re-insert and change the epoch).
                 let to_epoch_before = model.resident_since(id);
@@ -140,8 +144,9 @@ pub fn replay_with_linking(log: &AccessLog, model: &mut dyn LinkableModel) -> Li
                 }
                 prev = Some(id);
             }
-            LogRecord::Invalidate { id, .. } => {
-                model.on_unmap(id);
+            LogRecord::Invalidate { id, time } => {
+                now = time;
+                model.on_unmap(id, time);
                 let stale: Vec<(TraceId, TraceId)> = links
                     .keys()
                     .filter(|(a, b)| *a == id || *b == id)
@@ -156,10 +161,10 @@ pub fn replay_with_linking(log: &AccessLog, model: &mut dyn LinkableModel) -> Li
                 }
             }
             LogRecord::Pin { id } => {
-                model.on_pin(id, true);
+                model.on_pin(id, true, now);
             }
             LogRecord::Unpin { id } => {
-                model.on_pin(id, false);
+                model.on_pin(id, false, now);
             }
         }
     }

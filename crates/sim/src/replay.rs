@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use gencache_cache::{TraceId, TraceRecord};
+use gencache_program::Time;
 use gencache_core::{
     overhead_ratio, CacheModel, CostLedger, GenerationalConfig, GenerationalModel, ModelMetrics,
     UnifiedModel,
@@ -21,26 +22,32 @@ use crate::progress::{ProgressMeter, PROGRESS_BATCH};
 /// pin/unpin windows mark traces undeletable.
 pub fn replay_into(log: &AccessLog, model: &mut dyn CacheModel) {
     let mut catalog: HashMap<TraceId, TraceRecord> = HashMap::new();
+    // Pin records carry no timestamp; the clock of the most recent timed
+    // record stands in for them.
+    let mut now = Time::ZERO;
     for record in &log.records {
         match *record {
             LogRecord::Create { record, time } => {
                 catalog.insert(record.id, record);
+                now = time;
                 model.on_access(record, time);
             }
             LogRecord::Access { id, time } => {
                 let rec = catalog
                     .get(&id)
                     .expect("access to a trace never created; corrupt log");
+                now = time;
                 model.on_access(*rec, time);
             }
-            LogRecord::Invalidate { id, .. } => {
-                model.on_unmap(id);
+            LogRecord::Invalidate { id, time } => {
+                now = time;
+                model.on_unmap(id, time);
             }
             LogRecord::Pin { id } => {
-                model.on_pin(id, true);
+                model.on_pin(id, true, now);
             }
             LogRecord::Unpin { id } => {
-                model.on_pin(id, false);
+                model.on_pin(id, false, now);
             }
         }
     }
@@ -54,26 +61,30 @@ pub fn replay_into(log: &AccessLog, model: &mut dyn CacheModel) {
 pub fn replay_into_metered(log: &AccessLog, model: &mut dyn CacheModel, meter: &ProgressMeter) {
     let mut catalog: HashMap<TraceId, TraceRecord> = HashMap::new();
     let mut pending = 0u64;
+    let mut now = Time::ZERO;
     for record in &log.records {
         match *record {
             LogRecord::Create { record, time } => {
                 catalog.insert(record.id, record);
+                now = time;
                 model.on_access(record, time);
             }
             LogRecord::Access { id, time } => {
                 let rec = catalog
                     .get(&id)
                     .expect("access to a trace never created; corrupt log");
+                now = time;
                 model.on_access(*rec, time);
             }
-            LogRecord::Invalidate { id, .. } => {
-                model.on_unmap(id);
+            LogRecord::Invalidate { id, time } => {
+                now = time;
+                model.on_unmap(id, time);
             }
             LogRecord::Pin { id } => {
-                model.on_pin(id, true);
+                model.on_pin(id, true, now);
             }
             LogRecord::Unpin { id } => {
-                model.on_pin(id, false);
+                model.on_pin(id, false, now);
             }
         }
         pending += 1;

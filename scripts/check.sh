@@ -19,8 +19,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "=== explain smoke: event export round-trips through serde"
 mkdir -p target/tmp
 events="target/tmp/check-events.jsonl"
-trap 'rm -f "$events"' EXIT
-./target/release/explain --bench word --scale 64 --events-out "$events" > /dev/null
+live_metrics="target/tmp/check-metrics-live.json"
+sim_metrics="target/tmp/check-metrics-sim.json"
+baseline="target/tmp/check-baseline.json"
+trap 'rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline"' EXIT
+./target/release/explain --bench word --scale 64 \
+  --events-out "$events" --metrics-out "$live_metrics" > /dev/null
 ./target/release/explain --parse-events "$events"
 
 echo "=== delta smoke: stream diff reports a non-empty phase table"
@@ -30,5 +34,13 @@ echo "$delta_out" | grep -q "Equation 3 overhead ratio" \
 rows="$(echo "$delta_out" | grep -cE '^[0-9]+ ')"
 [ "$rows" -ge 1 ] \
   || { echo "delta phase table is empty"; exit 1; }
+
+echo "=== simulate smoke: stream replay reproduces the live metrics doc"
+./target/release/simulate --events "$events" \
+  --metrics-out "$sim_metrics" --baseline-out "$baseline" > /dev/null
+cmp "$live_metrics" "$sim_metrics" \
+  || { echo "simulated metrics doc differs from the live export"; exit 1; }
+./target/release/simulate --events "$events" --watch "$baseline" > /dev/null \
+  || { echo "simulate --watch failed against a fresh baseline"; exit 1; }
 
 echo "all checks passed"

@@ -136,7 +136,7 @@ fn dll_unload_invalidates_and_model_drops_the_trace() {
         },
     );
     assert_eq!(invalidated, vec![rec.id]);
-    assert!(model.on_unmap(rec.id));
+    assert!(model.on_unmap(rec.id, Time::from_micros(10_000)));
     assert_eq!(model.generation_of(rec.id), None);
 }
 
