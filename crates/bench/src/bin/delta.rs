@@ -18,14 +18,16 @@
 //! delta LEFT.jsonl RIGHT.jsonl --left-model unified --right-model gen-45-10-45@hit1
 //!     # explicit model pairing
 //! delta FILE.jsonl --phases 12 --bench word
+//! gencache-client fetch --addr HOST:PORT --bench word | delta -
+//!     # `-` reads an export from stdin (at most one of the two inputs)
 //! ```
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::BufRead;
 use std::process::ExitCode;
 
 use gencache_bench::export_specs;
+use gencache_bench::ingest::open_lines;
 use gencache_obs::{
     cost, overhead_ratio, parse_stream_line, CacheEvent, CostLedger, CostObserver, Observer,
     StreamLine,
@@ -90,11 +92,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
 type Streams = BTreeMap<(String, String), Vec<CacheEvent>>;
 
 fn load_streams(path: &str) -> Result<Streams, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = open_lines(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let mut streams: Streams = BTreeMap::new();
     let mut saw_header = false;
     let mut warned = false;
-    for (i, line) in BufReader::new(file).lines().enumerate() {
+    for (i, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if line.trim().is_empty() {
             continue;

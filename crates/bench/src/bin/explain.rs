@@ -13,13 +13,14 @@
 //! explain --bench word --scale 16 [--top 10] [--jobs N]
 //!         [--events-out FILE.jsonl] [--metrics-out FILE.json]
 //! explain --parse-events FILE.jsonl   # validate a JSONL export
+//! explain --parse-events -            # ... read from stdin
 //! ```
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::BufRead;
 use std::process::ExitCode;
 
+use gencache_bench::ingest::open_lines;
 use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
 use gencache_obs::{
     parse_stream_line, CacheEvent, CostObserver, Log2Histogram, MetricsObserver, MetricsReport,
@@ -104,8 +105,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
 /// records) and summarize it, failing loudly on any bad line or on a
 /// schema version this build does not understand.
 fn parse_events(path: &str) -> ExitCode {
-    let file = match File::open(path) {
-        Ok(f) => f,
+    let reader = match open_lines(path) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("cannot open {path}: {e}");
             return ExitCode::FAILURE;
@@ -115,7 +116,7 @@ fn parse_events(path: &str) -> ExitCode {
     let mut lines = 0u64;
     let mut metas = 0u64;
     let mut header = None;
-    for (i, line) in BufReader::new(file).lines().enumerate() {
+    for (i, line) in reader.lines().enumerate() {
         let line = line.expect("readable line");
         if line.trim().is_empty() {
             continue;

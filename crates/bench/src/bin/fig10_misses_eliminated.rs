@@ -2,14 +2,12 @@
 //! code caches compared to a unified cache (the paper plots this on a
 //! logarithmic axis; we print the raw counts).
 
-use gencache_bench::{compare_all, export_telemetry, record_all, HarnessOptions};
+use gencache_bench::{comparison_pipeline, HarnessOptions};
 use gencache_sim::report::TextTable;
 
 fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 10. Cache misses eliminated vs a unified cache (log-scale in the paper).");
-    let runs = record_all(&opts);
-    export_telemetry(&opts, &runs).expect("telemetry export failed");
     let mut table = TextTable::new([
         "Benchmark",
         "33-33-33 @10",
@@ -17,7 +15,7 @@ fn main() {
         "25-50-25 @5",
         "log10|best|",
     ]);
-    for (p, c) in &compare_all(&opts, &runs) {
+    for (p, c) in &comparison_pipeline(&opts) {
         let best = (0..3).map(|i| c.misses_eliminated(i)).max().unwrap_or(0);
         let log = if best > 0 { (best as f64).log10() } else { 0.0 };
         table.row([

@@ -3,12 +3,12 @@
 //! below 100% mean the generational scheme spends fewer instructions on
 //! cache management; smaller is better.
 
-use gencache_bench::{by_suite, compare_all, export_telemetry, record_all, HarnessOptions};
+use gencache_bench::{by_suite, comparison_pipeline, HarnessOptions};
 use gencache_sim::report::{bar, geometric_mean, TextTable};
 use gencache_sim::Comparison;
 use gencache_workloads::WorkloadProfile;
 
-fn render(title: &str, rows: &[(&WorkloadProfile, &Comparison)]) -> Vec<f64> {
+fn render(title: &str, rows: &[&(WorkloadProfile, Comparison)]) -> Vec<f64> {
     println!("\n({title})");
     let ratios: Vec<f64> = rows.iter().map(|(_, c)| c.overhead_ratio(1)).collect();
     let max = ratios.iter().copied().fold(0.0f64, f64::max).max(1.0);
@@ -27,25 +27,14 @@ fn render(title: &str, rows: &[(&WorkloadProfile, &Comparison)]) -> Vec<f64> {
 fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 11. Instruction-overhead ratio (generational 45-10-45 / unified).");
-    let runs = record_all(&opts);
-    export_telemetry(&opts, &runs).expect("telemetry export failed");
-    let comparisons: Vec<(WorkloadProfile, Comparison)> = compare_all(&opts, &runs);
-    let (spec, inter) = by_suite(&runs);
-    let find = |name: &str| {
-        comparisons
-            .iter()
-            .find(|(p, _)| p.name == name)
-            .map(|(p, c)| (p, c))
-            .expect("every run was compared")
-    };
+    let comparisons = comparison_pipeline(&opts);
+    let (spec, inter) = by_suite(&comparisons);
     let mut all = Vec::new();
     if !spec.is_empty() {
-        let rows: Vec<_> = spec.iter().map(|(p, _)| find(&p.name)).collect();
-        all.extend(render("a) SPEC2000 Benchmarks", &rows));
+        all.extend(render("a) SPEC2000 Benchmarks", &spec));
     }
     if !inter.is_empty() {
-        let rows: Vec<_> = inter.iter().map(|(p, _)| find(&p.name)).collect();
-        all.extend(render("b) Interactive Windows Benchmarks", &rows));
+        all.extend(render("b) Interactive Windows Benchmarks", &inter));
     }
     if let Some(geo) = geometric_mean(&all) {
         println!(

@@ -2,12 +2,12 @@
 //! unified cache. Three layouts are compared, every cache sized so the
 //! generational total equals the unified baseline (0.5 × maxCache).
 
-use gencache_bench::{by_suite, compare_all, export_telemetry, record_all, HarnessOptions};
+use gencache_bench::{by_suite, comparison_pipeline, HarnessOptions};
 use gencache_sim::report::{arithmetic_mean, fmt_pct, TextTable};
 use gencache_sim::Comparison;
 use gencache_workloads::WorkloadProfile;
 
-fn render(title: &str, comparisons: &[(&WorkloadProfile, Comparison)]) {
+fn render(title: &str, comparisons: &[&(WorkloadProfile, Comparison)]) {
     println!("\n({title})");
     let mut table = TextTable::new([
         "Benchmark",
@@ -42,23 +42,12 @@ fn main() {
     let opts = HarnessOptions::from_env();
     println!("Figure 9. Miss-rate reduction of generational caches over a unified cache.");
     println!("Configurations: nursery-probation-persistent proportions; @N = promotion rule.");
-    let runs = record_all(&opts);
-    export_telemetry(&opts, &runs).expect("telemetry export failed");
-    let comparisons: Vec<(WorkloadProfile, Comparison)> = compare_all(&opts, &runs);
-    let (spec, inter) = by_suite(&runs);
-    let find = |name: &str| {
-        comparisons
-            .iter()
-            .find(|(p, _)| p.name == name)
-            .map(|(p, c)| (p, c.clone()))
-            .expect("every run was compared")
-    };
+    let comparisons = comparison_pipeline(&opts);
+    let (spec, inter) = by_suite(&comparisons);
     if !spec.is_empty() {
-        let rows: Vec<_> = spec.iter().map(|(p, _)| find(&p.name)).collect();
-        render("a) SPEC2000 Benchmarks", &rows);
+        render("a) SPEC2000 Benchmarks", &spec);
     }
     if !inter.is_empty() {
-        let rows: Vec<_> = inter.iter().map(|(p, _)| find(&p.name)).collect();
-        render("b) Interactive Windows Benchmarks", &rows);
+        render("b) Interactive Windows Benchmarks", &inter);
     }
 }

@@ -4,11 +4,14 @@
 //! The paper's methodology separates the frontend request stream from
 //! cache management: one recorded stream can evaluate *any* layout.
 //! This tool closes that loop offline. It parses a `--events-out`
-//! export back into each benchmark's canonical frontend trace, then
-//! drives the ordinary replay machinery against configurations that
-//! were never recorded — any capacity, any nursery/probation/persistent
-//! split, any promotion rule, any local replacement policy — producing
-//! the same metrics/cost documents the live path emits. A Belady-style
+//! export back into each benchmark's canonical frontend trace — one
+//! line at a time through the shared bounded-memory
+//! [`StreamIngest`](gencache_bench::ingest::StreamIngest), the same
+//! layer the `gencache-serve` daemon drives over TCP — then replays
+//! the ordinary machinery against configurations that were never
+//! recorded: any capacity, any nursery/probation/persistent split, any
+//! promotion rule, any local replacement policy, producing the same
+//! metrics/cost documents the live path emits. A Belady-style
 //! furthest-next-use oracle provides a lower-bound row, and `--watch`
 //! turns the tool into a regression gate against a stored baseline.
 //!
@@ -20,6 +23,9 @@
 //!          [--watch BASELINE.json] [--tolerance FRAC]
 //! ```
 //!
+//! `--events -` reads the export from stdin, so a fetched or piped
+//! stream needs no temp file.
+//!
 //! Spec labels: `unified`, a local policy (`lru`, `clock`,
 //! `flush-on-full`, `preemptive-flush`, `pseudo-circular`, `unbounded`),
 //! or `N-P-S@hitK` / `N-P-S@evictK` generational layouts. Defaults to
@@ -27,23 +33,19 @@
 //! `simulate --events X --metrics-out Y` on an unmodified stream
 //! reproduces the live `--metrics-out` document byte-for-byte.
 
-use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gencache_bench::{export_specs, metrics_doc, sample_interval, write_metrics_doc, SpecReports};
-use gencache_obs::{
-    oracle_replay, parse_stream_line, reconstruct_trace, CacheEvent, OracleResult, RunMeta,
-    SimTrace, StreamLine,
+use gencache_bench::ingest::{
+    open_lines, render_sim_tables, resolve_sim_specs, run_sim_job, sim_metrics_doc, SimJobOutput,
+    StreamIngest,
 };
-use gencache_sim::par::{effective_jobs, par_map};
-use gencache_sim::report::TextTable;
-use gencache_sim::{
-    parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, trace_to_log,
-    AccessLog, ModelSpec, SimSpec, SimulatedSpec,
-};
+use gencache_bench::write_metrics_doc;
+use gencache_obs::OracleResult;
+use gencache_sim::par::effective_jobs;
+use gencache_sim::SimulatedSpec;
 use serde::{Deserialize, Serialize};
 
 const USAGE: &str = "use --events FILE / --spec LABEL / --grid / --oracle / --capacity BYTES / \
@@ -120,59 +122,21 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> SimOptions {
     opts
 }
 
-/// One benchmark's streams as loaded from the export: event streams per
-/// model (in first-appearance order) and any run metadata.
-#[derive(Default)]
-struct BenchStreams {
-    models: Vec<String>,
-    events: BTreeMap<String, Vec<CacheEvent>>,
-    meta: BTreeMap<String, RunMeta>,
-}
-
-/// The parsed export: benchmarks in first-appearance order.
-struct Export {
-    order: Vec<String>,
-    benches: BTreeMap<String, BenchStreams>,
-}
-
-fn load_export(path: &str) -> Result<Export, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let mut export = Export {
-        order: Vec::new(),
-        benches: BTreeMap::new(),
-    };
-    let mut saw_header = false;
+/// Streams the export (file or stdin) through the shared ingest, line
+/// by line — the raw events are never materialized.
+fn ingest_export(path: &str) -> Result<StreamIngest, String> {
+    let reader = open_lines(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut ingest = StreamIngest::new();
     let mut first_content_line = true;
-    for (i, line) in BufReader::new(file).lines().enumerate() {
+    for (i, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if line.trim().is_empty() {
             continue;
         }
-        let parsed =
-            parse_stream_line(&line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-        match parsed {
-            StreamLine::Header(header) => {
-                header
-                    .validate()
-                    .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-                saw_header = true;
-            }
-            StreamLine::Meta(meta) => {
-                let bench = bench_entry(&mut export, &meta.source);
-                if !bench.models.contains(&meta.model) {
-                    bench.models.push(meta.model.clone());
-                }
-                bench.meta.insert(meta.model.clone(), meta);
-            }
-            StreamLine::Event(record) => {
-                let bench = bench_entry(&mut export, &record.source);
-                if !bench.models.contains(&record.model) {
-                    bench.models.push(record.model.clone());
-                }
-                bench.events.entry(record.model).or_default().push(record.event);
-            }
-        }
-        if first_content_line && !saw_header {
+        ingest
+            .push_line(&line)
+            .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if first_content_line && !ingest.has_header() {
             eprintln!(
                 "warning: {path} has no schema header (pre-v2 export); run metadata is \
                  unavailable, so --capacity is required"
@@ -180,160 +144,10 @@ fn load_export(path: &str) -> Result<Export, String> {
         }
         first_content_line = false;
     }
-    if export.order.is_empty() {
+    if ingest.lines() == 0 {
         return Err(format!("{path} contains no event streams"));
     }
-    Ok(export)
-}
-
-fn bench_entry<'a>(export: &'a mut Export, source: &str) -> &'a mut BenchStreams {
-    if !export.benches.contains_key(source) {
-        export.order.push(source.to_string());
-        export.benches.insert(source.to_string(), BenchStreams::default());
-    }
-    export.benches.get_mut(source).expect("just inserted")
-}
-
-/// One benchmark ready to simulate: its recovered frontend trace plus
-/// the replay parameters the events alone cannot supply.
-struct SimInput {
-    name: String,
-    trace: SimTrace,
-    log: AccessLog,
-    capacity: u64,
-    phases: u32,
-}
-
-/// Recovers each benchmark's frontend trace from its streams.
-///
-/// When the export carries several models of the same benchmark, every
-/// stream must reconstruct to the *same* frontend trace — the frontend
-/// is independent of cache management by construction, so a mismatch
-/// means the file mixes runs and simulating it would be meaningless.
-fn reconstruct_inputs(export: &Export, opts: &SimOptions) -> Result<Vec<SimInput>, String> {
-    let mut inputs = Vec::new();
-    for name in &export.order {
-        if opts.bench.as_ref().is_some_and(|want| want != name) {
-            continue;
-        }
-        let bench = &export.benches[name];
-        let chosen = match &opts.model {
-            Some(label) => {
-                if !bench.events.contains_key(label) {
-                    return Err(format!(
-                        "{name}: no stream for model {label:?}; available: {}",
-                        bench.models.join(", ")
-                    ));
-                }
-                label.clone()
-            }
-            None => bench.models.first().expect("non-empty bench").clone(),
-        };
-        let trace = reconstruct_trace(&bench.events[&chosen])
-            .map_err(|e| format!("{name} [{chosen}]: {e}"))?;
-        for (model, events) in &bench.events {
-            if model == &chosen {
-                continue;
-            }
-            let other = reconstruct_trace(events).map_err(|e| format!("{name} [{model}]: {e}"))?;
-            if other != trace {
-                return Err(format!(
-                    "{name}: streams for {chosen:?} and {model:?} reconstruct different \
-                     frontend traces ({} vs {} ops) — the export mixes runs",
-                    trace.ops.len(),
-                    other.ops.len()
-                ));
-            }
-        }
-        let meta = bench.meta.get(&chosen);
-        let peak = match (meta, opts.capacity) {
-            (Some(m), _) => m.peak_trace_bytes,
-            // Pre-v2 stream: peak footprint unknown; an explicit
-            // capacity pins the budget and the peak is only cosmetic.
-            (None, Some(capacity)) => capacity * 2,
-            (None, None) => {
-                return Err(format!(
-                    "{name}: stream carries no run metadata (pre-v2 export); \
-                     pass --capacity to fix the cache budget"
-                ))
-            }
-        };
-        let duration_us = meta.map_or_else(
-            || {
-                trace
-                    .ops
-                    .iter()
-                    .filter_map(|op| match *op {
-                        gencache_obs::TraceOp::Create { time, .. }
-                        | gencache_obs::TraceOp::Access { time, .. }
-                        | gencache_obs::TraceOp::Invalidate { time, .. } => {
-                            Some(time.as_micros())
-                        }
-                        _ => None,
-                    })
-                    .max()
-                    .map_or(0, |t| t + 1)
-            },
-            |m| m.duration_us,
-        );
-        let capacity = opts.capacity.unwrap_or_else(|| (peak / 2).max(1));
-        let phases = meta.map_or(1, |m| m.phases.max(1));
-        let log = trace_to_log(&trace, name.clone(), duration_us, peak);
-        inputs.push(SimInput {
-            name: name.clone(),
-            trace,
-            log,
-            capacity,
-            phases,
-        });
-    }
-    if inputs.is_empty() {
-        return Err(match &opts.bench {
-            Some(want) => format!(
-                "benchmark {want:?} not in export; available: {}",
-                export.order.join(", ")
-            ),
-            None => "no benchmarks selected".to_string(),
-        });
-    }
-    Ok(inputs)
-}
-
-/// Resolves the spec list: explicit `--spec` labels, plus the §6 sweep
-/// grid under `--grid`, defaulting to the live export's configurations.
-fn resolve_specs(opts: &SimOptions) -> Result<Vec<SimSpec>, String> {
-    let mut specs = Vec::new();
-    for label in &opts.specs {
-        specs.push(parse_spec(label)?);
-    }
-    if opts.grid {
-        specs.push(SimSpec::Model(ModelSpec::Unified));
-        for proportions in proportion_grid() {
-            for policy in policy_grid() {
-                specs.push(SimSpec::Model(ModelSpec::Generational {
-                    proportions,
-                    policy,
-                }));
-            }
-        }
-    }
-    if specs.is_empty() {
-        for (_, spec) in export_specs() {
-            specs.push(SimSpec::Model(spec));
-        }
-    }
-    // Dedupe by label, keeping first appearance.
-    let mut seen = Vec::new();
-    specs.retain(|s| {
-        let label = s.label();
-        if seen.contains(&label) {
-            false
-        } else {
-            seen.push(label);
-            true
-        }
-    });
-    Ok(specs)
+    Ok(ingest)
 }
 
 /// The compact per-(benchmark, spec) summary `--baseline-out` stores
@@ -381,6 +195,19 @@ fn oracle_row(benchmark: &str, oracle: &OracleResult) -> BaselineRow {
         uncachable: oracle.uncachable,
         minstr: 0.0,
     }
+}
+
+fn baseline_rows(out: &SimJobOutput) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+    for bench in &out.benches {
+        for sim in &bench.sims {
+            rows.push(baseline_row(&bench.name, sim));
+        }
+        if let Some(oracle) = &bench.oracle {
+            rows.push(oracle_row(&bench.name, oracle));
+        }
+    }
+    rows
 }
 
 /// Relative drift between a baseline and a current value.
@@ -465,21 +292,25 @@ fn watch(path: &str, rows: &[BaselineRow], tolerance: f64) -> Result<usize, Stri
 
 fn main() -> ExitCode {
     let opts = parse_args(std::env::args().skip(1));
-    let export = match load_export(&opts.events) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let inputs = match reconstruct_inputs(&export, &opts) {
+    let ingest = match ingest_export(&opts.events) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let specs = match resolve_specs(&opts) {
+    let inputs = match ingest.into_inputs(
+        opts.bench.as_deref(),
+        opts.model.as_deref(),
+        opts.capacity,
+    ) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = match resolve_sim_specs(&opts.specs, opts.grid) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -493,91 +324,25 @@ fn main() -> ExitCode {
         specs.len()
     );
     let started = Instant::now();
-
-    // Fan the whole benchmark x spec cross product across the worker
-    // pool; results reassemble in input order, so every output below is
-    // bit-identical for any --jobs value.
-    let cells: Vec<(usize, SimSpec)> = inputs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| specs.iter().map(move |&s| (i, s)))
-        .collect();
-    let simulated: Vec<SimulatedSpec> = par_map(&cells, jobs, |&(i, spec)| {
-        let input = &inputs[i];
-        let every = sample_interval(&input.log);
-        let (result, metrics) = simulate_metrics(&input.log, spec, input.capacity, every);
-        let (_, costs) = simulate_costs(&input.log, spec, input.capacity, input.phases);
-        SimulatedSpec {
-            label: spec.label(),
-            result,
-            metrics,
-            costs,
+    let out = match run_sim_job(&inputs, &specs, opts.oracle, jobs, None) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-    });
-    let per_bench: Vec<&[SimulatedSpec]> = simulated.chunks(specs.len()).collect();
-    let oracles: Vec<Option<OracleResult>> = if opts.oracle {
-        par_map(&inputs, jobs, |input| {
-            Some(oracle_replay(&input.trace, input.capacity))
-        })
-    } else {
-        inputs.iter().map(|_| None).collect()
     };
     let elapsed = started.elapsed();
 
-    let mut rows: Vec<BaselineRow> = Vec::new();
-    for ((input, sims), oracle) in inputs.iter().zip(&per_bench).zip(&oracles) {
-        println!(
-            "\n=== {}: {} ops, capacity {} bytes, {} phases ===",
-            input.name,
-            input.trace.ops.len(),
-            input.capacity,
-            input.phases,
-        );
-        let mut table = TextTable::new(["spec", "accesses", "hits", "misses", "miss%", "Minstr"]);
-        for sim in *sims {
-            table.row([
-                sim.label.clone(),
-                sim.metrics.accesses.to_string(),
-                sim.metrics.hits.to_string(),
-                sim.metrics.misses.to_string(),
-                format!("{:.2}", sim.metrics.miss_rate() * 100.0),
-                format!("{:.2}", sim.costs.total.total() / 1e6),
-            ]);
-            rows.push(baseline_row(&input.name, sim));
-        }
-        if let Some(oracle) = oracle {
-            table.row([
-                "oracle".to_string(),
-                oracle.accesses.to_string(),
-                oracle.hits.to_string(),
-                oracle.misses.to_string(),
-                format!("{:.2}", oracle.miss_rate() * 100.0),
-                "lower bound".to_string(),
-            ]);
-            rows.push(oracle_row(&input.name, oracle));
-        }
-        print!("{}", table.render());
-    }
+    print!("{}", render_sim_tables(&out));
     eprintln!(
         "simulated {} replays in {:.3}s wall-clock",
-        simulated.len(),
+        out.benches.len() * out.labels.len(),
         elapsed.as_secs_f64()
     );
+    let rows = baseline_rows(&out);
 
     if let Some(path) = &opts.metrics_out {
-        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
-        let benchmarks: Vec<(String, Vec<SpecReports>)> = inputs
-            .iter()
-            .zip(&per_bench)
-            .map(|(input, sims)| {
-                let reports = sims
-                    .iter()
-                    .map(|sim| (sim.metrics.clone(), sim.costs.clone(), None))
-                    .collect();
-                (input.name.clone(), reports)
-            })
-            .collect();
-        if let Err(e) = write_metrics_doc(path, metrics_doc(&labels, &benchmarks)) {
+        if let Err(e) = write_metrics_doc(path, sim_metrics_doc(&out)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

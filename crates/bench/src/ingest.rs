@@ -1,0 +1,619 @@
+//! Bounded-memory ingestion of `gencache-events` exports, and the
+//! shared what-if simulation job runner.
+//!
+//! Three consumers drive the same machinery: the offline `simulate`
+//! binary (file or stdin), the `gencache-serve` daemon (lines arriving
+//! over TCP through a bounded channel), and tests. [`StreamIngest`]
+//! consumes an export **one line at a time** and keeps only
+//!
+//! * the first-seen model stream's reconstructed frontend trace per
+//!   benchmark (the reference), and
+//! * an O(1) verification cursor per additional model stream,
+//!
+//! so peak memory is O(reconstructed frontend trace + per-trace size
+//! maps), never O(event-stream length) — the raw events (hits, misses,
+//! insertions, evictions, promotions…) are inverted on the fly by
+//! [`TraceRebuilder`] and dropped. Cross-stream verification is the same
+//! invariant the offline simulator enforces: every model stream of a
+//! benchmark must reconstruct the *identical* frontend trace, else the
+//! export mixes runs.
+//!
+//! [`run_sim_job`] then replays the recovered traces against a spec
+//! list. The serve daemon and the offline tool both assemble their
+//! metrics documents through [`metrics_doc`], so a served reply is
+//! byte-identical to `simulate --metrics-out` on the same export.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use gencache_obs::{
+    oracle_replay, parse_stream_line, OracleResult, RunMeta, SimTrace, StreamLine, TraceRebuilder,
+};
+use gencache_sim::par::par_map;
+use gencache_sim::report::TextTable;
+use gencache_sim::{
+    parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, trace_to_log,
+    AccessLog, ModelSpec, SimSpec, SimulatedSpec,
+};
+use serde::Value;
+
+use crate::{export_specs, metrics_doc, sample_interval, SpecReports};
+
+/// Opens `path` for line reading, with `-` meaning stdin — so exports
+/// can be piped (`gencache-client fetch … | simulate --events -`)
+/// without temp files.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be opened.
+pub fn open_lines(path: &str) -> io::Result<Box<dyn BufRead>> {
+    if path == "-" {
+        Ok(Box::new(BufReader::new(io::stdin())))
+    } else {
+        Ok(Box::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+/// How one model stream relates to its benchmark's reference trace.
+enum ModelRole {
+    /// First stream seen for the benchmark: its ops *are* the reference.
+    Builder,
+    /// Later stream: verified op-by-op against the reference with a
+    /// cursor — O(1) extra memory per stream.
+    Checker { cursor: usize },
+}
+
+/// Ingestion state for one model stream.
+struct ModelState {
+    rebuilder: TraceRebuilder,
+    role: ModelRole,
+}
+
+/// Ingestion state for one benchmark.
+#[derive(Default)]
+struct BenchIngest {
+    models: Vec<String>,
+    meta: BTreeMap<String, RunMeta>,
+    reference: SimTrace,
+    states: BTreeMap<String, ModelState>,
+}
+
+/// Incremental, bounded-memory parser for a v2 `gencache-events`
+/// export. Feed lines with [`push_line`](StreamIngest::push_line), then
+/// convert with [`into_inputs`](StreamIngest::into_inputs).
+#[derive(Default)]
+pub struct StreamIngest {
+    saw_header: bool,
+    lines: u64,
+    bytes: u64,
+    order: Vec<String>,
+    benches: BTreeMap<String, BenchIngest>,
+}
+
+impl std::fmt::Debug for StreamIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamIngest")
+            .field("lines", &self.lines)
+            .field("bytes", &self.bytes)
+            .field("benchmarks", &self.order)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamIngest {
+    /// An ingest with nothing consumed yet.
+    pub fn new() -> Self {
+        StreamIngest::default()
+    }
+
+    /// Non-empty lines consumed so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Bytes consumed so far (including line terminators).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether a schema header line has been seen yet.
+    pub fn has_header(&self) -> bool {
+        self.saw_header
+    }
+
+    /// Consumes one export line. Blank lines are counted as bytes but
+    /// otherwise ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed line, an invalid header,
+    /// or a cross-stream divergence (streams that cannot come from the
+    /// same frontend run).
+    pub fn push_line(&mut self, line: &str) -> Result<(), String> {
+        self.bytes += line.len() as u64 + 1;
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        self.lines += 1;
+        match parse_stream_line(line)? {
+            StreamLine::Header(header) => {
+                header.validate()?;
+                self.saw_header = true;
+            }
+            StreamLine::Meta(meta) => {
+                let bench = bench_entry(&mut self.order, &mut self.benches, &meta.source);
+                if !bench.models.contains(&meta.model) {
+                    bench.models.push(meta.model.clone());
+                }
+                bench.meta.insert(meta.model.clone(), meta);
+            }
+            StreamLine::Event(record) => {
+                let source = record.source;
+                let model = record.model;
+                let bench = bench_entry(&mut self.order, &mut self.benches, &source);
+                if !bench.models.contains(&model) {
+                    bench.models.push(model.clone());
+                }
+                if !bench.states.contains_key(&model) {
+                    // The first stream that produces events builds the
+                    // reference; everything after verifies against it.
+                    let role = if bench
+                        .states
+                        .values()
+                        .any(|s| matches!(s.role, ModelRole::Builder))
+                    {
+                        ModelRole::Checker { cursor: 0 }
+                    } else {
+                        ModelRole::Builder
+                    };
+                    bench.states.insert(
+                        model.clone(),
+                        ModelState {
+                            rebuilder: TraceRebuilder::new(),
+                            role,
+                        },
+                    );
+                }
+                let state = bench.states.get_mut(&model).expect("just inserted");
+                let op = state
+                    .rebuilder
+                    .push(&record.event)
+                    .map_err(|e| format!("{source} [{model}]: {e}"))?;
+                if let Some(op) = op {
+                    match &mut state.role {
+                        ModelRole::Builder => bench.reference.ops.push(op),
+                        ModelRole::Checker { cursor } => {
+                            if bench.reference.ops.get(*cursor) != Some(&op) {
+                                return Err(format!(
+                                    "{source}: stream for {model:?} diverges from the \
+                                     benchmark's reference frontend trace at op {} — the \
+                                     export mixes runs (or interleaves streams out of \
+                                     export order)",
+                                    *cursor
+                                ));
+                            }
+                            *cursor += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes ingestion: checks every verified stream covered the full
+    /// reference trace and converts each selected benchmark into a
+    /// simulation input.
+    ///
+    /// `bench` restricts to one benchmark; `model` picks which stream's
+    /// run metadata fixes capacity/duration/phases (default: the
+    /// first-appearing model); `capacity` overrides the budget (and is
+    /// required for pre-v2 exports with no metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of an empty export, a missing
+    /// benchmark/model, a truncated verified stream, or missing run
+    /// metadata without a `capacity` override.
+    pub fn into_inputs(
+        self,
+        bench: Option<&str>,
+        model: Option<&str>,
+        capacity: Option<u64>,
+    ) -> Result<Vec<SimJobInput>, String> {
+        if self.order.is_empty() {
+            return Err("export contains no event streams".to_string());
+        }
+        let mut inputs = Vec::new();
+        for name in &self.order {
+            if bench.is_some_and(|want| want != name) {
+                continue;
+            }
+            let b = &self.benches[name];
+            let chosen = match model {
+                Some(label) => {
+                    if !b.states.contains_key(label) {
+                        return Err(format!(
+                            "{name}: no stream for model {label:?}; available: {}",
+                            b.models.join(", ")
+                        ));
+                    }
+                    label.to_string()
+                }
+                None => b.models.first().expect("non-empty bench").clone(),
+            };
+            for (m, state) in &b.states {
+                if let ModelRole::Checker { cursor } = state.role {
+                    if cursor != b.reference.ops.len() {
+                        return Err(format!(
+                            "{name}: streams reconstruct different frontend traces \
+                             ({} vs {} ops for {m:?}) — the export mixes runs",
+                            b.reference.ops.len(),
+                            cursor
+                        ));
+                    }
+                }
+            }
+            let meta = b.meta.get(&chosen);
+            let peak = match (meta, capacity) {
+                (Some(m), _) => m.peak_trace_bytes,
+                // Pre-v2 stream: peak footprint unknown; an explicit
+                // capacity pins the budget and the peak is only cosmetic.
+                (None, Some(capacity)) => capacity * 2,
+                (None, None) => {
+                    return Err(format!(
+                        "{name}: stream carries no run metadata (pre-v2 export); \
+                         pass --capacity to fix the cache budget"
+                    ))
+                }
+            };
+            let duration_us = meta.map_or_else(
+                || {
+                    b.reference
+                        .ops
+                        .iter()
+                        .filter_map(|op| match *op {
+                            gencache_obs::TraceOp::Create { time, .. }
+                            | gencache_obs::TraceOp::Access { time, .. }
+                            | gencache_obs::TraceOp::Invalidate { time, .. } => {
+                                Some(time.as_micros())
+                            }
+                            _ => None,
+                        })
+                        .max()
+                        .map_or(0, |t| t + 1)
+                },
+                |m| m.duration_us,
+            );
+            let cap = capacity.unwrap_or_else(|| (peak / 2).max(1));
+            let phases = meta.map_or(1, |m| m.phases.max(1));
+            let trace = self.benches[name].reference.clone();
+            let log = trace_to_log(&trace, name.clone(), duration_us, peak);
+            inputs.push(SimJobInput {
+                name: name.clone(),
+                trace,
+                log,
+                capacity: cap,
+                phases,
+            });
+        }
+        if inputs.is_empty() {
+            return Err(match bench {
+                Some(want) => format!(
+                    "benchmark {want:?} not in export; available: {}",
+                    self.order.join(", ")
+                ),
+                None => "no benchmarks selected".to_string(),
+            });
+        }
+        Ok(inputs)
+    }
+}
+
+fn bench_entry<'a>(
+    order: &mut Vec<String>,
+    benches: &'a mut BTreeMap<String, BenchIngest>,
+    source: &str,
+) -> &'a mut BenchIngest {
+    if !benches.contains_key(source) {
+        order.push(source.to_string());
+        benches.insert(source.to_string(), BenchIngest::default());
+    }
+    benches.get_mut(source).expect("just inserted")
+}
+
+/// One benchmark ready to simulate: its recovered frontend trace plus
+/// the replay parameters the events alone cannot supply.
+#[derive(Debug)]
+pub struct SimJobInput {
+    /// Benchmark name (the export's `source`).
+    pub name: String,
+    /// The recovered frontend request trace.
+    pub trace: SimTrace,
+    /// The trace re-synthesized as a replayable access log.
+    pub log: AccessLog,
+    /// Cache budget in bytes.
+    pub capacity: u64,
+    /// Cost-attribution phase count.
+    pub phases: u32,
+}
+
+/// Resolves a simulation spec list: explicit labels, plus the §6 sweep
+/// grid under `grid`, defaulting to the live export's configurations.
+/// Deduped by label, keeping first appearance.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed label.
+pub fn resolve_sim_specs(labels: &[String], grid: bool) -> Result<Vec<SimSpec>, String> {
+    let mut specs = Vec::new();
+    for label in labels {
+        specs.push(parse_spec(label)?);
+    }
+    if grid {
+        specs.push(SimSpec::Model(ModelSpec::Unified));
+        for proportions in proportion_grid() {
+            for policy in policy_grid() {
+                specs.push(SimSpec::Model(ModelSpec::Generational {
+                    proportions,
+                    policy,
+                }));
+            }
+        }
+    }
+    if specs.is_empty() {
+        for (_, spec) in export_specs() {
+            specs.push(SimSpec::Model(spec));
+        }
+    }
+    let mut seen = Vec::new();
+    specs.retain(|s| {
+        let label = s.label();
+        if seen.contains(&label) {
+            false
+        } else {
+            seen.push(label);
+            true
+        }
+    });
+    Ok(specs)
+}
+
+/// One simulated benchmark: every spec's outcome plus the optional
+/// oracle lower bound.
+#[derive(Debug)]
+pub struct BenchSim {
+    /// Benchmark name.
+    pub name: String,
+    /// Frontend ops replayed.
+    pub ops: u64,
+    /// Cache budget in bytes.
+    pub capacity: u64,
+    /// Cost-attribution phase count.
+    pub phases: u32,
+    /// One outcome per spec, in spec order.
+    pub sims: Vec<SimulatedSpec>,
+    /// Belady-style furthest-next-use lower bound, when requested.
+    pub oracle: Option<OracleResult>,
+}
+
+/// A complete simulation job outcome, in input order.
+#[derive(Debug)]
+pub struct SimJobOutput {
+    /// Spec labels, in spec order (the metrics document's columns).
+    pub labels: Vec<String>,
+    /// Per-benchmark outcomes.
+    pub benches: Vec<BenchSim>,
+}
+
+/// Runs the benchmark × spec cross product across `jobs` workers,
+/// reassembling in input order — bit-identical for any worker count,
+/// and byte-identical whether driven by the offline tool or the serve
+/// daemon.
+///
+/// `cancel` is polled between cells: once set (deadline expiry,
+/// shutdown), remaining cells are skipped and the job returns an error
+/// instead of a partial result.
+///
+/// # Errors
+///
+/// Returns `"job canceled"`-style text when `cancel` fired.
+pub fn run_sim_job(
+    inputs: &[SimJobInput],
+    specs: &[SimSpec],
+    oracle: bool,
+    jobs: usize,
+    cancel: Option<&AtomicBool>,
+) -> Result<SimJobOutput, String> {
+    let canceled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+    let cells: Vec<(usize, SimSpec)> = inputs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| specs.iter().map(move |&s| (i, s)))
+        .collect();
+    let simulated: Vec<Option<SimulatedSpec>> = par_map(&cells, jobs, |&(i, spec)| {
+        if canceled() {
+            return None;
+        }
+        let input = &inputs[i];
+        let every = sample_interval(&input.log);
+        let (result, metrics) = simulate_metrics(&input.log, spec, input.capacity, every);
+        let (_, costs) = simulate_costs(&input.log, spec, input.capacity, input.phases);
+        Some(SimulatedSpec {
+            label: spec.label(),
+            result,
+            metrics,
+            costs,
+        })
+    });
+    if canceled() || simulated.iter().any(Option::is_none) {
+        return Err("job canceled before completion (deadline or shutdown)".to_string());
+    }
+    let simulated: Vec<SimulatedSpec> = simulated.into_iter().flatten().collect();
+    let oracles: Vec<Option<OracleResult>> = if oracle {
+        let results = par_map(inputs, jobs, |input| {
+            if canceled() {
+                None
+            } else {
+                Some(oracle_replay(&input.trace, input.capacity))
+            }
+        });
+        if results.iter().any(Option::is_none) {
+            return Err("job canceled before completion (deadline or shutdown)".to_string());
+        }
+        results
+    } else {
+        inputs.iter().map(|_| None).collect()
+    };
+    let benches = inputs
+        .iter()
+        .zip(simulated.chunks(specs.len().max(1)))
+        .zip(oracles)
+        .map(|((input, sims), oracle)| BenchSim {
+            name: input.name.clone(),
+            ops: input.trace.ops.len() as u64,
+            capacity: input.capacity,
+            phases: input.phases,
+            sims: sims.to_vec(),
+            oracle,
+        })
+        .collect();
+    Ok(SimJobOutput {
+        labels: specs.iter().map(|s| s.label()).collect(),
+        benches,
+    })
+}
+
+/// Assembles the job's metrics document — the same
+/// [`metrics_doc`] the live export and the offline simulator use, so
+/// every consumer's document is byte-comparable.
+pub fn sim_metrics_doc(out: &SimJobOutput) -> Value {
+    let benchmarks: Vec<(String, Vec<SpecReports>)> = out
+        .benches
+        .iter()
+        .map(|b| {
+            let reports = b
+                .sims
+                .iter()
+                .map(|sim| (sim.metrics.clone(), sim.costs.clone(), None))
+                .collect();
+            (b.name.clone(), reports)
+        })
+        .collect();
+    metrics_doc(&out.labels, &benchmarks)
+}
+
+/// Renders the human-readable per-benchmark result tables (the offline
+/// tool's stdout and the client's `--table` display).
+pub fn render_sim_tables(out: &SimJobOutput) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for bench in &out.benches {
+        let _ = writeln!(
+            text,
+            "\n=== {}: {} ops, capacity {} bytes, {} phases ===",
+            bench.name, bench.ops, bench.capacity, bench.phases,
+        );
+        let mut table = TextTable::new(["spec", "accesses", "hits", "misses", "miss%", "Minstr"]);
+        for sim in &bench.sims {
+            table.row([
+                sim.label.clone(),
+                sim.metrics.accesses.to_string(),
+                sim.metrics.hits.to_string(),
+                sim.metrics.misses.to_string(),
+                format!("{:.2}", sim.metrics.miss_rate() * 100.0),
+                format!("{:.2}", sim.costs.total.total() / 1e6),
+            ]);
+        }
+        if let Some(oracle) = &bench.oracle {
+            table.row([
+                "oracle".to_string(),
+                oracle.accesses.to_string(),
+                oracle.hits.to_string(),
+                oracle.misses.to_string(),
+                format!("{:.2}", oracle.miss_rate() * 100.0),
+                "lower bound".to_string(),
+            ]);
+        }
+        text.push_str(&table.render());
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_export() -> String {
+        let mut opts = crate::HarnessOptions {
+            scale: 64,
+            suite: Some(gencache_workloads::Suite::Interactive),
+            jobs: Some(1),
+            ..crate::HarnessOptions::default()
+        };
+        let dir = std::env::temp_dir().join(format!("gencache-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl").to_str().unwrap().to_string();
+        opts.events_out = Some(path.clone());
+        let runs = crate::record_all(&opts);
+        crate::export_telemetry(&opts, &runs[..1]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        text
+    }
+
+    #[test]
+    fn line_at_a_time_ingest_matches_bulk_reconstruction() {
+        let text = tiny_export();
+        let mut ingest = StreamIngest::new();
+        for line in text.lines() {
+            ingest.push_line(line).unwrap();
+        }
+        assert!(ingest.has_header());
+        assert!(ingest.bytes() >= text.len() as u64);
+        let inputs = ingest.into_inputs(None, None, None).unwrap();
+        assert_eq!(inputs.len(), 1);
+        assert!(inputs[0].trace.access_count() > 0);
+        assert_eq!(inputs[0].log.access_count(), inputs[0].trace.access_count());
+    }
+
+    #[test]
+    fn truncated_checker_stream_is_rejected() {
+        let text = tiny_export();
+        let mut ingest = StreamIngest::new();
+        // Drop the final line (part of the second model's stream): the
+        // checker cursor cannot reach the reference length.
+        let lines: Vec<&str> = text.lines().collect();
+        for line in &lines[..lines.len() - 1] {
+            ingest.push_line(line).unwrap();
+        }
+        let err = ingest.into_inputs(None, None, None).unwrap_err();
+        assert!(
+            err.contains("different frontend traces"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn garbage_line_is_a_clean_error() {
+        let mut ingest = StreamIngest::new();
+        assert!(ingest.push_line("{not json").is_err());
+        assert!(StreamIngest::new().push_line("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn canceled_job_returns_error_not_partial_output() {
+        let text = tiny_export();
+        let mut ingest = StreamIngest::new();
+        for line in text.lines() {
+            ingest.push_line(line).unwrap();
+        }
+        let inputs = ingest.into_inputs(None, None, None).unwrap();
+        let specs = resolve_sim_specs(&[], false).unwrap();
+        let cancel = AtomicBool::new(true);
+        let err = run_sim_job(&inputs, &specs, false, 1, Some(&cancel)).unwrap_err();
+        assert!(err.contains("canceled"), "unexpected error: {err}");
+    }
+}

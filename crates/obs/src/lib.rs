@@ -70,5 +70,5 @@ pub use schema::{
     parse_stream_line, RunMeta, StreamHeader, StreamLine, EVENTS_SCHEMA, EVENTS_VERSION,
     METRICS_SCHEMA, METRICS_VERSION,
 };
-pub use simstream::{reconstruct_trace, SimTrace, TraceOp};
+pub use simstream::{reconstruct_trace, SimTrace, TraceOp, TraceRebuilder};
 pub use sample::{ReservoirSnapshot, SampledReport, SamplingObserver, SamplingParams, SamplingSummary};

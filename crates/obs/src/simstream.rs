@@ -97,59 +97,77 @@ impl SimTrace {
     }
 }
 
-/// Recovers the frontend request trace from one model's event stream.
+/// Incremental event → frontend-request inversion.
 ///
-/// The first [`Miss`](CacheEvent::Miss) of a trace id (or a later miss
-/// presenting a *different* body size, i.e. the source was regenerated
-/// differently) becomes a [`TraceOp::Create`]; every other hit or miss
-/// becomes a [`TraceOp::Access`]. Whether a given re-execution hit or
-/// missed is a property of the recorded configuration and deliberately
-/// discarded — the simulator re-derives it under the hypothetical one.
-///
-/// Errors if the stream opens a trace's history with a hit (impossible
-/// for a model that starts empty — the stream is truncated or mixes
-/// models).
-pub fn reconstruct_trace(events: &[CacheEvent]) -> Result<SimTrace, String> {
-    let mut ops = Vec::new();
-    let mut sizes: HashMap<TraceId, u32> = HashMap::new();
-    for event in events {
-        match *event {
+/// Holds only the per-trace size map (O(resident trace set)), so a
+/// consumer can feed events one at a time — from a file, a pipe, or a
+/// bounded channel — and never materialize the event stream. This is the
+/// core `reconstruct_trace` loops over, and what the serve daemon's
+/// streaming ingest drives directly.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRebuilder {
+    sizes: HashMap<TraceId, u32>,
+}
+
+impl TraceRebuilder {
+    /// A rebuilder with no traces seen yet.
+    pub fn new() -> Self {
+        TraceRebuilder::default()
+    }
+
+    /// Inverts one cache event into at most one frontend request.
+    ///
+    /// The first [`Miss`](CacheEvent::Miss) of a trace id (or a later
+    /// miss presenting a *different* body size, i.e. the source was
+    /// regenerated differently) becomes a [`TraceOp::Create`]; every
+    /// other hit or miss becomes a [`TraceOp::Access`]. Whether a given
+    /// re-execution hit or missed is a property of the recorded
+    /// configuration and deliberately discarded — the simulator
+    /// re-derives it under the hypothetical one. Cache-side effects
+    /// (insertions, capacity evictions, promotions, pointer resets)
+    /// yield `None`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the stream opens a trace's history with a hit
+    /// (impossible for a model that starts empty — the stream is
+    /// truncated or mixes models).
+    pub fn push(&mut self, event: &CacheEvent) -> Result<Option<TraceOp>, String> {
+        Ok(Some(match *event {
             CacheEvent::Miss { trace, bytes, time } => {
-                if sizes.get(&trace) == Some(&bytes) {
-                    ops.push(TraceOp::Access { id: trace, time });
+                if self.sizes.get(&trace) == Some(&bytes) {
+                    TraceOp::Access { id: trace, time }
                 } else {
-                    sizes.insert(trace, bytes);
-                    ops.push(TraceOp::Create {
+                    self.sizes.insert(trace, bytes);
+                    TraceOp::Create {
                         id: trace,
                         bytes,
                         time,
-                    });
+                    }
                 }
             }
             CacheEvent::Hit { trace, time, .. } => {
-                if !sizes.contains_key(&trace) {
+                if !self.sizes.contains_key(&trace) {
                     return Err(format!(
                         "hit on trace {trace} before any miss: stream is \
                          truncated or mixes models"
                     ));
                 }
-                ops.push(TraceOp::Access { id: trace, time });
+                TraceOp::Access { id: trace, time }
             }
             CacheEvent::Evict {
                 trace,
                 cause: EvictionCause::Unmapped,
                 time,
                 ..
-            } => {
-                ops.push(TraceOp::Invalidate { id: trace, time });
-            }
+            } => TraceOp::Invalidate { id: trace, time },
             CacheEvent::Noop { op, trace, time } => match op {
-                FrontendOp::Unmap => ops.push(TraceOp::Invalidate { id: trace, time }),
-                FrontendOp::Pin => ops.push(TraceOp::Pin { id: trace }),
-                FrontendOp::Unpin => ops.push(TraceOp::Unpin { id: trace }),
+                FrontendOp::Unmap => TraceOp::Invalidate { id: trace, time },
+                FrontendOp::Pin => TraceOp::Pin { id: trace },
+                FrontendOp::Unpin => TraceOp::Unpin { id: trace },
             },
-            CacheEvent::Pin { trace, .. } => ops.push(TraceOp::Pin { id: trace }),
-            CacheEvent::Unpin { trace, .. } => ops.push(TraceOp::Unpin { id: trace }),
+            CacheEvent::Pin { trace, .. } => TraceOp::Pin { id: trace },
+            CacheEvent::Unpin { trace, .. } => TraceOp::Unpin { id: trace },
             // Cache-side effects: insertions, capacity/flush/discard
             // evictions, promotions and pointer resets all depend on the
             // recorded layout and are re-derived by the simulator.
@@ -157,7 +175,25 @@ pub fn reconstruct_trace(events: &[CacheEvent]) -> Result<SimTrace, String> {
             | CacheEvent::Evict { .. }
             | CacheEvent::Promote { .. }
             | CacheEvent::PromotedIn { .. }
-            | CacheEvent::PointerReset { .. } => {}
+            | CacheEvent::PointerReset { .. } => return Ok(None),
+        }))
+    }
+}
+
+/// Recovers the frontend request trace from one model's event stream: a
+/// [`TraceRebuilder`] loop that materializes the ops.
+///
+/// # Errors
+///
+/// Errors if the stream opens a trace's history with a hit (impossible
+/// for a model that starts empty — the stream is truncated or mixes
+/// models).
+pub fn reconstruct_trace(events: &[CacheEvent]) -> Result<SimTrace, String> {
+    let mut rebuilder = TraceRebuilder::new();
+    let mut ops = Vec::new();
+    for event in events {
+        if let Some(op) = rebuilder.push(event)? {
+            ops.push(op);
         }
     }
     Ok(SimTrace { ops })

@@ -1,0 +1,259 @@
+//! `gencache-client` — CLI driver for the `gencache-serve` daemon.
+//!
+//! ```text
+//! gencache-client submit --addr HOST:PORT --events FILE|- [--spec LABEL]...
+//!                 [--grid] [--oracle] [--capacity BYTES] [--bench NAME]
+//!                 [--model LABEL] [--deadline-ms N] [--metrics-out FILE]
+//!                 [--no-table]
+//! gencache-client stats --addr HOST:PORT
+//! gencache-client ping  --addr HOST:PORT [--hold-ms N]
+//! gencache-client fetch --addr HOST:PORT --bench NAME [--scale N] [--out FILE|-]
+//! ```
+//!
+//! `submit --events -` reads the export from stdin; `--metrics-out`
+//! writes the returned metrics document byte-identically to what
+//! `simulate --metrics-out` produces for the same export and specs.
+//! `fetch` streams a server-side recording's v2 export to stdout (or
+//! `--out`), ready to pipe into `simulate --events -`. A `busy` reply
+//! exits with status 3 so scripts can distinguish shedding from
+//! failure.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::process::ExitCode;
+
+use gencache_serve::{Client, JobSpec, Reply};
+
+const USAGE: &str = "subcommands: submit / stats / ping / fetch (see --help in module docs)";
+
+fn open_input(path: &str) -> io::Result<Box<dyn BufRead>> {
+    if path == "-" {
+        Ok(Box::new(BufReader::new(io::stdin())))
+    } else {
+        Ok(Box::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+fn open_output(path: &str) -> io::Result<Box<dyn Write>> {
+    if path == "-" {
+        Ok(Box::new(io::stdout()))
+    } else {
+        Ok(Box::new(File::create(path)?))
+    }
+}
+
+struct SubmitArgs {
+    addr: String,
+    events: String,
+    spec: JobSpec,
+    metrics_out: Option<String>,
+    table: bool,
+}
+
+fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
+    let mut args = SubmitArgs {
+        addr: String::new(),
+        events: String::new(),
+        spec: JobSpec::default(),
+        metrics_out: None,
+        table: true,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().expect("--addr needs HOST:PORT"),
+            "--events" => args.events = it.next().expect("--events needs a file path or -"),
+            "--spec" => args
+                .spec
+                .specs
+                .push(it.next().expect("--spec needs a label")),
+            "--grid" => args.spec.grid = true,
+            "--oracle" => args.spec.oracle = true,
+            "--capacity" => {
+                let v = it.next().expect("--capacity needs a byte count");
+                args.spec.capacity =
+                    Some(v.parse().expect("--capacity must be a positive integer"));
+            }
+            "--bench" => args.spec.bench = Some(it.next().expect("--bench needs a name")),
+            "--model" => args.spec.model = Some(it.next().expect("--model needs a label")),
+            "--deadline-ms" => {
+                let v = it.next().expect("--deadline-ms needs a value");
+                args.spec.deadline_ms = Some(v.parse().expect("--deadline-ms must be an integer"));
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().expect("--metrics-out needs a file path"));
+            }
+            "--no-table" => args.table = false,
+            other => panic!("unknown submit argument {other:?}"),
+        }
+    }
+    assert!(!args.addr.is_empty(), "submit needs --addr HOST:PORT");
+    assert!(!args.events.is_empty(), "submit needs --events FILE|-");
+    args
+}
+
+fn run_submit(it: impl Iterator<Item = String>) -> ExitCode {
+    let args = parse_submit(it);
+    let reader = match open_input(&args.events) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", args.events);
+            return ExitCode::FAILURE;
+        }
+    };
+    let client = Client::new(&args.addr);
+    match client.submit(reader, &args.spec) {
+        Ok(Reply::Result {
+            doc,
+            table,
+            benches,
+            specs,
+            elapsed_us,
+        }) => {
+            if args.table {
+                print!("{table}");
+            }
+            eprintln!(
+                "server simulated {benches} benchmark(s) x {specs} spec(s) in {:.3}s",
+                elapsed_us as f64 / 1e6
+            );
+            if let Some(path) = &args.metrics_out {
+                let written = File::create(path).and_then(|mut f| {
+                    f.write_all(doc.as_bytes())?;
+                    f.write_all(b"\n")
+                });
+                if let Err(e) = written {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote metrics to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Reply::Busy { queue_depth }) => {
+            eprintln!("server busy (queue depth {queue_depth}); retry later");
+            ExitCode::from(3)
+        }
+        Ok(Reply::Error { message }) => {
+            eprintln!("server error: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_stats(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            other => panic!("unknown stats argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "stats needs --addr HOST:PORT");
+    match Client::new(&addr).stats() {
+        Ok(Reply::Stats { doc }) => {
+            println!("{doc}");
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("stats failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_ping(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    let mut hold_ms = 0u64;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            "--hold-ms" => {
+                let v = it.next().expect("--hold-ms needs a value");
+                hold_ms = v.parse().expect("--hold-ms must be an integer");
+            }
+            other => panic!("unknown ping argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "ping needs --addr HOST:PORT");
+    match Client::new(&addr).ping(hold_ms) {
+        Ok(Reply::Pong) => {
+            println!("pong");
+            ExitCode::SUCCESS
+        }
+        Ok(Reply::Busy { queue_depth }) => {
+            eprintln!("server busy (queue depth {queue_depth})");
+            ExitCode::from(3)
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ping failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_fetch(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    let mut bench = String::new();
+    let mut scale = 1u64;
+    let mut out_path = "-".to_string();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            "--bench" => bench = it.next().expect("--bench needs a name"),
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = v.parse().expect("--scale must be a positive integer");
+                assert!(scale > 0, "--scale must be positive");
+            }
+            "--out" => out_path = it.next().expect("--out needs a file path or -"),
+            other => panic!("unknown fetch argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "fetch needs --addr HOST:PORT");
+    assert!(!bench.is_empty(), "fetch needs --bench NAME");
+    let out = match open_output(&out_path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cannot open {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match Client::new(&addr).fetch(&bench, scale, out) {
+        Ok(lines) => {
+            eprintln!("fetched {lines} export lines for {bench}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fetch failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("submit") => run_submit(it),
+        Some("stats") => run_stats(it),
+        Some("ping") => run_ping(it),
+        Some("fetch") => run_fetch(it),
+        Some(other) => panic!("unknown subcommand {other:?}; {USAGE}"),
+        None => panic!("{USAGE}"),
+    }
+}

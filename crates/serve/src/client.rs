@@ -1,0 +1,160 @@
+//! Client-side protocol driver: connect, stream, read one reply.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+
+use crate::proto::{
+    encode_end, encode_fetch, encode_job, encode_ping, encode_stats_request, is_control_line,
+    parse_reply, parse_request, JobSpec, Reply, Request,
+};
+
+/// A handle on one daemon address. Each call opens its own connection —
+/// the protocol is one request–reply conversation per connection.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    /// Submits a simulation job: the job header, then every line of the
+    /// export read from `reader`, then the `end` frame. Returns the
+    /// server's reply (`Result`, `Busy`, or `Error`).
+    ///
+    /// A mid-upload write failure is tolerated: the server may already
+    /// have shed the job with `busy` or failed it with `error`, so the
+    /// client switches to reading the reply instead of propagating the
+    /// broken pipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures, local read failures, and a protocol
+    /// violation in the reply.
+    pub fn submit(&self, reader: impl BufRead, spec: &JobSpec) -> io::Result<Reply> {
+        let stream = self.connect()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let upload = || -> io::Result<()> {
+            writeln!(writer, "{}", encode_job(spec))?;
+            let mut lines = 0u64;
+            for line in reader.lines() {
+                let line = line?;
+                writeln!(writer, "{line}")?;
+                lines += 1;
+            }
+            writeln!(writer, "{}", encode_end(lines))?;
+            writer.flush()
+        };
+        match upload() {
+            Ok(()) => {}
+            // The server may have closed the upload side after an early
+            // busy/error reply; go read it.
+            Err(e)
+                if e.kind() == io::ErrorKind::BrokenPipe
+                    || e.kind() == io::ErrorKind::ConnectionReset
+                    || e.kind() == io::ErrorKind::ConnectionAborted => {}
+            Err(e) => return Err(e),
+        }
+        stream.shutdown(Shutdown::Write).ok();
+        read_reply(stream)
+    }
+
+    /// Requests the daemon's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and protocol violations.
+    pub fn stats(&self) -> io::Result<Reply> {
+        self.simple_request(&encode_stats_request())
+    }
+
+    /// Pings the daemon; `hold_ms > 0` keeps a worker slot busy for that
+    /// long before the `pong` — the deterministic pool-filler for
+    /// backpressure tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and protocol violations.
+    pub fn ping(&self, hold_ms: u64) -> io::Result<Reply> {
+        self.simple_request(&encode_ping(hold_ms))
+    }
+
+    fn simple_request(&self, line: &str) -> io::Result<Reply> {
+        let stream = self.connect()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        stream.shutdown(Shutdown::Write).ok();
+        read_reply(stream)
+    }
+
+    /// Asks the daemon to record `bench` at `scale` server-side and
+    /// streams the resulting v2 export into `out`. Returns the number of
+    /// export lines written.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures, a `busy`/`error` reply, a line-count
+    /// mismatch against the closing `end` frame, or a stream that ends
+    /// without one.
+    pub fn fetch(&self, bench: &str, scale: u64, mut out: impl Write) -> io::Result<u64> {
+        let stream = self.connect()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        writeln!(writer, "{}", encode_fetch(bench, scale))?;
+        writer.flush()?;
+        stream.shutdown(Shutdown::Write).ok();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let mut forwarded = 0u64;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::other(
+                    "download ended without an end frame (truncated)",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if is_control_line(trimmed) {
+                return match parse_request(trimmed) {
+                    Ok(Request::End { lines }) if lines == forwarded => Ok(forwarded),
+                    Ok(Request::End { lines }) => Err(io::Error::other(format!(
+                        "download truncated: server sent {lines} lines, received {forwarded}"
+                    ))),
+                    _ => match parse_reply(trimmed) {
+                        Ok(Reply::Error { message }) => Err(io::Error::other(message)),
+                        Ok(Reply::Busy { queue_depth }) => Err(io::Error::other(format!(
+                            "server busy (queue depth {queue_depth})"
+                        ))),
+                        _ => Err(io::Error::other(format!(
+                            "unexpected frame in download: {trimmed}"
+                        ))),
+                    },
+                };
+            }
+            out.write_all(trimmed.as_bytes())?;
+            out.write_all(b"\n")?;
+            forwarded += 1;
+        }
+    }
+}
+
+fn read_reply(stream: TcpStream) -> io::Result<Reply> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection without a reply",
+        ));
+    }
+    parse_reply(line.trim_end_matches(['\r', '\n'])).map_err(io::Error::other)
+}

@@ -1,0 +1,453 @@
+//! The wire protocol: line-delimited JSON over TCP.
+//!
+//! Every frame is one LF-terminated line. Control frames are JSON
+//! objects whose **first key is `type`** — `{"type":...}` — which can
+//! never collide with v2 export lines (the header serializes with
+//! `schema` first, run metadata and event records with `source` first),
+//! so a connection can interleave control frames and raw export lines
+//! with a one-token prefix test and no re-parsing. See
+//! `docs/PROTOCOL.md` for the full framing and lifecycle contract.
+
+use serde::Value;
+
+/// Prefix every control frame starts with (after optional whitespace).
+pub const CONTROL_PREFIX: &str = "{\"type\":";
+
+/// Returns `true` if `line` is a control frame rather than an export
+/// line.
+pub fn is_control_line(line: &str) -> bool {
+    line.trim_start().starts_with(CONTROL_PREFIX)
+}
+
+/// A parsed job submission header: which specs to simulate against the
+/// export that follows, plus resource limits.
+#[derive(Debug, Clone, Default)]
+pub struct JobSpec {
+    /// Spec labels (same grammar as `simulate --spec`); empty means the
+    /// live export's default configurations.
+    pub specs: Vec<String>,
+    /// Add the §6 proportions × policy sweep grid.
+    pub grid: bool,
+    /// Add the Belady-style oracle lower-bound row.
+    pub oracle: bool,
+    /// Cache-budget override in bytes.
+    pub capacity: Option<u64>,
+    /// Restrict to one benchmark of the export.
+    pub bench: Option<String>,
+    /// Which model stream's run metadata fixes capacity/duration.
+    pub model: Option<String>,
+    /// Per-job wall-clock budget in milliseconds; `None` defers to the
+    /// server's default, `Some(0)` disables the deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One client request, decoded from a control frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit a simulation job; export lines follow, closed by
+    /// [`Request::End`].
+    Job(JobSpec),
+    /// Terminates a job's export stream, carrying the number of export
+    /// lines the client sent (an integrity check against truncation).
+    End {
+        /// Export lines the client claims to have sent.
+        lines: u64,
+    },
+    /// Ask for the daemon's counters.
+    Stats,
+    /// Health check that occupies a worker slot for `hold_ms`
+    /// milliseconds before replying — the deterministic way to fill the
+    /// pool in backpressure tests.
+    Ping {
+        /// Milliseconds the worker holds its slot before replying.
+        hold_ms: u64,
+    },
+    /// Record a benchmark server-side (through the bounded-channel
+    /// streamed record path) and stream its v2 export back.
+    Fetch {
+        /// Benchmark name (any of the 38 calibrated profiles).
+        bench: String,
+        /// Footprint divisor (1 = full scale).
+        scale: u64,
+    },
+}
+
+fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(n) => Some(*n),
+        Value::Int(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn opt_str(pairs: &[(String, Value)], name: &str) -> Result<Option<String>, String> {
+    match field(pairs, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => as_str(v)
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("field {name:?} must be a string")),
+    }
+}
+
+fn opt_u64(pairs: &[(String, Value)], name: &str) -> Result<Option<u64>, String> {
+    match field(pairs, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => as_u64(v)
+            .map(Some)
+            .ok_or_else(|| format!("field {name:?} must be a non-negative integer")),
+    }
+}
+
+fn opt_bool(pairs: &[(String, Value)], name: &str) -> Result<bool, String> {
+    match field(pairs, name) {
+        None | Some(Value::Null) => Ok(false),
+        Some(v) => as_bool(v).ok_or_else(|| format!("field {name:?} must be a boolean")),
+    }
+}
+
+/// Decodes one control frame.
+///
+/// # Errors
+///
+/// Returns a description of malformed JSON, a missing/unknown `type`,
+/// or a field of the wrong shape. The daemon turns this into an
+/// `error` reply without dropping other connections.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = serde_json::value_from_str(line).map_err(|e| format!("malformed frame: {e}"))?;
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| "control frame must be a JSON object".to_string())?;
+    let ty = field(pairs, "type")
+        .and_then(as_str)
+        .ok_or_else(|| "control frame needs a string \"type\" field".to_string())?;
+    match ty {
+        "job" => {
+            let specs = match field(pairs, "specs") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| "field \"specs\" must be an array of labels".to_string())?
+                    .iter()
+                    .map(|s| {
+                        as_str(s)
+                            .map(str::to_string)
+                            .ok_or_else(|| "field \"specs\" must contain strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            Ok(Request::Job(JobSpec {
+                specs,
+                grid: opt_bool(pairs, "grid")?,
+                oracle: opt_bool(pairs, "oracle")?,
+                capacity: opt_u64(pairs, "capacity")?,
+                bench: opt_str(pairs, "bench")?,
+                model: opt_str(pairs, "model")?,
+                deadline_ms: opt_u64(pairs, "deadline_ms")?,
+            }))
+        }
+        "end" => Ok(Request::End {
+            lines: opt_u64(pairs, "lines")?
+                .ok_or_else(|| "end frame needs a \"lines\" count".to_string())?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping {
+            hold_ms: opt_u64(pairs, "hold_ms")?.unwrap_or(0),
+        }),
+        "fetch" => Ok(Request::Fetch {
+            bench: opt_str(pairs, "bench")?
+                .ok_or_else(|| "fetch frame needs a \"bench\" name".to_string())?,
+            scale: opt_u64(pairs, "scale")?.unwrap_or(1).max(1),
+        }),
+        other => Err(format!("unknown request type {other:?}")),
+    }
+}
+
+/// One server reply, decoded from a control frame by the client.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// A completed job: the metrics document (as its canonical JSON
+    /// text) plus the rendered result tables.
+    Result {
+        /// The metrics document, serialized exactly as
+        /// `simulate --metrics-out` writes it (no trailing newline).
+        doc: String,
+        /// Human-readable per-benchmark tables.
+        table: String,
+        /// Benchmarks simulated.
+        benches: u64,
+        /// Specs evaluated per benchmark.
+        specs: u64,
+        /// Job wall-clock in microseconds.
+        elapsed_us: u64,
+    },
+    /// The job queue is full — retry later (HTTP 429 in spirit).
+    Busy {
+        /// Queue occupancy when the job was shed.
+        queue_depth: u64,
+    },
+    /// The request failed; the connection closes after this frame.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Counter snapshot (the `stats` document as canonical JSON text).
+    Stats {
+        /// The serialized stats document.
+        doc: String,
+    },
+    /// Ping acknowledgement.
+    Pong,
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render(value: &Value) -> String {
+    gencache_bench::value_to_json(value)
+}
+
+/// Encodes a `result` reply frame. `doc` is embedded as a JSON subtree,
+/// so the client re-serializes it through the same deterministic
+/// renderer and recovers the exact `simulate --metrics-out` bytes.
+pub fn encode_result(doc: Value, table: &str, benches: u64, specs: u64, elapsed_us: u64) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("result".to_string())),
+        ("benches", Value::UInt(benches)),
+        ("specs", Value::UInt(specs)),
+        ("elapsed_us", Value::UInt(elapsed_us)),
+        ("table", Value::Str(table.to_string())),
+        ("doc", doc),
+    ]))
+}
+
+/// Encodes a `busy` reply frame.
+pub fn encode_busy(queue_depth: u64) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("busy".to_string())),
+        ("queue_depth", Value::UInt(queue_depth)),
+    ]))
+}
+
+/// Encodes an `error` reply frame.
+pub fn encode_error(message: &str) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("error".to_string())),
+        ("message", Value::Str(message.to_string())),
+    ]))
+}
+
+/// Encodes a `stats` reply frame around an assembled snapshot document.
+pub fn encode_stats(snapshot: Value) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("stats".to_string())),
+        ("stats", snapshot),
+    ]))
+}
+
+/// Encodes a `pong` reply frame.
+pub fn encode_pong() -> String {
+    render(&obj(vec![("type", Value::Str("pong".to_string()))]))
+}
+
+/// Encodes the `end` frame terminating a streamed export (job upload or
+/// `fetch` download).
+pub fn encode_end(lines: u64) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("end".to_string())),
+        ("lines", Value::UInt(lines)),
+    ]))
+}
+
+/// Encodes a `job` request frame.
+pub fn encode_job(spec: &JobSpec) -> String {
+    let mut pairs = vec![
+        ("type", Value::Str("job".to_string())),
+        (
+            "specs",
+            Value::Array(spec.specs.iter().map(|s| Value::Str(s.clone())).collect()),
+        ),
+        ("grid", Value::Bool(spec.grid)),
+        ("oracle", Value::Bool(spec.oracle)),
+    ];
+    if let Some(c) = spec.capacity {
+        pairs.push(("capacity", Value::UInt(c)));
+    }
+    if let Some(b) = &spec.bench {
+        pairs.push(("bench", Value::Str(b.clone())));
+    }
+    if let Some(m) = &spec.model {
+        pairs.push(("model", Value::Str(m.clone())));
+    }
+    if let Some(d) = spec.deadline_ms {
+        pairs.push(("deadline_ms", Value::UInt(d)));
+    }
+    render(&obj(pairs))
+}
+
+/// Encodes a `stats` request frame.
+pub fn encode_stats_request() -> String {
+    render(&obj(vec![("type", Value::Str("stats".to_string()))]))
+}
+
+/// Encodes a `ping` request frame.
+pub fn encode_ping(hold_ms: u64) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("ping".to_string())),
+        ("hold_ms", Value::UInt(hold_ms)),
+    ]))
+}
+
+/// Encodes a `fetch` request frame.
+pub fn encode_fetch(bench: &str, scale: u64) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("fetch".to_string())),
+        ("bench", Value::Str(bench.to_string())),
+        ("scale", Value::UInt(scale)),
+    ]))
+}
+
+/// Decodes one reply frame (client side).
+///
+/// # Errors
+///
+/// Returns a description of malformed JSON or an unknown reply type.
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let value = serde_json::value_from_str(line).map_err(|e| format!("malformed reply: {e}"))?;
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| "reply must be a JSON object".to_string())?;
+    let ty = field(pairs, "type")
+        .and_then(as_str)
+        .ok_or_else(|| "reply needs a string \"type\" field".to_string())?;
+    match ty {
+        "result" => Ok(Reply::Result {
+            doc: field(pairs, "doc")
+                .map(render)
+                .ok_or_else(|| "result reply needs a \"doc\" field".to_string())?,
+            table: opt_str(pairs, "table")?.unwrap_or_default(),
+            benches: opt_u64(pairs, "benches")?.unwrap_or(0),
+            specs: opt_u64(pairs, "specs")?.unwrap_or(0),
+            elapsed_us: opt_u64(pairs, "elapsed_us")?.unwrap_or(0),
+        }),
+        "busy" => Ok(Reply::Busy {
+            queue_depth: opt_u64(pairs, "queue_depth")?.unwrap_or(0),
+        }),
+        "error" => Ok(Reply::Error {
+            message: opt_str(pairs, "message")?.unwrap_or_default(),
+        }),
+        "stats" => Ok(Reply::Stats {
+            doc: field(pairs, "stats")
+                .map(render)
+                .ok_or_else(|| "stats reply needs a \"stats\" field".to_string())?,
+        }),
+        "pong" => Ok(Reply::Pong),
+        other => Err(format!("unknown reply type {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_prefix_disambiguates_export_lines() {
+        assert!(is_control_line("{\"type\":\"stats\"}"));
+        assert!(is_control_line("  {\"type\":\"end\",\"lines\":3}"));
+        // Export lines lead with "schema" or "source".
+        assert!(!is_control_line(
+            "{\"schema\":\"gencache-events\",\"version\":2}"
+        ));
+        assert!(!is_control_line("{\"source\":\"gcc\",\"model\":\"unified\"}"));
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        let spec = JobSpec {
+            specs: vec!["unified".to_string(), "30-20-50@evict5".to_string()],
+            grid: true,
+            oracle: true,
+            capacity: Some(4096),
+            bench: Some("word".to_string()),
+            model: None,
+            deadline_ms: Some(1500),
+        };
+        let line = encode_job(&spec);
+        assert!(is_control_line(&line));
+        match parse_request(&line).unwrap() {
+            Request::Job(parsed) => {
+                assert_eq!(parsed.specs, spec.specs);
+                assert!(parsed.grid && parsed.oracle);
+                assert_eq!(parsed.capacity, Some(4096));
+                assert_eq!(parsed.bench.as_deref(), Some("word"));
+                assert_eq!(parsed.model, None);
+                assert_eq!(parsed.deadline_ms, Some(1500));
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_requires_line_count() {
+        assert!(parse_request("{\"type\":\"end\"}").is_err());
+        match parse_request(&encode_end(42)).unwrap() {
+            Request::End { lines } => assert_eq!(lines, 42),
+            other => panic!("expected end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_and_unknown_frames_are_clean_errors() {
+        assert!(parse_request("{nope").is_err());
+        assert!(parse_request("[]").is_err());
+        assert!(parse_request("{\"type\":\"launch-missiles\"}").is_err());
+        assert!(parse_reply("{\"type\":\"shrug\"}").is_err());
+    }
+
+    #[test]
+    fn result_reply_roundtrips_doc_bytes() {
+        let doc = Value::Object(vec![
+            ("schema".to_string(), Value::Str("gencache-metrics".to_string())),
+            ("version".to_string(), Value::UInt(2)),
+        ]);
+        let doc_json = gencache_bench::value_to_json(&doc);
+        let line = encode_result(doc, "table\n", 1, 2, 3);
+        match parse_reply(&line).unwrap() {
+            Reply::Result {
+                doc,
+                table,
+                benches,
+                specs,
+                elapsed_us,
+            } => {
+                assert_eq!(doc, doc_json);
+                assert_eq!(table, "table\n");
+                assert_eq!((benches, specs, elapsed_us), (1, 2, 3));
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+}

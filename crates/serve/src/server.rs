@@ -1,0 +1,630 @@
+//! The daemon: accept loop, per-connection protocol, and job execution.
+//!
+//! Memory discipline: a connection thread never holds more than one
+//! protocol line plus the bounded ingest channel's in-flight window.
+//! Export lines flow socket → bounded channel → [`StreamIngest`], which
+//! keeps only the reconstructed frontend traces — peak memory is
+//! O(channel depth + resident trace set), never O(stream length). When
+//! the worker stalls, the channel fills, the connection thread blocks in
+//! `send`, the socket's receive window closes, and backpressure reaches
+//! the client as plain TCP flow control. Queue-level backpressure is
+//! separate: admission uses a non-blocking submit, and a full queue is
+//! answered with a `busy` frame (HTTP 429 in spirit) instead of an
+//! ever-growing backlog.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gencache_bench::ingest::{
+    render_sim_tables, resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest,
+};
+use gencache_bench::stream_events_to;
+use gencache_sim::par::effective_jobs;
+use gencache_sim::stream::{bounded, Receiver, Sender};
+use gencache_sim::{RecorderOptions, StreamedRecording, DEFAULT_STREAM_DEPTH};
+use gencache_workloads::benchmark;
+use serde::Value;
+
+use crate::pool::{SubmitError, WorkerPool};
+use crate::proto::{
+    encode_busy, encode_end, encode_error, encode_pong, encode_result, encode_stats,
+    is_control_line, parse_request, JobSpec, Request,
+};
+use crate::signal;
+use crate::stats::ServerStats;
+
+/// How a [`Server`] is sized and bounded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; `None` defers to `GENCACHE_JOBS`, then the
+    /// machine's available parallelism.
+    pub workers: Option<usize>,
+    /// Pending-job queue depth; `None` means twice the worker count.
+    pub queue_depth: Option<usize>,
+    /// Bounded ingest/download channel depth, in lines.
+    pub channel_depth: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Default per-job wall-clock budget in milliseconds (0 = none);
+    /// a job's own `deadline_ms` overrides it.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: None,
+            queue_depth: None,
+            channel_depth: DEFAULT_STREAM_DEPTH,
+            read_timeout: Duration::from_secs(10),
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared behind one `Arc`.
+struct Ctx {
+    pool: WorkerPool,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    channel_depth: usize,
+    read_timeout: Duration,
+    default_deadline_ms: u64,
+}
+
+impl Ctx {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+}
+
+/// The simulation service daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pool", &self.pool)
+            .field("channel_depth", &self.channel_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = effective_jobs(config.workers);
+        let queue_depth = config.queue_depth.unwrap_or(workers * 2);
+        let ctx = Ctx {
+            pool: WorkerPool::new(workers, queue_depth),
+            stats: Arc::new(ServerStats::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            channel_depth: config.channel_depth.max(1),
+            read_timeout: config.read_timeout,
+            default_deadline_ms: config.default_deadline_ms,
+        };
+        Ok(Server {
+            listener,
+            ctx: Arc::new(ctx),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The daemon's counters (live; snapshot via
+    /// [`ServerStats::snapshot`]).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.ctx.stats)
+    }
+
+    /// A flag that stops the accept loop when set — how in-process tests
+    /// shut the server down without a signal.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.ctx.shutdown)
+    }
+
+    /// Serves until the shutdown flag or a SIGTERM/SIGINT arrives, then
+    /// drains: stop accepting, join live connections (bounded by the
+    /// read timeout plus job deadlines), drain and join the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures other than `WouldBlock`.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if self.ctx.draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    conns.retain(|h| !h.is_finished());
+                    let ctx = Arc::clone(&self.ctx);
+                    let handle = std::thread::Builder::new()
+                        .name("gencache-conn".to_string())
+                        .spawn(move || {
+                            if let Err(e) = handle_connection(stream, &ctx) {
+                                // A vanished client is routine, not a
+                                // daemon failure.
+                                if e.kind() != io::ErrorKind::BrokenPipe
+                                    && e.kind() != io::ErrorKind::ConnectionReset
+                                {
+                                    eprintln!("gencache-serve: connection error: {e}");
+                                }
+                            }
+                        })
+                        .expect("spawn connection thread");
+                    conns.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in conns {
+            let _ = handle.join();
+        }
+        self.ctx.pool.shutdown();
+        Ok(())
+    }
+}
+
+/// What flows from the connection thread to the ingesting worker.
+enum IngestItem {
+    /// One raw export line.
+    Line(String),
+    /// The client's `end` frame: claimed line count for integrity.
+    End {
+        lines: u64,
+    },
+    /// The upload failed (read error, bad frame); the worker must not
+    /// treat what it has as a complete export.
+    Abort(String),
+}
+
+/// A finished job's reply payload, handed back to the connection thread.
+struct ResultParts {
+    doc: Value,
+    table: String,
+    benches: u64,
+    specs: u64,
+    elapsed_us: u64,
+}
+
+type JobOutcome = Result<ResultParts, String>;
+
+fn send_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads and discards the rest of an upload after an early reply
+/// (`busy`/`error`), so closing the socket cannot RST the reply out of
+/// the client's receive buffer. Bounded: stops at EOF, any read error
+/// (including the read timeout), or a 64 MiB cap.
+fn drain_discard(reader: &mut impl Read) {
+    let mut buf = [0u8; 8192];
+    let mut total = 0u64;
+    while total < 64 * 1024 * 1024 {
+        match reader.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => total += n as u64,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
+    ServerStats::bump(&ctx.stats.connections);
+    stream.set_read_timeout(Some(ctx.read_timeout))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(()); // connected and left — nothing to do
+    }
+    let line = first.trim_end_matches(['\r', '\n']);
+    if !is_control_line(line) {
+        return send_line(
+            &mut writer,
+            &encode_error("expected a control frame ({\"type\":...}) first"),
+        );
+    }
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return send_line(&mut writer, &encode_error(&e)),
+    };
+    match request {
+        Request::Stats => {
+            let snapshot = ctx
+                .stats
+                .snapshot(ctx.pool.queue_len(), ctx.pool.workers());
+            send_line(&mut writer, &encode_stats(snapshot))
+        }
+        Request::End { .. } => send_line(
+            &mut writer,
+            &encode_error("end frame outside a job upload"),
+        ),
+        Request::Ping { hold_ms } => handle_ping(ctx, &mut writer, hold_ms),
+        Request::Job(spec) => {
+            if ctx.draining() {
+                return send_line(
+                    &mut writer,
+                    &encode_error("shutting down; not accepting new jobs"),
+                );
+            }
+            handle_job(ctx, &mut reader, &mut writer, spec)
+        }
+        Request::Fetch { bench, scale } => {
+            if ctx.draining() {
+                return send_line(
+                    &mut writer,
+                    &encode_error("shutting down; not accepting new jobs"),
+                );
+            }
+            handle_fetch(ctx, &mut writer, &bench, scale)
+        }
+    }
+}
+
+fn handle_ping(ctx: &Ctx, writer: &mut impl Write, hold_ms: u64) -> io::Result<()> {
+    let (done_tx, mut done_rx) = bounded::<()>(1);
+    let job = Box::new(move || {
+        if hold_ms > 0 {
+            std::thread::sleep(Duration::from_millis(hold_ms));
+        }
+        let _ = done_tx.send(());
+    });
+    match ctx.pool.try_submit(job) {
+        Ok(()) => {
+            ServerStats::bump(&ctx.stats.jobs_accepted);
+            done_rx.recv();
+            ServerStats::bump(&ctx.stats.jobs_completed);
+            send_line(writer, &encode_pong())
+        }
+        Err((_, SubmitError::Full)) => {
+            ServerStats::bump(&ctx.stats.jobs_rejected);
+            send_line(writer, &encode_busy(ctx.pool.queue_len() as u64))
+        }
+        Err((_, SubmitError::Closed)) => send_line(
+            writer,
+            &encode_error("shutting down; not accepting new jobs"),
+        ),
+    }
+}
+
+fn handle_job(
+    ctx: &Ctx,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    spec: JobSpec,
+) -> io::Result<()> {
+    let deadline_ms = spec.deadline_ms.unwrap_or(ctx.default_deadline_ms);
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let (lines_tx, lines_rx) = bounded::<IngestItem>(ctx.channel_depth);
+    let (reply_tx, mut reply_rx) = bounded::<JobOutcome>(1);
+    let job = Box::new(move || run_job(&spec, lines_rx, &reply_tx, deadline));
+    match ctx.pool.try_submit(job) {
+        Err((_, SubmitError::Full)) => {
+            ServerStats::bump(&ctx.stats.jobs_rejected);
+            send_line(writer, &encode_busy(ctx.pool.queue_len() as u64))?;
+            drain_discard(reader);
+            return Ok(());
+        }
+        Err((_, SubmitError::Closed)) => {
+            return send_line(
+                writer,
+                &encode_error("shutting down; not accepting new jobs"),
+            );
+        }
+        Ok(()) => {}
+    }
+    ServerStats::bump(&ctx.stats.jobs_accepted);
+    let started = Instant::now();
+
+    // Forward the upload line by line; the bounded send blocks when the
+    // worker falls behind, which is exactly the backpressure we want.
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => {
+                let _ = lines_tx.send(IngestItem::Abort(
+                    "connection closed mid-upload".to_string(),
+                ));
+                break;
+            }
+            Err(e) => {
+                let _ = lines_tx.send(IngestItem::Abort(format!("upload read failed: {e}")));
+                break;
+            }
+            Ok(n) => {
+                ServerStats::add(&ctx.stats.bytes_ingested, n as u64);
+                let line = buf.trim_end_matches(['\r', '\n']);
+                if is_control_line(line) {
+                    let item = match parse_request(line) {
+                        Ok(Request::End { lines }) => IngestItem::End { lines },
+                        Ok(_) => IngestItem::Abort(
+                            "unexpected control frame inside an export upload".to_string(),
+                        ),
+                        Err(e) => IngestItem::Abort(e),
+                    };
+                    let _ = lines_tx.send(item);
+                    break;
+                }
+                if lines_tx.send(IngestItem::Line(line.to_string())).is_err() {
+                    // The worker already gave up (deadline, malformed
+                    // stream); its reply is waiting for us.
+                    break;
+                }
+            }
+        }
+    }
+    drop(lines_tx);
+
+    match reply_rx.recv() {
+        Some(Ok(parts)) => {
+            ServerStats::bump(&ctx.stats.jobs_completed);
+            ctx.stats.record_latency(started.elapsed().as_micros() as u64);
+            send_line(
+                writer,
+                &encode_result(
+                    parts.doc,
+                    &parts.table,
+                    parts.benches,
+                    parts.specs,
+                    parts.elapsed_us,
+                ),
+            )
+        }
+        Some(Err(message)) => {
+            ServerStats::bump(&ctx.stats.jobs_failed);
+            send_line(writer, &encode_error(&message))?;
+            drain_discard(reader);
+            Ok(())
+        }
+        None => {
+            ServerStats::bump(&ctx.stats.jobs_failed);
+            send_line(writer, &encode_error("job worker terminated unexpectedly"))
+        }
+    }
+}
+
+/// The worker side of a job: bounded ingest, then the shared simulation
+/// runner — the exact machinery behind offline `simulate`, so the reply
+/// document is byte-identical to `simulate --metrics-out`.
+fn run_job(
+    spec: &JobSpec,
+    mut lines_rx: Receiver<IngestItem>,
+    reply_tx: &Sender<JobOutcome>,
+    deadline: Option<Duration>,
+) {
+    let started = Instant::now();
+    let fail = |message: String| {
+        let _ = reply_tx.send(Err(message));
+    };
+    let mut ingest = StreamIngest::new();
+    let mut received = 0u64;
+    let mut complete = false;
+    while let Some(item) = lines_rx.recv() {
+        if deadline.is_some_and(|d| started.elapsed() >= d) {
+            return fail("deadline exceeded during ingest".to_string());
+        }
+        match item {
+            IngestItem::Line(line) => {
+                received += 1;
+                if let Err(e) = ingest.push_line(&line) {
+                    return fail(e);
+                }
+            }
+            IngestItem::End { lines } => {
+                if lines != received {
+                    return fail(format!(
+                        "upload truncated: client sent {lines} export lines, received {received}"
+                    ));
+                }
+                complete = true;
+                break;
+            }
+            IngestItem::Abort(reason) => return fail(reason),
+        }
+    }
+    // Dropping the receiver here unblocks a connection thread still
+    // stuck in `send` on a full channel.
+    drop(lines_rx);
+    if !complete {
+        return fail("upload ended without an end frame".to_string());
+    }
+    let inputs = match ingest.into_inputs(
+        spec.bench.as_deref(),
+        spec.model.as_deref(),
+        spec.capacity,
+    ) {
+        Ok(i) => i,
+        Err(e) => return fail(e),
+    };
+    let specs = match resolve_sim_specs(&spec.specs, spec.grid) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+
+    // Replay with a watchdog flipping the cancel flag at the deadline;
+    // the runner polls it between (benchmark, spec) cells.
+    let cancel = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    let (cancel, done) = (&cancel, &done);
+    let outcome = std::thread::scope(|scope| {
+        if let Some(d) = deadline {
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if started.elapsed() >= d {
+                        cancel.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        // Within one job the pool's width is the concurrency budget, so
+        // the replay itself runs single-threaded.
+        let outcome = run_sim_job(&inputs, &specs, spec.oracle, 1, Some(cancel));
+        done.store(true, Ordering::Relaxed);
+        outcome
+    });
+    match outcome {
+        Ok(out) => {
+            let parts = ResultParts {
+                doc: sim_metrics_doc(&out),
+                table: render_sim_tables(&out),
+                benches: out.benches.len() as u64,
+                specs: out.labels.len() as u64,
+                elapsed_us: started.elapsed().as_micros() as u64,
+            };
+            let _ = reply_tx.send(Ok(parts));
+        }
+        Err(e) => {
+            if cancel.load(Ordering::Relaxed) {
+                fail(format!("deadline of {}ms exceeded", deadline.unwrap_or_default().as_millis()));
+            } else {
+                fail(e);
+            }
+        }
+    }
+}
+
+/// Adapts the bounded channel into an `io::Write` so the streamed
+/// export writer can feed a socket-bound download line by line.
+struct ChannelWriter {
+    tx: Sender<String>,
+    buf: Vec<u8>,
+}
+
+impl ChannelWriter {
+    fn new(tx: Sender<String>) -> Self {
+        ChannelWriter {
+            tx,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, upto: usize) -> io::Result<()> {
+        let line = String::from_utf8_lossy(&self.buf[..upto]).into_owned();
+        self.buf.drain(..=upto);
+        self.tx
+            .send(line)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "download receiver dropped"))
+    }
+}
+
+impl Write for ChannelWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            self.send(pos)?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn handle_fetch(
+    ctx: &Ctx,
+    writer: &mut impl Write,
+    bench: &str,
+    scale: u64,
+) -> io::Result<()> {
+    let (line_tx, mut line_rx) = bounded::<String>(ctx.channel_depth);
+    let bench_name = bench.to_string();
+    let depth = ctx.channel_depth;
+    let job = Box::new(move || {
+        let Some(profile) = benchmark(&bench_name) else {
+            let _ = line_tx.send(encode_error(&format!("unknown benchmark {bench_name:?}")));
+            return;
+        };
+        let profile = if scale > 1 {
+            profile.scaled_down(scale)
+        } else {
+            profile
+        };
+        let rec = match StreamedRecording::probe(&profile, RecorderOptions::default(), depth) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = line_tx.send(encode_error(&format!("{bench_name}: {e:?}")));
+                return;
+            }
+        };
+        let runs = vec![(profile, rec)];
+        match stream_events_to(ChannelWriter::new(line_tx.clone()), &runs) {
+            Ok((w, lines)) => {
+                drop(w);
+                let _ = line_tx.send(encode_end(lines));
+            }
+            Err(_) => {
+                // Receiver vanished: the client hung up; nothing to do.
+            }
+        }
+    });
+    match ctx.pool.try_submit(job) {
+        Err((_, SubmitError::Full)) => {
+            ServerStats::bump(&ctx.stats.jobs_rejected);
+            return send_line(writer, &encode_busy(ctx.pool.queue_len() as u64));
+        }
+        Err((_, SubmitError::Closed)) => {
+            return send_line(
+                writer,
+                &encode_error("shutting down; not accepting new jobs"),
+            );
+        }
+        Ok(()) => {}
+    }
+    ServerStats::bump(&ctx.stats.jobs_accepted);
+    let mut failed = false;
+    while let Some(line) = line_rx.recv() {
+        // Counters track export payload, not the trailing control frame.
+        if !is_control_line(&line) {
+            ServerStats::bump(&ctx.stats.lines_served);
+        }
+        if send_line(writer, &line).is_err() {
+            // Client hung up; dropping the receiver aborts the worker's
+            // next send.
+            failed = true;
+            break;
+        }
+    }
+    if failed {
+        ServerStats::bump(&ctx.stats.jobs_failed);
+    } else {
+        ServerStats::bump(&ctx.stats.jobs_completed);
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! SIGTERM/SIGINT → a process-wide shutdown flag, with no libc crate.
+//!
+//! The container bakes in only the Rust toolchain, so instead of a
+//! signal-handling dependency this declares the one libc symbol the
+//! daemon needs. The handler does the one thing that is
+//! async-signal-safe: store to an atomic. The accept loop polls the
+//! flag (the listener runs non-blocking) and drains gracefully.
+//!
+//! The flag is process-global because signals are; in-process tests
+//! never touch it and stop their servers through the per-server
+//! [`shutdown_flag`](crate::Server::shutdown_flag) instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGTERM and SIGINT to the shutdown flag. Call once at daemon
+/// startup, before accepting connections.
+pub fn install_handlers() {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has been delivered.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}

@@ -1,0 +1,116 @@
+//! Daemon counters: lock-free totals plus a log2 latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gencache_obs::Log2Histogram;
+use serde::{Serialize, Value};
+
+/// Monotonic counters shared by every connection and worker thread.
+/// Totals are relaxed atomics (each is independently monotonic; the
+/// snapshot is a consistent-enough observation for an operations
+/// endpoint, not a transaction); the latency histogram sits behind a
+/// mutex touched once per completed job.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Jobs admitted to the queue (simulation jobs, pings, fetches).
+    pub jobs_accepted: AtomicU64,
+    /// Jobs that finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs shed with a `busy` reply because the queue was full.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that ended in an `error` reply (malformed stream, deadline,
+    /// cancellation).
+    pub jobs_failed: AtomicU64,
+    /// Export bytes ingested across all job uploads.
+    pub bytes_ingested: AtomicU64,
+    /// Export lines streamed back by `fetch` downloads.
+    pub lines_served: AtomicU64,
+    latency_us: Mutex<Log2Histogram>,
+}
+
+impl ServerStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        ServerStats::add(counter, 1);
+    }
+
+    /// Records one completed simulation job's wall-clock latency.
+    pub fn record_latency(&self, micros: u64) {
+        self.latency_us
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(micros);
+    }
+
+    /// Assembles the snapshot document the `stats` reply carries.
+    /// `queue_depth` and `workers` describe the pool at snapshot time.
+    pub fn snapshot(&self, queue_depth: usize, workers: usize) -> Value {
+        let get = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        let latency = self
+            .latency_us
+            .lock()
+            .expect("latency histogram poisoned")
+            .clone();
+        Value::Object(vec![
+            ("workers".to_string(), Value::UInt(workers as u64)),
+            ("queue_depth".to_string(), Value::UInt(queue_depth as u64)),
+            ("connections".to_string(), get(&self.connections)),
+            ("jobs_accepted".to_string(), get(&self.jobs_accepted)),
+            ("jobs_completed".to_string(), get(&self.jobs_completed)),
+            ("jobs_rejected".to_string(), get(&self.jobs_rejected)),
+            ("jobs_failed".to_string(), get(&self.jobs_failed)),
+            ("bytes_ingested".to_string(), get(&self.bytes_ingested)),
+            ("lines_served".to_string(), get(&self.lines_served)),
+            ("latency_us".to_string(), latency.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = ServerStats::new();
+        ServerStats::bump(&stats.connections);
+        ServerStats::bump(&stats.jobs_accepted);
+        ServerStats::add(&stats.bytes_ingested, 1234);
+        stats.record_latency(900);
+        let snap = stats.snapshot(3, 2);
+        let pairs = snap.as_object().unwrap();
+        let get = |name: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("workers"), Value::UInt(2));
+        assert_eq!(get("queue_depth"), Value::UInt(3));
+        assert_eq!(get("connections"), Value::UInt(1));
+        assert_eq!(get("bytes_ingested"), Value::UInt(1234));
+        let latency = get("latency_us");
+        let total = latency
+            .as_object()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == "total")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_eq!(total, Value::UInt(1));
+    }
+}

@@ -1,0 +1,343 @@
+//! End-to-end service tests: an in-process daemon, real TCP clients.
+//!
+//! The export used throughout is recorded once (scale-64 interactive
+//! benchmark) and shared across tests; each test binds its own daemon on
+//! an ephemeral port and shuts it down through the server's flag, so the
+//! suite exercises bind → serve → drain → join for every configuration.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use gencache_bench::ingest::{
+    resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest,
+};
+use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
+use gencache_serve::{Client, JobSpec, Reply, Server, ServerConfig};
+use gencache_workloads::Suite;
+
+/// Records one tiny benchmark and returns its v2 export text. Shared
+/// across tests — recording is the slow part.
+fn export() -> &'static str {
+    static EXPORT: OnceLock<String> = OnceLock::new();
+    EXPORT.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("gencache-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl").to_str().unwrap().to_string();
+        let opts = HarnessOptions {
+            scale: 64,
+            suite: Some(Suite::Interactive),
+            jobs: Some(1),
+            events_out: Some(path.clone()),
+            ..HarnessOptions::default()
+        };
+        let runs = record_all(&opts);
+        export_telemetry(&opts, &runs[..1]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        text
+    })
+}
+
+/// What `simulate --metrics-out` would write for this export and spec
+/// set, minus the trailing newline: the same ingest + runner + document
+/// path the daemon uses, run offline.
+fn offline_doc(export: &str, labels: &[&str], grid: bool, oracle: bool) -> String {
+    let mut ingest = StreamIngest::new();
+    for line in export.lines() {
+        ingest.push_line(line).unwrap();
+    }
+    let inputs = ingest.into_inputs(None, None, None).unwrap();
+    let labels: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+    let specs = resolve_sim_specs(&labels, grid).unwrap();
+    let out = run_sim_job(&inputs, &specs, oracle, 1, None).unwrap();
+    value_to_json(&sim_metrics_doc(&out))
+}
+
+struct TestServer {
+    addr: String,
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig) -> TestServer {
+        let server = Server::bind(&config).expect("bind ephemeral port");
+        let addr = server.local_addr().unwrap().to_string();
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            flag,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.addr)
+    }
+
+    /// Polls the stats endpoint until `pred` holds or the wait times out.
+    fn wait_stats(&self, pred: impl Fn(&str) -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(Reply::Stats { doc }) = self.client().stats() {
+                if pred(&doc) {
+                    return;
+                }
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle
+                .join()
+                .expect("server thread panicked")
+                .expect("accept loop failed");
+        }
+    }
+}
+
+fn counter(doc: &str, name: &str) -> u64 {
+    // The stats document is flat JSON with unsigned counters; a
+    // substring scan keeps the test free of a parser dependency.
+    let needle = format!("\"{name}\":");
+    let at = doc.find(&needle).unwrap_or_else(|| panic!("{name} missing from {doc}"));
+    doc[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_offline_simulate_byte_for_byte() {
+    let export = export();
+    let server = TestServer::start(ServerConfig {
+        workers: Some(4),
+        queue_depth: Some(8),
+        ..ServerConfig::default()
+    });
+
+    // Five clients, five different spec sets, all over the same export.
+    let cases: Vec<(Vec<&str>, bool, bool)> = vec![
+        (vec!["unified"], false, false),
+        (vec!["lru"], false, false),
+        (vec!["gen-45-10-45@hit1"], false, false),
+        (vec!["gen-60-20-20@hit2"], false, true),
+        (vec![], false, false), // export defaults
+    ];
+    let expected: Vec<String> = cases
+        .iter()
+        .map(|(labels, grid, oracle)| offline_doc(export, labels, *grid, *oracle))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|(labels, grid, oracle)| {
+                let addr = server.addr.clone();
+                scope.spawn(move || {
+                    let spec = JobSpec {
+                        specs: labels.iter().map(|s| s.to_string()).collect(),
+                        grid: *grid,
+                        oracle: *oracle,
+                        ..JobSpec::default()
+                    };
+                    Client::new(addr).submit(export.as_bytes(), &spec)
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join().expect("client thread panicked") {
+                Ok(Reply::Result { doc, benches, specs, .. }) => {
+                    assert_eq!(doc, expected[i], "client {i} diverged from offline simulate");
+                    assert_eq!(benches, 1);
+                    assert!(specs >= 1);
+                }
+                other => panic!("client {i}: unexpected outcome {other:?}"),
+            }
+        }
+    });
+
+    let Reply::Stats { doc } = server.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    assert_eq!(counter(&doc, "jobs_completed"), 5);
+    assert_eq!(counter(&doc, "jobs_failed"), 0);
+    assert!(counter(&doc, "bytes_ingested") >= 5 * export.len() as u64);
+}
+
+#[test]
+fn full_queue_sheds_submissions_with_busy() {
+    let export = export();
+    let server = TestServer::start(ServerConfig {
+        workers: Some(1),
+        queue_depth: Some(1),
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker with a held ping...
+    let hold = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(1500))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 1 && counter(doc, "queue_depth") == 0,
+        "worker to pick up the first held ping",
+    );
+    // ...park a second held ping in the queue's only slot...
+    let queued = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(1))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 2,
+        "second ping to fill the queue",
+    );
+
+    // ...and a submission is shed immediately instead of hanging.
+    let started = Instant::now();
+    match server.client().submit(export.as_bytes(), &JobSpec::default()) {
+        Ok(Reply::Busy { .. }) => {}
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "busy reply should be immediate, took {:?}",
+        started.elapsed()
+    );
+
+    assert!(matches!(hold.join().unwrap(), Ok(Reply::Pong)));
+    assert!(matches!(queued.join().unwrap(), Ok(Reply::Pong)));
+
+    let Reply::Stats { doc } = server.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    assert!(counter(&doc, "jobs_rejected") >= 1);
+
+    // Capacity is free again: the same submission now succeeds.
+    match server.client().submit(export.as_bytes(), &JobSpec::default()) {
+        Ok(Reply::Result { .. }) => {}
+        other => panic!("expected result after drain, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_and_truncated_uploads_fail_cleanly_and_daemon_survives() {
+    let export = export();
+    let server = TestServer::start(ServerConfig {
+        workers: Some(1),
+        ..ServerConfig::default()
+    });
+
+    let raw = |frames: &[&str], cut: bool| -> String {
+        let stream = TcpStream::connect(&server.addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        for frame in frames {
+            writer.write_all(frame.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+        }
+        if cut {
+            stream.shutdown(Shutdown::Write).unwrap();
+        }
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+
+    // A line that is neither a control frame nor valid export JSON.
+    let job = "{\"type\":\"job\"}";
+    let reply = raw(&[job, "{this is not json"], true);
+    assert!(reply.contains("\"error\""), "want error reply, got {reply}");
+
+    // A stream cut off before the end frame.
+    let lines: Vec<&str> = export.lines().take(3).collect();
+    let mut frames = vec![job];
+    frames.extend(&lines);
+    let reply = raw(&frames, true);
+    assert!(reply.contains("\"error\""), "want error reply, got {reply}");
+    assert!(
+        reply.contains("connection closed mid-upload"),
+        "want truncation diagnosis, got {reply}"
+    );
+
+    // An end frame whose claimed line count disagrees with what arrived.
+    let mut frames = vec![job];
+    frames.extend(&lines);
+    frames.push("{\"type\":\"end\",\"lines\":9999}");
+    let reply = raw(&frames, true);
+    assert!(reply.contains("upload truncated"), "got {reply}");
+
+    // A first frame that is not a control frame at all.
+    let reply = raw(&["{\"schema\":\"gencache-events\"}"], true);
+    assert!(reply.contains("\"error\""), "got {reply}");
+
+    // The daemon shrugged all of it off: health, stats, and a real job
+    // all still work on fresh connections.
+    assert!(matches!(server.client().ping(0), Ok(Reply::Pong)));
+    let Reply::Stats { doc } = server.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    assert!(counter(&doc, "jobs_failed") >= 2);
+    match server.client().submit(export.as_bytes(), &JobSpec::default()) {
+        Ok(Reply::Result { doc, .. }) => {
+            assert_eq!(doc, offline_doc(export, &[], false, false));
+        }
+        other => panic!("expected result, got {other:?}"),
+    }
+}
+
+#[test]
+fn fetch_streams_an_export_that_simulates_cleanly() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut out = Vec::new();
+    let lines = server
+        .client()
+        .fetch("solitaire", 64, &mut out)
+        .expect("fetch a server-side recording");
+    assert!(lines > 2, "expected header + meta + events, got {lines}");
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count() as u64, lines);
+
+    // The download is a complete v2 export: it ingests and simulates.
+    let doc = offline_doc(&text, &["unified"], false, false);
+    assert!(doc.contains("\"unified\""));
+
+    let Reply::Stats { doc } = server.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    assert_eq!(counter(&doc, "lines_served"), lines);
+}
+
+#[test]
+fn idle_connection_times_out_instead_of_wedging() {
+    // A client that connects and sends nothing must not pin the
+    // connection thread forever: the read timeout reclaims it.
+    let server = TestServer::start(ServerConfig {
+        read_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    let stream = TcpStream::connect(&server.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    // The server gives up on us; EOF or a reset both prove it.
+    let n = reader.read_line(&mut line).unwrap_or(0);
+    assert!(
+        n == 0 || line.contains("\"error\""),
+        "expected drop or error, got {line:?}"
+    );
+    drop(stream);
+    // And the daemon is still healthy.
+    assert!(matches!(server.client().ping(0), Ok(Reply::Pong)));
+}

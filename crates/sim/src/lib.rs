@@ -50,6 +50,8 @@ mod recorder;
 mod replay;
 pub mod report;
 mod simulate;
+pub mod stream;
+mod streamed;
 mod sweep;
 mod telemetry;
 mod threads;
@@ -58,15 +60,18 @@ pub use analysis::{occupancy_series, reuse_profile, ReuseProfile};
 pub use linking::{replay_with_linking, LinkReport, LinkableModel};
 pub use log::{AccessLog, LogRecord};
 pub use progress::{ProgressMeter, PROGRESS_BATCH};
-pub use recorder::{record, record_with, RecordedRun, RecorderOptions, RunSummary};
+pub use recorder::{
+    record, record_stream_with, record_with, RecordFacts, RecordedRun, RecorderOptions, RunSummary,
+};
 pub use replay::{
     compare, compare_figure9, compare_figure9_metered, compare_metered, replay_into,
-    replay_into_metered, Comparison, ReplayResult,
+    replay_into_metered, Comparison, ReplayCursor, ReplayResult, ReplayStep,
 };
 pub use simulate::{
     parse_spec, replay_sim_observed, simulate_costs, simulate_grid, simulate_metrics,
     trace_to_log, LocalPolicy, SimSpec, SimulatedSpec,
 };
+pub use streamed::{compare_figure9_streamed, StreamedRecording, DEFAULT_STREAM_DEPTH};
 pub use sweep::{best_point, policy_grid, proportion_grid, sweep, sweep_with_jobs, SweepPoint};
 pub use telemetry::{
     collect_costs, collect_events, collect_metrics, collect_sampled, replay_observed, suite_costs,

@@ -83,15 +83,81 @@ pub fn record(profile: &WorkloadProfile) -> Result<RecordedRun, PlanError> {
     record_with(profile, RecorderOptions::default())
 }
 
-/// Records `profile` with explicit options.
+/// The run facts a streaming recording accumulates while records flow
+/// through the emit callback: everything [`RunSummary`] and capacity
+/// sizing need, *without* the records themselves. Memory is bounded by
+/// the live trace set (sizes, lifetimes), never by stream length.
+#[derive(Debug, Clone)]
+pub struct RecordFacts {
+    /// Aggregated frontend counters (peak trace bytes included).
+    pub frontend: FrontendStats,
+    /// Wall-clock span of the planned run.
+    pub duration: gencache_program::Time,
+    /// Total log records emitted.
+    pub records: u64,
+    /// Executions emitted (creations + accesses) — the materialized
+    /// log's `access_count()`.
+    pub accesses: u64,
+    /// The Figure 6 lifetime histogram.
+    pub lifetimes: LifetimeHistogram,
+    /// Median created-trace size in bytes.
+    pub median_trace_bytes: u32,
+}
+
+impl RecordFacts {
+    /// The paper's standard bounded-cache budget for this recording:
+    /// half the unbounded peak, at least one byte.
+    pub fn capacity(&self) -> u64 {
+        (self.frontend.peak_trace_bytes / 2).max(1)
+    }
+
+    /// Builds the same [`RunSummary`] the materialized path derives from
+    /// its [`AccessLog`].
+    pub fn summary(&self, profile: &WorkloadProfile) -> RunSummary {
+        let stats = &self.frontend;
+        let expansion_pct = if stats.footprint_bytes > 0 {
+            stats.peak_cache_bytes as f64 / stats.footprint_bytes as f64 * 100.0
+        } else {
+            0.0
+        };
+        let insertion_rate_kbps =
+            stats.trace_bytes_created as f64 / 1024.0 / self.duration.as_secs_f64();
+        let unmapped_frac = if stats.trace_bytes_created > 0 {
+            stats.trace_bytes_invalidated as f64 / stats.trace_bytes_created as f64
+        } else {
+            0.0
+        };
+        RunSummary {
+            name: profile.name.clone(),
+            duration_secs: profile.duration_secs,
+            footprint_bytes: stats.footprint_bytes,
+            max_cache_bytes: stats.peak_cache_bytes,
+            peak_trace_bytes: stats.peak_trace_bytes,
+            code_expansion_pct: expansion_pct,
+            insertion_rate_kbps,
+            unmapped_frac,
+            traces_created: stats.traces_created,
+            trace_accesses: stats.trace_accesses + stats.traces_created,
+            median_trace_bytes: self.median_trace_bytes,
+            lifetimes: self.lifetimes,
+        }
+    }
+}
+
+/// Runs the recording and hands every [`LogRecord`] to `emit` the moment
+/// it is produced, instead of materializing a log. Recording is fully
+/// deterministic, so two invocations emit byte-identical record streams
+/// — which is what lets a streamed pipeline probe the run facts in one
+/// pass and replay in a second without ever holding the log.
 ///
 /// # Errors
 ///
 /// Returns [`PlanError`] if the workload cannot be planned.
-pub fn record_with(
+pub fn record_stream_with(
     profile: &WorkloadProfile,
     options: RecorderOptions,
-) -> Result<RecordedRun, PlanError> {
+    emit: &mut dyn FnMut(LogRecord),
+) -> Result<RecordFacts, PlanError> {
     let plan = ExecutionPlan::from_profile(profile)?;
     // One frontend per guest thread — DynamoRIO's caches are
     // thread-private, so each thread independently discovers trace heads
@@ -104,13 +170,18 @@ pub fn record_with(
     let remap = |thread: u32, id: TraceId| -> TraceId {
         TraceId::new((u64::from(thread) << 48) | id.as_u64())
     };
-    let mut records: Vec<LogRecord> = Vec::new();
     let mut lifetimes = LifetimeTracker::new();
     let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9e37_79b9_7f4a_7c15);
-    // (trace, records index at which to unpin)
+    // (trace, emitted-record index at which to unpin)
     let mut pinned: Vec<(TraceId, usize)> = Vec::new();
     // Peak of summed live trace bytes across engines.
     let mut peak_trace_bytes = 0u64;
+    // Streaming replacements for the materialized log's derived views:
+    // a record counter standing in for `records.len()` and the created
+    // sizes feeding the median (O(traces created), not O(records)).
+    let mut emitted: usize = 0;
+    let mut accesses: u64 = 0;
+    let mut trace_sizes: Vec<u32> = Vec::new();
 
     for ev in plan.stream() {
         let thread = ev.thread.min(threads - 1);
@@ -132,7 +203,10 @@ pub fn record_with(
                     lifetimes.record(id, trace.created());
                     let mut rec = trace.record();
                     rec.id = id;
-                    records.push(LogRecord::Create {
+                    trace_sizes.push(rec.size_bytes);
+                    accesses += 1;
+                    emitted += 1;
+                    emit(LogRecord::Create {
                         record: rec,
                         time: trace.created(),
                     });
@@ -140,15 +214,19 @@ pub fn record_with(
                 FrontendEvent::TraceAccess { id, time } => {
                     let id = remap(t, id);
                     lifetimes.record(id, time);
-                    records.push(LogRecord::Access { id, time });
+                    accesses += 1;
+                    emitted += 1;
+                    emit(LogRecord::Access { id, time });
                     if options.exception_rate > 0.0 && rng.gen_bool(options.exception_rate) {
-                        records.push(LogRecord::Pin { id });
-                        pinned.push((id, records.len() + options.pin_window as usize));
+                        emitted += 1;
+                        emit(LogRecord::Pin { id });
+                        pinned.push((id, emitted + options.pin_window as usize));
                     }
                 }
                 FrontendEvent::TracesInvalidated { ids, time } => {
                     for id in ids {
-                        records.push(LogRecord::Invalidate {
+                        emitted += 1;
+                        emit(LogRecord::Invalidate {
                             id: remap(t, id),
                             time,
                         });
@@ -160,8 +238,9 @@ pub fn record_with(
         peak_trace_bytes = peak_trace_bytes.max(live);
         // Expire pin windows.
         while let Some(&(id, deadline)) = pinned.first() {
-            if records.len() >= deadline {
-                records.push(LogRecord::Unpin { id });
+            if emitted >= deadline {
+                emitted += 1;
+                emit(LogRecord::Unpin { id });
                 pinned.remove(0);
             } else {
                 break;
@@ -170,7 +249,8 @@ pub fn record_with(
     }
     // Unpin anything still pinned at exit.
     for (id, _) in pinned {
-        records.push(LogRecord::Unpin { id });
+        emitted += 1;
+        emit(LogRecord::Unpin { id });
     }
 
     // Aggregate frontend stats across threads.
@@ -199,43 +279,47 @@ pub fn record_with(
     stats.peak_trace_bytes = peak_trace_bytes;
 
     let duration = plan.duration();
+    // Same median as `AccessLog::median_trace_bytes` on the full log.
+    let median_trace_bytes = if trace_sizes.is_empty() {
+        0
+    } else {
+        trace_sizes.sort_unstable();
+        trace_sizes[trace_sizes.len() / 2]
+    };
+
+    Ok(RecordFacts {
+        frontend: stats,
+        duration,
+        records: emitted as u64,
+        accesses,
+        lifetimes: lifetimes.histogram(duration),
+        median_trace_bytes,
+    })
+}
+
+/// Records `profile` with explicit options, materializing the full
+/// [`AccessLog`]. This is a thin collector over [`record_stream_with`],
+/// so the two paths cannot drift.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if the workload cannot be planned.
+pub fn record_with(
+    profile: &WorkloadProfile,
+    options: RecorderOptions,
+) -> Result<RecordedRun, PlanError> {
+    let mut records: Vec<LogRecord> = Vec::new();
+    let facts = record_stream_with(profile, options, &mut |record| records.push(record))?;
     let log = AccessLog {
         benchmark: profile.name.clone(),
         records,
-        duration,
-        peak_trace_bytes: stats.peak_trace_bytes,
+        duration: facts.duration,
+        peak_trace_bytes: facts.frontend.peak_trace_bytes,
     };
-
-    let expansion_pct = if stats.footprint_bytes > 0 {
-        stats.peak_cache_bytes as f64 / stats.footprint_bytes as f64 * 100.0
-    } else {
-        0.0
-    };
-    let insertion_rate_kbps = stats.trace_bytes_created as f64 / 1024.0 / duration.as_secs_f64();
-    let unmapped_frac = if stats.trace_bytes_created > 0 {
-        stats.trace_bytes_invalidated as f64 / stats.trace_bytes_created as f64
-    } else {
-        0.0
-    };
-
-    let summary = RunSummary {
-        name: profile.name.clone(),
-        duration_secs: profile.duration_secs,
-        footprint_bytes: stats.footprint_bytes,
-        max_cache_bytes: stats.peak_cache_bytes,
-        peak_trace_bytes: stats.peak_trace_bytes,
-        code_expansion_pct: expansion_pct,
-        insertion_rate_kbps,
-        unmapped_frac,
-        traces_created: stats.traces_created,
-        trace_accesses: stats.trace_accesses + stats.traces_created,
-        median_trace_bytes: log.median_trace_bytes(),
-        lifetimes: lifetimes.histogram(duration),
-    };
-
+    let summary = facts.summary(profile);
     Ok(RecordedRun {
         log,
-        frontend: stats,
+        frontend: facts.frontend,
         summary,
     })
 }

@@ -14,6 +14,88 @@ use serde::{Deserialize, Serialize};
 use crate::log::{AccessLog, LogRecord};
 use crate::progress::{ProgressMeter, PROGRESS_BATCH};
 
+/// Per-stream replay state: the trace catalog (sizes and head addresses
+/// resolved from creation records) and the standing clock for untimed
+/// pin records.
+///
+/// One cursor [`step`](ReplayCursor::step)s through a record stream
+/// exactly once, and the resolved [`ReplayStep`] can then
+/// [`drive`](ReplayStep::drive) *any number of models* — this is what
+/// lets the streamed record path feed one bounded-channel pass into the
+/// whole Figure 9 model set without materializing the log, while
+/// [`replay_into`] stays a thin loop over the same logic.
+#[derive(Debug, Default)]
+pub struct ReplayCursor {
+    catalog: HashMap<TraceId, TraceRecord>,
+    // Pin records carry no timestamp; the clock of the most recent timed
+    // record stands in for them.
+    now: Time,
+}
+
+/// One log record resolved against the [`ReplayCursor`] catalog and
+/// clock, ready to drive a model.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplayStep {
+    /// Present the trace for execution (creations and accesses alike: a
+    /// trace is executed as soon as it is generated).
+    Access(TraceRecord, Time),
+    /// Force deletion of an unmapped trace.
+    Unmap(TraceId, Time),
+    /// Toggle the trace's undeletable window.
+    Pin(TraceId, bool, Time),
+}
+
+impl ReplayCursor {
+    /// A fresh cursor at time zero with an empty catalog.
+    pub fn new() -> Self {
+        ReplayCursor::default()
+    }
+
+    /// Resolves the next `record` of the stream into a driveable step,
+    /// updating the catalog and the standing clock.
+    pub fn step(&mut self, record: &LogRecord) -> ReplayStep {
+        match *record {
+            LogRecord::Create { record, time } => {
+                self.catalog.insert(record.id, record);
+                self.now = time;
+                ReplayStep::Access(record, time)
+            }
+            LogRecord::Access { id, time } => {
+                let rec = self
+                    .catalog
+                    .get(&id)
+                    .expect("access to a trace never created; corrupt log");
+                self.now = time;
+                ReplayStep::Access(*rec, time)
+            }
+            LogRecord::Invalidate { id, time } => {
+                self.now = time;
+                ReplayStep::Unmap(id, time)
+            }
+            LogRecord::Pin { id } => ReplayStep::Pin(id, true, self.now),
+            LogRecord::Unpin { id } => ReplayStep::Pin(id, false, self.now),
+        }
+    }
+}
+
+impl ReplayStep {
+    /// Applies this step to one model. A step may drive any number of
+    /// models; they all observe the identical frontend request.
+    pub fn drive(&self, model: &mut dyn CacheModel) {
+        match *self {
+            ReplayStep::Access(record, time) => {
+                model.on_access(record, time);
+            }
+            ReplayStep::Unmap(id, time) => {
+                model.on_unmap(id, time);
+            }
+            ReplayStep::Pin(id, pinned, now) => {
+                model.on_pin(id, pinned, now);
+            }
+        }
+    }
+}
+
 /// Replays `log` into `model`, returning nothing; inspect the model's
 /// metrics and ledger afterwards.
 ///
@@ -21,35 +103,9 @@ use crate::progress::{ProgressMeter, PROGRESS_BATCH};
 /// is executed as soon as it is generated); invalidations force deletion;
 /// pin/unpin windows mark traces undeletable.
 pub fn replay_into(log: &AccessLog, model: &mut dyn CacheModel) {
-    let mut catalog: HashMap<TraceId, TraceRecord> = HashMap::new();
-    // Pin records carry no timestamp; the clock of the most recent timed
-    // record stands in for them.
-    let mut now = Time::ZERO;
+    let mut cursor = ReplayCursor::new();
     for record in &log.records {
-        match *record {
-            LogRecord::Create { record, time } => {
-                catalog.insert(record.id, record);
-                now = time;
-                model.on_access(record, time);
-            }
-            LogRecord::Access { id, time } => {
-                let rec = catalog
-                    .get(&id)
-                    .expect("access to a trace never created; corrupt log");
-                now = time;
-                model.on_access(*rec, time);
-            }
-            LogRecord::Invalidate { id, time } => {
-                now = time;
-                model.on_unmap(id, time);
-            }
-            LogRecord::Pin { id } => {
-                model.on_pin(id, true, now);
-            }
-            LogRecord::Unpin { id } => {
-                model.on_pin(id, false, now);
-            }
-        }
+        cursor.step(record).drive(model);
     }
 }
 
@@ -59,34 +115,10 @@ pub fn replay_into(log: &AccessLog, model: &mut dyn CacheModel) {
 /// (and once at the end), so the shared-atomic traffic stays negligible
 /// even with many workers replaying concurrently.
 pub fn replay_into_metered(log: &AccessLog, model: &mut dyn CacheModel, meter: &ProgressMeter) {
-    let mut catalog: HashMap<TraceId, TraceRecord> = HashMap::new();
+    let mut cursor = ReplayCursor::new();
     let mut pending = 0u64;
-    let mut now = Time::ZERO;
     for record in &log.records {
-        match *record {
-            LogRecord::Create { record, time } => {
-                catalog.insert(record.id, record);
-                now = time;
-                model.on_access(record, time);
-            }
-            LogRecord::Access { id, time } => {
-                let rec = catalog
-                    .get(&id)
-                    .expect("access to a trace never created; corrupt log");
-                now = time;
-                model.on_access(*rec, time);
-            }
-            LogRecord::Invalidate { id, time } => {
-                now = time;
-                model.on_unmap(id, time);
-            }
-            LogRecord::Pin { id } => {
-                model.on_pin(id, true, now);
-            }
-            LogRecord::Unpin { id } => {
-                model.on_pin(id, false, now);
-            }
-        }
+        cursor.step(record).drive(model);
         pending += 1;
         if pending == PROGRESS_BATCH {
             meter.add(pending);

@@ -22,7 +22,15 @@ events="target/tmp/check-events.jsonl"
 live_metrics="target/tmp/check-metrics-live.json"
 sim_metrics="target/tmp/check-metrics-sim.json"
 baseline="target/tmp/check-baseline.json"
-trap 'rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline"' EXIT
+serve_metrics="target/tmp/check-metrics-serve.json"
+serve_log="target/tmp/check-serve.log"
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+  rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" \
+    "$serve_metrics" "$serve_log"
+}
+trap cleanup EXIT
 ./target/release/explain --bench word --scale 64 \
   --events-out "$events" --metrics-out "$live_metrics" > /dev/null
 ./target/release/explain --parse-events "$events"
@@ -42,5 +50,30 @@ cmp "$live_metrics" "$sim_metrics" \
   || { echo "simulated metrics doc differs from the live export"; exit 1; }
 ./target/release/simulate --events "$events" --watch "$baseline" > /dev/null \
   || { echo "simulate --watch failed against a fresh baseline"; exit 1; }
+
+echo "=== serve smoke: daemon reply is byte-identical to offline simulate"
+./target/release/gencache-serve --addr 127.0.0.1:0 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^gencache-serve listening on //p' "$serve_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never reported its address"; exit 1; }
+./target/release/gencache-client submit --addr "$addr" --events "$events" \
+  --metrics-out "$serve_metrics" --no-table 2> /dev/null
+cmp "$sim_metrics" "$serve_metrics" \
+  || { echo "served metrics doc differs from offline simulate"; exit 1; }
+./target/release/gencache-client stats --addr "$addr" \
+  | grep -q '"jobs_completed":1' \
+  || { echo "stats did not report the completed job"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+  || { echo "daemon exited nonzero after SIGTERM"; exit 1; }
+serve_pid=""
+grep -q "drained, exiting" "$serve_log" \
+  || { echo "daemon did not drain cleanly"; cat "$serve_log"; exit 1; }
 
 echo "all checks passed"
