@@ -29,7 +29,8 @@ use std::io::{self, BufRead, BufReader};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use gencache_obs::{
-    oracle_replay, parse_stream_line, OracleResult, RunMeta, SimTrace, StreamLine, TraceRebuilder,
+    oracle_replay, parse_stream_line, CostReport, MetricsReport, OracleResult, RunMeta, SimTrace,
+    StreamLine, TraceRebuilder, METRICS_SCHEMA, METRICS_VERSION,
 };
 use gencache_sim::par::par_map;
 use gencache_sim::report::TextTable;
@@ -37,7 +38,7 @@ use gencache_sim::{
     parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, trace_to_log,
     AccessLog, ModelSpec, SimSpec, SimulatedSpec,
 };
-use serde::Value;
+use serde::{Deserialize, Value};
 
 use crate::{export_specs, metrics_doc, sample_interval, SpecReports};
 
@@ -90,6 +91,12 @@ pub struct StreamIngest {
     bytes: u64,
     order: Vec<String>,
     benches: BTreeMap<String, BenchIngest>,
+    /// The `(source, model)` stream currently delivering events; a
+    /// previously-seen stream reappearing after another means the upload
+    /// interleaves streams, which the O(1) cursor verification cannot
+    /// process — caught here with a clear error instead of a confusing
+    /// op-by-op divergence report.
+    active: Option<(String, String)>,
 }
 
 impl std::fmt::Debug for StreamIngest {
@@ -153,6 +160,18 @@ impl StreamIngest {
                 let source = record.source;
                 let model = record.model;
                 let bench = bench_entry(&mut self.order, &mut self.benches, &source);
+                let key = (source.clone(), model.clone());
+                if self.active.as_ref() != Some(&key) {
+                    if bench.states.contains_key(&model) {
+                        return Err(format!(
+                            "{source}: stream for model {model:?} reappears after \
+                             another stream — the upload interleaves (source, model) \
+                             streams; lines must stay grouped per stream exactly as \
+                             the exporter writes them"
+                        ));
+                    }
+                    self.active = Some(key);
+                }
                 if !bench.models.contains(&model) {
                     bench.models.push(model.clone());
                 }
@@ -542,26 +561,219 @@ pub fn render_sim_tables(out: &SimJobOutput) -> String {
     text
 }
 
+/// How a fleet router classifies one upload line for per-benchmark
+/// routing (see `gencache-shard`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteClass {
+    /// Blank — counted but never forwarded.
+    Blank,
+    /// The export's schema header — broadcast to every sub-upload.
+    Header,
+    /// A stream line belonging to the named benchmark (`source`).
+    Stream(String),
+}
+
+/// Classifies an export line for routing. Fast path: export records
+/// serialize `source` as their *first* key, so a prefix scan recovers
+/// the routing key without JSON parsing; headers and anything unusual
+/// fall back to the full parser so diagnostics match single-node ingest.
+///
+/// # Errors
+///
+/// Returns the same description single-node ingest would give for a
+/// malformed line.
+pub fn classify_line(line: &str) -> Result<RouteClass, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(RouteClass::Blank);
+    }
+    if let Some(rest) = trimmed.strip_prefix("{\"source\":\"") {
+        if let Some(end) = rest.find('"') {
+            if !rest[..end].contains('\\') {
+                return Ok(RouteClass::Stream(rest[..end].to_string()));
+            }
+        }
+    }
+    match parse_stream_line(trimmed)? {
+        StreamLine::Header(_) => Ok(RouteClass::Header),
+        StreamLine::Meta(meta) => Ok(RouteClass::Stream(meta.source)),
+        StreamLine::Event(record) => Ok(RouteClass::Stream(record.source)),
+    }
+}
+
+fn doc_field<'a>(doc: &'a Value, key: &str) -> Option<&'a Value> {
+    doc.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// Merges per-shard metrics documents back into the single document the
+/// whole job would have produced on one node.
+///
+/// Every `(benchmark, label)` section is deserialized into its typed
+/// report and the document is reassembled with [`metrics_doc`] with the
+/// benchmarks in `order` (the upload's first-appearance order) — the
+/// exact assembly single-node `simulate` performs. The vendored JSON
+/// layer round-trips every number exactly (shortest-roundtrip floats,
+/// native integers), so the merged document is **byte-identical** to
+/// the single-node one.
+///
+/// # Errors
+///
+/// Returns a description when a document has the wrong schema, the
+/// shards disagree on spec labels, a benchmark is missing, duplicated,
+/// or unknown to `order`, or a section fails to deserialize.
+pub fn merge_metrics_docs(order: &[String], docs: &[Value]) -> Result<Value, String> {
+    let mut labels: Option<Vec<String>> = None;
+    let mut sections: BTreeMap<String, Vec<SpecReports>> = BTreeMap::new();
+    for doc in docs {
+        match doc_field(doc, "schema") {
+            Some(Value::Str(s)) if s == METRICS_SCHEMA => {}
+            other => return Err(format!("shard doc has schema {other:?}, not {METRICS_SCHEMA:?}")),
+        }
+        match doc_field(doc, "version") {
+            Some(Value::UInt(v)) if *v == u64::from(METRICS_VERSION) => {}
+            other => {
+                return Err(format!(
+                    "shard doc has version {other:?}, not {METRICS_VERSION}"
+                ))
+            }
+        }
+        let suite = doc_field(doc, "suite")
+            .and_then(Value::as_object)
+            .ok_or("shard doc has no suite section")?;
+        let doc_labels: Vec<String> = suite.iter().map(|(k, _)| k.clone()).collect();
+        match &labels {
+            None => labels = Some(doc_labels),
+            Some(first) if *first == doc_labels => {}
+            Some(first) => {
+                return Err(format!(
+                    "shards disagree on spec labels: {first:?} vs {doc_labels:?}"
+                ))
+            }
+        }
+        let labels = labels.as_ref().expect("just set");
+        let benches = doc_field(doc, "benchmarks")
+            .and_then(Value::as_array)
+            .ok_or("shard doc has no benchmarks section")?;
+        for bench in benches {
+            let name = match doc_field(bench, "benchmark") {
+                Some(Value::Str(name)) => name.clone(),
+                other => return Err(format!("benchmark entry names {other:?}")),
+            };
+            let mut reports: Vec<SpecReports> = Vec::with_capacity(labels.len());
+            for label in labels {
+                let section = doc_field(bench, label)
+                    .ok_or_else(|| format!("{name}: no section for spec {label:?}"))?;
+                if doc_field(section, "sampled").is_some() {
+                    return Err(format!(
+                        "{name}/{label}: sampled sections cannot be fleet-merged"
+                    ));
+                }
+                let metrics = doc_field(section, "metrics")
+                    .ok_or_else(|| format!("{name}/{label}: no metrics"))
+                    .and_then(|v| {
+                        MetricsReport::from_value(v)
+                            .map_err(|e| format!("{name}/{label}: bad metrics: {e}"))
+                    })?;
+                let costs = doc_field(section, "costs")
+                    .ok_or_else(|| format!("{name}/{label}: no costs"))
+                    .and_then(|v| {
+                        CostReport::from_value(v)
+                            .map_err(|e| format!("{name}/{label}: bad costs: {e}"))
+                    })?;
+                reports.push((metrics, costs, None));
+            }
+            if sections.insert(name.clone(), reports).is_some() {
+                return Err(format!("benchmark {name:?} appears in more than one shard doc"));
+            }
+        }
+    }
+    let labels = labels.ok_or("no shard documents to merge")?;
+    let mut benchmarks: Vec<(String, Vec<SpecReports>)> = Vec::with_capacity(order.len());
+    for name in order {
+        let reports = sections
+            .remove(name)
+            .ok_or_else(|| format!("no shard produced benchmark {name:?}"))?;
+        benchmarks.push((name.clone(), reports));
+    }
+    if let Some(extra) = sections.keys().next() {
+        return Err(format!("shard docs contain unexpected benchmark {extra:?}"));
+    }
+    Ok(metrics_doc(&labels, &benchmarks))
+}
+
+/// Merges per-shard result tables (the human-readable rendering) back
+/// into single-node order. Each benchmark's segment starts with the
+/// `\n=== name: …` banner [`render_sim_tables`] writes, which is the
+/// split point.
+///
+/// # Errors
+///
+/// Returns a description when a benchmark is missing, duplicated, or
+/// unknown to `order`.
+pub fn merge_sim_tables(order: &[String], tables: &[String]) -> Result<String, String> {
+    let mut segments: BTreeMap<String, String> = BTreeMap::new();
+    for table in tables {
+        for seg in table.split("\n=== ") {
+            if seg.is_empty() {
+                continue;
+            }
+            let name = seg.split(':').next().unwrap_or_default();
+            if name.is_empty() {
+                return Err(format!("malformed result table segment {seg:?}"));
+            }
+            if segments
+                .insert(name.to_string(), format!("\n=== {seg}"))
+                .is_some()
+            {
+                return Err(format!(
+                    "benchmark {name:?} appears in more than one shard table"
+                ));
+            }
+        }
+    }
+    let mut text = String::new();
+    for name in order {
+        match segments.remove(name) {
+            Some(seg) => text.push_str(&seg),
+            None => return Err(format!("no shard table covers benchmark {name:?}")),
+        }
+    }
+    if let Some(extra) = segments.keys().next() {
+        return Err(format!("shard tables contain unexpected benchmark {extra:?}"));
+    }
+    Ok(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tiny_export() -> String {
+    fn suite_export(benches: usize, tag: &str) -> String {
         let mut opts = crate::HarnessOptions {
             scale: 64,
             suite: Some(gencache_workloads::Suite::Interactive),
             jobs: Some(1),
             ..crate::HarnessOptions::default()
         };
-        let dir = std::env::temp_dir().join(format!("gencache-ingest-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "gencache-ingest-{tag}-{}",
+            std::process::id()
+        ));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("events.jsonl").to_str().unwrap().to_string();
         opts.events_out = Some(path.clone());
         let runs = crate::record_all(&opts);
-        crate::export_telemetry(&opts, &runs[..1]).unwrap();
+        crate::export_telemetry(&opts, &runs[..benches]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_dir_all(&dir).ok();
         text
+    }
+
+    fn tiny_export() -> String {
+        suite_export(1, "one")
     }
 
     #[test]
@@ -601,6 +813,84 @@ mod tests {
         let mut ingest = StreamIngest::new();
         assert!(ingest.push_line("{not json").is_err());
         assert!(StreamIngest::new().push_line("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn interleaved_streams_get_a_clear_error() {
+        let text = tiny_export();
+        let lines: Vec<&str> = text.lines().collect();
+        // Replaying the first model's first event after the second
+        // model's stream makes the first stream "reappear".
+        let (first_event, first_model) = lines
+            .iter()
+            .find_map(|l| match parse_stream_line(l) {
+                Ok(StreamLine::Event(r)) => Some((*l, r.model)),
+                _ => None,
+            })
+            .expect("export has event lines");
+        let mut ingest = StreamIngest::new();
+        for line in &lines {
+            ingest.push_line(line).unwrap();
+        }
+        let err = ingest.push_line(first_event).unwrap_err();
+        assert!(err.contains("interleaves"), "unexpected error: {err}");
+        assert!(
+            err.contains(&first_model),
+            "error does not name the offending stream: {err}"
+        );
+    }
+
+    #[test]
+    fn classify_line_routes_by_source() {
+        let text = tiny_export();
+        let mut saw_header = false;
+        let mut saw_stream = false;
+        for line in text.lines() {
+            match classify_line(line).unwrap() {
+                RouteClass::Header => saw_header = true,
+                RouteClass::Stream(name) => {
+                    assert!(!name.is_empty());
+                    saw_stream = true;
+                }
+                RouteClass::Blank => {}
+            }
+        }
+        assert!(saw_header && saw_stream);
+        assert_eq!(classify_line("   ").unwrap(), RouteClass::Blank);
+        assert!(classify_line("{not json").is_err());
+    }
+
+    #[test]
+    fn fleet_merge_reassembles_byte_identical_docs() {
+        let text = suite_export(2, "merge");
+        let mut ingest = StreamIngest::new();
+        for line in text.lines() {
+            ingest.push_line(line).unwrap();
+        }
+        let mut inputs = ingest.into_inputs(None, None, None).unwrap();
+        assert_eq!(inputs.len(), 2);
+        let order: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
+        let specs = resolve_sim_specs(&[], false).unwrap();
+        let whole = run_sim_job(&inputs, &specs, false, 1, None).unwrap();
+        let whole_doc = crate::value_to_json(&sim_metrics_doc(&whole));
+        let whole_table = render_sim_tables(&whole);
+        // Split the job as the fleet router would: one benchmark per
+        // "shard", merged back in upload order.
+        let second = inputs.split_off(1);
+        let out_a = run_sim_job(&inputs, &specs, false, 1, None).unwrap();
+        let out_b = run_sim_job(&second, &specs, false, 1, None).unwrap();
+        let docs = [sim_metrics_doc(&out_b), sim_metrics_doc(&out_a)];
+        let merged = merge_metrics_docs(&order, &docs).unwrap();
+        assert_eq!(
+            crate::value_to_json(&merged),
+            whole_doc,
+            "fleet-merged doc is not byte-identical"
+        );
+        let tables = [render_sim_tables(&out_b), render_sim_tables(&out_a)];
+        assert_eq!(merge_sim_tables(&order, &tables).unwrap(), whole_table);
+        // A missing benchmark is an error, not a silent gap.
+        let err = merge_metrics_docs(&order, &docs[..1]).unwrap_err();
+        assert!(err.contains("no shard produced"), "unexpected error: {err}");
     }
 
     #[test]

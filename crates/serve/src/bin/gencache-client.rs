@@ -4,27 +4,39 @@
 //! gencache-client submit --addr HOST:PORT --events FILE|- [--spec LABEL]...
 //!                 [--grid] [--oracle] [--capacity BYTES] [--bench NAME]
 //!                 [--model LABEL] [--deadline-ms N] [--metrics-out FILE]
-//!                 [--no-table]
-//! gencache-client stats --addr HOST:PORT
-//! gencache-client ping  --addr HOST:PORT [--hold-ms N]
-//! gencache-client fetch --addr HOST:PORT --bench NAME [--scale N] [--out FILE|-]
+//!                 [--no-table] [--retries N] [--retry-ms N]
+//! gencache-client stats  --addr HOST:PORT
+//! gencache-client ping   --addr HOST:PORT [--hold-ms N]
+//! gencache-client fetch  --addr HOST:PORT --bench NAME [--scale N] [--out FILE|-]
+//! gencache-client shards --addr HOST:PORT
+//! gencache-client route  --addr HOST:PORT --bench NAME
 //! ```
 //!
 //! `submit --events -` reads the export from stdin; `--metrics-out`
 //! writes the returned metrics document byte-identically to what
 //! `simulate --metrics-out` produces for the same export and specs.
-//! `fetch` streams a server-side recording's v2 export to stdout (or
-//! `--out`), ready to pipe into `simulate --events -`. A `busy` reply
+//! The address may name a plain daemon or a `gencache-shard` router —
+//! the protocol is identical. `fetch` streams a server-side recording's
+//! v2 export to stdout (or `--out`), ready to pipe into
+//! `simulate --events -`. `shards`/`route` inspect a router's shard
+//! table and hash placement.
+//!
+//! A `busy` reply is retried with capped exponential backoff
+//! (`--retries`, default 3, delays `--retry-ms` ms doubling per
+//! attempt, default 200); a server still busy after the last attempt
 //! exits with status 3 so scripts can distinguish shedding from
-//! failure.
+//! failure. `--retries 0` restores give-up-immediately. Retries re-send
+//! the upload, so a stdin export is buffered in memory when retries are
+//! enabled; files are reopened per attempt.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Cursor, Read, Write};
 use std::process::ExitCode;
 
-use gencache_serve::{Client, JobSpec, Reply};
+use gencache_serve::{Client, JobSpec, Reply, RetryPolicy};
 
-const USAGE: &str = "subcommands: submit / stats / ping / fetch (see --help in module docs)";
+const USAGE: &str =
+    "subcommands: submit / stats / ping / fetch / shards / route (see --help in module docs)";
 
 fn open_input(path: &str) -> io::Result<Box<dyn BufRead>> {
     if path == "-" {
@@ -48,6 +60,7 @@ struct SubmitArgs {
     spec: JobSpec,
     metrics_out: Option<String>,
     table: bool,
+    retry: RetryPolicy,
 }
 
 fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
@@ -57,6 +70,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
         spec: JobSpec::default(),
         metrics_out: None,
         table: true,
+        retry: RetryPolicy::default(),
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -83,6 +97,15 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
                 args.metrics_out = Some(it.next().expect("--metrics-out needs a file path"));
             }
             "--no-table" => args.table = false,
+            "--retries" => {
+                let v = it.next().expect("--retries needs a count");
+                args.retry.retries = v.parse().expect("--retries must be an integer");
+            }
+            "--retry-ms" => {
+                let v = it.next().expect("--retry-ms needs a value");
+                let ms: u64 = v.parse().expect("--retry-ms must be an integer");
+                args.retry.base = std::time::Duration::from_millis(ms);
+            }
             other => panic!("unknown submit argument {other:?}"),
         }
     }
@@ -93,15 +116,27 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
 
 fn run_submit(it: impl Iterator<Item = String>) -> ExitCode {
     let args = parse_submit(it);
-    let reader = match open_input(&args.events) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot open {}: {e}", args.events);
+    // Retries re-send the whole upload: a file is reopened per attempt,
+    // but stdin cannot be rewound, so it is buffered once up front.
+    let stdin_body = if args.events == "-" {
+        let mut body = String::new();
+        if let Err(e) = io::stdin().read_to_string(&mut body) {
+            eprintln!("cannot read stdin: {e}");
             return ExitCode::FAILURE;
+        }
+        Some(body)
+    } else {
+        None
+    };
+    let open = || -> io::Result<Box<dyn BufRead>> {
+        match &stdin_body {
+            Some(body) => Ok(Box::new(Cursor::new(body.clone().into_bytes()))),
+            None => open_input(&args.events),
         }
     };
     let client = Client::new(&args.addr);
-    match client.submit(reader, &args.spec) {
+    let attempts = args.retry.attempts();
+    match client.submit_with_retry(open, &args.spec, &args.retry) {
         Ok(Reply::Result {
             doc,
             table,
@@ -130,7 +165,10 @@ fn run_submit(it: impl Iterator<Item = String>) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Reply::Busy { queue_depth }) => {
-            eprintln!("server busy (queue depth {queue_depth}); retry later");
+            eprintln!(
+                "server still busy after {attempts} attempt(s) (queue depth {queue_depth}); \
+                 giving up"
+            );
             ExitCode::from(3)
         }
         Ok(Reply::Error { message }) => {
@@ -246,6 +284,67 @@ fn run_fetch(mut it: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+fn run_shards(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            other => panic!("unknown shards argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "shards needs --addr HOST:PORT");
+    match Client::new(&addr).shards() {
+        Ok(Reply::Shards { doc }) => {
+            println!("{doc}");
+            ExitCode::SUCCESS
+        }
+        Ok(Reply::Error { message }) => {
+            eprintln!("server error: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("shards failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_route(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    let mut bench = String::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            "--bench" => bench = it.next().expect("--bench needs a name"),
+            other => panic!("unknown route argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "route needs --addr HOST:PORT");
+    assert!(!bench.is_empty(), "route needs --bench NAME");
+    match Client::new(&addr).route(&bench) {
+        Ok(Reply::Route { bench, addr }) => {
+            println!("{bench} -> {addr}");
+            ExitCode::SUCCESS
+        }
+        Ok(Reply::Error { message }) => {
+            eprintln!("server error: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("route failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut it = std::env::args().skip(1);
     match it.next().as_deref() {
@@ -253,6 +352,8 @@ fn main() -> ExitCode {
         Some("stats") => run_stats(it),
         Some("ping") => run_ping(it),
         Some("fetch") => run_fetch(it),
+        Some("shards") => run_shards(it),
+        Some("route") => run_route(it),
         Some(other) => panic!("unknown subcommand {other:?}; {USAGE}"),
         None => panic!("{USAGE}"),
     }

@@ -4,26 +4,45 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
 
 use crate::proto::{
-    encode_end, encode_fetch, encode_job, encode_ping, encode_stats_request, is_control_line,
-    parse_reply, parse_request, JobSpec, Reply, Request,
+    encode_end, encode_fetch, encode_job, encode_ping, encode_route_request,
+    encode_shards_request, encode_stats_request, is_control_line, parse_reply, parse_request,
+    JobSpec, Reply, Request,
 };
+use crate::retry::RetryPolicy;
 
 /// A handle on one daemon address. Each call opens its own connection —
 /// the protocol is one request–reply conversation per connection.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    timeout: Option<std::time::Duration>,
 }
 
 impl Client {
     /// A client for the daemon at `addr` (`host:port`).
     pub fn new(addr: impl Into<String>) -> Self {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            timeout: None,
+        }
+    }
+
+    /// Like [`new`](Client::new), but every socket read carries
+    /// `timeout` — how the fleet router keeps a hung shard from pinning
+    /// a dispatch thread. Replies slower than the timeout surface as
+    /// `WouldBlock`/`TimedOut` errors, so budget for the job, not just
+    /// the network.
+    pub fn with_timeout(addr: impl Into<String>, timeout: std::time::Duration) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Some(timeout),
+        }
     }
 
     fn connect(&self) -> io::Result<TcpStream> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(self.timeout)?;
         Ok(stream)
     }
 
@@ -68,6 +87,36 @@ impl Client {
         read_reply(stream)
     }
 
+    /// Like [`submit`](Client::submit), but retries `busy` replies under
+    /// `policy` (capped exponential backoff, deterministic delays). The
+    /// upload must be re-sent on every attempt, so the caller provides a
+    /// factory that reopens the export; anything other than `busy` —
+    /// success, error, connection failure — returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Client::submit); a still-busy server after the last
+    /// attempt returns the final [`Reply::Busy`] for the caller to
+    /// report.
+    pub fn submit_with_retry<R: BufRead>(
+        &self,
+        mut open: impl FnMut() -> io::Result<R>,
+        spec: &JobSpec,
+        policy: &RetryPolicy,
+    ) -> io::Result<Reply> {
+        let mut attempt = 0u32;
+        loop {
+            let reply = self.submit(open()?, spec)?;
+            match reply {
+                Reply::Busy { .. } if attempt < policy.retries => {
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
     /// Requests the daemon's counter snapshot.
     ///
     /// # Errors
@@ -75,6 +124,25 @@ impl Client {
     /// Returns connection failures and protocol violations.
     pub fn stats(&self) -> io::Result<Reply> {
         self.simple_request(&encode_stats_request())
+    }
+
+    /// Requests a fleet router's shard table. Plain daemons answer with
+    /// an `error` reply (unknown request type).
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and protocol violations.
+    pub fn shards(&self) -> io::Result<Reply> {
+        self.simple_request(&encode_shards_request())
+    }
+
+    /// Asks a fleet router which shard `bench` routes to.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and protocol violations.
+    pub fn route(&self, bench: &str) -> io::Result<Reply> {
+        self.simple_request(&encode_route_request(bench))
     }
 
     /// Pings the daemon; `hold_ms > 0` keeps a worker slot busy for that

@@ -34,6 +34,13 @@
 //! * **Graceful shutdown.** SIGTERM/SIGINT stop the accept loop,
 //!   in-flight jobs drain, new requests are refused with an error.
 //!
+//! Scale-out is a separate binary on the same protocol:
+//! `gencache-shard` (see [`shard`]) consistent-hashes a job's benchmark
+//! stream groups across N backend daemons, runs the per-shard sub-jobs
+//! concurrently, and merges the shard documents back into the exact
+//! bytes a single node would have produced — capacity scales linearly
+//! while every answer stays verifiable with `cmp`.
+//!
 //! The wire protocol is line-delimited JSON, specified in
 //! `docs/PROTOCOL.md`.
 
@@ -42,11 +49,15 @@
 pub mod client;
 pub mod pool;
 pub mod proto;
+pub mod retry;
+pub mod shard;
 pub mod signal;
 mod server;
 pub mod stats;
 
 pub use client::Client;
 pub use proto::{JobSpec, Reply, Request};
+pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig};
+pub use shard::{ShardConfig, ShardRouter};
 pub use stats::ServerStats;

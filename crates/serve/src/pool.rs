@@ -7,7 +7,13 @@
 //! of building an unbounded backlog. Workers share the single receiver
 //! behind a mutex; a worker blocked in `recv` holds the lock only until
 //! a job arrives, so dequeueing serializes but execution does not.
+//!
+//! Jobs run under `catch_unwind`: a panicking job is counted (see
+//! [`WorkerPool::panics`]) but never takes its worker thread with it, so
+//! pool capacity stays fixed and shutdown joins cleanly.
 
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -32,6 +38,7 @@ pub struct WorkerPool {
     tx: Mutex<Option<Sender<Job>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
+    panics: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -50,12 +57,14 @@ impl WorkerPool {
         let workers = workers.max(1);
         let (tx, rx) = bounded::<Job>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let panics = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("gencache-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &panics))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -63,12 +72,19 @@ impl WorkerPool {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
             worker_count: workers,
+            panics,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.worker_count
+    }
+
+    /// Jobs that panicked while running. The worker survives each one;
+    /// the counter is the observable trace a panic leaves behind.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Jobs currently queued (not yet picked up by a worker).
@@ -116,14 +132,21 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
     loop {
         let job = {
             let mut rx = rx.lock().expect("job queue poisoned");
             rx.recv()
         };
         match job {
-            Some(job) => job(),
+            // AssertUnwindSafe: the job is FnOnce and consumed here; any
+            // state it shares across the boundary (channels, atomics)
+            // already tolerates a sender vanishing mid-protocol.
+            Some(job) => {
+                if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             None => return,
         }
     }
@@ -177,5 +200,45 @@ mod tests {
         let err = pool.try_submit(Box::new(|| {})).unwrap_err().1;
         assert_eq!(err, SubmitError::Full);
         hold_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn panicking_job_leaves_pool_alive_and_counted() {
+        // A single worker makes the ordering airtight: if the panic had
+        // killed the thread, the follow-up job could never run and
+        // shutdown would hang or blow up on join.
+        let pool = WorkerPool::new(1, 4);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the backtrace
+        for _ in 0..3 {
+            let mut job: Job = Box::new(|| panic!("job blew up"));
+            loop {
+                match pool.try_submit(job) {
+                    Ok(()) => break,
+                    Err((back, _)) => {
+                        job = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let mut job: Job = Box::new(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        loop {
+            match pool.try_submit(job) {
+                Ok(()) => break,
+                Err((back, _)) => {
+                    job = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        pool.shutdown(); // must not panic on join
+        std::panic::set_hook(prev_hook);
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "worker survived the panics");
+        assert_eq!(pool.panics(), 3, "every panic was counted");
     }
 }

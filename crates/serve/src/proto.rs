@@ -70,6 +70,16 @@ pub enum Request {
         /// Footprint divisor (1 = full scale).
         scale: u64,
     },
+    /// Ask a fleet router for its shard table and health view. Plain
+    /// daemons answer with `error` (unknown type pre-fleet builds) or a
+    /// single-entry table.
+    Shards,
+    /// Ask a fleet router which shard a benchmark routes to — how tests
+    /// and operators inspect the consistent-hash placement.
+    Route {
+        /// Benchmark name to resolve.
+        bench: String,
+    },
 }
 
 fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
@@ -176,6 +186,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "fetch frame needs a \"bench\" name".to_string())?,
             scale: opt_u64(pairs, "scale")?.unwrap_or(1).max(1),
         }),
+        "shards" => Ok(Request::Shards),
+        "route" => Ok(Request::Route {
+            bench: opt_str(pairs, "bench")?
+                .ok_or_else(|| "route frame needs a \"bench\" name".to_string())?,
+        }),
         other => Err(format!("unknown request type {other:?}")),
     }
 }
@@ -215,6 +230,19 @@ pub enum Reply {
     },
     /// Ping acknowledgement.
     Pong,
+    /// A fleet router's shard table (as canonical JSON text): one entry
+    /// per backend with address, health, and routing counters.
+    Shards {
+        /// The serialized shard-table document.
+        doc: String,
+    },
+    /// Consistent-hash placement for one benchmark.
+    Route {
+        /// The benchmark asked about.
+        bench: String,
+        /// Address of the shard currently preferred for it.
+        addr: String,
+    },
 }
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
@@ -321,6 +349,37 @@ pub fn encode_ping(hold_ms: u64) -> String {
     ]))
 }
 
+/// Encodes a `shards` request frame.
+pub fn encode_shards_request() -> String {
+    render(&obj(vec![("type", Value::Str("shards".to_string()))]))
+}
+
+/// Encodes a `shards` reply frame around an assembled shard-table
+/// document.
+pub fn encode_shards(table: Value) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("shards".to_string())),
+        ("shards", table),
+    ]))
+}
+
+/// Encodes a `route` request frame.
+pub fn encode_route_request(bench: &str) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("route".to_string())),
+        ("bench", Value::Str(bench.to_string())),
+    ]))
+}
+
+/// Encodes a `route` reply frame.
+pub fn encode_route(bench: &str, addr: &str) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("route".to_string())),
+        ("bench", Value::Str(bench.to_string())),
+        ("addr", Value::Str(addr.to_string())),
+    ]))
+}
+
 /// Encodes a `fetch` request frame.
 pub fn encode_fetch(bench: &str, scale: u64) -> String {
     render(&obj(vec![
@@ -365,6 +424,15 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
                 .ok_or_else(|| "stats reply needs a \"stats\" field".to_string())?,
         }),
         "pong" => Ok(Reply::Pong),
+        "shards" => Ok(Reply::Shards {
+            doc: field(pairs, "shards")
+                .map(render)
+                .ok_or_else(|| "shards reply needs a \"shards\" field".to_string())?,
+        }),
+        "route" => Ok(Reply::Route {
+            bench: opt_str(pairs, "bench")?.unwrap_or_default(),
+            addr: opt_str(pairs, "addr")?.unwrap_or_default(),
+        }),
         other => Err(format!("unknown reply type {other:?}")),
     }
 }
@@ -425,6 +493,35 @@ mod tests {
         assert!(parse_request("[]").is_err());
         assert!(parse_request("{\"type\":\"launch-missiles\"}").is_err());
         assert!(parse_reply("{\"type\":\"shrug\"}").is_err());
+    }
+
+    #[test]
+    fn shard_frames_roundtrip() {
+        assert!(matches!(
+            parse_request(&encode_shards_request()).unwrap(),
+            Request::Shards
+        ));
+        match parse_request(&encode_route_request("word")).unwrap() {
+            Request::Route { bench } => assert_eq!(bench, "word"),
+            other => panic!("expected route, got {other:?}"),
+        }
+        assert!(parse_request("{\"type\":\"route\"}").is_err());
+        let table = Value::Array(vec![Value::Object(vec![
+            ("addr".to_string(), Value::Str("127.0.0.1:7777".to_string())),
+            ("up".to_string(), Value::Bool(true)),
+        ])]);
+        let table_json = gencache_bench::value_to_json(&table);
+        match parse_reply(&encode_shards(table)).unwrap() {
+            Reply::Shards { doc } => assert_eq!(doc, table_json),
+            other => panic!("expected shards, got {other:?}"),
+        }
+        match parse_reply(&encode_route("word", "127.0.0.1:7777")).unwrap() {
+            Reply::Route { bench, addr } => {
+                assert_eq!(bench, "word");
+                assert_eq!(addr, "127.0.0.1:7777");
+            }
+            other => panic!("expected route, got {other:?}"),
+        }
     }
 
     #[test]

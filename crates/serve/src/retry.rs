@@ -1,0 +1,94 @@
+//! Bounded, deterministic retry with capped exponential backoff.
+//!
+//! One policy serves both sides of the fleet: `gencache-client` retries
+//! a `busy` daemon instead of giving up on the first shed, and the
+//! `gencache-shard` router retries busy shards before failing over to
+//! the next-preferred one. Delays are deterministic (no jitter): the
+//! attempt sequence is `base, base*2, base*4, …` capped at `cap`, so
+//! tests can reason about exact timing and two runs behave identically.
+
+use std::time::Duration;
+
+/// How many times to retry and how long to wait between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries *after* the first attempt (0 = try once, never retry).
+    pub retries: u32,
+    /// Delay before the first retry; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// A few quick attempts: 3 retries starting at 200 ms, capped at 2 s
+    /// — enough to ride out a transient queue spike without stalling an
+    /// interactive caller for long.
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            base: Duration::from_millis(200),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy with `retries` attempts starting at `base_ms`
+    /// milliseconds (cap fixed at 10× the base).
+    pub fn new(retries: u32, base_ms: u64) -> Self {
+        RetryPolicy {
+            retries,
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(base_ms.saturating_mul(10)),
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based): `base * 2^attempt`,
+    /// capped.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+
+    /// Total attempts this policy makes (the first try plus retries).
+    pub fn attempts(&self) -> u32 {
+        self.retries.saturating_add(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap() {
+        let policy = RetryPolicy {
+            retries: 6,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(500),
+        };
+        let delays: Vec<u64> = (0..5).map(|i| policy.delay(i).as_millis() as u64).collect();
+        assert_eq!(delays, vec![100, 200, 400, 500, 500]);
+        assert_eq!(policy.attempts(), 7);
+    }
+
+    #[test]
+    fn shift_overflow_saturates_at_the_cap() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.delay(40), policy.cap);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        assert_eq!(RetryPolicy::none().attempts(), 1);
+    }
+}

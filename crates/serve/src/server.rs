@@ -229,7 +229,7 @@ fn send_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
 /// (`busy`/`error`), so closing the socket cannot RST the reply out of
 /// the client's receive buffer. Bounded: stops at EOF, any read error
 /// (including the read timeout), or a 64 MiB cap.
-fn drain_discard(reader: &mut impl Read) {
+pub(crate) fn drain_discard(reader: &mut impl Read) {
     let mut buf = [0u8; 8192];
     let mut total = 0u64;
     while total < 64 * 1024 * 1024 {
@@ -263,14 +263,19 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     };
     match request {
         Request::Stats => {
-            let snapshot = ctx
-                .stats
-                .snapshot(ctx.pool.queue_len(), ctx.pool.workers());
+            let snapshot =
+                ctx.stats
+                    .snapshot(ctx.pool.queue_len(), ctx.pool.workers(), ctx.pool.panics());
             send_line(&mut writer, &encode_stats(snapshot))
         }
         Request::End { .. } => send_line(
             &mut writer,
             &encode_error("end frame outside a job upload"),
+        ),
+        // Fleet-only frames: a plain daemon is not a router.
+        Request::Shards | Request::Route { .. } => send_line(
+            &mut writer,
+            &encode_error("not a fleet router; ask a gencache-shard daemon"),
         ),
         Request::Ping { hold_ms } => handle_ping(ctx, &mut writer, hold_ms),
         Request::Job(spec) => {
@@ -330,7 +335,11 @@ fn handle_job(
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let (lines_tx, lines_rx) = bounded::<IngestItem>(ctx.channel_depth);
     let (reply_tx, mut reply_rx) = bounded::<JobOutcome>(1);
-    let job = Box::new(move || run_job(&spec, lines_rx, &reply_tx, deadline));
+    // The deadline clock starts at admission, not at worker pickup —
+    // time spent queued behind the bounded pool counts against the
+    // budget, so a deadline'd job cannot wait unboundedly.
+    let admitted = Instant::now();
+    let job = Box::new(move || run_job(&spec, lines_rx, &reply_tx, deadline, admitted));
     match ctx.pool.try_submit(job) {
         Err((_, SubmitError::Full)) => {
             ServerStats::bump(&ctx.stats.jobs_rejected);
@@ -347,7 +356,6 @@ fn handle_job(
         Ok(()) => {}
     }
     ServerStats::bump(&ctx.stats.jobs_accepted);
-    let started = Instant::now();
 
     // Forward the upload line by line; the bounded send blocks when the
     // worker falls behind, which is exactly the backpressure we want.
@@ -392,7 +400,7 @@ fn handle_job(
     match reply_rx.recv() {
         Some(Ok(parts)) => {
             ServerStats::bump(&ctx.stats.jobs_completed);
-            ctx.stats.record_latency(started.elapsed().as_micros() as u64);
+            ctx.stats.record_latency(admitted.elapsed().as_micros() as u64);
             send_line(
                 writer,
                 &encode_result(
@@ -425,11 +433,19 @@ fn run_job(
     mut lines_rx: Receiver<IngestItem>,
     reply_tx: &Sender<JobOutcome>,
     deadline: Option<Duration>,
+    admitted: Instant,
 ) {
-    let started = Instant::now();
+    let started = admitted;
     let fail = |message: String| {
         let _ = reply_tx.send(Err(message));
     };
+    // Dead on dequeue: the queue wait alone consumed the budget.
+    if deadline.is_some_and(|d| started.elapsed() >= d) {
+        return fail(format!(
+            "deadline of {}ms exceeded",
+            deadline.unwrap_or_default().as_millis()
+        ));
+    }
     let mut ingest = StreamIngest::new();
     let mut received = 0u64;
     let mut complete = false;

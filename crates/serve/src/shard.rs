@@ -1,0 +1,936 @@
+//! `gencache-shard`: the fleet router.
+//!
+//! A router daemon speaks the exact `gencache-serve` protocol on the
+//! front and fans work out to N backend daemons on the back, so a
+//! client cannot tell a fleet from a single node — except that capacity
+//! scales with the shard count. The pieces:
+//!
+//! * **Consistent-hash routing.** Every `(benchmark, model)` stream
+//!   group routes by its *benchmark* component (all model streams of a
+//!   benchmark must land together — the backend verifies them against
+//!   each other), through an FNV-1a ring with virtual nodes. Each
+//!   benchmark has a deterministic preference order of shards; the
+//!   first live one wins, so placement is stable while the fleet is
+//!   healthy and moves minimally when a shard goes down.
+//! * **Byte-identical merge.** A `job` upload is split per benchmark
+//!   into per-shard sub-jobs (dispatched concurrently through
+//!   [`par_map`]); the per-shard metrics documents are deserialized
+//!   into typed reports and reassembled with the same
+//!   input-index-deterministic merge offline `simulate` uses
+//!   ([`merge_metrics_docs`]), so the fleet reply is byte-for-byte what
+//!   a single node would have produced.
+//! * **Health + retry.** A background thread pings every shard each
+//!   `health_interval`, marking shards down and back up. Dispatch
+//!   retries a `busy` shard with the shared capped-exponential
+//!   [`RetryPolicy`], then fails over to the next-preferred shard;
+//!   connection failures mark the shard down immediately and re-route.
+//! * **Fleet stats.** A `stats` request aggregates every live shard's
+//!   counters (summed) and log2 latency histograms (merged exactly),
+//!   plus router-side routing counters and the shard health table.
+//!
+//! The router buffers a job upload in memory (per-benchmark line
+//! groups) so a failed shard's share can be re-sent elsewhere — the
+//! trade against the daemon's bounded-memory ingest is deliberate:
+//! routers are few, shards are many, and retryability is what makes
+//! mid-run shard loss invisible to the client.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Cursor, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gencache_bench::ingest::{classify_line, merge_metrics_docs, merge_sim_tables, RouteClass};
+use gencache_obs::Log2Histogram;
+use gencache_sim::par::par_map;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::client::Client;
+use crate::proto::{
+    encode_end, encode_error, encode_pong, encode_result, encode_route, encode_shards,
+    encode_stats, is_control_line, parse_request, JobSpec, Reply, Request,
+};
+use crate::retry::RetryPolicy;
+use crate::server::drain_discard;
+use crate::signal;
+
+/// How a [`ShardRouter`] is sized and wired.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `gencache-serve` addresses (`host:port`), at least one.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the hash ring — more replicas, finer
+    /// balance.
+    pub replicas: usize,
+    /// Socket read timeout, applied to client connections and to every
+    /// shard conversation.
+    pub read_timeout: Duration,
+    /// How often the health thread pings every shard.
+    pub health_interval: Duration,
+    /// Busy-retry policy per shard before failing over to the
+    /// next-preferred one.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            replicas: 32,
+            read_timeout: Duration::from_secs(10),
+            health_interval: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// FNV-1a 64 with a murmur3-style avalanche finalizer. Raw FNV-1a maps
+/// near-identical strings (`addr#0`, `addr#1`, …) to one contiguous
+/// band of the ring — every replica of a shard clusters and the ring
+/// degenerates; the finalizer spreads a one-byte difference across all
+/// 64 bits. Hand-rolled because ring placement must be deterministic
+/// across processes (std's `DefaultHasher` is seeded per-process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// One backend's live state: health flag plus routing counters.
+struct Shard {
+    addr: String,
+    up: AtomicBool,
+    jobs_routed: AtomicU64,
+    busy_retries: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// The consistent-hash ring over the configured backends.
+struct ShardTable {
+    shards: Vec<Shard>,
+    /// `(point, shard index)` sorted by point.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ShardTable {
+    fn new(backends: &[String], replicas: usize) -> Self {
+        let shards = backends
+            .iter()
+            .map(|addr| Shard {
+                addr: addr.clone(),
+                up: AtomicBool::new(true),
+                jobs_routed: AtomicU64::new(0),
+                busy_retries: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(backends.len() * replicas.max(1));
+        for (i, addr) in backends.iter().enumerate() {
+            for r in 0..replicas.max(1) {
+                ring.push((fnv1a(format!("{addr}#{r}").as_bytes()), i));
+            }
+        }
+        ring.sort_unstable();
+        ShardTable { shards, ring }
+    }
+
+    /// Deterministic preference order for `key`: distinct shards in the
+    /// order the ring walk meets them, starting at the key's hash point.
+    fn preference(&self, key: &str) -> Vec<usize> {
+        let point = fnv1a(key.as_bytes());
+        let start = self.ring.partition_point(|&(p, _)| p < point);
+        let mut seen = vec![false; self.shards.len()];
+        let mut order = Vec::with_capacity(self.shards.len());
+        for i in 0..self.ring.len() {
+            let (_, s) = self.ring[(start + i) % self.ring.len()];
+            if !seen[s] {
+                seen[s] = true;
+                order.push(s);
+                if order.len() == self.shards.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The first live, non-excluded shard in `key`'s preference order.
+    fn route(&self, key: &str, excluded: &[usize]) -> Option<usize> {
+        self.preference(key).into_iter().find(|&s| {
+            self.shards[s].up.load(Ordering::Relaxed) && !excluded.contains(&s)
+        })
+    }
+
+    fn doc(&self) -> Value {
+        Value::Array(
+            self.shards
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("addr".to_string(), Value::Str(s.addr.clone())),
+                        ("up".to_string(), Value::Bool(s.up.load(Ordering::Relaxed))),
+                        (
+                            "jobs_routed".to_string(),
+                            Value::UInt(s.jobs_routed.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "busy_retries".to_string(),
+                            Value::UInt(s.busy_retries.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "failovers".to_string(),
+                            Value::UInt(s.failovers.load(Ordering::Relaxed)),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Router-side counters (shard counters live in the table).
+#[derive(Default)]
+struct RouterStats {
+    connections: AtomicU64,
+    fleet_jobs: AtomicU64,
+    fleet_jobs_completed: AtomicU64,
+    fleet_jobs_failed: AtomicU64,
+    subjobs: AtomicU64,
+    busy_retries: AtomicU64,
+    failovers: AtomicU64,
+}
+
+struct RouterCtx {
+    table: ShardTable,
+    retry: RetryPolicy,
+    read_timeout: Duration,
+    health_interval: Duration,
+    shutdown: Arc<AtomicBool>,
+    stats: RouterStats,
+}
+
+impl RouterCtx {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn shard_client(&self, shard: &Shard) -> Client {
+        Client::with_timeout(&shard.addr, self.read_timeout)
+    }
+}
+
+/// The fleet router daemon. Binds like a [`Server`](crate::Server),
+/// speaks the same protocol, and proxies/merges across its backends.
+pub struct ShardRouter {
+    listener: TcpListener,
+    ctx: Arc<RouterCtx>,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.ctx.table.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardRouter {
+    /// Binds the router's listener over the configured backends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; an empty backend list is
+    /// `InvalidInput`.
+    pub fn bind(config: &ShardConfig) -> io::Result<ShardRouter> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "gencache-shard needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let ctx = RouterCtx {
+            table: ShardTable::new(&config.backends, config.replicas),
+            retry: config.retry,
+            read_timeout: config.read_timeout,
+            health_interval: config.health_interval,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats: RouterStats::default(),
+        };
+        Ok(ShardRouter {
+            listener,
+            ctx: Arc::new(ctx),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the accept loop when set — how in-process tests
+    /// shut the router down without a signal.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.ctx.shutdown)
+    }
+
+    /// Serves until the shutdown flag or a SIGTERM/SIGINT arrives, then
+    /// drains: stop accepting, join live connections, stop the health
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures other than `WouldBlock`.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let health = {
+            let ctx = Arc::clone(&self.ctx);
+            std::thread::Builder::new()
+                .name("gencache-shard-health".to_string())
+                .spawn(move || health_loop(&ctx))
+                .expect("spawn health thread")
+        };
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if self.ctx.draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    conns.retain(|h| !h.is_finished());
+                    let ctx = Arc::clone(&self.ctx);
+                    let handle = std::thread::Builder::new()
+                        .name("gencache-shard-conn".to_string())
+                        .spawn(move || {
+                            if let Err(e) = handle_connection(stream, &ctx) {
+                                if e.kind() != io::ErrorKind::BrokenPipe
+                                    && e.kind() != io::ErrorKind::ConnectionReset
+                                {
+                                    eprintln!("gencache-shard: connection error: {e}");
+                                }
+                            }
+                        })
+                        .expect("spawn connection thread");
+                    conns.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in conns {
+            let _ = handle.join();
+        }
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        let _ = health.join();
+        Ok(())
+    }
+}
+
+/// Periodic shard health: `ping` every backend, mark down on failure
+/// and back up on recovery. Dispatch also marks down eagerly on
+/// connection failure; this loop is what brings a shard back.
+fn health_loop(ctx: &RouterCtx) {
+    // Sleep first: shards start optimistically up, so the first pass can
+    // wait a full interval. Probing at t=0 would race the dispatch path
+    // (which marks dead shards down by itself) and makes startup order
+    // matter; sleeping first keeps "who discovered the death" —
+    // dispatch within an interval, this loop after — deterministic.
+    loop {
+        let slept = Instant::now();
+        while slept.elapsed() < ctx.health_interval {
+            if ctx.draining() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for shard in &ctx.table.shards {
+            if ctx.draining() {
+                return;
+            }
+            let alive = match ctx.shard_client(shard).ping(0) {
+                Ok(Reply::Pong | Reply::Busy { .. }) => true,
+                Ok(Reply::Error { message }) => !message.contains("shutting down"),
+                Ok(_) => true,
+                Err(_) => false,
+            };
+            shard.up.store(alive, Ordering::Relaxed);
+        }
+    }
+}
+
+fn send_line(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_connection(stream: TcpStream, ctx: &RouterCtx) -> io::Result<()> {
+    AtomicU64::fetch_add(&ctx.stats.connections, 1, Ordering::Relaxed);
+    stream.set_read_timeout(Some(ctx.read_timeout))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    let line = first.trim_end_matches(['\r', '\n']);
+    if !is_control_line(line) {
+        return send_line(
+            &mut writer,
+            &encode_error("expected a control frame ({\"type\":...}) first"),
+        );
+    }
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return send_line(&mut writer, &encode_error(&e)),
+    };
+    match request {
+        Request::Stats => send_line(&mut writer, &encode_stats(fleet_stats(ctx))),
+        Request::Ping { .. } => send_line(&mut writer, &encode_pong()),
+        Request::Shards => send_line(&mut writer, &encode_shards(ctx.table.doc())),
+        Request::Route { bench } => match ctx.table.route(&bench, &[]) {
+            Some(s) => send_line(
+                &mut writer,
+                &encode_route(&bench, &ctx.table.shards[s].addr),
+            ),
+            None => send_line(&mut writer, &encode_error("no live shards")),
+        },
+        Request::End { .. } => {
+            send_line(&mut writer, &encode_error("end frame outside a job upload"))
+        }
+        Request::Job(spec) => {
+            if ctx.draining() {
+                return send_line(
+                    &mut writer,
+                    &encode_error("shutting down; not accepting new jobs"),
+                );
+            }
+            handle_job(ctx, &mut reader, &mut writer, spec)
+        }
+        Request::Fetch { bench, scale } => {
+            if ctx.draining() {
+                return send_line(
+                    &mut writer,
+                    &encode_error("shutting down; not accepting new jobs"),
+                );
+            }
+            handle_fetch(ctx, &mut writer, &bench, scale)
+        }
+    }
+}
+
+/// A job upload, regrouped per benchmark for routing. Headers are kept
+/// apart and broadcast to every sub-upload; blank lines are counted
+/// (the `end` integrity check covers them) but not forwarded.
+struct Upload {
+    prelude: Vec<String>,
+    order: Vec<String>,
+    groups: BTreeMap<String, Vec<String>>,
+}
+
+/// Refuses an in-flight upload: send the error frame, discard the rest
+/// of the stream so the client's write side never jams, report "no
+/// upload" to the caller.
+fn refuse<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    message: &str,
+) -> io::Result<Option<Upload>> {
+    send_line(writer, &encode_error(message))?;
+    drain_discard(reader);
+    Ok(None)
+}
+
+fn read_upload(reader: &mut impl BufRead, writer: &mut impl Write) -> io::Result<Option<Upload>> {
+    let mut upload = Upload {
+        prelude: Vec::new(),
+        order: Vec::new(),
+        groups: BTreeMap::new(),
+    };
+    let mut received = 0u64;
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return refuse(reader, writer, "connection closed mid-upload"),
+            Err(e) => return refuse(reader, writer, &format!("upload read failed: {e}")),
+            Ok(_) => {}
+        }
+        let line = buf.trim_end_matches(['\r', '\n']);
+        if is_control_line(line) {
+            match parse_request(line) {
+                Ok(Request::End { lines }) => {
+                    if lines != received {
+                        return refuse(
+                            reader,
+                            writer,
+                            &format!(
+                                "upload truncated: client sent {lines} export lines, \
+                                 received {received}"
+                            ),
+                        );
+                    }
+                    return Ok(Some(upload));
+                }
+                Ok(_) => {
+                    return refuse(
+                        reader,
+                        writer,
+                        "unexpected control frame inside an export upload",
+                    )
+                }
+                Err(e) => return refuse(reader, writer, &e),
+            }
+        }
+        received += 1;
+        match classify_line(line) {
+            Ok(RouteClass::Blank) => {}
+            Ok(RouteClass::Header) => upload.prelude.push(line.to_string()),
+            Ok(RouteClass::Stream(bench)) => {
+                if !upload.groups.contains_key(&bench) {
+                    upload.order.push(bench.clone());
+                }
+                upload
+                    .groups
+                    .entry(bench)
+                    .or_default()
+                    .push(line.to_string());
+            }
+            Err(e) => return refuse(reader, writer, &e),
+        }
+    }
+}
+
+/// One shard's completed sub-job.
+struct SubReply {
+    doc: String,
+    table: String,
+    specs: u64,
+}
+
+/// Why one dispatch attempt did not produce a result.
+enum SubError {
+    /// The shard is unreachable or died mid-conversation — mark it down
+    /// and re-route its benchmarks.
+    Dead(String),
+    /// The shard stayed busy through every retry — leave it up but route
+    /// around it for this job.
+    Busy,
+    /// The job itself failed (bad spec, divergent export, deadline) —
+    /// re-routing cannot help; fail the fleet job with this message.
+    Terminal(String),
+}
+
+/// Sends one sub-job to one shard, retrying `busy` under the shared
+/// policy. The sub-upload is the prelude plus the selected benchmarks'
+/// lines, in upload order.
+fn dispatch_once(
+    ctx: &RouterCtx,
+    spec: &JobSpec,
+    upload: &Upload,
+    shard_idx: usize,
+    benches: &[String],
+) -> Result<SubReply, SubError> {
+    let shard = &ctx.table.shards[shard_idx];
+    let mut body = String::new();
+    for line in &upload.prelude {
+        body.push_str(line);
+        body.push('\n');
+    }
+    for bench in benches {
+        for line in &upload.groups[bench] {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    let client = ctx.shard_client(shard);
+    AtomicU64::fetch_add(&ctx.stats.subjobs, 1, Ordering::Relaxed);
+    let mut attempt = 0u32;
+    loop {
+        match client.submit(Cursor::new(body.as_bytes()), spec) {
+            Ok(Reply::Result {
+                doc, table, specs, ..
+            }) => {
+                shard.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                return Ok(SubReply { doc, table, specs });
+            }
+            Ok(Reply::Busy { .. }) => {
+                if attempt < ctx.retry.retries {
+                    shard.busy_retries.fetch_add(1, Ordering::Relaxed);
+                    AtomicU64::fetch_add(&ctx.stats.busy_retries, 1, Ordering::Relaxed);
+                    std::thread::sleep(ctx.retry.delay(attempt));
+                    attempt += 1;
+                } else {
+                    return Err(SubError::Busy);
+                }
+            }
+            Ok(Reply::Error { message }) if message.contains("shutting down") => {
+                return Err(SubError::Dead(format!("shard {}: {message}", shard.addr)));
+            }
+            Ok(Reply::Error { message }) => {
+                return Err(SubError::Terminal(format!(
+                    "shard {}: {message}",
+                    shard.addr
+                )));
+            }
+            Ok(other) => {
+                return Err(SubError::Terminal(format!(
+                    "shard {}: unexpected reply {other:?}",
+                    shard.addr
+                )));
+            }
+            Err(e) => return Err(SubError::Dead(format!("shard {}: {e}", shard.addr))),
+        }
+    }
+}
+
+/// Routes, dispatches, fails over, and merges one fleet job.
+fn run_fleet_job(
+    ctx: &RouterCtx,
+    spec: &JobSpec,
+    upload: &Upload,
+) -> Result<(Value, String, u64, u64), String> {
+    let selected: Vec<String> = match &spec.bench {
+        Some(want) => {
+            if upload.groups.contains_key(want) {
+                vec![want.clone()]
+            } else {
+                // Mirror the single-node diagnostic exactly.
+                return Err(format!(
+                    "benchmark {want:?} not in export; available: {}",
+                    upload.order.join(", ")
+                ));
+            }
+        }
+        None => upload.order.clone(),
+    };
+    if selected.is_empty() {
+        return Err("export contains no event streams".to_string());
+    }
+    let mut pending = selected.clone();
+    let mut excluded: Vec<usize> = Vec::new(); // busy-exhausted, this job only
+    let mut replies: Vec<SubReply> = Vec::new();
+    while !pending.is_empty() {
+        // Group the pending benchmarks by their first live shard.
+        let mut assign: Vec<(usize, Vec<String>)> = Vec::new();
+        for bench in pending.drain(..) {
+            let Some(s) = ctx.table.route(&bench, &excluded) else {
+                return Err(format!("no live shard available for benchmark {bench:?}"));
+            };
+            match assign.iter_mut().find(|(idx, _)| *idx == s) {
+                Some((_, group)) => group.push(bench),
+                None => assign.push((s, vec![bench])),
+            }
+        }
+        // Concurrent dispatch, one worker per shard group; results come
+        // back in assignment order regardless of scheduling.
+        let results = par_map(&assign, assign.len().max(1), |(shard_idx, benches)| {
+            dispatch_once(ctx, spec, upload, *shard_idx, benches)
+        });
+        for ((shard_idx, benches), result) in assign.into_iter().zip(results) {
+            match result {
+                Ok(reply) => replies.push(reply),
+                Err(SubError::Dead(why)) => {
+                    eprintln!("gencache-shard: {why}; re-routing {} benchmark(s)", benches.len());
+                    ctx.table.shards[shard_idx].up.store(false, Ordering::Relaxed);
+                    ctx.table.shards[shard_idx]
+                        .failovers
+                        .fetch_add(1, Ordering::Relaxed);
+                    AtomicU64::fetch_add(&ctx.stats.failovers, 1, Ordering::Relaxed);
+                    pending.extend(benches);
+                }
+                Err(SubError::Busy) => {
+                    ctx.table.shards[shard_idx]
+                        .failovers
+                        .fetch_add(1, Ordering::Relaxed);
+                    AtomicU64::fetch_add(&ctx.stats.failovers, 1, Ordering::Relaxed);
+                    excluded.push(shard_idx);
+                    pending.extend(benches);
+                }
+                Err(SubError::Terminal(message)) => return Err(message),
+            }
+        }
+    }
+    let docs: Vec<Value> = replies
+        .iter()
+        .map(|r| {
+            serde_json::value_from_str(&r.doc)
+                .map_err(|e| format!("shard returned an unparseable doc: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let doc = merge_metrics_docs(&selected, &docs)?;
+    let tables: Vec<String> = replies.iter().map(|r| r.table.clone()).collect();
+    let table = merge_sim_tables(&selected, &tables)?;
+    let specs = replies.first().map_or(0, |r| r.specs);
+    Ok((doc, table, selected.len() as u64, specs))
+}
+
+fn handle_job(
+    ctx: &RouterCtx,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    spec: JobSpec,
+) -> io::Result<()> {
+    let admitted = Instant::now();
+    let Some(upload) = read_upload(reader, writer)? else {
+        return Ok(()); // already refused with an error frame
+    };
+    AtomicU64::fetch_add(&ctx.stats.fleet_jobs, 1, Ordering::Relaxed);
+    match run_fleet_job(ctx, &spec, &upload) {
+        Ok((doc, table, benches, specs)) => {
+            AtomicU64::fetch_add(&ctx.stats.fleet_jobs_completed, 1, Ordering::Relaxed);
+            send_line(
+                writer,
+                &encode_result(
+                    doc,
+                    &table,
+                    benches,
+                    specs,
+                    admitted.elapsed().as_micros() as u64,
+                ),
+            )
+        }
+        Err(message) => {
+            AtomicU64::fetch_add(&ctx.stats.fleet_jobs_failed, 1, Ordering::Relaxed);
+            send_line(writer, &encode_error(&message))
+        }
+    }
+}
+
+/// Counts lines forwarded to the client so a fetch proxy can append a
+/// faithful `end` frame.
+struct CountingWriter<W: Write> {
+    inner: W,
+    lines: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(data)?;
+        self.lines += data[..n].iter().filter(|&&b| b == b'\n').count() as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Proxies a `fetch` to the benchmark's preferred shard, walking the
+/// preference order while nothing has been forwarded yet. Once lines
+/// have gone out, a failure turns into an `error` frame (the client's
+/// `end`-count check rejects the truncated download anyway).
+fn handle_fetch(
+    ctx: &RouterCtx,
+    writer: &mut impl Write,
+    bench: &str,
+    scale: u64,
+) -> io::Result<()> {
+    let mut last_error = "no live shards".to_string();
+    for s in ctx.table.preference(bench) {
+        let shard = &ctx.table.shards[s];
+        if !shard.up.load(Ordering::Relaxed) {
+            continue;
+        }
+        let mut counting = CountingWriter {
+            inner: &mut *writer,
+            lines: 0,
+        };
+        match ctx.shard_client(shard).fetch(bench, scale, &mut counting) {
+            Ok(lines) => {
+                shard.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                return send_line(writer, &encode_end(lines));
+            }
+            Err(e) if counting.lines == 0 => {
+                last_error = format!("shard {}: {e}", shard.addr);
+            }
+            Err(e) => {
+                return send_line(
+                    writer,
+                    &encode_error(&format!("download failed mid-stream: {e}")),
+                );
+            }
+        }
+    }
+    send_line(writer, &encode_error(&last_error))
+}
+
+fn field<'v>(doc: &'v Value, name: &str) -> Option<&'v Value> {
+    doc.as_object()?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+/// The counters summed across shards into the fleet view — the same
+/// keys, in the same order, as one daemon's stats document.
+const FLEET_COUNTERS: [&str; 10] = [
+    "workers",
+    "queue_depth",
+    "connections",
+    "jobs_accepted",
+    "jobs_completed",
+    "jobs_rejected",
+    "jobs_failed",
+    "jobs_panicked",
+    "bytes_ingested",
+    "lines_served",
+];
+
+/// Aggregates every live shard's stats into one fleet document:
+/// counters summed, latency histograms merged exactly, plus the
+/// router's own counters and the shard table.
+fn fleet_stats(ctx: &RouterCtx) -> Value {
+    let mut sums = [0u64; FLEET_COUNTERS.len()];
+    let mut latency = Log2Histogram::new();
+    for shard in &ctx.table.shards {
+        if !shard.up.load(Ordering::Relaxed) {
+            continue;
+        }
+        let doc = match ctx.shard_client(shard).stats() {
+            Ok(Reply::Stats { doc }) => doc,
+            _ => {
+                shard.up.store(false, Ordering::Relaxed);
+                continue;
+            }
+        };
+        let Ok(doc) = serde_json::value_from_str(&doc) else {
+            continue;
+        };
+        for (i, name) in FLEET_COUNTERS.iter().enumerate() {
+            if let Some(Value::UInt(n)) = field(&doc, name) {
+                sums[i] += n;
+            }
+        }
+        if let Some(h) = field(&doc, "latency_us") {
+            if let Ok(h) = Log2Histogram::from_value(h) {
+                latency.merge(&h);
+            }
+        }
+    }
+    let get = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+    let (up, down) =
+        ctx.table.shards.iter().fold((0u64, 0u64), |(up, down), s| {
+            if s.up.load(Ordering::Relaxed) {
+                (up + 1, down)
+            } else {
+                (up, down + 1)
+            }
+        });
+    let mut pairs: Vec<(String, Value)> = FLEET_COUNTERS
+        .iter()
+        .zip(sums)
+        .map(|(name, n)| ((*name).to_string(), Value::UInt(n)))
+        .collect();
+    pairs.push(("latency_us".to_string(), latency.to_value()));
+    pairs.push((
+        "router".to_string(),
+        Value::Object(vec![
+            ("connections".to_string(), get(&ctx.stats.connections)),
+            ("fleet_jobs".to_string(), get(&ctx.stats.fleet_jobs)),
+            (
+                "fleet_jobs_completed".to_string(),
+                get(&ctx.stats.fleet_jobs_completed),
+            ),
+            (
+                "fleet_jobs_failed".to_string(),
+                get(&ctx.stats.fleet_jobs_failed),
+            ),
+            ("subjobs".to_string(), get(&ctx.stats.subjobs)),
+            ("busy_retries".to_string(), get(&ctx.stats.busy_retries)),
+            ("failovers".to_string(), get(&ctx.stats.failovers)),
+            ("shards_up".to_string(), Value::UInt(up)),
+            ("shards_down".to_string(), Value::UInt(down)),
+        ]),
+    ));
+    pairs.push(("shards".to_string(), ctx.table.doc()));
+    Value::Object(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn preference_is_deterministic_and_covers_every_shard() {
+        let table = ShardTable::new(&addrs(5), 32);
+        for key in ["word", "solitaire", "gcc", "anything-at-all"] {
+            let a = table.preference(key);
+            let b = table.preference(key);
+            assert_eq!(a, b, "preference must be stable");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "all shards, each once");
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_across_shards() {
+        let table = ShardTable::new(&addrs(3), 32);
+        let mut counts = [0usize; 3];
+        for i in 0..300 {
+            let s = table.route(&format!("bench-{i}"), &[]).unwrap();
+            counts[s] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 30, "shard {i} got only {c}/300 keys — ring is unbalanced");
+        }
+    }
+
+    #[test]
+    fn down_shards_are_skipped_and_only_their_keys_move() {
+        let table = ShardTable::new(&addrs(4), 32);
+        let keys: Vec<String> = (0..200).map(|i| format!("bench-{i}")).collect();
+        let before: Vec<usize> = keys.iter().map(|k| table.route(k, &[]).unwrap()).collect();
+        table.shards[2].up.store(false, Ordering::Relaxed);
+        for (k, &was) in keys.iter().zip(&before) {
+            let now = table.route(k, &[]).unwrap();
+            assert_ne!(now, 2, "down shard must not be routed to");
+            if was != 2 {
+                assert_eq!(now, was, "healthy placements must not move");
+            }
+        }
+        table.shards[2].up.store(true, Ordering::Relaxed);
+        let after: Vec<usize> = keys.iter().map(|k| table.route(k, &[]).unwrap()).collect();
+        assert_eq!(after, before, "mark-up restores the original placement");
+    }
+
+    #[test]
+    fn excluded_shards_route_like_down_shards() {
+        let table = ShardTable::new(&addrs(2), 32);
+        let s = table.route("word", &[]).unwrap();
+        let other = table.route("word", &[s]).unwrap();
+        assert_ne!(s, other);
+        assert_eq!(table.route("word", &[0, 1]), None);
+    }
+
+    #[test]
+    fn bind_requires_backends() {
+        let err = ShardRouter::bind(&ShardConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

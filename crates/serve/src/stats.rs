@@ -56,8 +56,9 @@ impl ServerStats {
     }
 
     /// Assembles the snapshot document the `stats` reply carries.
-    /// `queue_depth` and `workers` describe the pool at snapshot time.
-    pub fn snapshot(&self, queue_depth: usize, workers: usize) -> Value {
+    /// `queue_depth` and `workers` describe the pool at snapshot time;
+    /// `panics` is the pool's count of jobs that panicked mid-run.
+    pub fn snapshot(&self, queue_depth: usize, workers: usize, panics: u64) -> Value {
         let get = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
         let latency = self
             .latency_us
@@ -72,6 +73,7 @@ impl ServerStats {
             ("jobs_completed".to_string(), get(&self.jobs_completed)),
             ("jobs_rejected".to_string(), get(&self.jobs_rejected)),
             ("jobs_failed".to_string(), get(&self.jobs_failed)),
+            ("jobs_panicked".to_string(), Value::UInt(panics)),
             ("bytes_ingested".to_string(), get(&self.bytes_ingested)),
             ("lines_served".to_string(), get(&self.lines_served)),
             ("latency_us".to_string(), latency.to_value()),
@@ -90,7 +92,7 @@ mod tests {
         ServerStats::bump(&stats.jobs_accepted);
         ServerStats::add(&stats.bytes_ingested, 1234);
         stats.record_latency(900);
-        let snap = stats.snapshot(3, 2);
+        let snap = stats.snapshot(3, 2, 7);
         let pairs = snap.as_object().unwrap();
         let get = |name: &str| {
             pairs
@@ -103,6 +105,7 @@ mod tests {
         assert_eq!(get("queue_depth"), Value::UInt(3));
         assert_eq!(get("connections"), Value::UInt(1));
         assert_eq!(get("bytes_ingested"), Value::UInt(1234));
+        assert_eq!(get("jobs_panicked"), Value::UInt(7));
         let latency = get("latency_us");
         let total = latency
             .as_object()

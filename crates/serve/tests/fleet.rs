@@ -1,0 +1,339 @@
+//! Fleet tests: three in-process daemons behind a `ShardRouter`, real
+//! TCP end to end.
+//!
+//! The property under test is the tentpole guarantee: a job submitted
+//! to the router — split per benchmark across shards, simulated
+//! concurrently, merged — answers with *exactly* the bytes offline
+//! `simulate --metrics-out` produces for the same export and specs,
+//! even while shards die and come back mid-run.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use gencache_bench::ingest::{resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest};
+use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
+use gencache_serve::{
+    Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig, ShardConfig, ShardRouter,
+};
+use gencache_workloads::Suite;
+
+/// Number of benchmarks in the shared export — enough that a 3-shard
+/// ring gives at least two shards real work.
+const BENCHES: usize = 3;
+
+/// Records three benchmarks and returns the combined v2 export text.
+fn export() -> &'static str {
+    static EXPORT: OnceLock<String> = OnceLock::new();
+    EXPORT.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("gencache-fleet-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl").to_str().unwrap().to_string();
+        let opts = HarnessOptions {
+            scale: 64,
+            suite: Some(Suite::Interactive),
+            jobs: Some(1),
+            events_out: Some(path.clone()),
+            ..HarnessOptions::default()
+        };
+        let runs = record_all(&opts);
+        export_telemetry(&opts, &runs[..BENCHES]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        text
+    })
+}
+
+/// The spec set every fleet test submits: explicit labels plus the §6
+/// grid, so all shards resolve the identical label list.
+fn fleet_spec() -> JobSpec {
+    JobSpec {
+        specs: vec!["unified".to_string(), "lru".to_string()],
+        grid: true,
+        ..JobSpec::default()
+    }
+}
+
+/// What single-node `simulate --metrics-out` writes for this export and
+/// the fleet spec set — the byte-identity reference.
+fn offline_doc() -> &'static str {
+    static DOC: OnceLock<String> = OnceLock::new();
+    DOC.get_or_init(|| {
+        let mut ingest = StreamIngest::new();
+        for line in export().lines() {
+            ingest.push_line(line).unwrap();
+        }
+        let inputs = ingest.into_inputs(None, None, None).unwrap();
+        let spec = fleet_spec();
+        let specs = resolve_sim_specs(&spec.specs, spec.grid).unwrap();
+        let out = run_sim_job(&inputs, &specs, false, 1, None).unwrap();
+        value_to_json(&sim_metrics_doc(&out))
+    })
+}
+
+struct TestServer {
+    addr: String,
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start() -> TestServer {
+        let server = Server::bind(&ServerConfig {
+            workers: Some(2),
+            queue_depth: Some(16),
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().unwrap().to_string();
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            flag,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the daemon and waits for its drain — after this, connects
+    /// to its address are refused, as if the shard crashed.
+    fn kill(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle
+                .join()
+                .expect("server thread panicked")
+                .expect("accept loop failed");
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+struct TestRouter {
+    addr: String,
+    flag: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestRouter {
+    fn start(backends: Vec<String>, health_interval: Duration) -> TestRouter {
+        let router = ShardRouter::bind(&ShardConfig {
+            backends,
+            health_interval,
+            // Patient enough to outlast multi-second debug-build
+            // sub-jobs when every shard queue is briefly full.
+            retry: RetryPolicy::new(8, 250),
+            ..ShardConfig::default()
+        })
+        .expect("bind router");
+        let addr = router.local_addr().unwrap().to_string();
+        let flag = router.shutdown_flag();
+        let handle = std::thread::spawn(move || router.run());
+        TestRouter {
+            addr,
+            flag,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.addr)
+    }
+}
+
+impl Drop for TestRouter {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle
+                .join()
+                .expect("router thread panicked")
+                .expect("router accept loop failed");
+        }
+    }
+}
+
+fn submit_via(addr: &str, spec: &JobSpec) -> Reply {
+    Client::new(addr)
+        .submit(export().as_bytes(), spec)
+        .expect("submit through router")
+}
+
+#[test]
+fn fleet_reply_is_byte_identical_to_offline_simulate() {
+    let shards: Vec<TestServer> = (0..3).map(|_| TestServer::start()).collect();
+    let router = TestRouter::start(
+        shards.iter().map(|s| s.addr.clone()).collect(),
+        Duration::from_millis(200),
+    );
+
+    match submit_via(&router.addr, &fleet_spec()) {
+        Reply::Result {
+            doc,
+            table,
+            benches,
+            specs,
+            ..
+        } => {
+            assert_eq!(doc, offline_doc(), "fleet doc diverged from offline simulate");
+            assert_eq!(benches, BENCHES as u64);
+            assert!(specs >= 2);
+            // The merged table covers every benchmark the doc covers.
+            assert_eq!(
+                table.matches("=== ").count(),
+                BENCHES,
+                "merged table is missing benchmarks:\n{table}"
+            );
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Work actually spread: at least two shards routed sub-jobs.
+    let Reply::Shards { doc } = router.client().shards().unwrap() else {
+        panic!("shards request failed");
+    };
+    let routed = doc.matches("\"jobs_routed\":0").count();
+    assert!(
+        routed <= 1,
+        "expected >=2 shards with work, table: {doc}"
+    );
+
+    // Placement introspection answers for every benchmark.
+    for line in ["word", "solitaire"] {
+        match router.client().route(line) {
+            Ok(Reply::Route { bench, addr }) => {
+                assert_eq!(bench, line);
+                assert!(
+                    shards.iter().any(|s| s.addr == addr),
+                    "routed to unknown shard {addr}"
+                );
+            }
+            other => panic!("route failed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_fleet_clients_all_get_identical_bytes() {
+    let shards: Vec<TestServer> = (0..3).map(|_| TestServer::start()).collect();
+    let router = TestRouter::start(
+        shards.iter().map(|s| s.addr.clone()).collect(),
+        Duration::from_millis(200),
+    );
+    let expected = offline_doc();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = router.addr.clone();
+                scope.spawn(move || submit_via(&addr, &fleet_spec()))
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.join().expect("client thread panicked") {
+                Reply::Result { doc, .. } => {
+                    assert_eq!(doc, expected, "concurrent client {i} diverged");
+                }
+                other => panic!("client {i}: unexpected reply {other:?}"),
+            }
+        }
+    });
+
+    // Fleet stats: the router aggregated its shards and its own view.
+    let Reply::Stats { doc } = router.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    for key in [
+        "\"jobs_completed\":",
+        "\"jobs_panicked\":",
+        "\"latency_us\":",
+        "\"router\":",
+        "\"fleet_jobs\":4",
+        "\"shards_up\":3",
+        "\"shards\":[",
+    ] {
+        assert!(doc.contains(key), "fleet stats missing {key}: {doc}");
+    }
+}
+
+#[test]
+fn killing_a_shard_mid_fleet_degrades_gracefully() {
+    let mut shards: Vec<TestServer> = (0..3).map(|_| TestServer::start()).collect();
+    // A long health interval: the router must discover the death on the
+    // dispatch path (connection refused -> mark down -> re-route), not
+    // be rescued by a timely ping.
+    let router = TestRouter::start(
+        shards.iter().map(|s| s.addr.clone()).collect(),
+        Duration::from_secs(60),
+    );
+
+    // Find the shard that owns the first benchmark and kill exactly it,
+    // so at least one sub-job is guaranteed to hit a dead backend.
+    let first_bench = export()
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("{\"source\":\"")
+                .and_then(|rest| rest.split('"').next())
+                .map(str::to_string)
+        })
+        .expect("export has stream lines");
+    let Ok(Reply::Route { addr: victim, .. }) = router.client().route(&first_bench) else {
+        panic!("route request failed");
+    };
+    shards
+        .iter_mut()
+        .find(|s| s.addr == victim)
+        .expect("victim is one of ours")
+        .kill();
+
+    // The fleet answer is still the exact offline bytes: the dead
+    // shard's benchmarks failed over to live ones transparently.
+    match submit_via(&router.addr, &fleet_spec()) {
+        Reply::Result { doc, .. } => {
+            assert_eq!(doc, offline_doc(), "failover run diverged from offline simulate");
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // The router noticed: the victim is marked down and charged a
+    // failover; the fleet keeps answering.
+    let Reply::Shards { doc } = router.client().shards().unwrap() else {
+        panic!("shards request failed");
+    };
+    assert!(doc.contains("\"up\":false"), "victim not marked down: {doc}");
+    let Reply::Stats { doc } = router.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    assert!(doc.contains("\"shards_down\":1"), "stats disagree: {doc}");
+    assert!(doc.contains("\"failovers\":1"), "no failover charged: {doc}");
+}
+
+#[test]
+fn single_daemon_refuses_fleet_frames() {
+    let shard = TestServer::start();
+    match Client::new(&shard.addr).shards() {
+        Ok(Reply::Error { message }) => {
+            assert!(message.contains("not a fleet router"), "got {message:?}");
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    // And a router proxies fetch: the downloaded export simulates.
+    let router = TestRouter::start(vec![shard.addr.clone()], Duration::from_millis(200));
+    let mut out = Vec::new();
+    let lines = router
+        .client()
+        .fetch("solitaire", 64, &mut out)
+        .expect("fetch through the router");
+    assert!(lines > 2);
+    let text = String::from_utf8(out).unwrap();
+    assert_eq!(text.lines().count() as u64, lines);
+    let mut sink = std::io::sink();
+    sink.write_all(text.as_bytes()).unwrap();
+}

@@ -15,7 +15,8 @@ use gencache_bench::ingest::{
     resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest,
 };
 use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
-use gencache_serve::{Client, JobSpec, Reply, Server, ServerConfig};
+use gencache_obs::{parse_stream_line, StreamLine};
+use gencache_serve::{Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig};
 use gencache_workloads::Suite;
 
 /// Records one tiny benchmark and returns its v2 export text. Shared
@@ -318,6 +319,146 @@ fn fetch_streams_an_export_that_simulates_cleanly() {
         panic!("stats request failed");
     };
     assert_eq!(counter(&doc, "lines_served"), lines);
+}
+
+#[test]
+fn busy_submission_succeeds_under_retry_policy() {
+    let export = export();
+    let server = TestServer::start(ServerConfig {
+        workers: Some(1),
+        queue_depth: Some(1),
+        ..ServerConfig::default()
+    });
+
+    // Worker held, queue slot parked: the next submission is shed.
+    let hold = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(800))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 1 && counter(doc, "queue_depth") == 0,
+        "worker to pick up the held ping",
+    );
+    let queued = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(1))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 2,
+        "second ping to fill the queue",
+    );
+
+    // With retries disabled, the shed surfaces as the final busy reply.
+    let no_retry = server
+        .client()
+        .submit_with_retry(|| Ok(export.as_bytes()), &JobSpec::default(), &RetryPolicy::none())
+        .unwrap();
+    assert!(matches!(no_retry, Reply::Busy { .. }), "got {no_retry:?}");
+
+    // Under the policy, the retries outlast the 800 ms hold and the same
+    // submission completes without the caller doing anything.
+    let reply = server
+        .client()
+        .submit_with_retry(
+            || Ok(export.as_bytes()),
+            &JobSpec::default(),
+            &RetryPolicy::new(6, 250),
+        )
+        .unwrap();
+    assert!(matches!(reply, Reply::Result { .. }), "got {reply:?}");
+
+    assert!(matches!(hold.join().unwrap(), Ok(Reply::Pong)));
+    assert!(matches!(queued.join().unwrap(), Ok(Reply::Pong)));
+}
+
+#[test]
+fn deadline_covers_queue_wait_not_just_execution() {
+    let export = export();
+    let server = TestServer::start(ServerConfig {
+        workers: Some(1),
+        queue_depth: Some(4),
+        ..ServerConfig::default()
+    });
+
+    // Pin the only worker long enough that a queued job's whole budget
+    // elapses before it is even picked up.
+    let hold = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(700))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 1 && counter(doc, "queue_depth") == 0,
+        "worker to pick up the held ping",
+    );
+
+    // The deadline clock starts at admission, so 100 ms of budget burned
+    // by 700 ms of queue wait must fail — a job that is already stale
+    // when a worker frees up is dead on dequeue, not silently run late.
+    let spec = JobSpec {
+        deadline_ms: Some(100),
+        ..JobSpec::default()
+    };
+    match server.client().submit(export.as_bytes(), &spec) {
+        Ok(Reply::Error { message }) => {
+            assert!(
+                message.contains("deadline"),
+                "want a deadline diagnosis, got {message:?}"
+            );
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    assert!(matches!(hold.join().unwrap(), Ok(Reply::Pong)));
+
+    // With no queue wait eating it, a real budget completes fine.
+    let roomy = JobSpec {
+        deadline_ms: Some(30_000),
+        ..JobSpec::default()
+    };
+    match server.client().submit(export.as_bytes(), &roomy) {
+        Ok(Reply::Result { .. }) => {}
+        other => panic!("expected result on an idle server, got {other:?}"),
+    }
+}
+
+#[test]
+fn interleaved_upload_streams_get_a_clear_error() {
+    let export = export();
+    let server = TestServer::start(ServerConfig::default());
+
+    // Replay a completed stream's first event after the rest of the
+    // export: the reappearing (source, model) key must be called out as
+    // interleaving, not surface as a baffling divergence error.
+    let first_event = export
+        .lines()
+        .find(|l| matches!(parse_stream_line(l), Ok(StreamLine::Event(_))))
+        .expect("export has event lines");
+    let interleaved = format!("{export}{first_event}\n");
+    match server.client().submit(interleaved.as_bytes(), &JobSpec::default()) {
+        Ok(Reply::Error { message }) => {
+            assert!(
+                message.contains("interleave"),
+                "want an interleaving diagnosis, got {message:?}"
+            );
+        }
+        other => panic!("expected an interleaving error, got {other:?}"),
+    }
+
+    // The daemon took no damage: the clean export still simulates.
+    match server.client().submit(export.as_bytes(), &JobSpec::default()) {
+        Ok(Reply::Result { .. }) => {}
+        other => panic!("expected result, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_report_panicked_jobs() {
+    let server = TestServer::start(ServerConfig::default());
+    let Reply::Stats { doc } = server.client().stats().unwrap() else {
+        panic!("stats request failed");
+    };
+    // The counter exists and starts at zero; the pool's unit tests cover
+    // that a panicking job increments it without killing the worker.
+    assert_eq!(counter(&doc, "jobs_panicked"), 0);
 }
 
 #[test]

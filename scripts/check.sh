@@ -25,12 +25,39 @@ baseline="target/tmp/check-baseline.json"
 serve_metrics="target/tmp/check-metrics-serve.json"
 serve_log="target/tmp/check-serve.log"
 serve_pid=""
+fleet_events="target/tmp/check-fleet-events.jsonl"
+fleet_second="target/tmp/check-fleet-second.jsonl"
+fleet_sim="target/tmp/check-metrics-fleet-sim.json"
+fleet_served="target/tmp/check-metrics-fleet-served.json"
+shard1_log="target/tmp/check-shard1.log"
+shard2_log="target/tmp/check-shard2.log"
+router_log="target/tmp/check-router.log"
+shard1_pid=""
+shard2_pid=""
+router_pid=""
 cleanup() {
-  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+  for pid in "$serve_pid" "$shard1_pid" "$shard2_pid" "$router_pid"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  done
   rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" \
-    "$serve_metrics" "$serve_log"
+    "$serve_metrics" "$serve_log" \
+    "$fleet_events" "$fleet_second" "$fleet_sim" "$fleet_served" \
+    "$shard1_log" "$shard2_log" "$router_log"
 }
 trap cleanup EXIT
+
+# Waits for a daemon to print its listen line and echoes the address.
+await_addr() { # $1=log $2=pid $3=sed-pattern
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n "$3" "$1")"
+    [ -n "$addr" ] && break
+    kill -0 "$2" 2>/dev/null || { cat "$1" >&2; return 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || return 1
+  echo "$addr"
+}
 ./target/release/explain --bench word --scale 64 \
   --events-out "$events" --metrics-out "$live_metrics" > /dev/null
 ./target/release/explain --parse-events "$events"
@@ -75,5 +102,60 @@ wait "$serve_pid" \
 serve_pid=""
 grep -q "drained, exiting" "$serve_log" \
   || { echo "daemon did not drain cleanly"; cat "$serve_log"; exit 1; }
+
+echo "=== fleet smoke: router merge is byte-identical to offline simulate"
+# A two-benchmark export so the router has something to split: reuse the
+# word export and append a solitaire recording minus its header line.
+./target/release/explain --bench solitaire --scale 64 \
+  --events-out "$fleet_second" > /dev/null
+cat "$events" > "$fleet_events"
+tail -n +2 "$fleet_second" >> "$fleet_events"
+./target/release/simulate --events "$fleet_events" --spec unified --grid \
+  --metrics-out "$fleet_sim" > /dev/null
+
+./target/release/gencache-serve --addr 127.0.0.1:0 > "$shard1_log" 2>&1 &
+shard1_pid=$!
+./target/release/gencache-serve --addr 127.0.0.1:0 > "$shard2_log" 2>&1 &
+shard2_pid=$!
+serve_pat='s/^gencache-serve listening on //p'
+shard1_addr="$(await_addr "$shard1_log" "$shard1_pid" "$serve_pat")" \
+  || { echo "shard 1 never reported its address"; exit 1; }
+shard2_addr="$(await_addr "$shard2_log" "$shard2_pid" "$serve_pat")" \
+  || { echo "shard 2 never reported its address"; exit 1; }
+./target/release/gencache-shard --addr 127.0.0.1:0 \
+  --backend "$shard1_addr" --backend "$shard2_addr" > "$router_log" 2>&1 &
+router_pid=$!
+router_addr="$(await_addr "$router_log" "$router_pid" \
+  's/^gencache-shard listening on \([^ ]*\).*/\1/p')" \
+  || { echo "router never reported its address"; exit 1; }
+
+./target/release/gencache-client submit --addr "$router_addr" \
+  --events "$fleet_events" --spec unified --grid \
+  --metrics-out "$fleet_served" --no-table 2> /dev/null
+cmp "$fleet_sim" "$fleet_served" \
+  || { echo "fleet metrics doc differs from offline simulate"; exit 1; }
+fleet_stats="$(./target/release/gencache-client stats --addr "$router_addr")"
+echo "$fleet_stats" | grep -q '"fleet_jobs":1' \
+  || { echo "router stats did not report the fleet job: $fleet_stats"; exit 1; }
+echo "$fleet_stats" | grep -q '"shards_up":2' \
+  || { echo "router stats did not see both shards: $fleet_stats"; exit 1; }
+./target/release/gencache-client shards --addr "$router_addr" \
+  | grep -q '"up":true' \
+  || { echo "shard table reports no healthy shard"; exit 1; }
+
+kill -TERM "$router_pid"
+wait "$router_pid" \
+  || { echo "router exited nonzero after SIGTERM"; exit 1; }
+router_pid=""
+grep -q "drained, exiting" "$router_log" \
+  || { echo "router did not drain cleanly"; cat "$router_log"; exit 1; }
+for pid in "$shard1_pid" "$shard2_pid"; do
+  kill -TERM "$pid"
+  wait "$pid" || { echo "shard exited nonzero after SIGTERM"; exit 1; }
+done
+shard1_pid=""
+shard2_pid=""
+grep -q "drained, exiting" "$shard1_log" && grep -q "drained, exiting" "$shard2_log" \
+  || { echo "a shard did not drain cleanly"; exit 1; }
 
 echo "all checks passed"
