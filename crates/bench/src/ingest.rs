@@ -414,6 +414,9 @@ pub struct BenchSim {
     pub phases: u32,
     /// One outcome per spec, in spec order.
     pub sims: Vec<SimulatedSpec>,
+    /// Replay wall-clock per spec cell in microseconds, in spec order —
+    /// telemetry only, never part of the metrics document.
+    pub cell_us: Vec<u64>,
     /// Belady-style furthest-next-use lower bound, when requested.
     pub oracle: Option<OracleResult>,
 }
@@ -452,25 +455,28 @@ pub fn run_sim_job(
         .enumerate()
         .flat_map(|(i, _)| specs.iter().map(move |&s| (i, s)))
         .collect();
-    let simulated: Vec<Option<SimulatedSpec>> = par_map(&cells, jobs, |&(i, spec)| {
+    let simulated: Vec<Option<(SimulatedSpec, u64)>> = par_map(&cells, jobs, |&(i, spec)| {
         if canceled() {
             return None;
         }
+        let started = std::time::Instant::now();
         let input = &inputs[i];
         let every = sample_interval(&input.log);
         let (result, metrics) = simulate_metrics(&input.log, spec, input.capacity, every);
         let (_, costs) = simulate_costs(&input.log, spec, input.capacity, input.phases);
-        Some(SimulatedSpec {
+        let sim = SimulatedSpec {
             label: spec.label(),
             result,
             metrics,
             costs,
-        })
+        };
+        Some((sim, started.elapsed().as_micros() as u64))
     });
     if canceled() || simulated.iter().any(Option::is_none) {
         return Err("job canceled before completion (deadline or shutdown)".to_string());
     }
-    let simulated: Vec<SimulatedSpec> = simulated.into_iter().flatten().collect();
+    let (simulated, cell_us): (Vec<SimulatedSpec>, Vec<u64>) =
+        simulated.into_iter().flatten().unzip();
     let oracles: Vec<Option<OracleResult>> = if oracle {
         let results = par_map(inputs, jobs, |input| {
             if canceled() {
@@ -486,16 +492,19 @@ pub fn run_sim_job(
     } else {
         inputs.iter().map(|_| None).collect()
     };
+    let per_bench = specs.len().max(1);
     let benches = inputs
         .iter()
-        .zip(simulated.chunks(specs.len().max(1)))
+        .zip(simulated.chunks(per_bench))
+        .zip(cell_us.chunks(per_bench))
         .zip(oracles)
-        .map(|((input, sims), oracle)| BenchSim {
+        .map(|(((input, sims), cells), oracle)| BenchSim {
             name: input.name.clone(),
             ops: input.trace.ops.len() as u64,
             capacity: input.capacity,
             phases: input.phases,
             sims: sims.to_vec(),
+            cell_us: cells.to_vec(),
             oracle,
         })
         .collect();

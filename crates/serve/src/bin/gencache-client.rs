@@ -4,12 +4,17 @@
 //! gencache-client submit --addr HOST:PORT --events FILE|- [--spec LABEL]...
 //!                 [--grid] [--oracle] [--capacity BYTES] [--bench NAME]
 //!                 [--model LABEL] [--deadline-ms N] [--metrics-out FILE]
-//!                 [--no-table] [--retries N] [--retry-ms N]
+//!                 [--no-table] [--retries N] [--retry-ms N] [--verbose]
 //! gencache-client stats  --addr HOST:PORT
 //! gencache-client ping   --addr HOST:PORT [--hold-ms N]
 //! gencache-client fetch  --addr HOST:PORT --bench NAME [--scale N] [--out FILE|-]
 //! gencache-client shards --addr HOST:PORT
 //! gencache-client route  --addr HOST:PORT --bench NAME
+//! gencache-client trace TRACE_ID --addr HOST:PORT
+//! gencache-client metrics --addr HOST:PORT
+//! gencache-client bench  --addr HOST:PORT --events FILE [--spec LABEL]...
+//!                 [--grid] [--bench NAME] [--jobs N] [--note TEXT]
+//!                 [--out FILE] [--watch] [--tolerance FRACTION]
 //! ```
 //!
 //! `submit --events -` reads the export from stdin; `--metrics-out`
@@ -28,15 +33,26 @@
 //! failure. `--retries 0` restores give-up-immediately. Retries re-send
 //! the upload, so a stdin export is buffered in memory when retries are
 //! enabled; files are reopened per attempt.
+//!
+//! `submit --verbose` stamps a trace id, prints the client-side spans,
+//! and fetches the server's stitched span tree afterwards. `trace`
+//! fetches the span tree for any id the daemons still retain; `metrics`
+//! prints the daemon's Prometheus text exposition. `bench` drives
+//! repeated submits against a daemon and records a throughput/latency
+//! trajectory entry (`--watch` fails with exit 4 on regression against
+//! the previous entry instead of appending).
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Cursor, Read, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use gencache_serve::{Client, JobSpec, Reply, RetryPolicy};
+use gencache_serve::telemetry::{new_trace_id, render_spans};
+use gencache_serve::{Client, JobSpec, Reply, RetryPolicy, Span};
+use serde::Value;
 
-const USAGE: &str =
-    "subcommands: submit / stats / ping / fetch / shards / route (see --help in module docs)";
+const USAGE: &str = "subcommands: submit / stats / ping / fetch / shards / route / trace / \
+     metrics / bench (see module docs)";
 
 fn open_input(path: &str) -> io::Result<Box<dyn BufRead>> {
     if path == "-" {
@@ -61,6 +77,7 @@ struct SubmitArgs {
     metrics_out: Option<String>,
     table: bool,
     retry: RetryPolicy,
+    verbose: bool,
 }
 
 fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
@@ -71,6 +88,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
         metrics_out: None,
         table: true,
         retry: RetryPolicy::default(),
+        verbose: false,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -106,6 +124,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
                 let ms: u64 = v.parse().expect("--retry-ms must be an integer");
                 args.retry.base = std::time::Duration::from_millis(ms);
             }
+            "--verbose" => args.verbose = true,
             other => panic!("unknown submit argument {other:?}"),
         }
     }
@@ -136,14 +155,28 @@ fn run_submit(it: impl Iterator<Item = String>) -> ExitCode {
     };
     let client = Client::new(&args.addr);
     let attempts = args.retry.attempts();
-    match client.submit_with_retry(open, &args.spec, &args.retry) {
-        Ok(Reply::Result {
-            doc,
-            table,
-            benches,
-            specs,
-            elapsed_us,
-        }) => {
+    let mut spec = args.spec.clone();
+    if args.verbose && spec.trace_id.is_none() {
+        spec.trace_id = Some(new_trace_id());
+    }
+    let submitted = if args.verbose {
+        submit_with_retry_spans(&client, open, &spec, &args.retry)
+    } else {
+        client
+            .submit_with_retry(open, &spec, &args.retry)
+            .map(|reply| (reply, Vec::new()))
+    };
+    match submitted {
+        Ok((
+            Reply::Result {
+                doc,
+                table,
+                benches,
+                specs,
+                elapsed_us,
+            },
+            spans,
+        )) => {
             if args.table {
                 print!("{table}");
             }
@@ -162,20 +195,25 @@ fn run_submit(it: impl Iterator<Item = String>) -> ExitCode {
                 }
                 eprintln!("wrote metrics to {path}");
             }
+            if args.verbose {
+                if let Some(id) = &spec.trace_id {
+                    print_trace_summary(&client, id, &spans);
+                }
+            }
             ExitCode::SUCCESS
         }
-        Ok(Reply::Busy { queue_depth }) => {
+        Ok((Reply::Busy { queue_depth }, _)) => {
             eprintln!(
                 "server still busy after {attempts} attempt(s) (queue depth {queue_depth}); \
                  giving up"
             );
             ExitCode::from(3)
         }
-        Ok(Reply::Error { message }) => {
+        Ok((Reply::Error { message }, _)) => {
             eprintln!("server error: {message}");
             ExitCode::FAILURE
         }
-        Ok(other) => {
+        Ok((other, _)) => {
             eprintln!("unexpected reply: {other:?}");
             ExitCode::FAILURE
         }
@@ -183,6 +221,54 @@ fn run_submit(it: impl Iterator<Item = String>) -> ExitCode {
             eprintln!("submit failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// [`Client::submit_with_retry`] with client-side span recording — the
+/// spans of the final (non-busy) attempt are returned.
+fn submit_with_retry_spans(
+    client: &Client,
+    mut open: impl FnMut() -> io::Result<Box<dyn BufRead>>,
+    spec: &JobSpec,
+    policy: &RetryPolicy,
+) -> io::Result<(Reply, Vec<Span>)> {
+    let mut attempt = 0u32;
+    loop {
+        let (reply, spans) = client.submit_with_spans(open()?, spec)?;
+        match reply {
+            Reply::Busy { .. } if attempt < policy.retries => {
+                std::thread::sleep(policy.delay(attempt));
+                attempt += 1;
+            }
+            other => return Ok((other, spans)),
+        }
+    }
+}
+
+/// Fetches the span set the daemon retains for `trace_id`.
+fn fetch_spans(client: &Client, trace_id: &str) -> io::Result<Vec<Span>> {
+    match client.trace(trace_id)? {
+        Reply::Trace { doc, .. } => {
+            let v = serde_json::value_from_str(&doc).map_err(io::Error::other)?;
+            let Value::Array(items) = v else {
+                return Err(io::Error::other("trace reply is not a span array"));
+            };
+            Ok(items.iter().filter_map(Span::from_value).collect())
+        }
+        Reply::Error { message } => Err(io::Error::other(message)),
+        other => Err(io::Error::other(format!("unexpected reply: {other:?}"))),
+    }
+}
+
+/// Prints the client's spans and the server's stitched view to stderr
+/// (stdout stays reserved for the simulation table / metrics).
+fn print_trace_summary(client: &Client, trace_id: &str, client_spans: &[Span]) {
+    eprintln!("trace {trace_id}");
+    eprint!("{}", render_spans(client_spans));
+    match fetch_spans(client, trace_id) {
+        Ok(spans) if !spans.is_empty() => eprint!("{}", render_spans(&spans)),
+        Ok(_) => eprintln!("(server retained no spans for {trace_id})"),
+        Err(e) => eprintln!("(could not fetch server spans: {e})"),
     }
 }
 
@@ -345,6 +431,267 @@ fn run_route(mut it: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+fn run_trace(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    let mut trace_id = String::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            other if !other.starts_with("--") && trace_id.is_empty() => {
+                trace_id = other.to_string();
+            }
+            other => panic!("unknown trace argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "trace needs --addr HOST:PORT");
+    assert!(!trace_id.is_empty(), "trace needs a TRACE_ID");
+    match fetch_spans(&Client::new(&addr), &trace_id) {
+        Ok(spans) if spans.is_empty() => {
+            eprintln!("no spans retained for trace {trace_id}");
+            ExitCode::from(3)
+        }
+        Ok(spans) => {
+            print!("{}", render_spans(&spans));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_metrics(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            other => panic!("unknown metrics argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "metrics needs --addr HOST:PORT");
+    match Client::new(&addr).metrics() {
+        Ok(Reply::Metrics { body }) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok(Reply::Error { message }) => {
+            eprintln!("server error: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("unexpected reply: {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("metrics failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct BenchArgs {
+    addr: String,
+    events: String,
+    spec: JobSpec,
+    jobs: usize,
+    note: String,
+    out: Option<String>,
+    watch: bool,
+    tolerance: f64,
+}
+
+fn parse_bench(mut it: impl Iterator<Item = String>) -> BenchArgs {
+    let mut args = BenchArgs {
+        addr: String::new(),
+        events: String::new(),
+        spec: JobSpec::default(),
+        jobs: 20,
+        note: String::new(),
+        out: None,
+        watch: false,
+        tolerance: 0.25,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().expect("--addr needs HOST:PORT"),
+            "--events" => args.events = it.next().expect("--events needs a file path"),
+            "--spec" => args
+                .spec
+                .specs
+                .push(it.next().expect("--spec needs a label")),
+            "--grid" => args.spec.grid = true,
+            "--bench" => args.spec.bench = Some(it.next().expect("--bench needs a name")),
+            "--jobs" => {
+                let v = it.next().expect("--jobs needs a count");
+                args.jobs = v.parse().expect("--jobs must be a positive integer");
+                assert!(args.jobs > 0, "--jobs must be positive");
+            }
+            "--note" => args.note = it.next().expect("--note needs text"),
+            "--out" => args.out = Some(it.next().expect("--out needs a file path")),
+            "--watch" => args.watch = true,
+            "--tolerance" => {
+                let v = it.next().expect("--tolerance needs a fraction");
+                args.tolerance = v.parse().expect("--tolerance must be a number");
+                assert!(args.tolerance > 0.0, "--tolerance must be positive");
+            }
+            other => panic!("unknown bench argument {other:?}"),
+        }
+    }
+    assert!(!args.addr.is_empty(), "bench needs --addr HOST:PORT");
+    assert!(!args.events.is_empty(), "bench needs --events FILE");
+    args
+}
+
+fn bench_field(entry: &Value, name: &str) -> Option<f64> {
+    match entry.as_object()?.iter().find(|(k, _)| k == name)?.1 {
+        Value::Float(f) => Some(f),
+        Value::UInt(n) => Some(n as f64),
+        Value::Int(n) => Some(n as f64),
+        _ => None,
+    }
+}
+
+/// Drives `--jobs` timed submits (after one untimed warmup) and turns
+/// the client-side `job` spans into a trajectory entry. With `--out`
+/// the entry appends to a versioned JSON trajectory; `--watch` instead
+/// compares against the file's last entry and exits 4 on a throughput
+/// regression beyond `--tolerance` without appending.
+fn run_bench(it: impl Iterator<Item = String>) -> ExitCode {
+    let args = parse_bench(it);
+    let body = match std::fs::read_to_string(&args.events) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.events);
+            return ExitCode::FAILURE;
+        }
+    };
+    let export_lines = body.lines().count() as u64;
+    let client = Client::new(&args.addr);
+    // Warmup: one untimed job absorbs connection and page-cache setup.
+    if let Err(e) = client.submit(Cursor::new(body.as_bytes()), &args.spec) {
+        eprintln!("warmup submit failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut job_us: Vec<u64> = Vec::with_capacity(args.jobs);
+    let started = Instant::now();
+    for _ in 0..args.jobs {
+        let (reply, spans) =
+            match client.submit_with_spans(Cursor::new(body.as_bytes()), &args.spec) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench submit failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        match reply {
+            Reply::Result { .. } => {}
+            other => {
+                eprintln!("bench job did not complete: {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match spans.iter().find(|s| s.stage == "job") {
+            Some(job) => job_us.push(job.dur_us),
+            None => {
+                eprintln!("bench submit returned no job span");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    job_us.sort_unstable();
+    let pct = |p: usize| job_us[(job_us.len() - 1) * p / 100];
+    let jobs_per_sec = args.jobs as f64 / wall_s;
+    let lines_per_sec = (export_lines * args.jobs as u64) as f64 / wall_s;
+    let entry = Value::Object(vec![
+        ("note".to_string(), Value::Str(args.note.clone())),
+        ("jobs".to_string(), Value::UInt(args.jobs as u64)),
+        ("export_lines".to_string(), Value::UInt(export_lines)),
+        ("jobs_per_sec".to_string(), Value::Float(jobs_per_sec)),
+        (
+            "ingest_lines_per_sec".to_string(),
+            Value::Float(lines_per_sec),
+        ),
+        ("p50_us".to_string(), Value::UInt(pct(50))),
+        ("p99_us".to_string(), Value::UInt(pct(99))),
+    ]);
+    eprintln!(
+        "{} jobs in {wall_s:.3}s: {jobs_per_sec:.1} jobs/s, {lines_per_sec:.0} lines/s, \
+         p50 {}us, p99 {}us",
+        args.jobs,
+        pct(50),
+        pct(99)
+    );
+    let Some(out) = &args.out else {
+        println!("{}", gencache_bench::value_to_json(&entry));
+        return ExitCode::SUCCESS;
+    };
+    let mut trajectory: Vec<Value> = match std::fs::read_to_string(out) {
+        Ok(text) => match serde_json::value_from_str(&text) {
+            Ok(doc) => match doc
+                .as_object()
+                .and_then(|pairs| pairs.iter().find(|(k, _)| k == "trajectory").cloned())
+            {
+                Some((_, Value::Array(items))) => items,
+                _ => {
+                    eprintln!("{out} has no trajectory array");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("{out} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("cannot read {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.watch {
+        if let Some(last) = trajectory.last() {
+            let prev = bench_field(last, "jobs_per_sec").unwrap_or(0.0);
+            if prev > 0.0 {
+                let drift = (jobs_per_sec - prev) / prev;
+                if drift < -args.tolerance {
+                    eprintln!(
+                        "throughput regression: {jobs_per_sec:.1} jobs/s vs {prev:.1} \
+                         ({:+.1}% > {:.0}% tolerance)",
+                        drift * 100.0,
+                        args.tolerance * 100.0
+                    );
+                    return ExitCode::from(4);
+                }
+                eprintln!(
+                    "throughput within tolerance of previous entry ({:+.1}%)",
+                    drift * 100.0
+                );
+            }
+        }
+    }
+    trajectory.push(entry);
+    let doc = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::Str("gencache-serve-bench".to_string()),
+        ),
+        ("version".to_string(), Value::UInt(1)),
+        ("trajectory".to_string(), Value::Array(trajectory)),
+    ]);
+    let written = File::create(out).and_then(|mut f| {
+        f.write_all(gencache_bench::value_to_json(&doc).as_bytes())?;
+        f.write_all(b"\n")
+    });
+    if let Err(e) = written {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("appended trajectory entry to {out}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut it = std::env::args().skip(1);
     match it.next().as_deref() {
@@ -354,6 +701,9 @@ fn main() -> ExitCode {
         Some("fetch") => run_fetch(it),
         Some("shards") => run_shards(it),
         Some("route") => run_route(it),
+        Some("trace") => run_trace(it),
+        Some("metrics") => run_metrics(it),
+        Some("bench") => run_bench(it),
         Some(other) => panic!("unknown subcommand {other:?}; {USAGE}"),
         None => panic!("{USAGE}"),
     }

@@ -3,23 +3,34 @@
 //! ```text
 //! gencache-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!                [--depth LINES] [--read-timeout-ms N] [--deadline-ms N]
+//!                [--log FILE|-|none] [--log-level LEVEL]
+//!                [--trace-capacity N]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `gencache-serve listening on
 //! HOST:PORT` to stdout once ready (scripts parse that line), and
 //! serves until SIGTERM/SIGINT, then drains in-flight jobs and exits 0.
+//!
+//! Structured JSONL logging defaults to stderr at `warn`; `--log none`
+//! silences it, `--log FILE` appends to a file, `--log-level
+//! debug|info|warn|error` sets the floor. `--trace-capacity 0` turns
+//! span recording off entirely.
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gencache_serve::{signal, Server, ServerConfig};
+use gencache_serve::{signal, LogLevel, Server, ServerConfig};
 
 const USAGE: &str = "use --addr HOST:PORT / --workers N / --queue N / --depth LINES / \
-     --read-timeout-ms N / --deadline-ms N";
+     --read-timeout-ms N / --deadline-ms N / --log FILE|-|none / \
+     --log-level debug|info|warn|error / --trace-capacity N";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> ServerConfig {
-    let mut config = ServerConfig::default();
+    let mut config = ServerConfig {
+        log: Some("-".to_string()),
+        ..ServerConfig::default()
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -52,6 +63,17 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ServerConfig {
                 let v = it.next().expect("--deadline-ms needs a value");
                 config.default_deadline_ms =
                     v.parse().expect("--deadline-ms must be an integer");
+            }
+            "--log" => config.log = Some(it.next().expect("--log needs FILE, -, or none")),
+            "--log-level" => {
+                let v = it.next().expect("--log-level needs a level");
+                config.log_level =
+                    LogLevel::parse(&v).expect("--log-level must be debug|info|warn|error");
+            }
+            "--trace-capacity" => {
+                let v = it.next().expect("--trace-capacity needs a value");
+                config.trace_capacity =
+                    v.parse().expect("--trace-capacity must be an integer");
             }
             other => panic!("unknown argument {other:?}; {USAGE}"),
         }

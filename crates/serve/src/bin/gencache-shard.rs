@@ -5,6 +5,8 @@
 //!                [--addr HOST:PORT] [--replicas N]
 //!                [--read-timeout-ms N] [--health-interval-ms N]
 //!                [--retries N] [--retry-ms N]
+//!                [--log FILE|-|none] [--log-level LEVEL]
+//!                [--trace-capacity N]
 //! ```
 //!
 //! Speaks the `gencache-serve` protocol on the front, consistent-hashes
@@ -18,13 +20,17 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gencache_serve::{signal, ShardConfig, ShardRouter};
+use gencache_serve::{signal, LogLevel, ShardConfig, ShardRouter};
 
 const USAGE: &str = "use --backend HOST:PORT (repeatable) / --addr HOST:PORT / --replicas N / \
-     --read-timeout-ms N / --health-interval-ms N / --retries N / --retry-ms N";
+     --read-timeout-ms N / --health-interval-ms N / --retries N / --retry-ms N / \
+     --log FILE|-|none / --log-level debug|info|warn|error / --trace-capacity N";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> ShardConfig {
-    let mut config = ShardConfig::default();
+    let mut config = ShardConfig {
+        log: Some("-".to_string()),
+        ..ShardConfig::default()
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -59,6 +65,17 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ShardConfig {
                 let n: u64 = v.parse().expect("--retry-ms must be an integer");
                 assert!(n > 0, "--retry-ms must be positive");
                 config.retry.base = Duration::from_millis(n);
+            }
+            "--log" => config.log = Some(it.next().expect("--log needs FILE, -, or none")),
+            "--log-level" => {
+                let v = it.next().expect("--log-level needs a level");
+                config.log_level =
+                    LogLevel::parse(&v).expect("--log-level must be debug|info|warn|error");
+            }
+            "--trace-capacity" => {
+                let v = it.next().expect("--trace-capacity needs a value");
+                config.trace_capacity =
+                    v.parse().expect("--trace-capacity must be an integer");
             }
             other => panic!("unknown argument {other:?}; {USAGE}"),
         }

@@ -3,12 +3,15 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
 
+use std::time::Instant;
+
 use crate::proto::{
-    encode_end, encode_fetch, encode_job, encode_ping, encode_route_request,
-    encode_shards_request, encode_stats_request, is_control_line, parse_reply, parse_request,
-    JobSpec, Reply, Request,
+    encode_end, encode_fetch, encode_job, encode_metrics_request, encode_ping,
+    encode_route_request, encode_shards_request, encode_stats_request, encode_trace_request,
+    is_control_line, parse_reply, parse_request, JobSpec, Reply, Request,
 };
 use crate::retry::RetryPolicy;
+use crate::telemetry::{new_trace_id, Logger, Span, Telemetry};
 
 /// A handle on one daemon address. Each call opens its own connection —
 /// the protocol is one request–reply conversation per connection.
@@ -117,6 +120,75 @@ impl Client {
         }
     }
 
+    /// Like [`submit`](Client::submit), but stamps a `trace_id` into the
+    /// job frame (generating one when the spec has none) and records
+    /// client-side spans — `upload` (lines/bytes sent), `reply_wait`,
+    /// and the whole-`job` envelope. The spans' `start_us` offsets are
+    /// relative to this call's start, node `client`.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Client::submit).
+    pub fn submit_with_spans(
+        &self,
+        reader: impl BufRead,
+        spec: &JobSpec,
+    ) -> io::Result<(Reply, Vec<Span>)> {
+        let mut spec = spec.clone();
+        let trace_id = match &spec.trace_id {
+            Some(id) => id.clone(),
+            None => {
+                let id = new_trace_id();
+                spec.trace_id = Some(id.clone());
+                id
+            }
+        };
+        let tel = Telemetry::new("client", 16, Logger::disabled());
+        let job_started = Instant::now();
+        let stream = self.connect()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut sent_lines = 0u64;
+        let mut sent_bytes = 0u64;
+        let upload_started = Instant::now();
+        let uploaded = (|| -> io::Result<()> {
+            writeln!(writer, "{}", encode_job(&spec))?;
+            for line in reader.lines() {
+                let line = line?;
+                sent_bytes += line.len() as u64 + 1;
+                writeln!(writer, "{line}")?;
+                sent_lines += 1;
+            }
+            writeln!(writer, "{}", encode_end(sent_lines))?;
+            writer.flush()
+        })();
+        match uploaded {
+            Ok(()) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::BrokenPipe
+                    || e.kind() == io::ErrorKind::ConnectionReset
+                    || e.kind() == io::ErrorKind::ConnectionAborted => {}
+            Err(e) => return Err(e),
+        }
+        if let Some(span) = tel.span(&trace_id, "upload", upload_started) {
+            span.lines(sent_lines).bytes(sent_bytes).end();
+        }
+        stream.shutdown(Shutdown::Write).ok();
+        let wait_started = Instant::now();
+        let reply = read_reply(stream)?;
+        if let Some(span) = tel.span(&trace_id, "reply_wait", wait_started) {
+            span.end();
+        }
+        let outcome = match &reply {
+            Reply::Busy { .. } => "busy".to_string(),
+            Reply::Error { message } => format!("error: {message}"),
+            _ => "ok".to_string(),
+        };
+        if let Some(span) = tel.span(&trace_id, "job", job_started) {
+            span.outcome(&outcome).end();
+        }
+        Ok((reply, tel.spans_for(&trace_id)))
+    }
+
     /// Requests the daemon's counter snapshot.
     ///
     /// # Errors
@@ -124,6 +196,27 @@ impl Client {
     /// Returns connection failures and protocol violations.
     pub fn stats(&self) -> io::Result<Reply> {
         self.simple_request(&encode_stats_request())
+    }
+
+    /// Requests the retained span set for `trace_id`. A fleet router
+    /// answers with its own spans stitched together with every live
+    /// shard's.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and protocol violations.
+    pub fn trace(&self, trace_id: &str) -> io::Result<Reply> {
+        self.simple_request(&encode_trace_request(trace_id))
+    }
+
+    /// Requests the daemon's metrics in Prometheus text exposition
+    /// format.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures and protocol violations.
+    pub fn metrics(&self) -> io::Result<Reply> {
+        self.simple_request(&encode_metrics_request())
     }
 
     /// Requests a fleet router's shard table. Plain daemons answer with

@@ -54,10 +54,12 @@ pub mod shard;
 pub mod signal;
 mod server;
 pub mod stats;
+pub mod telemetry;
 
 pub use client::Client;
 pub use proto::{JobSpec, Reply, Request};
 pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardConfig, ShardRouter};
-pub use stats::ServerStats;
+pub use stats::{Gauges, ServerStats};
+pub use telemetry::{LogLevel, Logger, Span, Telemetry};

@@ -39,6 +39,7 @@ pub struct WorkerPool {
     workers: Mutex<Vec<JoinHandle<()>>>,
     worker_count: usize,
     panics: Arc<AtomicU64>,
+    active: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -58,13 +59,15 @@ impl WorkerPool {
         let (tx, rx) = bounded::<Job>(queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let panics = Arc::new(AtomicU64::new(0));
+        let active = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let panics = Arc::clone(&panics);
+                let active = Arc::clone(&active);
                 std::thread::Builder::new()
                     .name(format!("gencache-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &panics))
+                    .spawn(move || worker_loop(&rx, &panics, &active))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -73,6 +76,7 @@ impl WorkerPool {
             workers: Mutex::new(handles),
             worker_count: workers,
             panics,
+            active,
         }
     }
 
@@ -85,6 +89,12 @@ impl WorkerPool {
     /// the counter is the observable trace a panic leaves behind.
     pub fn panics(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently executing on a worker thread — the in-flight
+    /// gauge the `stats` and `metrics` frames expose.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
     }
 
     /// Jobs currently queued (not yet picked up by a worker).
@@ -132,7 +142,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64, active: &AtomicU64) {
     loop {
         let job = {
             let mut rx = rx.lock().expect("job queue poisoned");
@@ -143,9 +153,11 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, panics: &AtomicU64) {
             // state it shares across the boundary (channels, atomics)
             // already tolerates a sender vanishing mid-protocol.
             Some(job) => {
+                active.fetch_add(1, Ordering::Relaxed);
                 if std::panic::catch_unwind(AssertUnwindSafe(job)).is_err() {
                     panics.fetch_add(1, Ordering::Relaxed);
                 }
+                active.fetch_sub(1, Ordering::Relaxed);
             }
             None => return,
         }

@@ -39,6 +39,11 @@ pub struct JobSpec {
     /// Per-job wall-clock budget in milliseconds; `None` defers to the
     /// server's default, `Some(0)` disables the deadline.
     pub deadline_ms: Option<u64>,
+    /// Trace id for end-to-end job tracing. Stamped by the client when
+    /// absent, propagated verbatim by the fleet router to every backend
+    /// sub-job, and generated server-side as a last resort — so every
+    /// span of one job carries the same id.
+    pub trace_id: Option<String>,
 }
 
 /// One client request, decoded from a control frame.
@@ -80,6 +85,15 @@ pub enum Request {
         /// Benchmark name to resolve.
         bench: String,
     },
+    /// Ask for the recent spans recorded for a trace id. A fleet router
+    /// stitches its own spans with those of every live shard.
+    Trace {
+        /// The trace id to look up.
+        trace_id: String,
+    },
+    /// Ask for counters/gauges/histograms rendered in Prometheus text
+    /// exposition format.
+    Metrics,
 }
 
 fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
@@ -171,6 +185,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 bench: opt_str(pairs, "bench")?,
                 model: opt_str(pairs, "model")?,
                 deadline_ms: opt_u64(pairs, "deadline_ms")?,
+                trace_id: opt_str(pairs, "trace_id")?,
             }))
         }
         "end" => Ok(Request::End {
@@ -191,6 +206,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             bench: opt_str(pairs, "bench")?
                 .ok_or_else(|| "route frame needs a \"bench\" name".to_string())?,
         }),
+        "trace" => Ok(Request::Trace {
+            trace_id: opt_str(pairs, "trace_id")?
+                .ok_or_else(|| "trace frame needs a \"trace_id\"".to_string())?,
+        }),
+        "metrics" => Ok(Request::Metrics),
         other => Err(format!("unknown request type {other:?}")),
     }
 }
@@ -242,6 +262,19 @@ pub enum Reply {
         bench: String,
         /// Address of the shard currently preferred for it.
         addr: String,
+    },
+    /// Recent spans for a trace id (stitched across the fleet when
+    /// answered by a router).
+    Trace {
+        /// The trace id asked about.
+        trace_id: String,
+        /// The span array as canonical JSON text.
+        doc: String,
+    },
+    /// Prometheus text exposition document.
+    Metrics {
+        /// The full exposition body (multi-line text).
+        body: String,
     },
 }
 
@@ -333,6 +366,9 @@ pub fn encode_job(spec: &JobSpec) -> String {
     if let Some(d) = spec.deadline_ms {
         pairs.push(("deadline_ms", Value::UInt(d)));
     }
+    if let Some(t) = &spec.trace_id {
+        pairs.push(("trace_id", Value::Str(t.clone())));
+    }
     render(&obj(pairs))
 }
 
@@ -377,6 +413,37 @@ pub fn encode_route(bench: &str, addr: &str) -> String {
         ("type", Value::Str("route".to_string())),
         ("bench", Value::Str(bench.to_string())),
         ("addr", Value::Str(addr.to_string())),
+    ]))
+}
+
+/// Encodes a `trace` request frame.
+pub fn encode_trace_request(trace_id: &str) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("trace".to_string())),
+        ("trace_id", Value::Str(trace_id.to_string())),
+    ]))
+}
+
+/// Encodes a `trace` reply frame around a span array value.
+pub fn encode_trace(trace_id: &str, spans: Value) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("trace".to_string())),
+        ("trace_id", Value::Str(trace_id.to_string())),
+        ("spans", spans),
+    ]))
+}
+
+/// Encodes a `metrics` request frame.
+pub fn encode_metrics_request() -> String {
+    render(&obj(vec![("type", Value::Str("metrics".to_string()))]))
+}
+
+/// Encodes a `metrics` reply frame; the Prometheus text body travels as
+/// one JSON string (newlines escaped) so the frame stays a single line.
+pub fn encode_metrics(body: &str) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("metrics".to_string())),
+        ("body", Value::Str(body.to_string())),
     ]))
 }
 
@@ -433,6 +500,16 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
             bench: opt_str(pairs, "bench")?.unwrap_or_default(),
             addr: opt_str(pairs, "addr")?.unwrap_or_default(),
         }),
+        "trace" => Ok(Reply::Trace {
+            trace_id: opt_str(pairs, "trace_id")?.unwrap_or_default(),
+            doc: field(pairs, "spans")
+                .map(render)
+                .ok_or_else(|| "trace reply needs a \"spans\" field".to_string())?,
+        }),
+        "metrics" => Ok(Reply::Metrics {
+            body: opt_str(pairs, "body")?
+                .ok_or_else(|| "metrics reply needs a \"body\" field".to_string())?,
+        }),
         other => Err(format!("unknown reply type {other:?}")),
     }
 }
@@ -462,6 +539,7 @@ mod tests {
             bench: Some("word".to_string()),
             model: None,
             deadline_ms: Some(1500),
+            trace_id: Some("cafe0123cafe0123".to_string()),
         };
         let line = encode_job(&spec);
         assert!(is_control_line(&line));
@@ -473,8 +551,39 @@ mod tests {
                 assert_eq!(parsed.bench.as_deref(), Some("word"));
                 assert_eq!(parsed.model, None);
                 assert_eq!(parsed.deadline_ms, Some(1500));
+                assert_eq!(parsed.trace_id.as_deref(), Some("cafe0123cafe0123"));
             }
             other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_and_metrics_frames_roundtrip() {
+        match parse_request(&encode_trace_request("deadbeef")).unwrap() {
+            Request::Trace { trace_id } => assert_eq!(trace_id, "deadbeef"),
+            other => panic!("expected trace, got {other:?}"),
+        }
+        assert!(parse_request("{\"type\":\"trace\"}").is_err());
+        assert!(matches!(
+            parse_request(&encode_metrics_request()).unwrap(),
+            Request::Metrics
+        ));
+        let spans = Value::Array(vec![Value::Object(vec![
+            ("trace_id".to_string(), Value::Str("deadbeef".to_string())),
+            ("stage".to_string(), Value::Str("accept".to_string())),
+        ])]);
+        let spans_json = gencache_bench::value_to_json(&spans);
+        match parse_reply(&encode_trace("deadbeef", spans)).unwrap() {
+            Reply::Trace { trace_id, doc } => {
+                assert_eq!(trace_id, "deadbeef");
+                assert_eq!(doc, spans_json);
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        let body = "# TYPE gencache_jobs_total counter\ngencache_jobs_total 3\n";
+        match parse_reply(&encode_metrics(body)).unwrap() {
+            Reply::Metrics { body: parsed } => assert_eq!(parsed, body),
+            other => panic!("expected metrics, got {other:?}"),
         }
     }
 

@@ -31,11 +31,12 @@ use serde::Value;
 
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{
-    encode_busy, encode_end, encode_error, encode_pong, encode_result, encode_stats,
-    is_control_line, parse_request, JobSpec, Request,
+    encode_busy, encode_end, encode_error, encode_metrics, encode_pong, encode_result,
+    encode_stats, encode_trace, is_control_line, parse_request, JobSpec, Request,
 };
 use crate::signal;
-use crate::stats::ServerStats;
+use crate::stats::{Gauges, ServerStats};
+use crate::telemetry::{new_trace_id, LogLevel, Logger, PromText, Span, Telemetry};
 
 /// How a [`Server`] is sized and bounded.
 #[derive(Debug, Clone)]
@@ -54,6 +55,13 @@ pub struct ServerConfig {
     /// Default per-job wall-clock budget in milliseconds (0 = none);
     /// a job's own `deadline_ms` overrides it.
     pub default_deadline_ms: u64,
+    /// Structured log target: `None`/`"none"` disables, `"-"` is
+    /// stderr, anything else is a file path.
+    pub log: Option<String>,
+    /// Minimum level a record needs to be written.
+    pub log_level: LogLevel,
+    /// Spans retained in the trace ring; 0 disables tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,9 @@ impl Default for ServerConfig {
             channel_depth: DEFAULT_STREAM_DEPTH,
             read_timeout: Duration::from_secs(10),
             default_deadline_ms: 0,
+            log: None,
+            log_level: LogLevel::Warn,
+            trace_capacity: crate::telemetry::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -77,11 +88,22 @@ struct Ctx {
     channel_depth: usize,
     read_timeout: Duration,
     default_deadline_ms: u64,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Ctx {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.pool.queue_len(),
+            workers: self.pool.workers(),
+            panics: self.pool.panics(),
+            in_flight: self.pool.active(),
+            uptime_ms: self.telemetry.uptime_ms(),
+        }
     }
 }
 
@@ -111,6 +133,11 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let workers = effective_jobs(config.workers);
         let queue_depth = config.queue_depth.unwrap_or(workers * 2);
+        let node = listener
+            .local_addr()
+            .map(|a| format!("serve:{a}"))
+            .unwrap_or_else(|_| "serve".to_string());
+        let logger = Logger::open("gencache-serve", config.log.as_deref(), config.log_level)?;
         let ctx = Ctx {
             pool: WorkerPool::new(workers, queue_depth),
             stats: Arc::new(ServerStats::new()),
@@ -118,6 +145,7 @@ impl Server {
             channel_depth: config.channel_depth.max(1),
             read_timeout: config.read_timeout,
             default_deadline_ms: config.default_deadline_ms,
+            telemetry: Arc::new(Telemetry::new(&node, config.trace_capacity, logger)),
         };
         Ok(Server {
             listener,
@@ -173,7 +201,12 @@ impl Server {
                                 if e.kind() != io::ErrorKind::BrokenPipe
                                     && e.kind() != io::ErrorKind::ConnectionReset
                                 {
-                                    eprintln!("gencache-serve: connection error: {e}");
+                                    ctx.telemetry.log().event(
+                                        LogLevel::Error,
+                                        "connection_error",
+                                        None,
+                                        &[("message", Value::Str(e.to_string()))],
+                                    );
                                 }
                             }
                         })
@@ -187,10 +220,23 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
+        self.ctx.telemetry.log().event(
+            LogLevel::Info,
+            "drain_start",
+            None,
+            &[(
+                "in_flight",
+                Value::UInt(self.ctx.pool.active() + self.ctx.pool.queue_len() as u64),
+            )],
+        );
         for handle in conns {
             let _ = handle.join();
         }
         self.ctx.pool.shutdown();
+        self.ctx
+            .telemetry
+            .log()
+            .event(LogLevel::Info, "drain_finish", None, &[]);
         Ok(())
     }
 }
@@ -263,11 +309,19 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
     };
     match request {
         Request::Stats => {
-            let snapshot =
-                ctx.stats
-                    .snapshot(ctx.pool.queue_len(), ctx.pool.workers(), ctx.pool.panics());
+            let snapshot = ctx.stats.snapshot(&ctx.gauges());
             send_line(&mut writer, &encode_stats(snapshot))
         }
+        Request::Trace { trace_id } => {
+            let spans: Vec<Value> = ctx
+                .telemetry
+                .spans_for(&trace_id)
+                .iter()
+                .map(Span::to_value)
+                .collect();
+            send_line(&mut writer, &encode_trace(&trace_id, Value::Array(spans)))
+        }
+        Request::Metrics => send_line(&mut writer, &encode_metrics(&server_metrics(ctx))),
         Request::End { .. } => send_line(
             &mut writer,
             &encode_error("end frame outside a job upload"),
@@ -297,6 +351,81 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
             handle_fetch(ctx, &mut writer, &bench, scale)
         }
     }
+}
+
+/// Renders the daemon's counters, gauges, and latency histogram as a
+/// Prometheus text exposition document.
+fn server_metrics(ctx: &Ctx) -> String {
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    let mut p = PromText::new();
+    p.gauge(
+        "gencache_uptime_ms",
+        "Milliseconds since the daemon started.",
+        ctx.telemetry.uptime_ms(),
+    );
+    p.gauge(
+        "gencache_workers",
+        "Worker threads in the pool.",
+        ctx.pool.workers() as u64,
+    );
+    p.gauge(
+        "gencache_queue_depth",
+        "Jobs queued, not yet running.",
+        ctx.pool.queue_len() as u64,
+    );
+    p.gauge(
+        "gencache_in_flight_jobs",
+        "Jobs currently executing on a worker.",
+        ctx.pool.active(),
+    );
+    p.counter(
+        "gencache_connections_total",
+        "Connections accepted.",
+        load(&ctx.stats.connections),
+    );
+    p.counter(
+        "gencache_jobs_accepted_total",
+        "Jobs admitted to the queue.",
+        load(&ctx.stats.jobs_accepted),
+    );
+    p.counter(
+        "gencache_jobs_completed_total",
+        "Jobs finished successfully.",
+        load(&ctx.stats.jobs_completed),
+    );
+    p.counter(
+        "gencache_jobs_rejected_total",
+        "Jobs shed with a busy reply.",
+        load(&ctx.stats.jobs_rejected),
+    );
+    p.counter(
+        "gencache_jobs_failed_total",
+        "Jobs that ended in an error reply.",
+        load(&ctx.stats.jobs_failed),
+    );
+    p.counter(
+        "gencache_jobs_panicked_total",
+        "Jobs that panicked mid-run.",
+        ctx.pool.panics(),
+    );
+    p.counter(
+        "gencache_bytes_ingested_total",
+        "Export bytes ingested across job uploads.",
+        load(&ctx.stats.bytes_ingested),
+    );
+    p.counter(
+        "gencache_lines_served_total",
+        "Export lines streamed back by fetch downloads.",
+        load(&ctx.stats.lines_served),
+    );
+    let (hist, sum) = ctx.stats.latency();
+    p.histogram(
+        "gencache_job_latency_us",
+        "Completed job wall-clock latency in microseconds.",
+        &hist,
+        sum,
+    );
+    p.into_string()
 }
 
 fn handle_ping(ctx: &Ctx, writer: &mut impl Write, hold_ms: u64) -> io::Result<()> {
@@ -329,8 +458,18 @@ fn handle_job(
     ctx: &Ctx,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
-    spec: JobSpec,
+    mut spec: JobSpec,
 ) -> io::Result<()> {
+    // Every job gets a trace id: the client normally stamps one; a bare
+    // frame gets a server-generated id so its spans are still findable.
+    let trace_id = match &spec.trace_id {
+        Some(id) => id.clone(),
+        None => {
+            let id = new_trace_id();
+            spec.trace_id = Some(id.clone());
+            id
+        }
+    };
     let deadline_ms = spec.deadline_ms.unwrap_or(ctx.default_deadline_ms);
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let (lines_tx, lines_rx) = bounded::<IngestItem>(ctx.channel_depth);
@@ -339,15 +478,32 @@ fn handle_job(
     // time spent queued behind the bounded pool counts against the
     // budget, so a deadline'd job cannot wait unboundedly.
     let admitted = Instant::now();
-    let job = Box::new(move || run_job(&spec, lines_rx, &reply_tx, deadline, admitted));
+    let tel = Arc::clone(&ctx.telemetry);
+    let job_trace = trace_id.clone();
+    let job = Box::new(move || {
+        run_job(&spec, lines_rx, &reply_tx, deadline, admitted, &tel, &job_trace);
+    });
     match ctx.pool.try_submit(job) {
         Err((_, SubmitError::Full)) => {
             ServerStats::bump(&ctx.stats.jobs_rejected);
-            send_line(writer, &encode_busy(ctx.pool.queue_len() as u64))?;
+            let depth = ctx.pool.queue_len() as u64;
+            if let Some(sp) = ctx.telemetry.span(&trace_id, "accept", admitted) {
+                sp.outcome("busy").end();
+            }
+            ctx.telemetry.log().event(
+                LogLevel::Warn,
+                "job_shed",
+                Some(&trace_id),
+                &[("queue_depth", Value::UInt(depth))],
+            );
+            send_line(writer, &encode_busy(depth))?;
             drain_discard(reader);
             return Ok(());
         }
         Err((_, SubmitError::Closed)) => {
+            if let Some(sp) = ctx.telemetry.span(&trace_id, "accept", admitted) {
+                sp.outcome("error: shutting down").end();
+            }
             return send_line(
                 writer,
                 &encode_error("shutting down; not accepting new jobs"),
@@ -356,6 +512,18 @@ fn handle_job(
         Ok(()) => {}
     }
     ServerStats::bump(&ctx.stats.jobs_accepted);
+    if let Some(sp) = ctx.telemetry.span(&trace_id, "accept", admitted) {
+        sp.end();
+    }
+    ctx.telemetry.log().event(
+        LogLevel::Info,
+        "job_admitted",
+        Some(&trace_id),
+        &[
+            ("queue_depth", Value::UInt(ctx.pool.queue_len() as u64)),
+            ("deadline_ms", Value::UInt(deadline_ms)),
+        ],
+    );
 
     // Forward the upload line by line; the bounded send blocks when the
     // worker falls behind, which is exactly the backpressure we want.
@@ -401,20 +569,40 @@ fn handle_job(
         Some(Ok(parts)) => {
             ServerStats::bump(&ctx.stats.jobs_completed);
             ctx.stats.record_latency(admitted.elapsed().as_micros() as u64);
-            send_line(
-                writer,
-                &encode_result(
-                    parts.doc,
-                    &parts.table,
-                    parts.benches,
-                    parts.specs,
-                    parts.elapsed_us,
-                ),
-            )
+            let reply_started = Instant::now();
+            let line = encode_result(
+                parts.doc,
+                &parts.table,
+                parts.benches,
+                parts.specs,
+                parts.elapsed_us,
+            );
+            let sent = send_line(writer, &line);
+            if let Some(sp) = ctx.telemetry.span(&trace_id, "reply", reply_started) {
+                let outcome = if sent.is_ok() {
+                    "ok"
+                } else {
+                    "error: reply write failed"
+                };
+                sp.bytes(line.len() as u64 + 1).outcome(outcome).end();
+            }
+            sent
         }
         Some(Err(message)) => {
             ServerStats::bump(&ctx.stats.jobs_failed);
-            send_line(writer, &encode_error(&message))?;
+            ctx.telemetry.log().event(
+                LogLevel::Warn,
+                "job_failed",
+                Some(&trace_id),
+                &[("message", Value::Str(message.clone()))],
+            );
+            let reply_started = Instant::now();
+            let line = encode_error(&message);
+            let sent = send_line(writer, &line);
+            if let Some(sp) = ctx.telemetry.span(&trace_id, "reply", reply_started) {
+                sp.bytes(line.len() as u64 + 1).end();
+            }
+            sent?;
             drain_discard(reader);
             Ok(())
         }
@@ -434,49 +622,93 @@ fn run_job(
     reply_tx: &Sender<JobOutcome>,
     deadline: Option<Duration>,
     admitted: Instant,
+    tel: &Telemetry,
+    trace_id: &str,
 ) {
     let started = admitted;
+    let picked_up = Instant::now();
     let fail = |message: String| {
         let _ = reply_tx.send(Err(message));
     };
+    // A failing stage records its span with the error as the outcome, so
+    // a trace of a failed job shows exactly where it died.
+    let fail_stage = |stage: &str, stage_start: Instant, message: String| {
+        if let Some(sp) = tel.span(trace_id, stage, stage_start) {
+            sp.outcome(&format!("error: {message}")).end();
+        }
+        fail(message);
+    };
+    let log_deadline = |stage: &str| {
+        tel.log().event(
+            LogLevel::Warn,
+            "deadline_exceeded",
+            Some(trace_id),
+            &[("stage", Value::Str(stage.to_string()))],
+        );
+    };
     // Dead on dequeue: the queue wait alone consumed the budget.
     if deadline.is_some_and(|d| started.elapsed() >= d) {
-        return fail(format!(
-            "deadline of {}ms exceeded",
-            deadline.unwrap_or_default().as_millis()
-        ));
+        log_deadline("queue");
+        return fail_stage(
+            "queue",
+            admitted,
+            format!(
+                "deadline of {}ms exceeded",
+                deadline.unwrap_or_default().as_millis()
+            ),
+        );
     }
+    if let Some(sp) = tel.span(trace_id, "queue", admitted) {
+        sp.dur(picked_up.saturating_duration_since(admitted)).end();
+    }
+    let ingest_started = Instant::now();
     let mut ingest = StreamIngest::new();
     let mut received = 0u64;
     let mut complete = false;
     while let Some(item) = lines_rx.recv() {
         if deadline.is_some_and(|d| started.elapsed() >= d) {
-            return fail("deadline exceeded during ingest".to_string());
+            log_deadline("ingest");
+            return fail_stage(
+                "ingest",
+                ingest_started,
+                "deadline exceeded during ingest".to_string(),
+            );
         }
         match item {
             IngestItem::Line(line) => {
                 received += 1;
                 if let Err(e) = ingest.push_line(&line) {
-                    return fail(e);
+                    return fail_stage("ingest", ingest_started, e);
                 }
             }
             IngestItem::End { lines } => {
                 if lines != received {
-                    return fail(format!(
-                        "upload truncated: client sent {lines} export lines, received {received}"
-                    ));
+                    return fail_stage(
+                        "ingest",
+                        ingest_started,
+                        format!(
+                            "upload truncated: client sent {lines} export lines, received {received}"
+                        ),
+                    );
                 }
                 complete = true;
                 break;
             }
-            IngestItem::Abort(reason) => return fail(reason),
+            IngestItem::Abort(reason) => return fail_stage("ingest", ingest_started, reason),
         }
     }
     // Dropping the receiver here unblocks a connection thread still
     // stuck in `send` on a full channel.
     drop(lines_rx);
     if !complete {
-        return fail("upload ended without an end frame".to_string());
+        return fail_stage(
+            "ingest",
+            ingest_started,
+            "upload ended without an end frame".to_string(),
+        );
+    }
+    if let Some(sp) = tel.span(trace_id, "ingest", ingest_started) {
+        sp.lines(ingest.lines()).bytes(ingest.bytes()).end();
     }
     let inputs = match ingest.into_inputs(
         spec.bench.as_deref(),
@@ -493,6 +725,7 @@ fn run_job(
 
     // Replay with a watchdog flipping the cancel flag at the deadline;
     // the runner polls it between (benchmark, spec) cells.
+    let replay_started = Instant::now();
     let cancel = AtomicBool::new(false);
     let done = AtomicBool::new(false);
     let (cancel, done) = (&cancel, &done);
@@ -516,6 +749,21 @@ fn run_job(
     });
     match outcome {
         Ok(out) => {
+            // One span per spec: the sum of that spec's replay cells
+            // across all benchmarks, timed inside `run_sim_job`.
+            if tel.tracing() {
+                for (si, label) in out.labels.iter().enumerate() {
+                    let cell_total: u64 = out
+                        .benches
+                        .iter()
+                        .map(|b| b.cell_us.get(si).copied().unwrap_or(0))
+                        .sum();
+                    if let Some(sp) = tel.span(trace_id, &format!("replay:{label}"), replay_started)
+                    {
+                        sp.dur(Duration::from_micros(cell_total)).end();
+                    }
+                }
+            }
             let parts = ResultParts {
                 doc: sim_metrics_doc(&out),
                 table: render_sim_tables(&out),
@@ -527,9 +775,17 @@ fn run_job(
         }
         Err(e) => {
             if cancel.load(Ordering::Relaxed) {
-                fail(format!("deadline of {}ms exceeded", deadline.unwrap_or_default().as_millis()));
+                log_deadline("replay");
+                fail_stage(
+                    "replay",
+                    replay_started,
+                    format!(
+                        "deadline of {}ms exceeded",
+                        deadline.unwrap_or_default().as_millis()
+                    ),
+                );
             } else {
-                fail(e);
+                fail_stage("replay", replay_started, e);
             }
         }
     }

@@ -49,12 +49,16 @@ use serde::{Deserialize, Serialize, Value};
 
 use crate::client::Client;
 use crate::proto::{
-    encode_end, encode_error, encode_pong, encode_result, encode_route, encode_shards,
-    encode_stats, is_control_line, parse_request, JobSpec, Reply, Request,
+    encode_end, encode_error, encode_metrics, encode_pong, encode_result, encode_route,
+    encode_shards, encode_stats, encode_trace, is_control_line, parse_request, JobSpec, Reply,
+    Request,
 };
 use crate::retry::RetryPolicy;
 use crate::server::drain_discard;
 use crate::signal;
+use crate::telemetry::{
+    new_trace_id, prom_label_escape, LogLevel, Logger, PromText, Span, Telemetry,
+};
 
 /// How a [`ShardRouter`] is sized and wired.
 #[derive(Debug, Clone)]
@@ -74,6 +78,13 @@ pub struct ShardConfig {
     /// Busy-retry policy per shard before failing over to the
     /// next-preferred one.
     pub retry: RetryPolicy,
+    /// Structured log target: `None`/`"none"` disables, `"-"` is
+    /// stderr, anything else is a file opened append-only.
+    pub log: Option<String>,
+    /// Minimum level a record needs to reach the log sink.
+    pub log_level: LogLevel,
+    /// Spans retained in the in-memory trace ring; 0 disables tracing.
+    pub trace_capacity: usize,
 }
 
 impl Default for ShardConfig {
@@ -85,6 +96,9 @@ impl Default for ShardConfig {
             read_timeout: Duration::from_secs(10),
             health_interval: Duration::from_secs(1),
             retry: RetryPolicy::default(),
+            log: None,
+            log_level: LogLevel::Warn,
+            trace_capacity: crate::telemetry::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -115,6 +129,9 @@ struct Shard {
     jobs_routed: AtomicU64,
     busy_retries: AtomicU64,
     failovers: AtomicU64,
+    /// Round trip of the most recent successful health ping, in
+    /// microseconds; 0 until the first ping lands.
+    last_ping_us: AtomicU64,
 }
 
 /// The consistent-hash ring over the configured backends.
@@ -134,6 +151,7 @@ impl ShardTable {
                 jobs_routed: AtomicU64::new(0),
                 busy_retries: AtomicU64::new(0),
                 failovers: AtomicU64::new(0),
+                last_ping_us: AtomicU64::new(0),
             })
             .collect();
         let mut ring = Vec::with_capacity(backends.len() * replicas.max(1));
@@ -193,6 +211,10 @@ impl ShardTable {
                             "failovers".to_string(),
                             Value::UInt(s.failovers.load(Ordering::Relaxed)),
                         ),
+                        (
+                            "last_ping_us".to_string(),
+                            Value::UInt(s.last_ping_us.load(Ordering::Relaxed)),
+                        ),
                     ])
                 })
                 .collect(),
@@ -219,6 +241,7 @@ struct RouterCtx {
     health_interval: Duration,
     shutdown: Arc<AtomicBool>,
     stats: RouterStats,
+    telemetry: Arc<Telemetry>,
 }
 
 impl RouterCtx {
@@ -261,6 +284,10 @@ impl ShardRouter {
             ));
         }
         let listener = TcpListener::bind(&config.addr)?;
+        let node = listener
+            .local_addr()
+            .map_or_else(|_| "router".to_string(), |a| format!("router:{a}"));
+        let logger = Logger::open("gencache-shard", config.log.as_deref(), config.log_level)?;
         let ctx = RouterCtx {
             table: ShardTable::new(&config.backends, config.replicas),
             retry: config.retry,
@@ -268,6 +295,7 @@ impl ShardRouter {
             health_interval: config.health_interval,
             shutdown: Arc::new(AtomicBool::new(false)),
             stats: RouterStats::default(),
+            telemetry: Arc::new(Telemetry::new(&node, config.trace_capacity, logger)),
         };
         Ok(ShardRouter {
             listener,
@@ -322,7 +350,12 @@ impl ShardRouter {
                                 if e.kind() != io::ErrorKind::BrokenPipe
                                     && e.kind() != io::ErrorKind::ConnectionReset
                                 {
-                                    eprintln!("gencache-shard: connection error: {e}");
+                                    ctx.telemetry.log().event(
+                                        LogLevel::Error,
+                                        "connection_error",
+                                        None,
+                                        &[("message", Value::Str(e.to_string()))],
+                                    );
                                 }
                             }
                         })
@@ -336,11 +369,21 @@ impl ShardRouter {
                 Err(e) => return Err(e),
             }
         }
+        self.ctx.telemetry.log().event(
+            LogLevel::Info,
+            "drain_start",
+            None,
+            &[("connections", Value::UInt(conns.len() as u64))],
+        );
         for handle in conns {
             let _ = handle.join();
         }
         self.ctx.shutdown.store(true, Ordering::SeqCst);
         let _ = health.join();
+        self.ctx
+            .telemetry
+            .log()
+            .event(LogLevel::Info, "drain_finish", None, &[]);
         Ok(())
     }
 }
@@ -366,13 +409,27 @@ fn health_loop(ctx: &RouterCtx) {
             if ctx.draining() {
                 return;
             }
+            let pinged = Instant::now();
             let alive = match ctx.shard_client(shard).ping(0) {
                 Ok(Reply::Pong | Reply::Busy { .. }) => true,
                 Ok(Reply::Error { message }) => !message.contains("shutting down"),
                 Ok(_) => true,
                 Err(_) => false,
             };
-            shard.up.store(alive, Ordering::Relaxed);
+            if alive {
+                shard
+                    .last_ping_us
+                    .store(pinged.elapsed().as_micros() as u64, Ordering::Relaxed);
+            }
+            let was = shard.up.swap(alive, Ordering::Relaxed);
+            if was != alive {
+                ctx.telemetry.log().event(
+                    LogLevel::Warn,
+                    if alive { "shard_up" } else { "shard_down" },
+                    None,
+                    &[("addr", Value::Str(shard.addr.clone()))],
+                );
+            }
         }
     }
 }
@@ -408,6 +465,10 @@ fn handle_connection(stream: TcpStream, ctx: &RouterCtx) -> io::Result<()> {
         Request::Stats => send_line(&mut writer, &encode_stats(fleet_stats(ctx))),
         Request::Ping { .. } => send_line(&mut writer, &encode_pong()),
         Request::Shards => send_line(&mut writer, &encode_shards(ctx.table.doc())),
+        Request::Trace { trace_id } => {
+            send_line(&mut writer, &encode_trace(&trace_id, fleet_trace(ctx, &trace_id)))
+        }
+        Request::Metrics => send_line(&mut writer, &encode_metrics(&router_metrics(ctx))),
         Request::Route { bench } => match ctx.table.route(&bench, &[]) {
             Some(s) => send_line(
                 &mut writer,
@@ -446,6 +507,10 @@ struct Upload {
     prelude: Vec<String>,
     order: Vec<String>,
     groups: BTreeMap<String, Vec<String>>,
+    /// Export lines received (everything between `job` and `end`).
+    lines: u64,
+    /// Bytes received, counting the newline each line arrived with.
+    bytes: u64,
 }
 
 /// Refuses an in-flight upload: send the error frame, discard the rest
@@ -466,6 +531,8 @@ fn read_upload(reader: &mut impl BufRead, writer: &mut impl Write) -> io::Result
         prelude: Vec::new(),
         order: Vec::new(),
         groups: BTreeMap::new(),
+        lines: 0,
+        bytes: 0,
     };
     let mut received = 0u64;
     let mut buf = String::new();
@@ -490,6 +557,7 @@ fn read_upload(reader: &mut impl BufRead, writer: &mut impl Write) -> io::Result
                             ),
                         );
                     }
+                    upload.lines = received;
                     return Ok(Some(upload));
                 }
                 Ok(_) => {
@@ -503,6 +571,7 @@ fn read_upload(reader: &mut impl BufRead, writer: &mut impl Write) -> io::Result
             }
         }
         received += 1;
+        upload.bytes += line.len() as u64 + 1;
         match classify_line(line) {
             Ok(RouteClass::Blank) => {}
             Ok(RouteClass::Header) => upload.prelude.push(line.to_string()),
@@ -645,14 +714,45 @@ fn run_fleet_job(
         // Concurrent dispatch, one worker per shard group; results come
         // back in assignment order regardless of scheduling.
         let results = par_map(&assign, assign.len().max(1), |(shard_idx, benches)| {
-            dispatch_once(ctx, spec, upload, *shard_idx, benches)
+            let dispatch_started = Instant::now();
+            let result = dispatch_once(ctx, spec, upload, *shard_idx, benches);
+            if let Some(id) = spec.trace_id.as_deref() {
+                let stage = format!("dispatch:{}", ctx.table.shards[*shard_idx].addr);
+                let outcome = match &result {
+                    Ok(_) => "ok".to_string(),
+                    Err(SubError::Busy) => "busy".to_string(),
+                    Err(SubError::Dead(why)) => format!("error: {why}"),
+                    Err(SubError::Terminal(message)) => format!("error: {message}"),
+                };
+                if let Some(span) = ctx.telemetry.span(id, &stage, dispatch_started) {
+                    span.outcome(&outcome).end();
+                }
+            }
+            result
         });
         for ((shard_idx, benches), result) in assign.into_iter().zip(results) {
             match result {
                 Ok(reply) => replies.push(reply),
                 Err(SubError::Dead(why)) => {
-                    eprintln!("gencache-shard: {why}; re-routing {} benchmark(s)", benches.len());
-                    ctx.table.shards[shard_idx].up.store(false, Ordering::Relaxed);
+                    ctx.telemetry.log().event(
+                        LogLevel::Warn,
+                        "shard_reroute",
+                        spec.trace_id.as_deref(),
+                        &[
+                            ("addr", Value::Str(ctx.table.shards[shard_idx].addr.clone())),
+                            ("benches", Value::UInt(benches.len() as u64)),
+                            ("why", Value::Str(why)),
+                        ],
+                    );
+                    let was = ctx.table.shards[shard_idx].up.swap(false, Ordering::Relaxed);
+                    if was {
+                        ctx.telemetry.log().event(
+                            LogLevel::Warn,
+                            "shard_down",
+                            None,
+                            &[("addr", Value::Str(ctx.table.shards[shard_idx].addr.clone()))],
+                        );
+                    }
                     ctx.table.shards[shard_idx]
                         .failovers
                         .fetch_add(1, Ordering::Relaxed);
@@ -671,6 +771,7 @@ fn run_fleet_job(
             }
         }
     }
+    let merge_started = Instant::now();
     let docs: Vec<Value> = replies
         .iter()
         .map(|r| {
@@ -681,6 +782,11 @@ fn run_fleet_job(
     let doc = merge_metrics_docs(&selected, &docs)?;
     let tables: Vec<String> = replies.iter().map(|r| r.table.clone()).collect();
     let table = merge_sim_tables(&selected, &tables)?;
+    if let Some(id) = spec.trace_id.as_deref() {
+        if let Some(span) = ctx.telemetry.span(id, "merge", merge_started) {
+            span.end();
+        }
+    }
     let specs = replies.first().map_or(0, |r| r.specs);
     Ok((doc, table, selected.len() as u64, specs))
 }
@@ -689,30 +795,73 @@ fn handle_job(
     ctx: &RouterCtx,
     reader: &mut impl BufRead,
     writer: &mut impl Write,
-    spec: JobSpec,
+    mut spec: JobSpec,
 ) -> io::Result<()> {
     let admitted = Instant::now();
-    let Some(upload) = read_upload(reader, writer)? else {
-        return Ok(()); // already refused with an error frame
+    // Stamp a trace id before dispatch so every shard sub-job carries
+    // the same one (encode_job forwards it).
+    let trace_id = match &spec.trace_id {
+        Some(id) => id.clone(),
+        None => {
+            let id = new_trace_id();
+            spec.trace_id = Some(id.clone());
+            id
+        }
     };
+    if let Some(span) = ctx.telemetry.span(&trace_id, "accept", admitted) {
+        span.end();
+    }
+    ctx.telemetry
+        .log()
+        .event(LogLevel::Info, "job_admitted", Some(&trace_id), &[]);
+    let ingest_started = Instant::now();
+    let Some(upload) = read_upload(reader, writer)? else {
+        // Already refused with an error frame.
+        if let Some(span) = ctx.telemetry.span(&trace_id, "ingest", ingest_started) {
+            span.outcome("error: upload refused").end();
+        }
+        return Ok(());
+    };
+    if let Some(span) = ctx.telemetry.span(&trace_id, "ingest", ingest_started) {
+        span.lines(upload.lines).bytes(upload.bytes).end();
+    }
     AtomicU64::fetch_add(&ctx.stats.fleet_jobs, 1, Ordering::Relaxed);
     match run_fleet_job(ctx, &spec, &upload) {
         Ok((doc, table, benches, specs)) => {
             AtomicU64::fetch_add(&ctx.stats.fleet_jobs_completed, 1, Ordering::Relaxed);
-            send_line(
-                writer,
-                &encode_result(
-                    doc,
-                    &table,
-                    benches,
-                    specs,
-                    admitted.elapsed().as_micros() as u64,
-                ),
-            )
+            let reply_started = Instant::now();
+            let line = encode_result(
+                doc,
+                &table,
+                benches,
+                specs,
+                admitted.elapsed().as_micros() as u64,
+            );
+            let sent = send_line(writer, &line);
+            if let Some(span) = ctx.telemetry.span(&trace_id, "reply", reply_started) {
+                span.bytes(line.len() as u64 + 1)
+                    .outcome(if sent.is_ok() { "ok" } else { "error: reply write failed" })
+                    .end();
+            }
+            sent
         }
         Err(message) => {
             AtomicU64::fetch_add(&ctx.stats.fleet_jobs_failed, 1, Ordering::Relaxed);
-            send_line(writer, &encode_error(&message))
+            ctx.telemetry.log().event(
+                LogLevel::Warn,
+                "fleet_job_failed",
+                Some(&trace_id),
+                &[("message", Value::Str(message.clone()))],
+            );
+            let reply_started = Instant::now();
+            let line = encode_error(&message);
+            let sent = send_line(writer, &line);
+            if let Some(span) = ctx.telemetry.span(&trace_id, "reply", reply_started) {
+                span.bytes(line.len() as u64 + 1)
+                    .outcome(&format!("error: {message}"))
+                    .end();
+            }
+            sent
         }
     }
 }
@@ -775,6 +924,109 @@ fn handle_fetch(
     send_line(writer, &encode_error(&last_error))
 }
 
+/// Stitches the fleet-wide span tree for one trace: the router's own
+/// spans first, then every live shard's (each span already carries its
+/// `node`, so the client can tell the layers apart).
+fn fleet_trace(ctx: &RouterCtx, trace_id: &str) -> Value {
+    let mut spans: Vec<Value> = ctx
+        .telemetry
+        .spans_for(trace_id)
+        .iter()
+        .map(Span::to_value)
+        .collect();
+    for shard in &ctx.table.shards {
+        if !shard.up.load(Ordering::Relaxed) {
+            continue;
+        }
+        if let Ok(Reply::Trace { doc, .. }) = ctx.shard_client(shard).trace(trace_id) {
+            if let Ok(Value::Array(items)) = serde_json::value_from_str(&doc) {
+                spans.extend(items);
+            }
+        }
+    }
+    Value::Array(spans)
+}
+
+/// The router's own metrics in Prometheus text exposition format.
+/// Shard-side job metrics stay on the shards (scrape them directly or
+/// through the summed `stats` frame); this view is routing health.
+fn router_metrics(ctx: &RouterCtx) -> String {
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let (up, down) = ctx.table.shards.iter().fold((0u64, 0u64), |(u, d), s| {
+        if s.up.load(Ordering::Relaxed) {
+            (u + 1, d)
+        } else {
+            (u, d + 1)
+        }
+    });
+    let mut p = PromText::new();
+    p.gauge(
+        "gencache_uptime_ms",
+        "Milliseconds since the router started.",
+        ctx.telemetry.uptime_ms(),
+    );
+    p.gauge("gencache_shards_up", "Backends currently marked healthy.", up);
+    p.gauge("gencache_shards_down", "Backends currently marked down.", down);
+    p.counter(
+        "gencache_router_connections_total",
+        "Connections accepted by the router.",
+        load(&ctx.stats.connections),
+    );
+    p.counter(
+        "gencache_fleet_jobs_total",
+        "Fleet jobs admitted past upload.",
+        load(&ctx.stats.fleet_jobs),
+    );
+    p.counter(
+        "gencache_fleet_jobs_completed_total",
+        "Fleet jobs merged and answered.",
+        load(&ctx.stats.fleet_jobs_completed),
+    );
+    p.counter(
+        "gencache_fleet_jobs_failed_total",
+        "Fleet jobs that ended in an error frame.",
+        load(&ctx.stats.fleet_jobs_failed),
+    );
+    p.counter(
+        "gencache_subjobs_total",
+        "Per-shard sub-jobs dispatched.",
+        load(&ctx.stats.subjobs),
+    );
+    p.counter(
+        "gencache_busy_retries_total",
+        "Busy replies retried under the backoff policy.",
+        load(&ctx.stats.busy_retries),
+    );
+    p.counter(
+        "gencache_failovers_total",
+        "Sub-jobs re-routed to another shard.",
+        load(&ctx.stats.failovers),
+    );
+    let row = |f: &dyn Fn(&Shard) -> u64| -> Vec<(String, u64)> {
+        ctx.table
+            .shards
+            .iter()
+            .map(|s| (format!("addr=\"{}\"", prom_label_escape(&s.addr)), f(s)))
+            .collect()
+    };
+    p.gauge_rows(
+        "gencache_shard_up",
+        "Per-shard health (1 = up).",
+        &row(&|s| u64::from(s.up.load(Ordering::Relaxed))),
+    );
+    p.gauge_rows(
+        "gencache_shard_last_ping_us",
+        "Per-shard round trip of the last successful health ping.",
+        &row(&|s| s.last_ping_us.load(Ordering::Relaxed)),
+    );
+    p.gauge_rows(
+        "gencache_shard_jobs_routed",
+        "Per-shard sub-jobs answered successfully.",
+        &row(&|s| s.jobs_routed.load(Ordering::Relaxed)),
+    );
+    p.into_string()
+}
+
 fn field<'v>(doc: &'v Value, name: &str) -> Option<&'v Value> {
     doc.as_object()?
         .iter()
@@ -784,9 +1036,10 @@ fn field<'v>(doc: &'v Value, name: &str) -> Option<&'v Value> {
 
 /// The counters summed across shards into the fleet view — the same
 /// keys, in the same order, as one daemon's stats document.
-const FLEET_COUNTERS: [&str; 10] = [
+const FLEET_COUNTERS: [&str; 11] = [
     "workers",
     "queue_depth",
+    "in_flight",
     "connections",
     "jobs_accepted",
     "jobs_completed",
@@ -842,6 +1095,10 @@ fn fleet_stats(ctx: &RouterCtx) -> Value {
         .zip(sums)
         .map(|(name, n)| ((*name).to_string(), Value::UInt(n)))
         .collect();
+    pairs.push((
+        "uptime_ms".to_string(),
+        Value::UInt(ctx.telemetry.uptime_ms()),
+    ));
     pairs.push(("latency_us".to_string(), latency.to_value()));
     pairs.push((
         "router".to_string(),

@@ -28,6 +28,10 @@ pub struct ServerStats {
     pub bytes_ingested: AtomicU64,
     /// Export lines streamed back by `fetch` downloads.
     pub lines_served: AtomicU64,
+    /// Exact sum of recorded job latencies in microseconds (the
+    /// histogram keeps only bucket counts; Prometheus `_sum` needs the
+    /// exact total).
+    pub latency_sum_us: AtomicU64,
     latency_us: Mutex<Log2Histogram>,
 }
 
@@ -49,36 +53,64 @@ impl ServerStats {
 
     /// Records one completed simulation job's wall-clock latency.
     pub fn record_latency(&self, micros: u64) {
+        ServerStats::add(&self.latency_sum_us, micros);
         self.latency_us
             .lock()
             .expect("latency histogram poisoned")
             .record(micros);
     }
 
-    /// Assembles the snapshot document the `stats` reply carries.
-    /// `queue_depth` and `workers` describe the pool at snapshot time;
-    /// `panics` is the pool's count of jobs that panicked mid-run.
-    pub fn snapshot(&self, queue_depth: usize, workers: usize, panics: u64) -> Value {
-        let get = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
-        let latency = self
+    /// A consistent clone of the latency histogram plus its exact sum,
+    /// for Prometheus rendering.
+    pub fn latency(&self) -> (Log2Histogram, u64) {
+        let hist = self
             .latency_us
             .lock()
             .expect("latency histogram poisoned")
             .clone();
+        (hist, self.latency_sum_us.load(Ordering::Relaxed))
+    }
+
+    /// Assembles the snapshot document the `stats` reply carries.
+    /// `gauges` describes the pool and daemon at snapshot time.
+    pub fn snapshot(&self, gauges: &Gauges) -> Value {
+        let get = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        let (latency, _) = self.latency();
         Value::Object(vec![
-            ("workers".to_string(), Value::UInt(workers as u64)),
-            ("queue_depth".to_string(), Value::UInt(queue_depth as u64)),
+            ("workers".to_string(), Value::UInt(gauges.workers as u64)),
+            (
+                "queue_depth".to_string(),
+                Value::UInt(gauges.queue_depth as u64),
+            ),
+            ("in_flight".to_string(), Value::UInt(gauges.in_flight)),
             ("connections".to_string(), get(&self.connections)),
             ("jobs_accepted".to_string(), get(&self.jobs_accepted)),
             ("jobs_completed".to_string(), get(&self.jobs_completed)),
             ("jobs_rejected".to_string(), get(&self.jobs_rejected)),
             ("jobs_failed".to_string(), get(&self.jobs_failed)),
-            ("jobs_panicked".to_string(), Value::UInt(panics)),
+            ("jobs_panicked".to_string(), Value::UInt(gauges.panics)),
             ("bytes_ingested".to_string(), get(&self.bytes_ingested)),
             ("lines_served".to_string(), get(&self.lines_served)),
+            ("uptime_ms".to_string(), Value::UInt(gauges.uptime_ms)),
             ("latency_us".to_string(), latency.to_value()),
         ])
     }
+}
+
+/// Point-in-time gauges a stats snapshot carries alongside the
+/// monotonic counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Queued (not yet running) jobs at snapshot time.
+    pub queue_depth: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Jobs that panicked mid-run (pool counter).
+    pub panics: u64,
+    /// Jobs currently executing on a worker.
+    pub in_flight: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
 }
 
 #[cfg(test)]
@@ -92,7 +124,13 @@ mod tests {
         ServerStats::bump(&stats.jobs_accepted);
         ServerStats::add(&stats.bytes_ingested, 1234);
         stats.record_latency(900);
-        let snap = stats.snapshot(3, 2, 7);
+        let snap = stats.snapshot(&Gauges {
+            queue_depth: 3,
+            workers: 2,
+            panics: 7,
+            in_flight: 1,
+            uptime_ms: 5000,
+        });
         let pairs = snap.as_object().unwrap();
         let get = |name: &str| {
             pairs
@@ -106,6 +144,10 @@ mod tests {
         assert_eq!(get("connections"), Value::UInt(1));
         assert_eq!(get("bytes_ingested"), Value::UInt(1234));
         assert_eq!(get("jobs_panicked"), Value::UInt(7));
+        assert_eq!(get("in_flight"), Value::UInt(1));
+        assert_eq!(get("uptime_ms"), Value::UInt(5000));
+        let (hist, sum) = stats.latency();
+        assert_eq!((hist.total(), sum), (1, 900));
         let latency = get("latency_us");
         let total = latency
             .as_object()

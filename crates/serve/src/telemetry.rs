@@ -1,0 +1,641 @@
+//! Job tracing and structured logging for the serve/fleet path.
+//!
+//! Three cooperating pieces, all pure-std and lock-cheap:
+//!
+//! * [`Span`] / [`Telemetry`] — a bounded ring buffer of per-stage spans
+//!   keyed by `trace_id`. Every job stage (accept, queue, ingest, replay,
+//!   dispatch, merge, reply) records one span with monotonic wall-clock
+//!   and an outcome string. When tracing is disabled ([`Telemetry`] built
+//!   with capacity 0) the recording path is a single branch — the
+//!   `NullObserver` discipline one layer up.
+//! * [`Logger`] — a levelled JSONL log stream (stderr or file). Records
+//!   carry the `trace_id` so one job can be grepped across the client,
+//!   router, and shard logs. Disabled loggers skip all formatting.
+//! * [`PromText`] — renders counters, gauges, and
+//!   [`Log2Histogram`]s in Prometheus text exposition format for the
+//!   `metrics` control frame.
+//!
+//! Spans use monotonic clocks only: `start_us` is microseconds since the
+//! recording daemon's start (for the client, since the submit call
+//! began), never wall time, so traces survive clock steps.
+
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use gencache_obs::Log2Histogram;
+use serde::Value;
+
+/// Default number of spans retained per daemon before the oldest drop.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Generates a process-unique 16-hex-digit trace id.
+///
+/// Mixes wall time, the process id, and a process-local counter through
+/// an FNV-1a/avalanche hash — no randomness source required, and two
+/// processes stamping ids in the same nanosecond still disagree on pid
+/// and counter.
+pub fn new_trace_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [nanos, u64::from(std::process::id()), seq] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    // Murmur3-style avalanche so adjacent counters spread across all bits.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    format!("{h:016x}")
+}
+
+/// One timed stage of one job on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace id this span belongs to.
+    pub trace_id: String,
+    /// Recording node, e.g. `serve:127.0.0.1:4000`, `router:…`, `client`.
+    pub node: String,
+    /// Stage name: `accept`, `queue`, `ingest`, `replay:<spec>`,
+    /// `dispatch:<addr>`, `merge`, `reply`, `upload`, `job`.
+    pub stage: String,
+    /// Monotonic microseconds since the recording node's origin instant.
+    pub start_us: u64,
+    /// Stage duration in microseconds.
+    pub dur_us: u64,
+    /// `ok`, `busy`, or `error: <message>`.
+    pub outcome: String,
+    /// Lines handled during this stage, when meaningful.
+    pub lines: Option<u64>,
+    /// Bytes handled during this stage, when meaningful.
+    pub bytes: Option<u64>,
+}
+
+impl Span {
+    /// Serializes the span as a deterministic JSON object value.
+    pub fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("trace_id".to_string(), Value::Str(self.trace_id.clone())),
+            ("node".to_string(), Value::Str(self.node.clone())),
+            ("stage".to_string(), Value::Str(self.stage.clone())),
+            ("start_us".to_string(), Value::UInt(self.start_us)),
+            ("dur_us".to_string(), Value::UInt(self.dur_us)),
+            ("outcome".to_string(), Value::Str(self.outcome.clone())),
+        ];
+        if let Some(n) = self.lines {
+            pairs.push(("lines".to_string(), Value::UInt(n)));
+        }
+        if let Some(n) = self.bytes {
+            pairs.push(("bytes".to_string(), Value::UInt(n)));
+        }
+        Value::Object(pairs)
+    }
+
+    /// Parses a span back out of a JSON object value.
+    pub fn from_value(v: &Value) -> Option<Span> {
+        let pairs = v.as_object()?;
+        let get = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let s = |name: &str| -> Option<String> {
+            match get(name)? {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let n = |name: &str| -> Option<u64> {
+            match get(name)? {
+                Value::UInt(n) => Some(*n),
+                Value::Int(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            }
+        };
+        Some(Span {
+            trace_id: s("trace_id")?,
+            node: s("node")?,
+            stage: s("stage")?,
+            start_us: n("start_us")?,
+            dur_us: n("dur_us")?,
+            outcome: s("outcome")?,
+            lines: n("lines"),
+            bytes: n("bytes"),
+        })
+    }
+}
+
+/// Renders spans as an aligned human-readable table (used by
+/// `gencache-client trace` and `--verbose`).
+pub fn render_spans(spans: &[Span]) -> String {
+    let mut out = String::new();
+    let node_w = spans.iter().map(|s| s.node.len()).max().unwrap_or(4).max(4);
+    let stage_w = spans
+        .iter()
+        .map(|s| s.stage.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    out.push_str(&format!(
+        "{:<node_w$}  {:<stage_w$}  {:>10}  {:>10}  {}\n",
+        "node", "stage", "start_us", "dur_us", "outcome"
+    ));
+    for s in spans {
+        let mut detail = String::new();
+        if let Some(n) = s.lines {
+            detail.push_str(&format!(" lines={n}"));
+        }
+        if let Some(n) = s.bytes {
+            detail.push_str(&format!(" bytes={n}"));
+        }
+        out.push_str(&format!(
+            "{:<node_w$}  {:<stage_w$}  {:>10}  {:>10}  {}{}\n",
+            s.node, s.stage, s.start_us, s.dur_us, s.outcome, detail
+        ));
+    }
+    out
+}
+
+/// In-flight span under construction; terminal [`SpanBuilder::end`]
+/// pushes it into the ring.
+#[derive(Debug)]
+pub struct SpanBuilder<'t> {
+    tel: &'t Telemetry,
+    trace_id: String,
+    stage: String,
+    start: Instant,
+    dur: Option<Duration>,
+    outcome: String,
+    lines: Option<u64>,
+    bytes: Option<u64>,
+}
+
+impl SpanBuilder<'_> {
+    /// Overrides the outcome (default `ok`).
+    #[must_use]
+    pub fn outcome(mut self, outcome: &str) -> Self {
+        self.outcome = outcome.to_string();
+        self
+    }
+
+    /// Attaches a line count.
+    #[must_use]
+    pub fn lines(mut self, n: u64) -> Self {
+        self.lines = Some(n);
+        self
+    }
+
+    /// Attaches a byte count.
+    #[must_use]
+    pub fn bytes(mut self, n: u64) -> Self {
+        self.bytes = Some(n);
+        self
+    }
+
+    /// Overrides the duration (default: elapsed since the start instant
+    /// when `end` is called). Used for retrospective spans such as queue
+    /// wait and per-spec replay sums.
+    #[must_use]
+    pub fn dur(mut self, dur: Duration) -> Self {
+        self.dur = Some(dur);
+        self
+    }
+
+    /// Finalizes the span and records it.
+    pub fn end(self) {
+        let dur = self.dur.unwrap_or_else(|| self.start.elapsed());
+        let span = Span {
+            trace_id: self.trace_id,
+            node: self.tel.node.clone(),
+            stage: self.stage,
+            start_us: self.tel.offset_us(self.start),
+            dur_us: dur.as_micros() as u64,
+            outcome: self.outcome,
+            lines: self.lines,
+            bytes: self.bytes,
+        };
+        self.tel.push(span);
+    }
+}
+
+/// Per-daemon telemetry: a span ring plus the structured logger.
+pub struct Telemetry {
+    node: String,
+    origin: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<Span>>,
+    logger: Logger,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("node", &self.node)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Builds a recorder for `node` retaining up to `capacity` spans.
+    /// Capacity 0 disables tracing entirely (spans cost one branch).
+    pub fn new(node: &str, capacity: usize, logger: Logger) -> Telemetry {
+        Telemetry {
+            node: node.to_string(),
+            origin: Instant::now(),
+            capacity,
+            ring: Mutex::new(VecDeque::new()),
+            logger,
+        }
+    }
+
+    /// A disabled recorder: no spans, no logs.
+    pub fn disabled() -> Telemetry {
+        Telemetry::new("", 0, Logger::disabled())
+    }
+
+    /// Whether span recording is on.
+    pub fn tracing(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Milliseconds since this recorder (daemon) started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    fn offset_us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_micros() as u64
+    }
+
+    /// Starts a span for `trace_id` covering `stage`, begun at `start`.
+    /// Returns `None` when tracing is disabled so call sites pay nothing.
+    pub fn span(&self, trace_id: &str, stage: &str, start: Instant) -> Option<SpanBuilder<'_>> {
+        if !self.tracing() {
+            return None;
+        }
+        Some(SpanBuilder {
+            tel: self,
+            trace_id: trace_id.to_string(),
+            stage: stage.to_string(),
+            start,
+            dur: None,
+            outcome: "ok".to_string(),
+            lines: None,
+            bytes: None,
+        })
+    }
+
+    fn push(&self, span: Span) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span);
+    }
+
+    /// All retained spans for a trace id, in recording order.
+    pub fn spans_for(&self, trace_id: &str) -> Vec<Span> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// The structured logger bound to this daemon.
+    pub fn log(&self) -> &Logger {
+        &self.logger
+    }
+}
+
+/// Severity of a structured log record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Fine-grained per-stage detail.
+    Debug,
+    /// Normal life-cycle events (admission, drain).
+    Info,
+    /// Degraded but recovering (shed, failover, deadline miss).
+    Warn,
+    /// Request- or connection-fatal conditions.
+    Error,
+}
+
+impl LogLevel {
+    /// Parses `debug|info|warn|error` (case-insensitive).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(LogLevel::Debug),
+            "info" => Some(LogLevel::Info),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "error" => Some(LogLevel::Error),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name used in log records.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+}
+
+/// Levelled JSONL logger. Each record is one line:
+/// `{"ts_ms":…,"level":"…","component":"…","event":"…","trace_id":…,…}`.
+pub struct Logger {
+    component: String,
+    level: LogLevel,
+    sink: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("component", &self.component)
+            .field("level", &self.level)
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Logger {
+    /// A logger that drops everything.
+    pub fn disabled() -> Logger {
+        Logger {
+            component: String::new(),
+            level: LogLevel::Error,
+            sink: None,
+        }
+    }
+
+    /// Opens a logger for `component` writing to `target`:
+    /// `None`/`"none"` disables, `"-"` writes to stderr, anything else
+    /// is a file path (created or appended to).
+    pub fn open(component: &str, target: Option<&str>, level: LogLevel) -> io::Result<Logger> {
+        let sink: Option<Box<dyn Write + Send>> = match target {
+            None | Some("none") | Some("off") => None,
+            Some("-") => Some(Box::new(io::stderr())),
+            Some(path) => Some(Box::new(
+                OpenOptions::new().create(true).append(true).open(path)?,
+            )),
+        };
+        Ok(Logger {
+            component: component.to_string(),
+            level,
+            sink: sink.map(Mutex::new),
+        })
+    }
+
+    /// Whether records at `level` would be written.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        self.sink.is_some() && level >= self.level
+    }
+
+    /// Writes one structured record. `fields` are appended after the
+    /// standard keys in the given order; `trace_id` is included when
+    /// present so a job can be grepped across daemons.
+    pub fn event(
+        &self,
+        level: LogLevel,
+        event: &str,
+        trace_id: Option<&str>,
+        fields: &[(&str, Value)],
+    ) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut pairs = vec![
+            ("ts_ms".to_string(), Value::UInt(ts_ms)),
+            ("level".to_string(), Value::Str(level.name().to_string())),
+            (
+                "component".to_string(),
+                Value::Str(self.component.clone()),
+            ),
+            ("event".to_string(), Value::Str(event.to_string())),
+        ];
+        if let Some(id) = trace_id {
+            pairs.push(("trace_id".to_string(), Value::Str(id.to_string())));
+        }
+        for (k, v) in fields {
+            pairs.push(((*k).to_string(), v.clone()));
+        }
+        let line = gencache_bench::value_to_json(&Value::Object(pairs));
+        if let Some(sink) = &self.sink {
+            let mut w = sink.lock().unwrap();
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Builder for a Prometheus text exposition document.
+///
+/// Counters and gauges are emitted with `# HELP` / `# TYPE` headers;
+/// [`Log2Histogram`]s become cumulative `_bucket{le=…}` series where each
+/// `le` is the inclusive top of a power-of-two bucket.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Appends a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Appends a point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "gauge", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Appends one gauge series with one sample per labelled row.
+    /// `rows` pairs a preformatted label body (e.g. `addr="host:port"`)
+    /// with the sample value.
+    pub fn gauge_rows(&mut self, name: &str, help: &str, rows: &[(String, u64)]) {
+        if rows.is_empty() {
+            return;
+        }
+        self.header(name, "gauge", help);
+        for (labels, value) in rows {
+            self.out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    }
+
+    /// Appends a [`Log2Histogram`] as a Prometheus histogram. `sum` is
+    /// the exact sum of recorded values (the histogram itself only keeps
+    /// bucket counts).
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &Log2Histogram, sum: u64) {
+        self.header(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for (b, &count) in hist.counts().iter().enumerate() {
+            cumulative += count;
+            let (_, hi) = Log2Histogram::bucket_range(b);
+            self.out
+                .push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+        }
+        self.out
+            .push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", hist.total()));
+        self.out.push_str(&format!("{name}_sum {sum}\n"));
+        self.out.push_str(&format!("{name}_count {}\n", hist.total()));
+    }
+
+    /// Finishes the document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+pub fn prom_label_escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_hex() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_filters_by_trace() {
+        let tel = Telemetry::new("serve:test", 4, Logger::disabled());
+        let t0 = Instant::now();
+        for i in 0..6 {
+            tel.span(&format!("id-{i}"), "accept", t0).unwrap().end();
+        }
+        assert!(tel.spans_for("id-0").is_empty(), "oldest spans evicted");
+        assert!(tel.spans_for("id-1").is_empty(), "oldest spans evicted");
+        let last = tel.spans_for("id-5");
+        assert_eq!(last.len(), 1);
+        assert_eq!(last[0].node, "serve:test");
+        assert_eq!(last[0].outcome, "ok");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.tracing());
+        assert!(tel.span("id", "accept", Instant::now()).is_none());
+        assert!(tel.spans_for("id").is_empty());
+    }
+
+    #[test]
+    fn span_value_roundtrip() {
+        let span = Span {
+            trace_id: "abc123".to_string(),
+            node: "serve:127.0.0.1:1".to_string(),
+            stage: "ingest".to_string(),
+            start_us: 42,
+            dur_us: 7,
+            outcome: "ok".to_string(),
+            lines: Some(10),
+            bytes: Some(999),
+        };
+        let back = Span::from_value(&span.to_value()).unwrap();
+        assert_eq!(back, span);
+        let minimal = Span {
+            lines: None,
+            bytes: None,
+            ..span
+        };
+        let back = Span::from_value(&minimal.to_value()).unwrap();
+        assert_eq!(back, minimal);
+    }
+
+    #[test]
+    fn logger_writes_filtered_jsonl() {
+        let dir = std::env::temp_dir().join(format!("gencache-log-{}", new_trace_id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.log");
+        let logger = Logger::open("serve", path.to_str(), LogLevel::Info).unwrap();
+        assert!(logger.enabled(LogLevel::Warn));
+        assert!(!logger.enabled(LogLevel::Debug));
+        logger.event(LogLevel::Debug, "dropped", None, &[]);
+        logger.event(
+            LogLevel::Info,
+            "job_admitted",
+            Some("deadbeef"),
+            &[("queue_depth", Value::UInt(3))],
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "debug record must be filtered: {text}");
+        assert!(lines[0].contains("\"event\":\"job_admitted\""));
+        assert!(lines[0].contains("\"trace_id\":\"deadbeef\""));
+        assert!(lines[0].contains("\"queue_depth\":3"));
+        serde_json::value_from_str(lines[0]).expect("record is valid JSON");
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let mut hist = Log2Histogram::new();
+        for v in [0u64, 1, 1, 3, 900] {
+            hist.record(v);
+        }
+        let mut p = PromText::new();
+        p.histogram("job_latency_us", "Job latency.", &hist, 905);
+        let text = p.into_string();
+        assert!(text.contains("# TYPE job_latency_us histogram"));
+        assert!(text.contains("job_latency_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("job_latency_us_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("job_latency_us_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("job_latency_us_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("job_latency_us_sum 905\n"));
+        assert!(text.contains("job_latency_us_count 5\n"));
+        // Cumulative counts never decrease across bucket lines.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "bucket counts must be cumulative: {text}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn prom_label_escaping() {
+        assert_eq!(prom_label_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

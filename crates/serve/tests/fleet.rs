@@ -7,6 +7,7 @@
 //! `simulate --metrics-out` produces for the same export and specs,
 //! even while shards die and come back mid-run.
 
+use std::collections::BTreeSet;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -15,9 +16,10 @@ use std::time::Duration;
 use gencache_bench::ingest::{resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest};
 use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
 use gencache_serve::{
-    Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig, ShardConfig, ShardRouter,
+    Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig, ShardConfig, ShardRouter, Span,
 };
 use gencache_workloads::Suite;
+use serde::Value;
 
 /// Number of benchmarks in the shared export — enough that a 3-shard
 /// ring gives at least two shards real work.
@@ -312,6 +314,93 @@ fn killing_a_shard_mid_fleet_degrades_gracefully() {
     };
     assert!(doc.contains("\"shards_down\":1"), "stats disagree: {doc}");
     assert!(doc.contains("\"failovers\":1"), "no failover charged: {doc}");
+}
+
+/// Fetches and parses the span set a daemon retains for `trace_id`.
+fn trace_spans(client: &Client, trace_id: &str) -> Vec<Span> {
+    match client.trace(trace_id).expect("trace request") {
+        Reply::Trace { doc, .. } => {
+            let v = serde_json::value_from_str(&doc).expect("trace doc parses");
+            let Value::Array(items) = v else {
+                panic!("trace doc is not an array: {doc}");
+            };
+            items.iter().filter_map(Span::from_value).collect()
+        }
+        other => panic!("unexpected trace reply {other:?}"),
+    }
+}
+
+#[test]
+fn trace_id_propagates_from_client_through_router_to_every_shard() {
+    let shards: Vec<TestServer> = (0..3).map(|_| TestServer::start()).collect();
+    let router = TestRouter::start(
+        shards.iter().map(|s| s.addr.clone()).collect(),
+        Duration::from_millis(200),
+    );
+    let trace_id = "feedfacefeedface";
+    let spec = JobSpec {
+        trace_id: Some(trace_id.to_string()),
+        ..fleet_spec()
+    };
+    let (reply, client_spans) = router
+        .client()
+        .submit_with_spans(export().as_bytes(), &spec)
+        .expect("submit with spans");
+    assert!(matches!(reply, Reply::Result { .. }), "got {reply:?}");
+
+    // Client-side spans all carry the stamped id under node `client`.
+    assert!(!client_spans.is_empty());
+    for span in &client_spans {
+        assert_eq!(span.trace_id, trace_id);
+        assert_eq!(span.node, "client");
+    }
+    for stage in ["upload", "reply_wait", "job"] {
+        assert!(
+            client_spans.iter().any(|s| s.stage == stage),
+            "client missing {stage} span: {client_spans:?}"
+        );
+    }
+
+    // The router's trace frame stitches its own spans with every live
+    // shard's — one id across all three layers.
+    let spans = trace_spans(&router.client(), trace_id);
+    assert!(spans.iter().all(|s| s.trace_id == trace_id));
+    let router_spans: Vec<&Span> =
+        spans.iter().filter(|s| s.node.starts_with("router:")).collect();
+    for stage in ["accept", "ingest", "merge", "reply"] {
+        assert!(
+            router_spans.iter().any(|s| s.stage == stage),
+            "router missing {stage} span: {spans:?}"
+        );
+    }
+    // Every dispatch target the router recorded shows up as a serve
+    // node that recorded its own spans, and vice versa.
+    let dispatched: BTreeSet<&str> = router_spans
+        .iter()
+        .filter_map(|s| s.stage.strip_prefix("dispatch:"))
+        .collect();
+    let served: BTreeSet<&str> = spans
+        .iter()
+        .filter_map(|s| s.node.strip_prefix("serve:"))
+        .collect();
+    assert!(!dispatched.is_empty(), "router recorded no dispatch spans");
+    assert_eq!(dispatched, served, "dispatch targets and serve nodes disagree");
+    // Each shard that got work timed the full serve pipeline.
+    for addr in &served {
+        let node = format!("serve:{addr}");
+        for stage in ["accept", "queue", "ingest", "reply"] {
+            assert!(
+                spans.iter().any(|s| s.node == node && s.stage == stage),
+                "{node} missing {stage} span"
+            );
+        }
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.node == node && s.stage.starts_with("replay:")),
+            "{node} missing replay spans"
+        );
+    }
 }
 
 #[test]

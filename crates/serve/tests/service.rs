@@ -16,8 +16,9 @@ use gencache_bench::ingest::{
 };
 use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
 use gencache_obs::{parse_stream_line, StreamLine};
-use gencache_serve::{Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig};
+use gencache_serve::{Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig, Span};
 use gencache_workloads::Suite;
+use serde::Value;
 
 /// Records one tiny benchmark and returns its v2 export text. Shared
 /// across tests — recording is the slow part.
@@ -459,6 +460,169 @@ fn stats_report_panicked_jobs() {
     // The counter exists and starts at zero; the pool's unit tests cover
     // that a panicking job increments it without killing the worker.
     assert_eq!(counter(&doc, "jobs_panicked"), 0);
+}
+
+/// Fetches and parses the span set a daemon retains for `trace_id`.
+fn trace_spans(client: &Client, trace_id: &str) -> Vec<Span> {
+    match client.trace(trace_id).expect("trace request") {
+        Reply::Trace { doc, .. } => {
+            let v = serde_json::value_from_str(&doc).expect("trace doc parses");
+            let Value::Array(items) = v else {
+                panic!("trace doc is not an array: {doc}");
+            };
+            items.iter().filter_map(Span::from_value).collect()
+        }
+        other => panic!("unexpected trace reply {other:?}"),
+    }
+}
+
+#[test]
+fn happy_job_records_every_stage_and_metrics_expose_it() {
+    let export = export();
+    let server = TestServer::start(ServerConfig::default());
+    let trace_id = "0123456789abcdef";
+    let spec = JobSpec {
+        trace_id: Some(trace_id.to_string()),
+        ..JobSpec::default()
+    };
+    match server.client().submit(export.as_bytes(), &spec) {
+        Ok(Reply::Result { .. }) => {}
+        other => panic!("expected result, got {other:?}"),
+    }
+
+    // Every stage of the pipeline left a span under the stamped id.
+    let spans = trace_spans(&server.client(), trace_id);
+    assert!(spans.iter().all(|s| s.trace_id == trace_id));
+    for stage in ["accept", "queue", "ingest", "reply"] {
+        assert!(
+            spans.iter().any(|s| s.stage == stage && s.outcome == "ok"),
+            "missing ok {stage} span: {spans:?}"
+        );
+    }
+    assert!(
+        spans.iter().any(|s| s.stage.starts_with("replay:")),
+        "missing replay spans: {spans:?}"
+    );
+    let ingest = spans.iter().find(|s| s.stage == "ingest").unwrap();
+    assert!(ingest.lines.unwrap_or(0) > 0, "ingest span counts lines");
+    assert!(
+        ingest.bytes.unwrap_or(0) >= export.len() as u64,
+        "ingest span counts bytes"
+    );
+    let reply = spans.iter().find(|s| s.stage == "reply").unwrap();
+    assert!(reply.bytes.unwrap_or(0) > 0, "reply span counts bytes");
+
+    // The metrics frame is well-formed Prometheus text exposition:
+    // every line is a comment header or `name[{labels}] value`.
+    let Ok(Reply::Metrics { body }) = server.client().metrics() else {
+        panic!("metrics request failed");
+    };
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("metrics line has no sample value: {line:?}")
+        });
+        assert!(!series.is_empty(), "empty series name: {line:?}");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable sample value in {line:?}"
+        );
+    }
+    for series in [
+        "gencache_jobs_accepted_total 1",
+        "gencache_jobs_completed_total 1",
+        "gencache_job_latency_us_bucket{le=\"+Inf\"} 1",
+        "gencache_job_latency_us_count 1",
+        "gencache_workers ",
+        "gencache_uptime_ms ",
+    ] {
+        assert!(body.contains(series), "metrics missing {series:?}:\n{body}");
+    }
+}
+
+#[test]
+fn shed_and_deadline_jobs_leave_diagnosable_spans() {
+    let export = export();
+    let server = TestServer::start(ServerConfig {
+        workers: Some(1),
+        queue_depth: Some(1),
+        ..ServerConfig::default()
+    });
+
+    // Hold the worker and park a second ping in the only queue slot,
+    // exactly like the shedding test — then submit with a trace id.
+    let hold = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(1200))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 1 && counter(doc, "queue_depth") == 0,
+        "worker to pick up the held ping",
+    );
+    let queued = {
+        let addr = server.addr.clone();
+        std::thread::spawn(move || Client::new(addr).ping(600))
+    };
+    server.wait_stats(
+        |doc| counter(doc, "jobs_accepted") >= 2,
+        "second ping to fill the queue",
+    );
+
+    let shed_id = "5hed5hed5hed5hed";
+    let spec = JobSpec {
+        trace_id: Some(shed_id.to_string()),
+        ..JobSpec::default()
+    };
+    match server.client().submit(export.as_bytes(), &spec) {
+        Ok(Reply::Busy { .. }) => {}
+        other => panic!("expected busy, got {other:?}"),
+    }
+    let spans = trace_spans(&server.client(), shed_id);
+    assert!(
+        spans.iter().any(|s| s.stage == "accept" && s.outcome == "busy"),
+        "shed job must record a busy accept span: {spans:?}"
+    );
+
+    // A queued job whose deadline expires before pickup records the
+    // wait that killed it — and never reaches replay. Wait for the
+    // queued ping to reach the worker (queue empty, one in flight) so
+    // the next submission queues behind its 600 ms instead of shedding.
+    server.wait_stats(
+        |doc| counter(doc, "in_flight") == 1 && counter(doc, "queue_depth") == 0,
+        "queued ping to reach the worker",
+    );
+    let late_id = "1a7e1a7e1a7e1a7e";
+    let spec = JobSpec {
+        trace_id: Some(late_id.to_string()),
+        deadline_ms: Some(50),
+        ..JobSpec::default()
+    };
+    match server.client().submit(export.as_bytes(), &spec) {
+        Ok(Reply::Error { message }) => {
+            assert!(message.contains("deadline"), "got {message:?}");
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    assert!(matches!(hold.join().unwrap(), Ok(Reply::Pong)));
+    assert!(matches!(queued.join().unwrap(), Ok(Reply::Pong)));
+    let spans = trace_spans(&server.client(), late_id);
+    assert!(
+        spans.iter().any(|s| s.stage == "accept" && s.outcome == "ok"),
+        "late job was admitted: {spans:?}"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.stage == "queue" && s.outcome.contains("deadline")),
+        "queue span must carry the deadline outcome: {spans:?}"
+    );
+    assert!(
+        !spans.iter().any(|s| s.stage.starts_with("replay:")),
+        "a dead-on-dequeue job must not replay: {spans:?}"
+    );
 }
 
 #[test]

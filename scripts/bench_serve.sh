@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Serve-path throughput trajectory: measures jobs/sec, ingest lines/sec
+# and span-derived p50/p99 job latency against a local gencache-serve
+# daemon, then appends the entry to results/BENCH_serve.json with
+# regression watch (--watch refuses to append on a throughput drop
+# beyond the tolerance). Method notes live in EXPERIMENTS.md.
+#
+# Usage: scripts/bench_serve.sh [--jobs N] [--note TEXT]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=20
+note="$(git rev-parse --short HEAD 2>/dev/null || echo untracked)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs) jobs="$2"; shift 2 ;;
+    --note) note="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench_serve.sh [--jobs N] [--note TEXT]"; exit 2 ;;
+  esac
+done
+
+echo "=== cargo build --release"
+cargo build --release
+
+mkdir -p target/tmp results
+events="target/tmp/bench-serve-events.jsonl"
+serve_log="target/tmp/bench-serve.log"
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+  rm -f "$events" "$serve_log"
+}
+trap cleanup EXIT
+
+echo "=== recording the benchmark export (word @ scale 64)"
+./target/release/explain --bench word --scale 64 \
+  --events-out "$events" > /dev/null
+
+echo "=== starting gencache-serve"
+./target/release/gencache-serve --addr 127.0.0.1:0 > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^gencache-serve listening on //p' "$serve_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never reported its address"; exit 1; }
+
+echo "=== bench: $jobs jobs against $addr"
+./target/release/gencache-client bench --addr "$addr" \
+  --events "$events" --jobs "$jobs" --note "$note" \
+  --out results/BENCH_serve.json --watch --tolerance 0.5
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "daemon exited nonzero after SIGTERM"; exit 1; }
+serve_pid=""
+echo "trajectory updated: results/BENCH_serve.json"

@@ -24,6 +24,7 @@ sim_metrics="target/tmp/check-metrics-sim.json"
 baseline="target/tmp/check-baseline.json"
 serve_metrics="target/tmp/check-metrics-serve.json"
 serve_log="target/tmp/check-serve.log"
+serve_events_log="target/tmp/check-serve-events.jsonl"
 serve_pid=""
 fleet_events="target/tmp/check-fleet-events.jsonl"
 fleet_second="target/tmp/check-fleet-second.jsonl"
@@ -40,7 +41,7 @@ cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null
   done
   rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" \
-    "$serve_metrics" "$serve_log" \
+    "$serve_metrics" "$serve_log" "$serve_events_log" \
     "$fleet_events" "$fleet_second" "$fleet_sim" "$fleet_served" \
     "$shard1_log" "$shard2_log" "$router_log"
 }
@@ -79,7 +80,8 @@ cmp "$live_metrics" "$sim_metrics" \
   || { echo "simulate --watch failed against a fresh baseline"; exit 1; }
 
 echo "=== serve smoke: daemon reply is byte-identical to offline simulate"
-./target/release/gencache-serve --addr 127.0.0.1:0 > "$serve_log" 2>&1 &
+./target/release/gencache-serve --addr 127.0.0.1:0 \
+  --log "$serve_events_log" --log-level info > "$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -96,6 +98,8 @@ cmp "$sim_metrics" "$serve_metrics" \
 ./target/release/gencache-client stats --addr "$addr" \
   | grep -q '"jobs_completed":1' \
   || { echo "stats did not report the completed job"; exit 1; }
+grep -q '"event":"job_admitted"' "$serve_events_log" \
+  || { echo "structured log has no job_admitted record"; cat "$serve_events_log"; exit 1; }
 kill -TERM "$serve_pid"
 wait "$serve_pid" \
   || { echo "daemon exited nonzero after SIGTERM"; exit 1; }
@@ -142,6 +146,11 @@ echo "$fleet_stats" | grep -q '"shards_up":2' \
 ./target/release/gencache-client shards --addr "$router_addr" \
   | grep -q '"up":true' \
   || { echo "shard table reports no healthy shard"; exit 1; }
+router_metrics="$(./target/release/gencache-client metrics --addr "$router_addr")"
+[ -n "$router_metrics" ] \
+  || { echo "router metrics frame came back empty"; exit 1; }
+echo "$router_metrics" | grep -q '^gencache_' \
+  || { echo "router metrics expose no gencache_ series: $router_metrics"; exit 1; }
 
 kill -TERM "$router_pid"
 wait "$router_pid" \
