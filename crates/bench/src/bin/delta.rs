@@ -18,6 +18,8 @@
 //! delta LEFT.jsonl RIGHT.jsonl --left-model unified --right-model gen-45-10-45@hit1
 //!     # explicit model pairing
 //! delta FILE.jsonl --phases 12 --bench word
+//! delta FILE.jsonl --regret
+//!     # additionally diff the Belady-regret attribution of each pair
 //! gencache-client fetch --addr HOST:PORT --bench word | delta -
 //!     # `-` reads an export from stdin (at most one of the two inputs)
 //! ```
@@ -29,8 +31,8 @@ use std::process::ExitCode;
 use gencache_bench::export_specs;
 use gencache_bench::ingest::open_lines;
 use gencache_obs::{
-    cost, overhead_ratio, parse_stream_line, CacheEvent, CostLedger, CostObserver, Observer,
-    StreamLine,
+    cost, overhead_ratio, parse_stream_line, reconstruct_trace, CacheEvent, CostLedger,
+    CostObserver, NextUseIndex, Observer, PhaseRegret, RegretCell, RegretObserver, StreamLine,
 };
 use gencache_sim::report::{bar, fmt_bytes, TextTable};
 
@@ -41,6 +43,7 @@ struct DeltaOptions {
     right_model: Option<String>,
     bench: Option<String>,
     phases: u32,
+    regret: bool,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
@@ -51,6 +54,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
         right_model: None,
         bench: None,
         phases: 8,
+        regret: false,
     };
     let mut files = Vec::new();
     let mut it = args.into_iter();
@@ -70,9 +74,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
                 opts.phases = v.parse().expect("--phases must be a positive integer");
                 assert!(opts.phases > 0, "--phases must be positive");
             }
+            "--regret" => opts.regret = true,
             flag if flag.starts_with("--") => panic!(
                 "unknown argument {flag:?}; use LEFT.jsonl [RIGHT.jsonl] / --left-model M / \
-                 --right-model M / --bench NAME / --phases N"
+                 --right-model M / --bench NAME / --phases N / --regret"
             ),
             file => files.push(file.to_string()),
         }
@@ -241,7 +246,85 @@ fn analyze(events: &[CacheEvent], duration_us: u64, phases: u32) -> (Vec<PhaseSi
     (sides, ledgers, report.total)
 }
 
-fn render_pair(pair: &Pair<'_>, phases: u32) -> (CostLedger, CostLedger) {
+/// Diffs the Belady-regret attribution of the two sides. Both streams
+/// must invert to the *same* frontend trace (the export invariant) —
+/// the shared next-use index is what makes their regrets comparable.
+fn render_regret_pair(pair: &Pair<'_>, phases: u32, duration_us: u64) {
+    let trace = match reconstruct_trace(pair.left) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("  regret skipped: left stream does not invert: {e}");
+            return;
+        }
+    };
+    match reconstruct_trace(pair.right) {
+        Ok(t) if t == trace => {}
+        Ok(_) => {
+            eprintln!(
+                "  regret skipped: the two streams reconstruct different frontend traces"
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("  regret skipped: right stream does not invert: {e}");
+            return;
+        }
+    }
+    let index = NextUseIndex::build(&trace);
+    let score = |events: &[CacheEvent]| {
+        let mut observer = RegretObserver::with_phases(&index, phases, duration_us);
+        for event in events {
+            observer.on_event(event);
+        }
+        observer.report()
+    };
+    let left = score(pair.left);
+    let right = score(pair.right);
+    let summarize = |c: &RegretCell| {
+        format!(
+            "{} execs regret ({}/{} evictions, {} re-misses, {:.2} Minstr)",
+            c.regret_sum, c.regretful, c.evictions, c.remisses, c.remiss_instructions / 1e6,
+        )
+    };
+    println!(
+        "Belady regret: left {} vs right {}",
+        summarize(&left.total),
+        summarize(&right.total),
+    );
+    let cell =
+        |r: &[PhaseRegret], p: usize| r.get(p).map(|x| x.total).unwrap_or_default();
+    let peak = (0..phases as usize)
+        .map(|p| {
+            (cell(&right.phases, p).regret_sum as i64 - cell(&left.phases, p).regret_sum as i64)
+                .unsigned_abs()
+        })
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut table = TextTable::new([
+        "phase", "regret L", "regret R", "Δregret", "remiss L", "remiss R", "",
+    ]);
+    for p in 0..phases as usize {
+        let l = cell(&left.phases, p);
+        let r = cell(&right.phases, p);
+        if l.evictions == 0 && r.evictions == 0 {
+            continue;
+        }
+        let delta = r.regret_sum as i64 - l.regret_sum as i64;
+        table.row([
+            p.to_string(),
+            l.regret_sum.to_string(),
+            r.regret_sum.to_string(),
+            format!("{delta:+}"),
+            l.remisses.to_string(),
+            r.remisses.to_string(),
+            bar(delta.unsigned_abs() as f64, peak as f64, 20),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn render_pair(pair: &Pair<'_>, phases: u32, regret: bool) -> (CostLedger, CostLedger) {
     // Shared phase boundaries: both sides are sliced over the same span.
     let duration_us = pair
         .left
@@ -295,6 +378,9 @@ fn render_pair(pair: &Pair<'_>, phases: u32) -> (CostLedger, CostLedger) {
         ]);
     }
     print!("{}", table.render());
+    if regret {
+        render_regret_pair(pair, phases, duration_us);
+    }
     (left_total, right_total)
 }
 
@@ -359,7 +445,7 @@ fn main() -> ExitCode {
     let mut suite_left = CostLedger::new();
     let mut suite_right = CostLedger::new();
     for pair in &pairs {
-        let (l, r) = render_pair(pair, opts.phases);
+        let (l, r) = render_pair(pair, opts.phases, opts.regret);
         suite_left.merge(&l);
         suite_right.merge(&r);
     }

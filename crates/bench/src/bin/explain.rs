@@ -10,7 +10,7 @@
 //! cliffs.
 //!
 //! ```text
-//! explain --bench word --scale 16 [--top 10] [--jobs N]
+//! explain --bench word --scale 16 [--top 10] [--jobs N] [--oracle]
 //!         [--events-out FILE.jsonl] [--metrics-out FILE.json]
 //! explain --parse-events FILE.jsonl   # validate a JSONL export
 //! explain --parse-events -            # ... read from stdin
@@ -23,24 +23,35 @@ use std::process::ExitCode;
 use gencache_bench::ingest::open_lines;
 use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
 use gencache_obs::{
-    parse_stream_line, CacheEvent, CostObserver, Log2Histogram, MetricsObserver, MetricsReport,
-    Observer, Region, SamplingObserver, SamplingParams, StreamLine,
+    oracle_replay, parse_stream_line, reconstruct_trace, CacheEvent, CostObserver, Log2Histogram,
+    MetricsObserver, MetricsReport, NextUseIndex, Observer, OracleResult, Region, RegretObserver,
+    SamplingObserver, SamplingParams, StreamLine,
 };
 use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
-use gencache_sim::{collect_events, record, ReplayResult};
+use gencache_sim::{collect_events, record, ModelSpec, ReplayResult};
 use gencache_workloads::{benchmark, WorkloadProfile};
 
 struct ExplainOptions {
     bench: String,
     top: usize,
+    oracle: bool,
     parse_events: Option<String>,
     harness: HarnessOptions,
+}
+
+/// Everything the regret narrative needs from the clairvoyant side: the
+/// next-use index over the frontend trace and the oracle's own replay
+/// (the floor the gap is measured against).
+struct OracleContext {
+    index: NextUseIndex,
+    result: OracleResult,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
     let mut opts = ExplainOptions {
         bench: "word".to_string(),
         top: 10,
+        oracle: false,
         parse_events: None,
         harness: HarnessOptions {
             scale: 1,
@@ -60,6 +71,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
             "--parse-events" => {
                 opts.parse_events = Some(it.next().expect("--parse-events needs a file path"));
             }
+            "--oracle" => opts.oracle = true,
             "--scale" => {
                 let v = it.next().expect("--scale needs a value");
                 opts.harness.scale = v.parse().expect("--scale must be a positive integer");
@@ -92,7 +104,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
             }
             other => panic!(
                 "unknown argument {other:?}; use --bench NAME / --scale N / --jobs N / \
-                 --top N / --events-out FILE / --metrics-out FILE / --sample N / \
+                 --top N / --oracle / --events-out FILE / --metrics-out FILE / --sample N / \
                  --sample-seed S / --parse-events FILE"
             ),
         }
@@ -410,6 +422,100 @@ fn render_sampling(params: SamplingParams, sample_every: u64, events: &[CacheEve
     }
 }
 
+/// Compact execution-distance formatting for narratives: "211", "4.1k",
+/// "2.3M".
+fn fmt_execs(n: u64) -> String {
+    if n < 1_000 {
+        n.to_string()
+    } else if n < 1_000_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        format!("{:.1}M", n as f64 / 1e6)
+    }
+}
+
+/// Scores every eviction in the stream against the Belady alternative
+/// and prints the decision-level account of the model's gap to the
+/// oracle: the top regret contributors plus a trace-grounded narrative
+/// of each one's single worst decision.
+fn render_regret(
+    profile: &WorkloadProfile,
+    duration_us: u64,
+    oracle: &OracleContext,
+    result: &ReplayResult,
+    events: &[CacheEvent],
+    top: usize,
+) {
+    let mut observer =
+        RegretObserver::with_phases(&oracle.index, profile.phases.max(1), duration_us);
+    for event in events {
+        observer.on_event(event);
+    }
+    let report = observer.report();
+    let gap = result.metrics.misses.saturating_sub(oracle.result.misses);
+    println!(
+        "\nOracle regret: {} misses vs Belady floor {} — gap {}; {} of {} evictions \
+         regretted, total regret {} executions, {} re-misses ({:.2} Minstr)",
+        result.metrics.misses,
+        oracle.result.misses,
+        gap,
+        report.total.regretful,
+        report.total.evictions,
+        report.total.regret_sum,
+        report.total.remisses,
+        report.total.remiss_instructions / 1e6,
+    );
+    if report.contributors.is_empty() {
+        println!("  No regretful evictions: every victim was the furthest-reused resident.");
+        return;
+    }
+    let entries = &report.contributors[..report.contributors.len().min(top)];
+    let peak = entries.iter().map(|c| c.regret_sum).max().unwrap_or(1).max(1);
+    let mut table = TextTable::new([
+        "trace", "bytes", "evictions", "regret", "remisses", "Minstr", "",
+    ]);
+    for c in entries {
+        table.row([
+            format!("t{}", c.trace),
+            c.bytes.to_string(),
+            c.evictions.to_string(),
+            c.regret_sum.to_string(),
+            c.remisses.to_string(),
+            format!("{:.2}", c.remiss_instructions / 1e6),
+            bar(c.regret_sum as f64, peak as f64, 30),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("Worst decisions:");
+    for c in entries.iter().take(3.min(entries.len())) {
+        let w = &c.worst;
+        let reuse = if w.reused {
+            format!("reused {} accesses later", fmt_execs(w.next_use))
+        } else {
+            "never reused again".to_string()
+        };
+        let alternative = if w.victim == c.trace {
+            "no alternative victim existed".to_string()
+        } else if w.victim_reused {
+            format!("t{} was {} away", w.victim, fmt_execs(w.victim_next_use))
+        } else {
+            format!("t{} was never needed again", w.victim)
+        };
+        let share = if gap > 0 && c.remisses > 0 {
+            format!(
+                " — {:.0}% of the gap to oracle",
+                100.0 * c.remisses as f64 / gap as f64
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "  phase {}, {}, {}: evicted t{} {reuse} while {alternative}{share}",
+            w.phase, w.region, w.cause, c.trace,
+        );
+    }
+}
+
 fn render_histogram(label: &str, hist: &Log2Histogram) {
     if hist.is_empty() {
         return;
@@ -428,15 +534,30 @@ fn render_histogram(label: &str, hist: &Log2Histogram) {
     }
 }
 
-fn explain_model(
-    profile: &WorkloadProfile,
+/// Run-level inputs shared by every model's narrative: the workload,
+/// its wall-clock span, the timeline sampling stride, and (with
+/// `--oracle`) the clairvoyant context all models are scored against.
+#[derive(Clone, Copy)]
+struct RunContext<'a> {
+    profile: &'a WorkloadProfile,
     duration_us: u64,
+    sample_every: u64,
+    oracle: Option<&'a OracleContext>,
+}
+
+fn explain_model(
+    ctx: &RunContext<'_>,
     label: &str,
     result: &ReplayResult,
     events: &[CacheEvent],
-    sample_every: u64,
     opts: &ExplainOptions,
 ) {
+    let RunContext {
+        profile,
+        duration_us,
+        sample_every,
+        oracle,
+    } = *ctx;
     let top = opts.top;
     let mut observer = MetricsObserver::with_timeline(sample_every);
     for event in events {
@@ -483,6 +604,9 @@ fn explain_model(
     }
     render_timeline(&report, &regions);
     render_churn(&report, top);
+    if let Some(oracle) = oracle {
+        render_regret(profile, duration_us, oracle, result, events, top);
+    }
     for &region in &regions {
         let r = report.region(region);
         render_histogram(
@@ -519,17 +643,26 @@ fn main() -> ExitCode {
         profile.phases,
     );
 
+    // The clairvoyant side is model-independent: every instrumented
+    // replay of this log reconstructs the identical frontend trace, so
+    // one next-use index and one Belady floor serve all models.
+    let oracle = opts.oracle.then(|| {
+        let (_, events) = collect_events(&run.log, ModelSpec::Unified);
+        let trace = reconstruct_trace(&events).expect("instrumented streams invert");
+        let index = NextUseIndex::build(&trace);
+        let result = oracle_replay(&trace, capacity);
+        OracleContext { index, result }
+    });
+
+    let ctx = RunContext {
+        profile: &profile,
+        duration_us,
+        sample_every,
+        oracle: oracle.as_ref(),
+    };
     for (label, spec) in export_specs() {
         let (result, events) = collect_events(&run.log, spec);
-        explain_model(
-            &profile,
-            duration_us,
-            label,
-            &result,
-            &events,
-            sample_every,
-            &opts,
-        );
+        explain_model(&ctx, label, &result, &events, &opts);
     }
 
     let runs = vec![(profile, run)];

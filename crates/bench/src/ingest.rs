@@ -29,14 +29,14 @@ use std::io::{self, BufRead, BufReader};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use gencache_obs::{
-    oracle_replay, parse_stream_line, CostReport, MetricsReport, OracleResult, RunMeta, SimTrace,
-    StreamLine, TraceRebuilder, METRICS_SCHEMA, METRICS_VERSION,
+    oracle_replay, parse_stream_line, CostReport, MetricsReport, NextUseIndex, OracleResult,
+    RegretReport, RunMeta, SimTrace, StreamLine, TraceRebuilder, METRICS_SCHEMA, METRICS_VERSION,
 };
 use gencache_sim::par::par_map;
 use gencache_sim::report::TextTable;
 use gencache_sim::{
-    parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, trace_to_log,
-    AccessLog, ModelSpec, SimSpec, SimulatedSpec,
+    parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, simulate_regret,
+    trace_to_log, AccessLog, ModelSpec, SimSpec, SimulatedSpec,
 };
 use serde::{Deserialize, Value};
 
@@ -455,6 +455,13 @@ pub fn run_sim_job(
         .enumerate()
         .flat_map(|(i, _)| specs.iter().map(move |&s| (i, s)))
         .collect();
+    // Under --oracle every cell also gets a Belady-regret walk, which
+    // needs the clairvoyant next-use index of its input's frontend
+    // trace. Built once per input, shared by all of that input's cells.
+    let indexes: Vec<Option<NextUseIndex>> = inputs
+        .iter()
+        .map(|input| oracle.then(|| NextUseIndex::build(&input.trace)))
+        .collect();
     let simulated: Vec<Option<(SimulatedSpec, u64)>> = par_map(&cells, jobs, |&(i, spec)| {
         if canceled() {
             return None;
@@ -464,11 +471,15 @@ pub fn run_sim_job(
         let every = sample_interval(&input.log);
         let (result, metrics) = simulate_metrics(&input.log, spec, input.capacity, every);
         let (_, costs) = simulate_costs(&input.log, spec, input.capacity, input.phases);
+        let regret = indexes[i]
+            .as_ref()
+            .map(|index| simulate_regret(&input.log, spec, input.capacity, input.phases, index).1);
         let sim = SimulatedSpec {
             label: spec.label(),
             result,
             metrics,
             costs,
+            regret,
         };
         Some((sim, started.elapsed().as_micros() as u64))
     });
@@ -525,7 +536,14 @@ pub fn sim_metrics_doc(out: &SimJobOutput) -> Value {
             let reports = b
                 .sims
                 .iter()
-                .map(|sim| (sim.metrics.clone(), sim.costs.clone(), None))
+                .map(|sim| {
+                    (
+                        sim.metrics.clone(),
+                        sim.costs.clone(),
+                        None,
+                        sim.regret.clone(),
+                    )
+                })
                 .collect();
             (b.name.clone(), reports)
         })
@@ -544,6 +562,38 @@ pub fn render_sim_tables(out: &SimJobOutput) -> String {
             "\n=== {}: {} ops, capacity {} bytes, {} phases ===",
             bench.name, bench.ops, bench.capacity, bench.phases,
         );
+        let with_regret = bench.sims.iter().any(|s| s.regret.is_some());
+        if with_regret {
+            let mut table = TextTable::new([
+                "spec", "accesses", "hits", "misses", "miss%", "Minstr", "regret",
+            ]);
+            for sim in &bench.sims {
+                table.row([
+                    sim.label.clone(),
+                    sim.metrics.accesses.to_string(),
+                    sim.metrics.hits.to_string(),
+                    sim.metrics.misses.to_string(),
+                    format!("{:.2}", sim.metrics.miss_rate() * 100.0),
+                    format!("{:.2}", sim.costs.total.total() / 1e6),
+                    sim.regret
+                        .as_ref()
+                        .map_or_else(|| "-".to_string(), |r| r.total.regret_sum.to_string()),
+                ]);
+            }
+            if let Some(oracle) = &bench.oracle {
+                table.row([
+                    "oracle".to_string(),
+                    oracle.accesses.to_string(),
+                    oracle.hits.to_string(),
+                    oracle.misses.to_string(),
+                    format!("{:.2}", oracle.miss_rate() * 100.0),
+                    "lower bound".to_string(),
+                    "0".to_string(),
+                ]);
+            }
+            text.push_str(&table.render());
+            continue;
+        }
         let mut table = TextTable::new(["spec", "accesses", "hits", "misses", "miss%", "Minstr"]);
         for sim in &bench.sims {
             table.row([
@@ -692,7 +742,14 @@ pub fn merge_metrics_docs(order: &[String], docs: &[Value]) -> Result<Value, Str
                         CostReport::from_value(v)
                             .map_err(|e| format!("{name}/{label}: bad costs: {e}"))
                     })?;
-                reports.push((metrics, costs, None));
+                let regret = match doc_field(section, "regret") {
+                    Some(v) => Some(
+                        RegretReport::from_value(v)
+                            .map_err(|e| format!("{name}/{label}: bad regret: {e}"))?,
+                    ),
+                    None => None,
+                };
+                reports.push((metrics, costs, None, regret));
             }
             if sections.insert(name.clone(), reports).is_some() {
                 return Err(format!("benchmark {name:?} appears in more than one shard doc"));

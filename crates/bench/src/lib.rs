@@ -45,8 +45,8 @@ use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
 use gencache_obs::{
-    CostReport, JsonlSink, MetricsReport, RunMeta, SampledReport, SamplingParams, StreamHeader,
-    METRICS_SCHEMA, METRICS_VERSION,
+    CostReport, JsonlSink, MetricsReport, RegretReport, RunMeta, SampledReport, SamplingParams,
+    StreamHeader, METRICS_SCHEMA, METRICS_VERSION,
 };
 use serde::{Serialize, Value};
 use gencache_sim::par::{par_map, par_map_timed};
@@ -421,15 +421,25 @@ pub fn export_telemetry_streamed(opts: &HarnessOptions, recs: &[StreamedRun]) ->
 }
 
 /// One model's section of the metrics document: exact aggregates, the
-/// Table 2 cost attribution, and (under `--sample`) the bounded-memory
-/// sampled report.
-fn spec_section(metrics: &MetricsReport, costs: &CostReport, sampled: Option<&SampledReport>) -> Value {
+/// Table 2 cost attribution, (under `--sample`) the bounded-memory
+/// sampled report, and (under `--oracle`) the Belady-regret attribution.
+/// Optional sections are emitted only when present, so documents
+/// produced without them keep their exact bytes.
+fn spec_section(
+    metrics: &MetricsReport,
+    costs: &CostReport,
+    sampled: Option<&SampledReport>,
+    regret: Option<&RegretReport>,
+) -> Value {
     let mut pairs = vec![
         ("metrics".to_string(), metrics.to_value()),
         ("costs".to_string(), costs.to_value()),
     ];
     if let Some(s) = sampled {
         pairs.push(("sampled".to_string(), s.to_value()));
+    }
+    if let Some(r) = regret {
+        pairs.push(("regret".to_string(), r.to_value()));
     }
     Value::Object(pairs)
 }
@@ -510,8 +520,14 @@ pub fn stream_events_to<W: Write>(mut writer: W, recs: &[StreamedRun]) -> io::Re
 }
 
 /// Per-benchmark artifacts for one exported model: exact metrics, cost
-/// attribution, optional sampled report.
-pub type SpecReports = (MetricsReport, CostReport, Option<SampledReport>);
+/// attribution, optional sampled report, optional Belady-regret
+/// attribution.
+pub type SpecReports = (
+    MetricsReport,
+    CostReport,
+    Option<SampledReport>,
+    Option<RegretReport>,
+);
 
 /// Assembles the `--metrics-out` document from per-benchmark report
 /// rows: one entry per benchmark, each carrying one [`SpecReports`] per
@@ -525,12 +541,12 @@ pub type SpecReports = (MetricsReport, CostReport, Option<SampledReport>);
 pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)]) -> Value {
     let mut suite: Vec<SpecReports> = labels
         .iter()
-        .map(|_| (MetricsReport::new(), CostReport::new(1), None))
+        .map(|_| (MetricsReport::new(), CostReport::new(1), None, None))
         .collect();
     let mut bench_values = Vec::with_capacity(benchmarks.len());
     for (name, reports) in benchmarks {
         let mut pairs = vec![("benchmark".to_string(), Value::Str(name.clone()))];
-        for ((label, (metrics, costs, sampled)), merged) in
+        for ((label, (metrics, costs, sampled, regret)), merged) in
             labels.iter().zip(reports).zip(suite.iter_mut())
         {
             merged.0.merge(metrics);
@@ -541,15 +557,27 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
                     Some(m) => m.merge(s),
                 }
             }
-            pairs.push((label.clone(), spec_section(metrics, costs, sampled.as_ref())));
+            if let Some(r) = regret {
+                match merged.3.as_mut() {
+                    None => merged.3 = Some(r.clone()),
+                    Some(m) => m.merge(r),
+                }
+            }
+            pairs.push((
+                label.clone(),
+                spec_section(metrics, costs, sampled.as_ref(), regret.as_ref()),
+            ));
         }
         bench_values.push(Value::Object(pairs));
     }
     let suite_pairs: Vec<(String, Value)> = labels
         .iter()
         .zip(&suite)
-        .map(|(label, (metrics, costs, sampled))| {
-            (label.clone(), spec_section(metrics, costs, sampled.as_ref()))
+        .map(|(label, (metrics, costs, sampled, regret))| {
+            (
+                label.clone(),
+                spec_section(metrics, costs, sampled.as_ref(), regret.as_ref()),
+            )
         })
         .collect();
     Value::Object(vec![
@@ -591,7 +619,7 @@ fn write_metrics(path: &str, runs: &[Run], opts: &HarnessOptions) -> io::Result<
                 let metrics = collect_metrics(&run.log, spec, every).1;
                 let costs = collect_costs(&run.log, spec, profile.phases.max(1)).1;
                 let sampled = sampling.map(|p| collect_sampled(&run.log, spec, p, every).1);
-                (metrics, costs, sampled)
+                (metrics, costs, sampled, None)
             })
             .collect()
     });
@@ -618,7 +646,7 @@ fn write_metrics_streamed(path: &str, recs: &[StreamedRun], opts: &HarnessOption
                 let metrics = rec.collect_metrics(spec, every).1;
                 let costs = rec.collect_costs(spec, profile.phases.max(1)).1;
                 let sampled = sampling.map(|p| rec.collect_sampled(spec, p, every).1);
-                (metrics, costs, sampled)
+                (metrics, costs, sampled, None)
             })
             .collect()
     });

@@ -51,6 +51,7 @@ mod metrics;
 mod observer;
 mod oracle;
 mod reconstruct;
+mod regret;
 mod sample;
 mod schema;
 mod simstream;
@@ -64,8 +65,12 @@ pub use metrics::{
     ChurnEntry, MetricsObserver, MetricsReport, RegionMetrics, TimelineSample, TOP_CHURN,
 };
 pub use observer::{EventBuffer, EventRecord, JsonlSink, NullObserver, Observer};
-pub use oracle::{oracle_replay, OracleResult};
+pub use oracle::{oracle_replay, oracle_replay_events, NextUseIndex, OracleResult};
 pub use reconstruct::reconstruct_stats;
+pub use regret::{
+    PhaseRegret, RegionRegret, RegretCell, RegretContributor, RegretObserver, RegretReport,
+    WorstEviction, TOP_REGRET,
+};
 pub use schema::{
     parse_stream_line, RunMeta, StreamHeader, StreamLine, EVENTS_SCHEMA, EVENTS_VERSION,
     METRICS_SCHEMA, METRICS_VERSION,

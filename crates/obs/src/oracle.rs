@@ -18,14 +18,78 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use gencache_cache::TraceId;
+use gencache_cache::{EvictionCause, TraceId};
+use gencache_program::Time;
 use serde::{Deserialize, Serialize};
 
+use crate::event::{CacheEvent, FrontendOp, Region};
 use crate::simstream::{SimTrace, TraceOp};
 
 /// Position in the op list used for "never used again": later than any
 /// real index, ties broken by trace id for determinism.
 const NEVER: usize = usize::MAX;
+
+/// Clairvoyant next-use distances over a [`SimTrace`], indexed by
+/// *execution position* — the count of executions (creates + accesses)
+/// preceding an op, ignoring unmaps and pin toggles.
+///
+/// Execution positions are the bridge between the frontend trace and
+/// any model's event stream: instrumented replays emit exactly one
+/// [`Hit`](CacheEvent::Hit) or [`Miss`](CacheEvent::Miss) per
+/// execution, in order (the `reconstruct_trace` invariant), so a
+/// consumer walking an event stream can count hits and misses and look
+/// up, at any point, how far away each trace's next execution is — the
+/// quantity Belady's rule compares. "Never executed again" is
+/// normalized to [`total`](NextUseIndex::total) so distances stay
+/// finite and ties break on trace id, exactly like the oracle's own
+/// eviction order.
+#[derive(Debug, Clone, Default)]
+pub struct NextUseIndex {
+    /// `next[j]` = execution position of the next execution of the same
+    /// trace as execution `j`, or `total` if there is none.
+    next: Vec<usize>,
+}
+
+impl NextUseIndex {
+    /// Builds the index with one backwards O(n) pass over the trace.
+    pub fn build(trace: &SimTrace) -> Self {
+        let ids: Vec<TraceId> = trace
+            .ops
+            .iter()
+            .filter_map(|op| match *op {
+                TraceOp::Create { id, .. } | TraceOp::Access { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        let total = ids.len();
+        let mut next = vec![total; total];
+        let mut last_seen: HashMap<TraceId, usize> = HashMap::new();
+        for j in (0..total).rev() {
+            next[j] = last_seen.insert(ids[j], j).unwrap_or(total);
+        }
+        NextUseIndex { next }
+    }
+
+    /// Number of executions the index covers; also the normalized
+    /// "never used again" position.
+    pub fn total(&self) -> usize {
+        self.next.len()
+    }
+
+    /// The execution position of the next execution of the same trace
+    /// as execution `exec`, or [`total`](NextUseIndex::total) if the
+    /// trace is never executed again.
+    pub fn next_after(&self, exec: usize) -> usize {
+        self.next[exec]
+    }
+
+    /// The forward distance, in executions, from execution `exec` to the
+    /// next execution of the same trace (distance to end-of-trace when
+    /// never executed again).
+    pub fn distance_at(&self, exec: usize) -> usize {
+        self.next[exec] - exec
+    }
+}
 
 /// Hit/miss outcome of an oracle replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +130,33 @@ struct Resident {
 /// evicting the resident trace with the furthest next use whenever an
 /// insertion needs space.
 pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
+    replay_core(trace, capacity, |_| {})
+}
+
+/// [`oracle_replay`], but also materializes the oracle's decision
+/// sequence as a [`CacheEvent`] stream in the single-region
+/// ([`Region::Unified`]) shape the instrumented models emit: one
+/// `Hit`/`Miss` per execution, capacity evictions for the
+/// furthest-next-use victims, unmap deletions, pin toggles.
+///
+/// The stream inverts back to the frontend trace through
+/// [`reconstruct_trace`](crate::reconstruct_trace) and, walked by the
+/// regret scorer, carries zero Belady regret by construction — every
+/// capacity victim *is* the furthest-next-use resident. Both properties
+/// are tested.
+pub fn oracle_replay_events(trace: &SimTrace, capacity: u64) -> (OracleResult, Vec<CacheEvent>) {
+    let mut events = Vec::new();
+    let result = replay_core(trace, capacity, |e| events.push(e));
+    (result, events)
+}
+
+/// The oracle replay loop, parameterized over an event sink so the
+/// plain summary replay pays nothing for emission.
+fn replay_core(
+    trace: &SimTrace,
+    capacity: u64,
+    mut emit: impl FnMut(CacheEvent),
+) -> OracleResult {
     // Pass 1: for every op index, the index of the *next* execution of
     // the same trace (NEVER if none). Built backwards in O(n).
     let n = trace.ops.len();
@@ -84,10 +175,14 @@ pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
     // the map but are skipped here (removed from the set while pinned).
     let mut by_distance: BTreeSet<(usize, TraceId)> = BTreeSet::new();
     let mut used: u64 = 0;
+    // Pin toggles carry no timestamp; clock them with the preceding
+    // timed op, exactly as the live replay path does.
+    let mut clock = Time::ZERO;
 
     for (i, op) in trace.ops.iter().enumerate() {
         match *op {
-            TraceOp::Create { id, .. } | TraceOp::Access { id, .. } => {
+            TraceOp::Create { id, time, .. } | TraceOp::Access { id, time } => {
+                clock = time;
                 let bytes = match trace.ops[i] {
                     TraceOp::Create { bytes, .. } => {
                         sizes.insert(id, bytes);
@@ -98,6 +193,12 @@ pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
                 result.accesses += 1;
                 if let Some(entry) = resident.get_mut(&id) {
                     result.hits += 1;
+                    emit(CacheEvent::Hit {
+                        region: Region::Unified,
+                        trace: id,
+                        reuse_us: 0,
+                        time,
+                    });
                     // Re-key the entry under its new next use.
                     if !entry.pinned {
                         by_distance.remove(&(entry.next_use, id));
@@ -107,6 +208,11 @@ pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
                     continue;
                 }
                 result.misses += 1;
+                emit(CacheEvent::Miss {
+                    trace: id,
+                    bytes,
+                    time,
+                });
                 if u64::from(bytes) > capacity {
                     result.uncachable += 1;
                     continue;
@@ -135,6 +241,19 @@ pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
                     result.uncachable += 1;
                     continue;
                 }
+                // The insertion is final: the provisional evictions are
+                // real decisions now, so they enter the stream.
+                for (vid, victim) in evicted {
+                    emit(CacheEvent::Evict {
+                        region: Region::Unified,
+                        trace: vid,
+                        bytes: victim.bytes,
+                        cause: EvictionCause::Capacity,
+                        age_us: 0,
+                        idle_us: 0,
+                        time,
+                    });
+                }
                 used += u64::from(bytes);
                 resident.insert(
                     id,
@@ -145,14 +264,37 @@ pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
                     },
                 );
                 by_distance.insert((next_use[i], id));
+                emit(CacheEvent::Insert {
+                    region: Region::Unified,
+                    trace: id,
+                    bytes,
+                    used,
+                    time,
+                });
             }
-            TraceOp::Invalidate { id, .. } => {
+            TraceOp::Invalidate { id, time } => {
+                clock = time;
                 if let Some(entry) = resident.remove(&id) {
                     result.unmap_deletions += 1;
                     used -= u64::from(entry.bytes);
                     if !entry.pinned {
                         by_distance.remove(&(entry.next_use, id));
                     }
+                    emit(CacheEvent::Evict {
+                        region: Region::Unified,
+                        trace: id,
+                        bytes: entry.bytes,
+                        cause: EvictionCause::Unmapped,
+                        age_us: 0,
+                        idle_us: 0,
+                        time,
+                    });
+                } else {
+                    emit(CacheEvent::Noop {
+                        op: FrontendOp::Unmap,
+                        trace: id,
+                        time,
+                    });
                 }
             }
             TraceOp::Pin { id } => {
@@ -160,16 +302,38 @@ pub fn oracle_replay(trace: &SimTrace, capacity: u64) -> OracleResult {
                     if !entry.pinned {
                         entry.pinned = true;
                         by_distance.remove(&(entry.next_use, id));
+                        emit(CacheEvent::Pin {
+                            region: Region::Unified,
+                            trace: id,
+                            time: clock,
+                        });
+                        continue;
                     }
                 }
+                emit(CacheEvent::Noop {
+                    op: FrontendOp::Pin,
+                    trace: id,
+                    time: clock,
+                });
             }
             TraceOp::Unpin { id } => {
                 if let Some(entry) = resident.get_mut(&id) {
                     if entry.pinned {
                         entry.pinned = false;
                         by_distance.insert((entry.next_use, id));
+                        emit(CacheEvent::Unpin {
+                            region: Region::Unified,
+                            trace: id,
+                            time: clock,
+                        });
+                        continue;
                     }
                 }
+                emit(CacheEvent::Noop {
+                    op: FrontendOp::Unpin,
+                    trace: id,
+                    time: clock,
+                });
             }
         }
     }
@@ -279,5 +443,95 @@ mod tests {
         let r = oracle_replay(&trace, 200);
         assert_eq!(r.uncachable, 2);
         assert_eq!(r.hits, 0);
+    }
+
+    #[test]
+    fn next_use_index_distances() {
+        // Executions: t1 t2 t1 t2 t1 (the invalidate is not an execution).
+        let trace = SimTrace {
+            ops: vec![
+                create(1, 100, 0),
+                create(2, 100, 1),
+                access(1, 2),
+                TraceOp::Invalidate {
+                    id: TraceId::new(3),
+                    time: Time::from_micros(3),
+                },
+                access(2, 4),
+                access(1, 5),
+            ],
+        };
+        let idx = NextUseIndex::build(&trace);
+        assert_eq!(idx.total(), 5);
+        assert_eq!(idx.next_after(0), 2);
+        assert_eq!(idx.next_after(1), 3);
+        assert_eq!(idx.next_after(2), 4);
+        assert_eq!(idx.next_after(3), 5, "never again normalizes to total");
+        assert_eq!(idx.next_after(4), 5);
+        assert_eq!(idx.distance_at(0), 2);
+        assert_eq!(idx.distance_at(3), 2);
+    }
+
+    #[test]
+    fn event_stream_matches_summary_replay() {
+        let mut ops = vec![create(0, 100, 0), create(1, 100, 1), create(2, 100, 2)];
+        let mut t = 3;
+        for _ in 0..4 {
+            for id in 0..3 {
+                ops.push(access(id, t));
+                t += 1;
+            }
+        }
+        ops.push(TraceOp::Invalidate {
+            id: TraceId::new(0),
+            time: Time::from_micros(t),
+        });
+        let trace = SimTrace { ops };
+        let plain = oracle_replay(&trace, 200);
+        let (emitted, events) = oracle_replay_events(&trace, 200);
+        assert_eq!(emitted, plain, "emission must not change decisions");
+        let hits = events
+            .iter()
+            .filter(|e| matches!(e, CacheEvent::Hit { .. }))
+            .count() as u64;
+        let misses = events
+            .iter()
+            .filter(|e| matches!(e, CacheEvent::Miss { .. }))
+            .count() as u64;
+        assert_eq!(hits, plain.hits);
+        assert_eq!(misses, plain.misses);
+    }
+
+    #[test]
+    fn event_stream_inverts_to_the_frontend_trace() {
+        // The oracle's stream must satisfy the same inversion invariant
+        // as the live models: reconstruct_trace recovers the frontend
+        // requests exactly (sizes are distinct per id so re-creations
+        // cannot be confused with accesses).
+        let trace = SimTrace {
+            ops: vec![
+                create(1, 150, 0),
+                TraceOp::Pin {
+                    id: TraceId::new(1),
+                },
+                create(2, 100, 1), // blocked by the pin: unlinked, a Miss
+                access(1, 2),
+                TraceOp::Unpin {
+                    id: TraceId::new(1),
+                },
+                create(3, 100, 3),
+                TraceOp::Invalidate {
+                    id: TraceId::new(3),
+                    time: Time::from_micros(4),
+                },
+                TraceOp::Invalidate {
+                    id: TraceId::new(9), // never resident: a Noop
+                    time: Time::from_micros(5),
+                },
+            ],
+        };
+        let (_, events) = oracle_replay_events(&trace, 200);
+        let recovered = crate::simstream::reconstruct_trace(&events).expect("invertible");
+        assert_eq!(recovered, trace);
     }
 }

@@ -14,7 +14,8 @@
 //! gencache-client metrics --addr HOST:PORT
 //! gencache-client bench  --addr HOST:PORT --events FILE [--spec LABEL]...
 //!                 [--grid] [--bench NAME] [--jobs N] [--note TEXT]
-//!                 [--out FILE] [--watch] [--tolerance FRACTION]
+//!                 [--out FILE] [--replay-stats FILE] [--watch]
+//!                 [--tolerance FRACTION]
 //! ```
 //!
 //! `submit --events -` reads the export from stdin; `--metrics-out`
@@ -497,6 +498,7 @@ struct BenchArgs {
     jobs: usize,
     note: String,
     out: Option<String>,
+    replay_stats: Option<String>,
     watch: bool,
     tolerance: f64,
 }
@@ -509,6 +511,7 @@ fn parse_bench(mut it: impl Iterator<Item = String>) -> BenchArgs {
         jobs: 20,
         note: String::new(),
         out: None,
+        replay_stats: None,
         watch: false,
         tolerance: 0.25,
     };
@@ -529,6 +532,10 @@ fn parse_bench(mut it: impl Iterator<Item = String>) -> BenchArgs {
             }
             "--note" => args.note = it.next().expect("--note needs text"),
             "--out" => args.out = Some(it.next().expect("--out needs a file path")),
+            "--replay-stats" => {
+                args.replay_stats =
+                    Some(it.next().expect("--replay-stats needs a file path"));
+            }
             "--watch" => args.watch = true,
             "--tolerance" => {
                 let v = it.next().expect("--tolerance needs a fraction");
@@ -604,7 +611,7 @@ fn run_bench(it: impl Iterator<Item = String>) -> ExitCode {
     let pct = |p: usize| job_us[(job_us.len() - 1) * p / 100];
     let jobs_per_sec = args.jobs as f64 / wall_s;
     let lines_per_sec = (export_lines * args.jobs as u64) as f64 / wall_s;
-    let entry = Value::Object(vec![
+    let mut fields = vec![
         ("note".to_string(), Value::Str(args.note.clone())),
         ("jobs".to_string(), Value::UInt(args.jobs as u64)),
         ("export_lines".to_string(), Value::UInt(export_lines)),
@@ -615,7 +622,36 @@ fn run_bench(it: impl Iterator<Item = String>) -> ExitCode {
         ),
         ("p50_us".to_string(), Value::UInt(pct(50))),
         ("p99_us".to_string(), Value::UInt(pct(99))),
-    ]);
+    ];
+    // Offline replay metrics from a `simulate --stats-out` doc ride
+    // along in the same trajectory entry, so the serve-path and
+    // replay-path throughput histories stay in one file.
+    if let Some(path) = &args.replay_stats {
+        let stats = match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| {
+                serde_json::value_from_str(&text)
+                    .map_err(|e| format!("{path} is not valid JSON: {e}"))
+            }) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for field in ["replay_cells", "replay_cells_per_sec", "peak_rss_bytes"] {
+            let Some(v) = bench_field(&stats, field) else {
+                eprintln!("{path} has no {field} field (not a simulate --stats-out doc?)");
+                return ExitCode::FAILURE;
+            };
+            if field == "replay_cells_per_sec" {
+                fields.push((field.to_string(), Value::Float(v)));
+            } else {
+                fields.push((field.to_string(), Value::UInt(v as u64)));
+            }
+        }
+    }
+    let entry = Value::Object(fields);
     eprintln!(
         "{} jobs in {wall_s:.3}s: {jobs_per_sec:.1} jobs/s, {lines_per_sec:.0} lines/s, \
          p50 {}us, p99 {}us",
@@ -666,6 +702,26 @@ fn run_bench(it: impl Iterator<Item = String>) -> ExitCode {
                 }
                 eprintln!(
                     "throughput within tolerance of previous entry ({:+.1}%)",
+                    drift * 100.0
+                );
+            }
+            // The offline replay rate rides the same gate once both the
+            // previous entry and this run carry it.
+            let current = bench_field(&entry, "replay_cells_per_sec");
+            let prev = bench_field(last, "replay_cells_per_sec").unwrap_or(0.0);
+            if let (Some(current), true) = (current, prev > 0.0) {
+                let drift = (current - prev) / prev;
+                if drift < -args.tolerance {
+                    eprintln!(
+                        "offline replay regression: {current:.1} cells/s vs {prev:.1} \
+                         ({:+.1}% > {:.0}% tolerance)",
+                        drift * 100.0,
+                        args.tolerance * 100.0
+                    );
+                    return ExitCode::from(4);
+                }
+                eprintln!(
+                    "offline replay rate within tolerance of previous entry ({:+.1}%)",
                     drift * 100.0
                 );
             }

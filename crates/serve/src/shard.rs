@@ -230,6 +230,10 @@ struct RouterStats {
     fleet_jobs_completed: AtomicU64,
     fleet_jobs_failed: AtomicU64,
     subjobs: AtomicU64,
+    /// Largest single job upload buffered in router memory, in bytes —
+    /// the router holds a whole upload for retryability, so this is its
+    /// per-job memory high-water mark.
+    upload_buffer_peak_bytes: AtomicU64,
     busy_retries: AtomicU64,
     failovers: AtomicU64,
 }
@@ -825,6 +829,9 @@ fn handle_job(
     if let Some(span) = ctx.telemetry.span(&trace_id, "ingest", ingest_started) {
         span.lines(upload.lines).bytes(upload.bytes).end();
     }
+    ctx.stats
+        .upload_buffer_peak_bytes
+        .fetch_max(upload.bytes, Ordering::Relaxed);
     AtomicU64::fetch_add(&ctx.stats.fleet_jobs, 1, Ordering::Relaxed);
     match run_fleet_job(ctx, &spec, &upload) {
         Ok((doc, table, benches, specs)) => {
@@ -1002,6 +1009,11 @@ fn router_metrics(ctx: &RouterCtx) -> String {
         "Sub-jobs re-routed to another shard.",
         load(&ctx.stats.failovers),
     );
+    p.gauge(
+        "gencache_upload_buffer_peak_bytes",
+        "Largest single job upload buffered in router memory.",
+        load(&ctx.stats.upload_buffer_peak_bytes),
+    );
     let row = |f: &dyn Fn(&Shard) -> u64| -> Vec<(String, u64)> {
         ctx.table
             .shards
@@ -1116,6 +1128,10 @@ fn fleet_stats(ctx: &RouterCtx) -> Value {
             ("subjobs".to_string(), get(&ctx.stats.subjobs)),
             ("busy_retries".to_string(), get(&ctx.stats.busy_retries)),
             ("failovers".to_string(), get(&ctx.stats.failovers)),
+            (
+                "upload_buffer_peak_bytes".to_string(),
+                get(&ctx.stats.upload_buffer_peak_bytes),
+            ),
             ("shards_up".to_string(), Value::UInt(up)),
             ("shards_down".to_string(), Value::UInt(down)),
         ]),

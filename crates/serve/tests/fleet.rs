@@ -58,20 +58,23 @@ fn fleet_spec() -> JobSpec {
 }
 
 /// What single-node `simulate --metrics-out` writes for this export and
-/// the fleet spec set — the byte-identity reference.
+/// the fleet spec set, with or without the oracle (and so with or
+/// without per-spec regret sections) — the byte-identity reference.
+fn offline_doc_with(oracle: bool) -> String {
+    let mut ingest = StreamIngest::new();
+    for line in export().lines() {
+        ingest.push_line(line).unwrap();
+    }
+    let inputs = ingest.into_inputs(None, None, None).unwrap();
+    let spec = fleet_spec();
+    let specs = resolve_sim_specs(&spec.specs, spec.grid).unwrap();
+    let out = run_sim_job(&inputs, &specs, oracle, 1, None).unwrap();
+    value_to_json(&sim_metrics_doc(&out))
+}
+
 fn offline_doc() -> &'static str {
     static DOC: OnceLock<String> = OnceLock::new();
-    DOC.get_or_init(|| {
-        let mut ingest = StreamIngest::new();
-        for line in export().lines() {
-            ingest.push_line(line).unwrap();
-        }
-        let inputs = ingest.into_inputs(None, None, None).unwrap();
-        let spec = fleet_spec();
-        let specs = resolve_sim_specs(&spec.specs, spec.grid).unwrap();
-        let out = run_sim_job(&inputs, &specs, false, 1, None).unwrap();
-        value_to_json(&sim_metrics_doc(&out))
-    })
+    DOC.get_or_init(|| offline_doc_with(false))
 }
 
 struct TestServer {
@@ -175,7 +178,15 @@ fn fleet_reply_is_byte_identical_to_offline_simulate() {
         Duration::from_millis(200),
     );
 
-    match submit_via(&router.addr, &fleet_spec()) {
+    // Oracle on: each shard doc carries a per-spec regret section, so
+    // the router merge must round-trip regret byte-exactly too. (Kept
+    // out of the concurrent test — the second replay pass regret costs
+    // overloads a 3-shard debug-build fleet under 4 simultaneous jobs.)
+    let spec = JobSpec {
+        oracle: true,
+        ..fleet_spec()
+    };
+    match submit_via(&router.addr, &spec) {
         Reply::Result {
             doc,
             table,
@@ -183,7 +194,15 @@ fn fleet_reply_is_byte_identical_to_offline_simulate() {
             specs,
             ..
         } => {
-            assert_eq!(doc, offline_doc(), "fleet doc diverged from offline simulate");
+            assert_eq!(
+                doc,
+                offline_doc_with(true),
+                "fleet doc diverged from offline simulate"
+            );
+            assert!(
+                doc.contains("\"regret\":{\"accesses\":"),
+                "oracle fleet doc carries no regret section"
+            );
             assert_eq!(benches, BENCHES as u64);
             assert!(specs >= 2);
             // The merged table covers every benchmark the doc covers.
@@ -259,9 +278,17 @@ fn concurrent_fleet_clients_all_get_identical_bytes() {
         "\"fleet_jobs\":4",
         "\"shards_up\":3",
         "\"shards\":[",
+        "\"upload_buffer_peak_bytes\":",
     ] {
         assert!(doc.contains(key), "fleet stats missing {key}: {doc}");
     }
+    // Four real uploads went through the router, so its buffering
+    // high-water mark must be nonzero.
+    assert!(
+        !doc.contains("\"upload_buffer_peak_bytes\":0,")
+            && !doc.contains("\"upload_buffer_peak_bytes\":0}"),
+        "upload buffer peak should be nonzero after fleet jobs: {doc}"
+    );
 }
 
 #[test]

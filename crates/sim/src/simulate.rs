@@ -23,7 +23,8 @@ use gencache_core::{
     CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
 };
 use gencache_obs::{
-    CostObserver, CostReport, MetricsObserver, MetricsReport, Observer, SimTrace, TraceOp,
+    CostObserver, CostReport, MetricsObserver, MetricsReport, NextUseIndex, Observer,
+    RegretObserver, RegretReport, SimTrace, TraceOp,
 };
 use gencache_program::{Addr, Time};
 
@@ -300,6 +301,22 @@ pub fn simulate_costs(
     (result, observer.into_report())
 }
 
+/// [`replay_sim_observed`] through a [`RegretObserver`]: every eviction
+/// the configuration makes is scored against the Belady alternative the
+/// `index` (built over the same frontend trace the log came from)
+/// identifies, with the same phase bucketing as [`simulate_costs`].
+pub fn simulate_regret(
+    log: &AccessLog,
+    spec: SimSpec,
+    capacity: u64,
+    phases: u32,
+    index: &NextUseIndex,
+) -> (ReplayResult, RegretReport) {
+    let observer = RegretObserver::with_phases(index, phases, log.duration.as_micros());
+    let (result, observer) = replay_sim_observed(log, spec, capacity, observer);
+    (result, observer.report())
+}
+
 /// One simulated configuration's full outcome.
 #[derive(Debug, Clone)]
 pub struct SimulatedSpec {
@@ -312,11 +329,17 @@ pub struct SimulatedSpec {
     pub metrics: MetricsReport,
     /// The Table 2 cost attribution.
     pub costs: CostReport,
+    /// Decision-level Belady-regret attribution; present only when the
+    /// run asked for the oracle (`--oracle`), absent otherwise so
+    /// oracle-free documents keep their exact bytes.
+    pub regret: Option<RegretReport>,
 }
 
 /// Replays `log` against every spec in the grid, fanning the grid
 /// across up to `jobs` workers. Results are reassembled in grid order,
-/// so the output is bit-identical for every `jobs` value.
+/// so the output is bit-identical for every `jobs` value. When a
+/// [`NextUseIndex`] is supplied, each spec's evictions are additionally
+/// scored for Belady regret against it.
 pub fn simulate_grid(
     log: &AccessLog,
     specs: &[SimSpec],
@@ -324,15 +347,19 @@ pub fn simulate_grid(
     phases: u32,
     sample_every: u64,
     jobs: usize,
+    regret_index: Option<&NextUseIndex>,
 ) -> Vec<SimulatedSpec> {
     crate::par::par_map(specs, jobs, |&spec| {
         let (result, metrics) = simulate_metrics(log, spec, capacity, sample_every);
         let (_, costs) = simulate_costs(log, spec, capacity, phases);
+        let regret =
+            regret_index.map(|index| simulate_regret(log, spec, capacity, phases, index).1);
         SimulatedSpec {
             label: spec.label(),
             result,
             metrics,
             costs,
+            regret,
         }
     })
 }
@@ -449,21 +476,33 @@ mod tests {
                 });
             }
         }
-        let log = trace_to_log(&SimTrace { ops }, "grid", 1_000_000, 1200);
+        let trace = SimTrace { ops };
+        let log = trace_to_log(&trace, "grid", 1_000_000, 1200);
+        let index = NextUseIndex::build(&trace);
         let specs = vec![
             SimSpec::Model(ModelSpec::Unified),
             SimSpec::Model(ModelSpec::best_generational()),
             SimSpec::Local(LocalPolicy::Lru),
         ];
-        let serial = simulate_grid(&log, &specs, 600, 4, 16, 1);
+        let serial = simulate_grid(&log, &specs, 600, 4, 16, 1, Some(&index));
+        assert!(
+            serial.iter().any(|s| s
+                .regret
+                .as_ref()
+                .is_some_and(|r| r.total.evictions > 0)),
+            "a 600-byte budget over 1200 bytes of traces must evict"
+        );
         for jobs in [2, 8] {
-            let par = simulate_grid(&log, &specs, 600, 4, 16, jobs);
+            let par = simulate_grid(&log, &specs, 600, 4, 16, jobs, Some(&index));
             for (a, b) in serial.iter().zip(&par) {
                 assert_eq!(a.label, b.label);
                 assert_eq!(a.metrics, b.metrics);
                 assert_eq!(a.costs, b.costs);
+                assert_eq!(a.regret, b.regret);
                 assert_eq!(a.result.metrics, b.result.metrics);
             }
         }
+        let bare = simulate_grid(&log, &specs, 600, 4, 16, 1, None);
+        assert!(bare.iter().all(|s| s.regret.is_none()));
     }
 }

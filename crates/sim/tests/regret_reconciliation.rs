@@ -1,0 +1,116 @@
+//! Reconciliation property: the regret scorer's re-miss accounting is
+//! the same churn the metrics pipeline already reports.
+//!
+//! [`RegretObserver`] charges every miss on a previously-evicted trace
+//! to the cell of its most recent eviction — deliberately the same rule
+//! [`MetricsObserver`] uses for its `top_churn` table. Walking one
+//! event stream through both observers must therefore agree exactly:
+//! same total re-miss count, and per-trace the same (bytes, evictions,
+//! remisses) triples. The id universe is kept under the tables'
+//! 20-entry truncation cap so the churn and contributor tables are both
+//! complete and the comparison is total, across all six local policies.
+
+use std::collections::HashMap;
+
+use gencache_cache::{TraceId, TraceRecord};
+use gencache_core::{CacheModel, UnifiedModel};
+use gencache_obs::{
+    reconstruct_trace, EventBuffer, MetricsObserver, NextUseIndex, Observer, RegretObserver,
+};
+use gencache_program::{Addr, Time};
+use gencache_sim::LocalPolicy;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { id: u64, size: u32 },
+    Unmap { id: u64 },
+    Pin { id: u64, pinned: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u64..16, 50u32..400).prop_map(|(id, size)| Op::Access { id, size }),
+        1 => (0u64..16).prop_map(|id| Op::Unmap { id }),
+        1 => (0u64..16, any::<bool>()).prop_map(|(id, pinned)| Op::Pin { id, pinned }),
+    ]
+}
+
+/// Drives `ops` into a model the way the recorder would: consistent
+/// sizes per trace id, one microsecond per step.
+fn run_ops(model: &mut dyn CacheModel, ops: &[Op]) {
+    let mut sizes: HashMap<u64, u32> = HashMap::new();
+    for (step, op) in ops.iter().enumerate() {
+        let now = Time::from_micros(step as u64);
+        match *op {
+            Op::Access { id, size } => {
+                let size = *sizes.entry(id).or_insert(size);
+                let rec = TraceRecord::new(TraceId::new(id), size, Addr::new(0x1000 + id));
+                model.on_access(rec, now);
+            }
+            Op::Unmap { id } => {
+                model.on_unmap(TraceId::new(id), now);
+            }
+            Op::Pin { id, pinned } => {
+                model.on_pin(TraceId::new(id), pinned, now);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For every local policy, regret re-misses reconcile with the
+    /// metrics pipeline's churn counters, trace by trace.
+    #[test]
+    fn regret_remisses_match_metrics_churn(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        capacity in 400u64..4000,
+    ) {
+        for policy in LocalPolicy::ALL {
+            let mut model = UnifiedModel::with_cache_observed(
+                policy.name(),
+                policy.build(capacity),
+                EventBuffer::new(),
+            );
+            run_ops(&mut model, &ops);
+            let events = model.into_observer().events;
+
+            let trace = reconstruct_trace(&events).expect("stream inverts");
+            let index = NextUseIndex::build(&trace);
+            let mut metrics = MetricsObserver::new();
+            let mut scorer = RegretObserver::new(&index);
+            for event in &events {
+                metrics.on_event(event);
+                scorer.on_event(event);
+            }
+            let churn = metrics.report().top_churn;
+            let regret = scorer.report();
+
+            prop_assert_eq!(regret.accesses, metrics.report().accesses, "{}", policy.name());
+
+            let churn_total: u64 = churn.iter().map(|e| e.remisses).sum();
+            prop_assert_eq!(
+                regret.total.remisses, churn_total,
+                "{}: regret re-misses diverge from churn", policy.name()
+            );
+            let phase_total: u64 =
+                regret.phases.iter().map(|p| p.total.remisses).sum();
+            prop_assert_eq!(regret.total.remisses, phase_total, "{}", policy.name());
+
+            // Per-trace: every churn entry has a matching contributor
+            // with identical eviction/re-miss/bytes accounting.
+            let by_trace: HashMap<u64, _> =
+                regret.contributors.iter().map(|c| (c.trace, c)).collect();
+            for entry in &churn {
+                let c = by_trace.get(&entry.trace).unwrap_or_else(|| {
+                    panic!("{}: t{} churns but never contributes", policy.name(), entry.trace)
+                });
+                prop_assert_eq!(c.remisses, entry.remisses, "{} t{}", policy.name(), entry.trace);
+                prop_assert_eq!(c.evictions, entry.evictions, "{} t{}", policy.name(), entry.trace);
+                prop_assert_eq!(c.bytes, entry.bytes, "{} t{}", policy.name(), entry.trace);
+            }
+        }
+    }
+}

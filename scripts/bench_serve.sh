@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Serve-path throughput trajectory: measures jobs/sec, ingest lines/sec
 # and span-derived p50/p99 job latency against a local gencache-serve
-# daemon, then appends the entry to results/BENCH_serve.json with
-# regression watch (--watch refuses to append on a throughput drop
-# beyond the tolerance). Method notes live in EXPERIMENTS.md.
+# daemon — plus the offline replay path (simulate --grid --oracle
+# cells/sec and peak RSS via getrusage) — then appends the entry to
+# results/BENCH_serve.json with regression watch (--watch refuses to
+# append on a throughput drop beyond the tolerance, on either path).
+# Method notes live in EXPERIMENTS.md.
 #
 # Usage: scripts/bench_serve.sh [--jobs N] [--note TEXT]
 set -euo pipefail
@@ -24,17 +26,22 @@ cargo build --release
 
 mkdir -p target/tmp results
 events="target/tmp/bench-serve-events.jsonl"
+replay_stats="target/tmp/bench-serve-replay.json"
 serve_log="target/tmp/bench-serve.log"
 serve_pid=""
 cleanup() {
   [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
-  rm -f "$events" "$serve_log"
+  rm -f "$events" "$replay_stats" "$serve_log"
 }
 trap cleanup EXIT
 
 echo "=== recording the benchmark export (word @ scale 64)"
 ./target/release/explain --bench word --scale 64 \
   --events-out "$events" > /dev/null
+
+echo "=== offline replay (simulate --grid --oracle)"
+./target/release/simulate --events "$events" --grid --oracle \
+  --stats-out "$replay_stats" > /dev/null
 
 echo "=== starting gencache-serve"
 ./target/release/gencache-serve --addr 127.0.0.1:0 > "$serve_log" 2>&1 &
@@ -51,6 +58,7 @@ done
 echo "=== bench: $jobs jobs against $addr"
 ./target/release/gencache-client bench --addr "$addr" \
   --events "$events" --jobs "$jobs" --note "$note" \
+  --replay-stats "$replay_stats" \
   --out results/BENCH_serve.json --watch --tolerance 0.5
 
 kill -TERM "$serve_pid"

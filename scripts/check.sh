@@ -22,6 +22,7 @@ events="target/tmp/check-events.jsonl"
 live_metrics="target/tmp/check-metrics-live.json"
 sim_metrics="target/tmp/check-metrics-sim.json"
 baseline="target/tmp/check-baseline.json"
+regret_metrics="target/tmp/check-metrics-regret.json"
 serve_metrics="target/tmp/check-metrics-serve.json"
 serve_log="target/tmp/check-serve.log"
 serve_events_log="target/tmp/check-serve-events.jsonl"
@@ -40,7 +41,7 @@ cleanup() {
   for pid in "$serve_pid" "$shard1_pid" "$shard2_pid" "$router_pid"; do
     [ -n "$pid" ] && kill "$pid" 2>/dev/null
   done
-  rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" \
+  rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" "$regret_metrics" \
     "$serve_metrics" "$serve_log" "$serve_events_log" \
     "$fleet_events" "$fleet_second" "$fleet_sim" "$fleet_served" \
     "$shard1_log" "$shard2_log" "$router_log"
@@ -78,6 +79,22 @@ cmp "$live_metrics" "$sim_metrics" \
   || { echo "simulated metrics doc differs from the live export"; exit 1; }
 ./target/release/simulate --events "$events" --watch "$baseline" > /dev/null \
   || { echo "simulate --watch failed against a fresh baseline"; exit 1; }
+
+echo "=== regret smoke: oracle regret attribution is populated end to end"
+./target/release/simulate --events "$events" --grid --oracle \
+  --metrics-out "$regret_metrics" > /dev/null
+grep -q '"regret":{"accesses":' "$regret_metrics" \
+  || { echo "grid+oracle metrics doc has no regret section"; exit 1; }
+grep -q '"contributors":\[{' "$regret_metrics" \
+  || { echo "regret section names no contributor traces"; exit 1; }
+# The un-oracled doc must not grow a regret section (byte stability).
+grep -q '"regret":' "$sim_metrics" \
+  && { echo "plain simulate doc unexpectedly carries regret"; exit 1; }
+regret_out="$(./target/release/explain --bench word --scale 64 --oracle)"
+echo "$regret_out" | grep -q "Oracle regret:" \
+  || { echo "explain --oracle printed no regret summary"; exit 1; }
+echo "$regret_out" | grep -q "Worst decisions:" \
+  || { echo "explain --oracle printed no worst-decision narratives"; exit 1; }
 
 echo "=== serve smoke: daemon reply is byte-identical to offline simulate"
 ./target/release/gencache-serve --addr 127.0.0.1:0 \

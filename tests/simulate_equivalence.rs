@@ -18,7 +18,7 @@
 //! replayer never misses more than the unified baseline.
 
 use gencache_bench::sample_interval;
-use gencache_obs::{oracle_replay, reconstruct_trace};
+use gencache_obs::{oracle_replay, reconstruct_trace, NextUseIndex};
 use gencache_sim::{
     collect_costs, collect_events, collect_metrics, parse_spec, record, simulate_costs,
     simulate_grid, simulate_metrics, sweep_with_jobs, trace_to_log, AccessLog, ModelSpec, SimSpec,
@@ -89,21 +89,34 @@ fn simulation_reproduces_recording_and_counterfactuals_bitwise() {
 
 #[test]
 fn simulated_grid_is_jobs_invariant() {
-    let (_, reconstructed, capacity) = recorded_and_reconstructed();
+    let (original, reconstructed, capacity) = recorded_and_reconstructed();
     let every = sample_interval(&reconstructed);
     let specs: Vec<SimSpec> = ["unified", "gen-45-10-45@hit1", "30-20-50@evict5", "lru"]
         .iter()
         .map(|l| parse_spec(l).expect("valid spec label"))
         .collect();
-    let serial = simulate_grid(&reconstructed, &specs, capacity, 12, every, 1);
+    let (_, events) = collect_events(&original, ModelSpec::Unified);
+    let trace = reconstruct_trace(&events).expect("stream inverts");
+    let index = NextUseIndex::build(&trace);
+    let serial = simulate_grid(&reconstructed, &specs, capacity, 12, every, 1, Some(&index));
+    assert!(
+        serial.iter().all(|s| s.regret.is_some()),
+        "every grid cell gets a regret report when an index is supplied"
+    );
     for jobs in [2, 8] {
-        let parallel = simulate_grid(&reconstructed, &specs, capacity, 12, every, jobs);
+        let parallel = simulate_grid(&reconstructed, &specs, capacity, 12, every, jobs, Some(&index));
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.label, b.label, "jobs={jobs}");
             assert_eq!(a.result.metrics, b.result.metrics, "{} jobs={jobs}", a.label);
             assert_eq!(a.metrics, b.metrics, "{} jobs={jobs}", a.label);
             assert_eq!(a.costs, b.costs, "{} jobs={jobs}", a.label);
+            assert_eq!(
+                serde_json::to_string(&a.regret).unwrap(),
+                serde_json::to_string(&b.regret).unwrap(),
+                "{} regret jobs={jobs}",
+                a.label
+            );
         }
     }
 }
