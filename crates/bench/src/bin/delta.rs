@@ -20,6 +20,10 @@
 //! delta FILE.jsonl --phases 12 --bench word
 //! delta FILE.jsonl --regret
 //!     # additionally diff the Belady-regret attribution of each pair
+//! delta FILE.jsonl --windows
+//!     # additionally diff the windowed miss-rate series and each
+//!     # side's drift annotations (phase_shift / thrash_onset /
+//!     # recovery), window by window
 //! gencache-client fetch --addr HOST:PORT --bench word | delta -
 //!     # `-` reads an export from stdin (at most one of the two inputs)
 //! ```
@@ -33,8 +37,9 @@ use gencache_bench::ingest::open_lines;
 use gencache_obs::{
     cost, overhead_ratio, parse_stream_line, reconstruct_trace, CacheEvent, CostLedger,
     CostObserver, NextUseIndex, Observer, PhaseRegret, RegretCell, RegretObserver, StreamLine,
+    Window, WindowObserver, WindowReport,
 };
-use gencache_sim::report::{bar, fmt_bytes, TextTable};
+use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
 
 struct DeltaOptions {
     left: String,
@@ -44,6 +49,7 @@ struct DeltaOptions {
     bench: Option<String>,
     phases: u32,
     regret: bool,
+    windows: bool,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
@@ -55,6 +61,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
         bench: None,
         phases: 8,
         regret: false,
+        windows: false,
     };
     let mut files = Vec::new();
     let mut it = args.into_iter();
@@ -75,9 +82,10 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> DeltaOptions {
                 assert!(opts.phases > 0, "--phases must be positive");
             }
             "--regret" => opts.regret = true,
+            "--windows" => opts.windows = true,
             flag if flag.starts_with("--") => panic!(
                 "unknown argument {flag:?}; use LEFT.jsonl [RIGHT.jsonl] / --left-model M / \
-                 --right-model M / --bench NAME / --phases N / --regret"
+                 --right-model M / --bench NAME / --phases N / --regret / --windows"
             ),
             file => files.push(file.to_string()),
         }
@@ -324,7 +332,76 @@ fn render_regret_pair(pair: &Pair<'_>, phases: u32, duration_us: u64) {
     print!("{}", table.render());
 }
 
-fn render_pair(pair: &Pair<'_>, phases: u32, regret: bool) -> (CostLedger, CostLedger) {
+/// Diffs the windowed time-series of the two sides: both streams fold
+/// into windows of the *same* access width (from the larger side, so
+/// window i covers the same access range on both), then per-window
+/// miss-rate sparklines and a merged table of both sides' drift
+/// annotations, each shown against the other side's rate at the same
+/// window.
+fn render_windows_pair(pair: &Pair<'_>) {
+    let accesses = |events: &[CacheEvent]| {
+        events
+            .iter()
+            .filter(|e| matches!(e, CacheEvent::Hit { .. } | CacheEvent::Miss { .. }))
+            .count() as u64
+    };
+    let width = (accesses(pair.left).max(accesses(pair.right)) / 64).max(1);
+    let report_of = |events: &[CacheEvent]| -> WindowReport {
+        let mut observer = WindowObserver::new(width);
+        for event in events {
+            observer.on_event(event);
+        }
+        observer.report()
+    };
+    let left = report_of(pair.left);
+    let right = report_of(pair.right);
+    println!(
+        "Windowed series ({} accesses/window): left {} windows, {} drift annotation(s); \
+         right {} windows, {} annotation(s)",
+        width,
+        left.windows.len(),
+        left.annotations.len(),
+        right.windows.len(),
+        right.annotations.len(),
+    );
+    let rates = |r: &WindowReport| -> Vec<u64> {
+        r.windows
+            .iter()
+            .map(|w| (w.miss_rate() * 1000.0) as u64)
+            .collect()
+    };
+    println!("  {:>10} {} (per window)", "miss L", sparkline(&rates(&left)));
+    println!("  {:>10} {} (per window)", "miss R", sparkline(&rates(&right)));
+    if left.annotations.is_empty() && right.annotations.is_empty() {
+        println!("  Neither side drifts: both windowed miss rates are stationary.");
+        return;
+    }
+    // Annotations from both sides interleave by window index, so a
+    // cliff one side has and the other avoids reads as a lone row.
+    let mut rows: Vec<(u64, &str, String, f64, Option<f64>)> = Vec::new();
+    let other_rate = |r: &WindowReport, w: u64| r.windows.get(w as usize).map(Window::miss_rate);
+    for a in &left.annotations {
+        rows.push((a.window, "L", a.kind.to_string(), a.miss_rate, other_rate(&right, a.window)));
+    }
+    for a in &right.annotations {
+        rows.push((a.window, "R", a.kind.to_string(), a.miss_rate, other_rate(&left, a.window)));
+    }
+    rows.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    let mut table = TextTable::new(["window", "side", "drift", "miss%", "other side%"]);
+    for (window, side, kind, rate, other) in rows {
+        table.row([
+            window.to_string(),
+            side.to_string(),
+            kind,
+            format!("{:.1}", rate * 100.0),
+            other.map_or_else(|| "-".to_string(), |r| format!("{:.1}", r * 100.0)),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn render_pair(pair: &Pair<'_>, opts: &DeltaOptions) -> (CostLedger, CostLedger) {
+    let phases = opts.phases;
     // Shared phase boundaries: both sides are sliced over the same span.
     let duration_us = pair
         .left
@@ -378,8 +455,11 @@ fn render_pair(pair: &Pair<'_>, phases: u32, regret: bool) -> (CostLedger, CostL
         ]);
     }
     print!("{}", table.render());
-    if regret {
+    if opts.regret {
         render_regret_pair(pair, phases, duration_us);
+    }
+    if opts.windows {
+        render_windows_pair(pair);
     }
     (left_total, right_total)
 }
@@ -445,7 +525,7 @@ fn main() -> ExitCode {
     let mut suite_left = CostLedger::new();
     let mut suite_right = CostLedger::new();
     for pair in &pairs {
-        let (l, r) = render_pair(pair, opts.phases, opts.regret);
+        let (l, r) = render_pair(pair, &opts);
         suite_left.merge(&l);
         suite_right.merge(&r);
     }

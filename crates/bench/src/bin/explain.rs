@@ -11,10 +11,16 @@
 //!
 //! ```text
 //! explain --bench word --scale 16 [--top 10] [--jobs N] [--oracle]
-//!         [--events-out FILE.jsonl] [--metrics-out FILE.json]
+//!         [--windows] [--events-out FILE.jsonl] [--metrics-out FILE.json]
 //! explain --parse-events FILE.jsonl   # validate a JSONL export
 //! explain --parse-events -            # ... read from stdin
 //! ```
+//!
+//! `--windows` adds the windowed time-series view: per-window miss-rate
+//! / churn / occupancy sparklines and the drift detector's annotations
+//! (`phase_shift`, `thrash_onset`, `recovery`) with the stats of each
+//! annotated window — the same series `simulate --windows` embeds in
+//! the metrics document.
 
 use std::collections::BTreeMap;
 use std::io::BufRead;
@@ -25,7 +31,7 @@ use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
 use gencache_obs::{
     oracle_replay, parse_stream_line, reconstruct_trace, CacheEvent, CostObserver, Log2Histogram,
     MetricsObserver, MetricsReport, NextUseIndex, Observer, OracleResult, Region, RegretObserver,
-    SamplingObserver, SamplingParams, StreamLine,
+    SamplingObserver, SamplingParams, StreamLine, WindowObserver, WindowReport,
 };
 use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
 use gencache_sim::{collect_events, record, ModelSpec, ReplayResult};
@@ -35,6 +41,7 @@ struct ExplainOptions {
     bench: String,
     top: usize,
     oracle: bool,
+    windows: bool,
     parse_events: Option<String>,
     harness: HarnessOptions,
 }
@@ -52,6 +59,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
         bench: "word".to_string(),
         top: 10,
         oracle: false,
+        windows: false,
         parse_events: None,
         harness: HarnessOptions {
             scale: 1,
@@ -72,6 +80,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
                 opts.parse_events = Some(it.next().expect("--parse-events needs a file path"));
             }
             "--oracle" => opts.oracle = true,
+            "--windows" => opts.windows = true,
             "--scale" => {
                 let v = it.next().expect("--scale needs a value");
                 opts.harness.scale = v.parse().expect("--scale must be a positive integer");
@@ -104,8 +113,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
             }
             other => panic!(
                 "unknown argument {other:?}; use --bench NAME / --scale N / --jobs N / \
-                 --top N / --oracle / --events-out FILE / --metrics-out FILE / --sample N / \
-                 --sample-seed S / --parse-events FILE"
+                 --top N / --oracle / --windows / --events-out FILE / --metrics-out FILE / \
+                 --sample N / --sample-seed S / --parse-events FILE"
             ),
         }
     }
@@ -516,6 +525,93 @@ fn render_regret(
     }
 }
 
+/// The windowed time-series view: miss-rate / churn / occupancy
+/// sparklines over the window series, a table of the drift-annotated
+/// windows, and a one-line narrative per annotation. The report is the
+/// same deterministic series `simulate --windows` embeds in the metrics
+/// document, so a cliff diagnosed here is findable in any archived doc.
+fn render_windows(sample_every: u64, events: &[CacheEvent]) {
+    let mut observer = WindowObserver::new(sample_every);
+    for event in events {
+        observer.on_event(event);
+    }
+    let report: WindowReport = observer.report();
+    if report.windows.is_empty() {
+        return;
+    }
+    println!(
+        "\nWindowed series ({} windows of {} accesses{}):",
+        report.windows.len(),
+        report.window_accesses,
+        if report.doublings > 0 {
+            format!(", width doubled {}x", report.doublings)
+        } else {
+            String::new()
+        },
+    );
+    // Per-mille keeps small rates visible in coarse sparkline buckets.
+    let rates: Vec<u64> = report
+        .windows
+        .iter()
+        .map(|w| (w.miss_rate() * 1000.0) as u64)
+        .collect();
+    let churn: Vec<u64> = report.windows.iter().map(|w| w.remisses).collect();
+    let resident: Vec<u64> = report.windows.iter().map(|w| w.resident_bytes).collect();
+    println!("  {:>10} {} (per window)", "miss rate", sparkline(&rates));
+    println!("  {:>10} {} (re-misses)", "churn", sparkline(&churn));
+    println!(
+        "  {:>10} {} peak {}",
+        "occupancy",
+        sparkline(&resident),
+        fmt_bytes(resident.iter().copied().max().unwrap_or(0)),
+    );
+    if report.annotations.is_empty() {
+        println!("  No drift detected: the windowed miss rate is stationary.");
+        return;
+    }
+    let mut table = TextTable::new([
+        "window", "drift", "miss%", "base%", "remiss", "cap-evt", "resident",
+    ]);
+    for a in &report.annotations {
+        let w = &report.windows[a.window as usize];
+        table.row([
+            a.window.to_string(),
+            a.kind.to_string(),
+            format!("{:.1}", a.miss_rate * 100.0),
+            format!("{:.1}", a.baseline * 100.0),
+            w.remisses.to_string(),
+            w.capacity_evictions.to_string(),
+            fmt_bytes(w.resident_bytes),
+        ]);
+    }
+    print!("{}", table.render());
+    for a in &report.annotations {
+        let w = &report.windows[a.window as usize];
+        let detail = match a.kind {
+            gencache_obs::DriftKind::ThrashOnset => format!(
+                "{} of {} misses are re-misses of evicted traces with {} capacity \
+                 evictions — regeneration churn, not new code",
+                w.remisses, w.misses, w.capacity_evictions,
+            ),
+            gencache_obs::DriftKind::PhaseShift => format!(
+                "{} inserts ({}) in the detection window — a working-set change",
+                w.inserts,
+                fmt_bytes(w.insert_bytes),
+            ),
+            gencache_obs::DriftKind::Recovery => {
+                "the miss rate stepped back toward the earlier baseline".to_string()
+            }
+        };
+        println!(
+            "  window {}: {} — miss rate {:.1}% (baseline {:.1}%); {detail}",
+            a.window,
+            a.kind,
+            a.miss_rate * 100.0,
+            a.baseline * 100.0,
+        );
+    }
+}
+
 fn render_histogram(label: &str, hist: &Log2Histogram) {
     if hist.is_empty() {
         return;
@@ -603,6 +699,9 @@ fn explain_model(
         render_sampling(params, sample_every, events);
     }
     render_timeline(&report, &regions);
+    if opts.windows {
+        render_windows(sample_every, events);
+    }
     render_churn(&report, top);
     if let Some(oracle) = oracle {
         render_regret(profile, duration_us, oracle, result, events, top);

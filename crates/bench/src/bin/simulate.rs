@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! simulate --events FILE.jsonl [--spec unified] [--spec 30-20-50@evict5] ...
-//!          [--grid] [--oracle] [--capacity BYTES] [--jobs N]
+//!          [--grid] [--oracle] [--windows] [--capacity BYTES] [--jobs N]
 //!          [--bench NAME] [--model LABEL]
 //!          [--metrics-out FILE.json] [--baseline-out FILE.json]
 //!          [--stats-out FILE.json] [--watch BASELINE.json] [--tolerance FRAC]
@@ -48,15 +48,16 @@ use gencache_sim::par::effective_jobs;
 use gencache_sim::SimulatedSpec;
 use serde::{Deserialize, Serialize};
 
-const USAGE: &str = "use --events FILE / --spec LABEL / --grid / --oracle / --capacity BYTES / \
-     --jobs N / --bench NAME / --model LABEL / --metrics-out FILE / --baseline-out FILE / \
-     --stats-out FILE / --watch FILE / --tolerance FRAC";
+const USAGE: &str = "use --events FILE / --spec LABEL / --grid / --oracle / --windows / \
+     --capacity BYTES / --jobs N / --bench NAME / --model LABEL / --metrics-out FILE / \
+     --baseline-out FILE / --stats-out FILE / --watch FILE / --tolerance FRAC";
 
 struct SimOptions {
     events: String,
     specs: Vec<String>,
     grid: bool,
     oracle: bool,
+    windows: bool,
     capacity: Option<u64>,
     jobs: Option<usize>,
     bench: Option<String>,
@@ -74,6 +75,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> SimOptions {
         specs: Vec::new(),
         grid: false,
         oracle: false,
+        windows: false,
         capacity: None,
         jobs: None,
         bench: None,
@@ -91,6 +93,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> SimOptions {
             "--spec" => opts.specs.push(it.next().expect("--spec needs a label")),
             "--grid" => opts.grid = true,
             "--oracle" => opts.oracle = true,
+            "--windows" => opts.windows = true,
             "--capacity" => {
                 let v = it.next().expect("--capacity needs a byte count");
                 let bytes: u64 = v.parse().expect("--capacity must be a positive integer");
@@ -389,7 +392,7 @@ fn main() -> ExitCode {
         specs.len()
     );
     let started = Instant::now();
-    let out = match run_sim_job(&inputs, &specs, opts.oracle, jobs, None) {
+    let out = match run_sim_job(&inputs, &specs, opts.oracle, opts.windows, jobs, None) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");

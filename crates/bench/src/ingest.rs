@@ -30,13 +30,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use gencache_obs::{
     oracle_replay, parse_stream_line, CostReport, MetricsReport, NextUseIndex, OracleResult,
-    RegretReport, RunMeta, SimTrace, StreamLine, TraceRebuilder, METRICS_SCHEMA, METRICS_VERSION,
+    RegretReport, RunMeta, SimTrace, StreamLine, TraceRebuilder, WindowReport, METRICS_SCHEMA,
+    METRICS_VERSION,
 };
 use gencache_sim::par::par_map;
 use gencache_sim::report::TextTable;
 use gencache_sim::{
     parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, simulate_regret,
-    trace_to_log, AccessLog, ModelSpec, SimSpec, SimulatedSpec,
+    simulate_windows, trace_to_log, AccessLog, ModelSpec, SimSpec, SimulatedSpec,
 };
 use serde::{Deserialize, Value};
 
@@ -433,7 +434,9 @@ pub struct SimJobOutput {
 /// Runs the benchmark × spec cross product across `jobs` workers,
 /// reassembling in input order — bit-identical for any worker count,
 /// and byte-identical whether driven by the offline tool or the serve
-/// daemon.
+/// daemon. When `windows` is set, every cell also folds its event
+/// stream into a windowed time-series report with drift annotations
+/// (window width = the timeline sample interval).
 ///
 /// `cancel` is polled between cells: once set (deadline expiry,
 /// shutdown), remaining cells are skipped and the job returns an error
@@ -446,6 +449,7 @@ pub fn run_sim_job(
     inputs: &[SimJobInput],
     specs: &[SimSpec],
     oracle: bool,
+    windows: bool,
     jobs: usize,
     cancel: Option<&AtomicBool>,
 ) -> Result<SimJobOutput, String> {
@@ -474,12 +478,15 @@ pub fn run_sim_job(
         let regret = indexes[i]
             .as_ref()
             .map(|index| simulate_regret(&input.log, spec, input.capacity, input.phases, index).1);
+        let windows =
+            windows.then(|| simulate_windows(&input.log, spec, input.capacity, every).1);
         let sim = SimulatedSpec {
             label: spec.label(),
             result,
             metrics,
             costs,
             regret,
+            windows,
         };
         Some((sim, started.elapsed().as_micros() as u64))
     });
@@ -542,6 +549,7 @@ pub fn sim_metrics_doc(out: &SimJobOutput) -> Value {
                         sim.costs.clone(),
                         None,
                         sim.regret.clone(),
+                        sim.windows.clone(),
                     )
                 })
                 .collect();
@@ -749,7 +757,14 @@ pub fn merge_metrics_docs(order: &[String], docs: &[Value]) -> Result<Value, Str
                     ),
                     None => None,
                 };
-                reports.push((metrics, costs, None, regret));
+                let windows = match doc_field(section, "windows") {
+                    Some(v) => Some(
+                        WindowReport::from_value(v)
+                            .map_err(|e| format!("{name}/{label}: bad windows: {e}"))?,
+                    ),
+                    None => None,
+                };
+                reports.push((metrics, costs, None, regret, windows));
             }
             if sections.insert(name.clone(), reports).is_some() {
                 return Err(format!("benchmark {name:?} appears in more than one shard doc"));
@@ -937,14 +952,14 @@ mod tests {
         assert_eq!(inputs.len(), 2);
         let order: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
         let specs = resolve_sim_specs(&[], false).unwrap();
-        let whole = run_sim_job(&inputs, &specs, false, 1, None).unwrap();
+        let whole = run_sim_job(&inputs, &specs, false, false, 1, None).unwrap();
         let whole_doc = crate::value_to_json(&sim_metrics_doc(&whole));
         let whole_table = render_sim_tables(&whole);
         // Split the job as the fleet router would: one benchmark per
         // "shard", merged back in upload order.
         let second = inputs.split_off(1);
-        let out_a = run_sim_job(&inputs, &specs, false, 1, None).unwrap();
-        let out_b = run_sim_job(&second, &specs, false, 1, None).unwrap();
+        let out_a = run_sim_job(&inputs, &specs, false, false, 1, None).unwrap();
+        let out_b = run_sim_job(&second, &specs, false, false, 1, None).unwrap();
         let docs = [sim_metrics_doc(&out_b), sim_metrics_doc(&out_a)];
         let merged = merge_metrics_docs(&order, &docs).unwrap();
         assert_eq!(
@@ -969,7 +984,7 @@ mod tests {
         let inputs = ingest.into_inputs(None, None, None).unwrap();
         let specs = resolve_sim_specs(&[], false).unwrap();
         let cancel = AtomicBool::new(true);
-        let err = run_sim_job(&inputs, &specs, false, 1, Some(&cancel)).unwrap_err();
+        let err = run_sim_job(&inputs, &specs, false, false, 1, Some(&cancel)).unwrap_err();
         assert!(err.contains("canceled"), "unexpected error: {err}");
     }
 }

@@ -46,7 +46,7 @@ use std::time::Instant;
 
 use gencache_obs::{
     CostReport, JsonlSink, MetricsReport, RegretReport, RunMeta, SampledReport, SamplingParams,
-    StreamHeader, METRICS_SCHEMA, METRICS_VERSION,
+    StreamHeader, WindowReport, METRICS_SCHEMA, METRICS_VERSION,
 };
 use serde::{Serialize, Value};
 use gencache_sim::par::{par_map, par_map_timed};
@@ -422,14 +422,16 @@ pub fn export_telemetry_streamed(opts: &HarnessOptions, recs: &[StreamedRun]) ->
 
 /// One model's section of the metrics document: exact aggregates, the
 /// Table 2 cost attribution, (under `--sample`) the bounded-memory
-/// sampled report, and (under `--oracle`) the Belady-regret attribution.
-/// Optional sections are emitted only when present, so documents
-/// produced without them keep their exact bytes.
+/// sampled report, (under `--oracle`) the Belady-regret attribution,
+/// and (under `--windows`) the windowed time-series with drift
+/// annotations. Optional sections are emitted only when present, so
+/// documents produced without them keep their exact bytes.
 fn spec_section(
     metrics: &MetricsReport,
     costs: &CostReport,
     sampled: Option<&SampledReport>,
     regret: Option<&RegretReport>,
+    windows: Option<&WindowReport>,
 ) -> Value {
     let mut pairs = vec![
         ("metrics".to_string(), metrics.to_value()),
@@ -440,6 +442,9 @@ fn spec_section(
     }
     if let Some(r) = regret {
         pairs.push(("regret".to_string(), r.to_value()));
+    }
+    if let Some(w) = windows {
+        pairs.push(("windows".to_string(), w.to_value()));
     }
     Value::Object(pairs)
 }
@@ -521,12 +526,13 @@ pub fn stream_events_to<W: Write>(mut writer: W, recs: &[StreamedRun]) -> io::Re
 
 /// Per-benchmark artifacts for one exported model: exact metrics, cost
 /// attribution, optional sampled report, optional Belady-regret
-/// attribution.
+/// attribution, optional windowed time-series.
 pub type SpecReports = (
     MetricsReport,
     CostReport,
     Option<SampledReport>,
     Option<RegretReport>,
+    Option<WindowReport>,
 );
 
 /// Assembles the `--metrics-out` document from per-benchmark report
@@ -541,12 +547,12 @@ pub type SpecReports = (
 pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)]) -> Value {
     let mut suite: Vec<SpecReports> = labels
         .iter()
-        .map(|_| (MetricsReport::new(), CostReport::new(1), None, None))
+        .map(|_| (MetricsReport::new(), CostReport::new(1), None, None, None))
         .collect();
     let mut bench_values = Vec::with_capacity(benchmarks.len());
     for (name, reports) in benchmarks {
         let mut pairs = vec![("benchmark".to_string(), Value::Str(name.clone()))];
-        for ((label, (metrics, costs, sampled, regret)), merged) in
+        for ((label, (metrics, costs, sampled, regret, windows)), merged) in
             labels.iter().zip(reports).zip(suite.iter_mut())
         {
             merged.0.merge(metrics);
@@ -563,9 +569,21 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
                     Some(m) => m.merge(r),
                 }
             }
+            if let Some(w) = windows {
+                match merged.4.as_mut() {
+                    None => merged.4 = Some(w.clone()),
+                    Some(m) => m.merge(w),
+                }
+            }
             pairs.push((
                 label.clone(),
-                spec_section(metrics, costs, sampled.as_ref(), regret.as_ref()),
+                spec_section(
+                    metrics,
+                    costs,
+                    sampled.as_ref(),
+                    regret.as_ref(),
+                    windows.as_ref(),
+                ),
             ));
         }
         bench_values.push(Value::Object(pairs));
@@ -573,10 +591,16 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
     let suite_pairs: Vec<(String, Value)> = labels
         .iter()
         .zip(&suite)
-        .map(|(label, (metrics, costs, sampled, regret))| {
+        .map(|(label, (metrics, costs, sampled, regret, windows))| {
             (
                 label.clone(),
-                spec_section(metrics, costs, sampled.as_ref(), regret.as_ref()),
+                spec_section(
+                    metrics,
+                    costs,
+                    sampled.as_ref(),
+                    regret.as_ref(),
+                    windows.as_ref(),
+                ),
             )
         })
         .collect();
@@ -619,7 +643,7 @@ fn write_metrics(path: &str, runs: &[Run], opts: &HarnessOptions) -> io::Result<
                 let metrics = collect_metrics(&run.log, spec, every).1;
                 let costs = collect_costs(&run.log, spec, profile.phases.max(1)).1;
                 let sampled = sampling.map(|p| collect_sampled(&run.log, spec, p, every).1);
-                (metrics, costs, sampled, None)
+                (metrics, costs, sampled, None, None)
             })
             .collect()
     });
@@ -646,7 +670,7 @@ fn write_metrics_streamed(path: &str, recs: &[StreamedRun], opts: &HarnessOption
                 let metrics = rec.collect_metrics(spec, every).1;
                 let costs = rec.collect_costs(spec, profile.phases.max(1)).1;
                 let sampled = sampling.map(|p| rec.collect_sampled(spec, p, every).1);
-                (metrics, costs, sampled, None)
+                (metrics, costs, sampled, None, None)
             })
             .collect()
     });

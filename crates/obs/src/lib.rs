@@ -55,6 +55,7 @@ mod regret;
 mod sample;
 mod schema;
 mod simstream;
+mod window;
 
 pub use cost::{
     overhead_ratio, CauseCost, CostLedger, CostObserver, CostReport, PhaseCost, RegionCost,
@@ -77,3 +78,7 @@ pub use schema::{
 };
 pub use simstream::{reconstruct_trace, SimTrace, TraceOp, TraceRebuilder};
 pub use sample::{ReservoirSnapshot, SampledReport, SamplingObserver, SamplingParams, SamplingSummary};
+pub use window::{
+    detect_drift, DriftAnnotation, DriftKind, Window, WindowObserver, WindowReport,
+    DEFAULT_WINDOW_CAP,
+};

@@ -1,0 +1,121 @@
+//! Drift-detector calibration properties: the windowed Page–Hinkley
+//! test must *find* a planted miss-rate step quickly and must *not*
+//! fire on a stationary stream.
+//!
+//! Both properties drive a [`WindowObserver`] with synthetic hit/miss
+//! streams whose per-window miss counts are exact (misses are planted
+//! per window, not per stream, so quantization cannot smear the rate
+//! across windows). The step property checks the first annotation is an
+//! upward detection within `DETECTION_SLACK` windows of the step; the
+//! stationarity property checks zero annotations for any constant rate.
+
+use gencache_cache::TraceId;
+use gencache_obs::{CacheEvent, DriftKind, Observer, Region, WindowObserver};
+use gencache_program::Time;
+use proptest::prelude::*;
+
+/// Accesses per window in every generated stream.
+const WINDOW: u64 = 100;
+/// An upward step must be flagged within this many windows of onset.
+const DETECTION_SLACK: u64 = 3;
+
+fn hit(trace: u64) -> CacheEvent {
+    CacheEvent::Hit {
+        region: Region::Unified,
+        trace: TraceId::new(trace),
+        reuse_us: 1,
+        time: Time::ZERO,
+    }
+}
+
+fn miss(trace: u64) -> CacheEvent {
+    CacheEvent::Miss {
+        trace: TraceId::new(trace),
+        bytes: 100,
+        time: Time::ZERO,
+    }
+}
+
+/// `windows` windows of exactly `WINDOW` accesses, each containing
+/// exactly `round(rate * WINDOW)` misses spread through the window.
+/// Misses use fresh trace ids, so nothing classifies as churn.
+fn planted_stream(events: &mut Vec<CacheEvent>, windows: u64, rate: f64) {
+    let misses = ((rate * WINDOW as f64).round() as u64).min(WINDOW);
+    for w in 0..windows {
+        for i in 0..WINDOW {
+            let is_miss = misses > 0 && i * misses / WINDOW != (i + 1) * misses / WINDOW;
+            if is_miss {
+                events.push(miss(1_000_000 + w * WINDOW + i));
+            } else {
+                events.push(hit(0));
+            }
+        }
+    }
+}
+
+fn report_of(events: &[CacheEvent]) -> gencache_obs::WindowReport {
+    let mut observer = WindowObserver::new(WINDOW);
+    for event in events {
+        observer.on_event(event);
+    }
+    observer.report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A planted step from a quiet baseline to a loud regime is flagged
+    /// as an upward detection within `DETECTION_SLACK` windows of its
+    /// onset, and never before it.
+    #[test]
+    fn planted_step_is_flagged_within_slack(
+        pre in 4u64..24,
+        post in 4u64..16,
+        base in 0.0f64..0.03,
+        step in 0.15f64..0.60,
+    ) {
+        let mut events = Vec::new();
+        planted_stream(&mut events, pre, base);
+        planted_stream(&mut events, post, step);
+        let report = report_of(&events);
+        let first = report.annotations.first().expect("step never detected");
+        prop_assert!(
+            first.window >= pre,
+            "detection at window {} precedes the step at {pre}",
+            first.window
+        );
+        prop_assert!(
+            first.window < pre + DETECTION_SLACK,
+            "detection at window {} lags the step at {pre} by more than {DETECTION_SLACK}",
+            first.window
+        );
+        prop_assert!(
+            matches!(first.kind, DriftKind::PhaseShift | DriftKind::ThrashOnset),
+            "first detection after an upward step must be upward: {:?}",
+            first
+        );
+        prop_assert!(
+            first.miss_rate > first.baseline,
+            "upward detection with rate {} at or below baseline {}",
+            first.miss_rate,
+            first.baseline
+        );
+    }
+
+    /// A stationary stream — any constant per-window miss rate — never
+    /// produces an annotation.
+    #[test]
+    fn stationary_streams_stay_silent(
+        windows in 2u64..48,
+        rate in 0.0f64..0.6,
+    ) {
+        let mut events = Vec::new();
+        planted_stream(&mut events, windows, rate);
+        let report = report_of(&events);
+        prop_assert!(
+            report.annotations.is_empty(),
+            "detector fired on a stationary stream: {:?}",
+            report.annotations
+        );
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! gencache-client submit --addr HOST:PORT --events FILE|- [--spec LABEL]...
-//!                 [--grid] [--oracle] [--capacity BYTES] [--bench NAME]
-//!                 [--model LABEL] [--deadline-ms N] [--metrics-out FILE]
-//!                 [--no-table] [--retries N] [--retry-ms N] [--verbose]
+//!                 [--grid] [--oracle] [--windows] [--capacity BYTES]
+//!                 [--bench NAME] [--model LABEL] [--deadline-ms N]
+//!                 [--metrics-out FILE] [--no-table] [--retries N]
+//!                 [--retry-ms N] [--verbose]
 //! gencache-client stats  --addr HOST:PORT
 //! gencache-client ping   --addr HOST:PORT [--hold-ms N]
 //! gencache-client fetch  --addr HOST:PORT --bench NAME [--scale N] [--out FILE|-]
@@ -16,6 +17,8 @@
 //!                 [--grid] [--bench NAME] [--jobs N] [--note TEXT]
 //!                 [--out FILE] [--replay-stats FILE] [--watch]
 //!                 [--tolerance FRACTION]
+//! gencache-client watch  --addr HOST:PORT [--interval-ms N] [--count N]
+//!                 [--plain]
 //! ```
 //!
 //! `submit --events -` reads the export from stdin; `--metrics-out`
@@ -42,6 +45,14 @@
 //! repeated submits against a daemon and records a throughput/latency
 //! trajectory entry (`--watch` fails with exit 4 on regression against
 //! the previous entry instead of appending).
+//!
+//! `watch` subscribes to the daemon's (or router's — the rows then
+//! cover every live shard) `watch` stream and renders a live fleet
+//! dashboard, redrawn per snapshot (`--interval-ms`, default 1000).
+//! `--count N` stops after N snapshots (0 = until interrupted);
+//! `--plain` appends one table per snapshot instead of redrawing in
+//! place — use it when piping to a file. Ctrl-C and a server drain both
+//! end the stream cleanly with exit 0.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Cursor, Read, Write};
@@ -53,7 +64,7 @@ use gencache_serve::{Client, JobSpec, Reply, RetryPolicy, Span};
 use serde::Value;
 
 const USAGE: &str = "subcommands: submit / stats / ping / fetch / shards / route / trace / \
-     metrics / bench (see module docs)";
+     metrics / bench / watch (see module docs)";
 
 fn open_input(path: &str) -> io::Result<Box<dyn BufRead>> {
     if path == "-" {
@@ -101,6 +112,7 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
                 .push(it.next().expect("--spec needs a label")),
             "--grid" => args.spec.grid = true,
             "--oracle" => args.spec.oracle = true,
+            "--windows" => args.spec.windows = true,
             "--capacity" => {
                 let v = it.next().expect("--capacity needs a byte count");
                 args.spec.capacity =
@@ -748,6 +760,98 @@ fn run_bench(it: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One dashboard frame: a fixed-width table of every row in the
+/// snapshot plus a footer naming the emitting node and sequence number.
+fn render_watch_frame(node: &str, seq: u64, rows: &[gencache_serve::WatchRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7} {:>6}\n",
+        "NODE", "UP(s)", "JOBS/S", "SHED/S", "INFL", "QUEUE", "P50(us)", "P99(us)", "JOBS",
+        "W.MISS", "DRIFT"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>8.1} {:>7.1} {:>6} {:>6} {:>9} {:>9} {:>8} {:>6.1}% {:>6}\n",
+            r.node,
+            r.uptime_ms / 1000,
+            r.jobs_per_sec,
+            r.shed_per_sec,
+            r.in_flight,
+            r.queue_depth,
+            r.p50_us,
+            r.p99_us,
+            r.jobs_total,
+            r.window_miss_rate * 100.0,
+            r.drift_events,
+        ));
+    }
+    out.push_str(&format!(
+        "-- {node} snapshot #{seq}: {} node(s) (Ctrl-C to stop)\n",
+        rows.len()
+    ));
+    out
+}
+
+fn run_watch(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut addr = String::new();
+    let mut interval_ms = 1000u64;
+    let mut count = 0u64;
+    let mut plain = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs HOST:PORT"),
+            "--interval-ms" => {
+                let v = it.next().expect("--interval-ms needs a value");
+                interval_ms = v.parse().expect("--interval-ms must be an integer");
+                assert!(interval_ms > 0, "--interval-ms must be positive");
+            }
+            "--count" => {
+                let v = it.next().expect("--count needs a value");
+                count = v.parse().expect("--count must be an integer");
+            }
+            "--plain" => plain = true,
+            other => panic!("unknown watch argument {other:?}"),
+        }
+    }
+    assert!(!addr.is_empty(), "watch needs --addr HOST:PORT");
+    gencache_serve::signal::install_handlers();
+    // The read timeout outlives several intervals, so a timeout means a
+    // dead server, not a slow tick; Ctrl-C interrupts the read directly.
+    let timeout = std::time::Duration::from_millis((interval_ms * 3).max(5000));
+    let client = Client::with_timeout(&addr, timeout);
+    let mut stdout = io::stdout();
+    let drew = std::cell::Cell::new(false);
+    let result = client.watch(interval_ms, count, |node, seq, rows| {
+        let frame = render_watch_frame(node, seq, rows);
+        if plain {
+            print!("{frame}");
+        } else {
+            // Clear + home, then the frame — a flicker-free redraw at
+            // dashboard cadence without pulling in a TUI library.
+            print!("\x1b[2J\x1b[H{frame}");
+            drew.set(true);
+        }
+        stdout.flush().ok();
+        !gencache_serve::signal::shutdown_requested()
+    });
+    // Leave the cursor on a clean line below the last frame — never
+    // mid-escape-sequence — whatever ended the stream.
+    if drew.get() {
+        println!("\x1b[0m");
+        io::stdout().flush().ok();
+    }
+    match result {
+        Ok(received) => {
+            eprintln!("watch ended after {received} snapshot(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("watch failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut it = std::env::args().skip(1);
     match it.next().as_deref() {
@@ -760,6 +864,7 @@ fn main() -> ExitCode {
         Some("trace") => run_trace(it),
         Some("metrics") => run_metrics(it),
         Some("bench") => run_bench(it),
+        Some("watch") => run_watch(it),
         Some(other) => panic!("unknown subcommand {other:?}; {USAGE}"),
         None => panic!("{USAGE}"),
     }

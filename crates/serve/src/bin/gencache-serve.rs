@@ -4,7 +4,7 @@
 //! gencache-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!                [--depth LINES] [--read-timeout-ms N] [--deadline-ms N]
 //!                [--log FILE|-|none] [--log-level LEVEL]
-//!                [--trace-capacity N]
+//!                [--log-max-bytes N] [--trace-capacity N]
 //! ```
 //!
 //! Binds (port 0 = ephemeral), prints `gencache-serve listening on
@@ -13,8 +13,11 @@
 //!
 //! Structured JSONL logging defaults to stderr at `warn`; `--log none`
 //! silences it, `--log FILE` appends to a file, `--log-level
-//! debug|info|warn|error` sets the floor. `--trace-capacity 0` turns
-//! span recording off entirely.
+//! debug|info|warn|error` sets the floor. `--log-max-bytes N` caps a
+//! `--log FILE` target: when the file would exceed N bytes it is
+//! rotated once to `FILE.1` (replacing any previous `FILE.1`) and
+//! logging continues in a fresh file; the default (0) never rotates.
+//! `--trace-capacity 0` turns span recording off entirely.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -24,7 +27,7 @@ use gencache_serve::{signal, LogLevel, Server, ServerConfig};
 
 const USAGE: &str = "use --addr HOST:PORT / --workers N / --queue N / --depth LINES / \
      --read-timeout-ms N / --deadline-ms N / --log FILE|-|none / \
-     --log-level debug|info|warn|error / --trace-capacity N";
+     --log-level debug|info|warn|error / --log-max-bytes N / --trace-capacity N";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> ServerConfig {
     let mut config = ServerConfig {
@@ -69,6 +72,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ServerConfig {
                 let v = it.next().expect("--log-level needs a level");
                 config.log_level =
                     LogLevel::parse(&v).expect("--log-level must be debug|info|warn|error");
+            }
+            "--log-max-bytes" => {
+                let v = it.next().expect("--log-max-bytes needs a value");
+                let n: u64 = v.parse().expect("--log-max-bytes must be an integer");
+                config.log_max_bytes = (n > 0).then_some(n);
             }
             "--trace-capacity" => {
                 let v = it.next().expect("--trace-capacity needs a value");

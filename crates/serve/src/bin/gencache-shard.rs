@@ -6,7 +6,7 @@
 //!                [--read-timeout-ms N] [--health-interval-ms N]
 //!                [--retries N] [--retry-ms N]
 //!                [--log FILE|-|none] [--log-level LEVEL]
-//!                [--trace-capacity N]
+//!                [--log-max-bytes N] [--trace-capacity N]
 //! ```
 //!
 //! Speaks the `gencache-serve` protocol on the front, consistent-hashes
@@ -24,7 +24,8 @@ use gencache_serve::{signal, LogLevel, ShardConfig, ShardRouter};
 
 const USAGE: &str = "use --backend HOST:PORT (repeatable) / --addr HOST:PORT / --replicas N / \
      --read-timeout-ms N / --health-interval-ms N / --retries N / --retry-ms N / \
-     --log FILE|-|none / --log-level debug|info|warn|error / --trace-capacity N";
+     --log FILE|-|none / --log-level debug|info|warn|error / --log-max-bytes N / \
+     --trace-capacity N";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> ShardConfig {
     let mut config = ShardConfig {
@@ -71,6 +72,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ShardConfig {
                 let v = it.next().expect("--log-level needs a level");
                 config.log_level =
                     LogLevel::parse(&v).expect("--log-level must be debug|info|warn|error");
+            }
+            "--log-max-bytes" => {
+                let v = it.next().expect("--log-max-bytes needs a value");
+                let n: u64 = v.parse().expect("--log-max-bytes must be an integer");
+                config.log_max_bytes = (n > 0).then_some(n);
             }
             "--trace-capacity" => {
                 let v = it.next().expect("--trace-capacity needs a value");

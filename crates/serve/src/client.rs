@@ -8,9 +8,11 @@ use std::time::Instant;
 use crate::proto::{
     encode_end, encode_fetch, encode_job, encode_metrics_request, encode_ping,
     encode_route_request, encode_shards_request, encode_stats_request, encode_trace_request,
-    is_control_line, parse_reply, parse_request, JobSpec, Reply, Request,
+    encode_watch_request, is_control_line, parse_reply, parse_request, JobSpec, Reply, Request,
+    WatchRow,
 };
 use crate::retry::RetryPolicy;
+use crate::signal;
 use crate::telemetry::{new_trace_id, Logger, Span, Telemetry};
 
 /// A handle on one daemon address. Each call opens its own connection —
@@ -256,6 +258,109 @@ impl Client {
         writer.flush()?;
         stream.shutdown(Shutdown::Write).ok();
         read_reply(stream)
+    }
+
+    /// Subscribes to the daemon's `watch` stream: one snapshot every
+    /// `interval_ms` until `count` snapshots arrive (0 = unbounded).
+    /// `on_snapshot` sees each frame's `(node, seq, rows)` and returns
+    /// `false` to stop early (the client just hangs up — the stream owns
+    /// no server-side worker). Returns the number of snapshots received.
+    ///
+    /// Interrupted reads are retried, and both an interrupt and a read
+    /// timeout return cleanly once a process shutdown signal is pending
+    /// — so a Ctrl-C'd dashboard never dies mid-frame with an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection failures, an `error` reply, a read timeout
+    /// with no shutdown pending, a protocol violation, or a stream that
+    /// ends without its closing `end` frame.
+    pub fn watch(
+        &self,
+        interval_ms: u64,
+        count: u64,
+        mut on_snapshot: impl FnMut(&str, u64, &[WatchRow]) -> bool,
+    ) -> io::Result<u64> {
+        let stream = self.connect()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        writeln!(writer, "{}", encode_watch_request(interval_ms, count))?;
+        writer.flush()?;
+        stream.shutdown(Shutdown::Write).ok();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let mut received = 0u64;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "watch stream ended without an end frame",
+                    ));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    if signal::shutdown_requested() {
+                        return Ok(received);
+                    }
+                    continue;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if signal::shutdown_requested() {
+                        return Ok(received);
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+                Ok(_) => {}
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            // `watch` names both a request and a reply frame, so replies
+            // are tried first; only the terminating `end` falls through.
+            match parse_reply(trimmed) {
+                Ok(Reply::Watch { node, seq, rows }) => {
+                    received += 1;
+                    if !on_snapshot(&node, seq, &rows) {
+                        return Ok(received);
+                    }
+                }
+                Ok(Reply::Error { message }) => return Err(io::Error::other(message)),
+                Ok(other) => {
+                    return Err(io::Error::other(format!(
+                        "unexpected frame in watch stream: {other:?}"
+                    )));
+                }
+                Err(_) => match parse_request(trimmed) {
+                    Ok(Request::End { .. }) => return Ok(received),
+                    _ => {
+                        return Err(io::Error::other(format!(
+                            "unexpected frame in watch stream: {trimmed}"
+                        )));
+                    }
+                },
+            }
+        }
+    }
+
+    /// One-shot watch: samples the daemon's service rates over a single
+    /// `interval_ms` window and returns that snapshot's rows. This is
+    /// how the fleet router collects each shard's row per tick.
+    ///
+    /// # Errors
+    ///
+    /// As [`watch`](Client::watch), plus an empty stream.
+    pub fn watch_once(&self, interval_ms: u64) -> io::Result<Vec<WatchRow>> {
+        let mut out: Vec<WatchRow> = Vec::new();
+        self.watch(interval_ms, 1, |_, _, rows| {
+            out = rows.to_vec();
+            false
+        })?;
+        if out.is_empty() {
+            return Err(io::Error::other("watch returned no snapshot"));
+        }
+        Ok(out)
     }
 
     /// Asks the daemon to record `bench` at `scale` server-side and

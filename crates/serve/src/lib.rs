@@ -57,7 +57,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use client::Client;
-pub use proto::{JobSpec, Reply, Request};
+pub use proto::{JobSpec, Reply, Request, WatchRow};
 pub use retry::RetryPolicy;
 pub use server::{Server, ServerConfig};
 pub use shard::{ShardConfig, ShardRouter};

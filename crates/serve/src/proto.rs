@@ -8,7 +8,7 @@
 //! with a one-token prefix test and no re-parsing. See
 //! `docs/PROTOCOL.md` for the full framing and lifecycle contract.
 
-use serde::Value;
+use serde::{Deserialize, Serialize, Value};
 
 /// Prefix every control frame starts with (after optional whitespace).
 pub const CONTROL_PREFIX: &str = "{\"type\":";
@@ -30,6 +30,9 @@ pub struct JobSpec {
     pub grid: bool,
     /// Add the Belady-style oracle lower-bound row.
     pub oracle: bool,
+    /// Attach the windowed time-series/drift section to each simulated
+    /// spec (the `simulate --windows` doc shape).
+    pub windows: bool,
     /// Cache-budget override in bytes.
     pub capacity: Option<u64>,
     /// Restrict to one benchmark of the export.
@@ -94,6 +97,49 @@ pub enum Request {
     /// Ask for counters/gauges/histograms rendered in Prometheus text
     /// exposition format.
     Metrics,
+    /// Subscribe to the daemon's live service time-series: the server
+    /// streams one `watch` snapshot frame per tick until `count`
+    /// snapshots have been sent (0 = until the client hangs up or the
+    /// server drains), then closes with an `end` frame.
+    Watch {
+        /// Milliseconds between snapshots (clamped server-side).
+        interval_ms: u64,
+        /// Snapshots to stream; 0 means unbounded.
+        count: u64,
+    },
+}
+
+/// One node's service-rate sample inside a `watch` snapshot. A plain
+/// daemon reports exactly one row; a fleet router stitches one row per
+/// live shard (marking itself as `node`-prefixed rows' origin).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchRow {
+    /// Node label (listen address or operator-chosen name).
+    pub node: String,
+    /// Milliseconds since the node started serving.
+    pub uptime_ms: u64,
+    /// Width of the sampling window in milliseconds (the interval the
+    /// rates below are computed over).
+    pub window_ms: u64,
+    /// Jobs completed per second over the window.
+    pub jobs_per_sec: f64,
+    /// Jobs shed (busy replies) per second over the window.
+    pub shed_per_sec: f64,
+    /// Jobs executing right now.
+    pub in_flight: u64,
+    /// Jobs queued right now.
+    pub queue_depth: u64,
+    /// Median job latency in microseconds (cumulative histogram).
+    pub p50_us: u64,
+    /// 99th-percentile job latency in microseconds (cumulative).
+    pub p99_us: u64,
+    /// Jobs completed since the node started.
+    pub jobs_total: u64,
+    /// Last windowed-simulation final-window miss rate this node saw
+    /// (0 until a `windows: true` job completes).
+    pub window_miss_rate: f64,
+    /// Drift annotations accumulated across windowed jobs.
+    pub drift_events: u64,
 }
 
 fn field<'v>(pairs: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
@@ -181,6 +227,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 specs,
                 grid: opt_bool(pairs, "grid")?,
                 oracle: opt_bool(pairs, "oracle")?,
+                windows: opt_bool(pairs, "windows")?,
                 capacity: opt_u64(pairs, "capacity")?,
                 bench: opt_str(pairs, "bench")?,
                 model: opt_str(pairs, "model")?,
@@ -211,6 +258,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "trace frame needs a \"trace_id\"".to_string())?,
         }),
         "metrics" => Ok(Request::Metrics),
+        "watch" => Ok(Request::Watch {
+            interval_ms: opt_u64(pairs, "interval_ms")?.unwrap_or(1000),
+            count: opt_u64(pairs, "count")?.unwrap_or(0),
+        }),
         other => Err(format!("unknown request type {other:?}")),
     }
 }
@@ -275,6 +326,15 @@ pub enum Reply {
     Metrics {
         /// The full exposition body (multi-line text).
         body: String,
+    },
+    /// One live service-rate snapshot of a `watch` stream.
+    Watch {
+        /// Node that assembled the snapshot (router or daemon).
+        node: String,
+        /// Snapshot sequence number within the stream (from 0).
+        seq: u64,
+        /// One row per node covered by the snapshot.
+        rows: Vec<WatchRow>,
     },
 }
 
@@ -354,6 +414,11 @@ pub fn encode_job(spec: &JobSpec) -> String {
         ("grid", Value::Bool(spec.grid)),
         ("oracle", Value::Bool(spec.oracle)),
     ];
+    if spec.windows {
+        // Pushed only when set so frames sent to pre-windows daemons
+        // keep the exact bytes they already accept.
+        pairs.push(("windows", Value::Bool(true)));
+    }
     if let Some(c) = spec.capacity {
         pairs.push(("capacity", Value::UInt(c)));
     }
@@ -447,6 +512,28 @@ pub fn encode_metrics(body: &str) -> String {
     ]))
 }
 
+/// Encodes a `watch` request frame.
+pub fn encode_watch_request(interval_ms: u64, count: u64) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("watch".to_string())),
+        ("interval_ms", Value::UInt(interval_ms)),
+        ("count", Value::UInt(count)),
+    ]))
+}
+
+/// Encodes one `watch` snapshot frame.
+pub fn encode_watch(node: &str, seq: u64, rows: &[WatchRow]) -> String {
+    render(&obj(vec![
+        ("type", Value::Str("watch".to_string())),
+        ("node", Value::Str(node.to_string())),
+        ("seq", Value::UInt(seq)),
+        (
+            "rows",
+            Value::Array(rows.iter().map(|r| r.to_value()).collect()),
+        ),
+    ]))
+}
+
 /// Encodes a `fetch` request frame.
 pub fn encode_fetch(bench: &str, scale: u64) -> String {
     render(&obj(vec![
@@ -510,6 +597,19 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
             body: opt_str(pairs, "body")?
                 .ok_or_else(|| "metrics reply needs a \"body\" field".to_string())?,
         }),
+        "watch" => {
+            let rows = field(pairs, "rows")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| "watch reply needs a \"rows\" array".to_string())?
+                .iter()
+                .map(|v| WatchRow::from_value(v).map_err(|e| format!("bad watch row: {e:?}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Reply::Watch {
+                node: opt_str(pairs, "node")?.unwrap_or_default(),
+                seq: opt_u64(pairs, "seq")?.unwrap_or(0),
+                rows,
+            })
+        }
         other => Err(format!("unknown reply type {other:?}")),
     }
 }
@@ -535,6 +635,7 @@ mod tests {
             specs: vec!["unified".to_string(), "30-20-50@evict5".to_string()],
             grid: true,
             oracle: true,
+            windows: true,
             capacity: Some(4096),
             bench: Some("word".to_string()),
             model: None,
@@ -546,7 +647,7 @@ mod tests {
         match parse_request(&line).unwrap() {
             Request::Job(parsed) => {
                 assert_eq!(parsed.specs, spec.specs);
-                assert!(parsed.grid && parsed.oracle);
+                assert!(parsed.grid && parsed.oracle && parsed.windows);
                 assert_eq!(parsed.capacity, Some(4096));
                 assert_eq!(parsed.bench.as_deref(), Some("word"));
                 assert_eq!(parsed.model, None);
@@ -585,6 +686,58 @@ mod tests {
             Reply::Metrics { body: parsed } => assert_eq!(parsed, body),
             other => panic!("expected metrics, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn job_without_windows_keeps_pre_windows_bytes() {
+        // The optional field must stay off the wire when unset so old
+        // daemons keep parsing new clients' default frames.
+        let line = encode_job(&JobSpec::default());
+        assert!(!line.contains("windows"));
+        match parse_request(&line).unwrap() {
+            Request::Job(parsed) => assert!(!parsed.windows),
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_frames_roundtrip() {
+        match parse_request(&encode_watch_request(250, 4)).unwrap() {
+            Request::Watch { interval_ms, count } => {
+                assert_eq!((interval_ms, count), (250, 4));
+            }
+            other => panic!("expected watch, got {other:?}"),
+        }
+        // Missing fields fall back to a 1s cadence, unbounded stream.
+        match parse_request("{\"type\":\"watch\"}").unwrap() {
+            Request::Watch { interval_ms, count } => {
+                assert_eq!((interval_ms, count), (1000, 0));
+            }
+            other => panic!("expected watch, got {other:?}"),
+        }
+        let row = WatchRow {
+            node: "127.0.0.1:7070".to_string(),
+            uptime_ms: 12_345,
+            window_ms: 250,
+            jobs_per_sec: 8.5,
+            shed_per_sec: 0.25,
+            in_flight: 2,
+            queue_depth: 1,
+            p50_us: 900,
+            p99_us: 45_000,
+            jobs_total: 77,
+            window_miss_rate: 0.0625,
+            drift_events: 3,
+        };
+        match parse_reply(&encode_watch("router", 9, std::slice::from_ref(&row))).unwrap() {
+            Reply::Watch { node, seq, rows } => {
+                assert_eq!(node, "router");
+                assert_eq!(seq, 9);
+                assert_eq!(rows, vec![row]);
+            }
+            other => panic!("expected watch, got {other:?}"),
+        }
+        assert!(parse_reply("{\"type\":\"watch\",\"node\":\"x\"}").is_err());
     }
 
     #[test]

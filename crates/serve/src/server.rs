@@ -32,7 +32,8 @@ use serde::Value;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{
     encode_busy, encode_end, encode_error, encode_metrics, encode_pong, encode_result,
-    encode_stats, encode_trace, is_control_line, parse_request, JobSpec, Request,
+    encode_stats, encode_trace, encode_watch, is_control_line, parse_request, JobSpec, Request,
+    WatchRow,
 };
 use crate::signal;
 use crate::stats::{Gauges, ServerStats};
@@ -60,6 +61,9 @@ pub struct ServerConfig {
     pub log: Option<String>,
     /// Minimum level a record needs to be written.
     pub log_level: LogLevel,
+    /// Rotate a file log once it would exceed this many bytes (renamed
+    /// to `<path>.1`, one generation kept). `None` grows without bound.
+    pub log_max_bytes: Option<u64>,
     /// Spans retained in the trace ring; 0 disables tracing entirely.
     pub trace_capacity: usize,
 }
@@ -75,6 +79,7 @@ impl Default for ServerConfig {
             default_deadline_ms: 0,
             log: None,
             log_level: LogLevel::Warn,
+            log_max_bytes: None,
             trace_capacity: crate::telemetry::DEFAULT_TRACE_CAPACITY,
         }
     }
@@ -137,7 +142,12 @@ impl Server {
             .local_addr()
             .map(|a| format!("serve:{a}"))
             .unwrap_or_else(|_| "serve".to_string());
-        let logger = Logger::open("gencache-serve", config.log.as_deref(), config.log_level)?;
+        let logger = Logger::open_capped(
+            "gencache-serve",
+            config.log.as_deref(),
+            config.log_level,
+            config.log_max_bytes,
+        )?;
         let ctx = Ctx {
             pool: WorkerPool::new(workers, queue_depth),
             stats: Arc::new(ServerStats::new()),
@@ -322,6 +332,11 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) -> io::Result<()> {
             send_line(&mut writer, &encode_trace(&trace_id, Value::Array(spans)))
         }
         Request::Metrics => send_line(&mut writer, &encode_metrics(&server_metrics(ctx))),
+        // Watch runs right here on the connection thread — a slow or
+        // idle dashboard never occupies a worker slot.
+        Request::Watch { interval_ms, count } => {
+            handle_watch(ctx, &mut writer, interval_ms, count)
+        }
         Request::End { .. } => send_line(
             &mut writer,
             &encode_error("end frame outside a job upload"),
@@ -418,6 +433,16 @@ fn server_metrics(ctx: &Ctx) -> String {
         "Export lines streamed back by fetch downloads.",
         load(&ctx.stats.lines_served),
     );
+    p.gauge_f64(
+        "gencache_window_miss_rate",
+        "Final-window miss rate of the most recent windowed job.",
+        ctx.stats.window_miss_rate(),
+    );
+    p.counter(
+        "gencache_drift_events_total",
+        "Drift annotations emitted across windowed jobs.",
+        load(&ctx.stats.drift_events),
+    );
     let (hist, sum) = ctx.stats.latency();
     p.histogram(
         "gencache_job_latency_us",
@@ -426,6 +451,77 @@ fn server_metrics(ctx: &Ctx) -> String {
         sum,
     );
     p.into_string()
+}
+
+/// Assembles this daemon's current [`WatchRow`]: counter deltas since
+/// the previous tick become rates, gauges are read point-in-time, and
+/// the latency quantiles come from the cumulative job histogram.
+fn watch_row(ctx: &Ctx, prev: &mut (u64, u64, Instant)) -> WatchRow {
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+    let jobs = load(&ctx.stats.jobs_completed);
+    let shed = load(&ctx.stats.jobs_rejected);
+    let (prev_jobs, prev_shed, prev_at) = *prev;
+    let window = prev_at.elapsed();
+    let secs = window.as_secs_f64().max(1e-9);
+    *prev = (jobs, shed, Instant::now());
+    let (hist, _) = ctx.stats.latency();
+    WatchRow {
+        node: ctx.telemetry.node().to_string(),
+        uptime_ms: ctx.telemetry.uptime_ms(),
+        window_ms: window.as_millis() as u64,
+        jobs_per_sec: jobs.saturating_sub(prev_jobs) as f64 / secs,
+        shed_per_sec: shed.saturating_sub(prev_shed) as f64 / secs,
+        in_flight: ctx.pool.active(),
+        queue_depth: ctx.pool.queue_len() as u64,
+        p50_us: hist.quantile(0.5),
+        p99_us: hist.quantile(0.99),
+        jobs_total: jobs,
+        window_miss_rate: ctx.stats.window_miss_rate(),
+        drift_events: load(&ctx.stats.drift_events),
+    }
+}
+
+/// Streams `watch` snapshots every `interval_ms` until `count` frames
+/// have been sent (0 = unbounded), the client hangs up, or the daemon
+/// starts draining — then closes the stream with an `end` frame. Runs
+/// on the connection thread; the sleep is chopped into short slices so
+/// a drain is noticed within ~100ms.
+fn handle_watch(
+    ctx: &Ctx,
+    writer: &mut impl Write,
+    interval_ms: u64,
+    count: u64,
+) -> io::Result<()> {
+    let interval = Duration::from_millis(interval_ms.clamp(50, 60_000));
+    let mut prev = (
+        ctx.stats.jobs_completed.load(Ordering::Relaxed),
+        ctx.stats.jobs_rejected.load(Ordering::Relaxed),
+        Instant::now(),
+    );
+    let mut sent = 0u64;
+    loop {
+        // One full interval elapses before each snapshot, so every
+        // frame's rates cover a real window.
+        let tick_end = Instant::now() + interval;
+        while Instant::now() < tick_end {
+            if ctx.draining() {
+                return send_line(writer, &encode_end(sent));
+            }
+            let left = tick_end.saturating_duration_since(Instant::now());
+            std::thread::sleep(left.min(Duration::from_millis(100)));
+        }
+        let row = watch_row(ctx, &mut prev);
+        // A failed write means the dashboard hung up; nothing to tear
+        // down — the stream owns no worker or channel.
+        send_line(
+            writer,
+            &encode_watch(ctx.telemetry.node(), sent, &[row]),
+        )?;
+        sent += 1;
+        if count > 0 && sent >= count {
+            return send_line(writer, &encode_end(sent));
+        }
+    }
 }
 
 fn handle_ping(ctx: &Ctx, writer: &mut impl Write, hold_ms: u64) -> io::Result<()> {
@@ -479,9 +575,12 @@ fn handle_job(
     // budget, so a deadline'd job cannot wait unboundedly.
     let admitted = Instant::now();
     let tel = Arc::clone(&ctx.telemetry);
+    let stats = Arc::clone(&ctx.stats);
     let job_trace = trace_id.clone();
     let job = Box::new(move || {
-        run_job(&spec, lines_rx, &reply_tx, deadline, admitted, &tel, &job_trace);
+        run_job(
+            &spec, lines_rx, &reply_tx, deadline, admitted, &tel, &stats, &job_trace,
+        );
     });
     match ctx.pool.try_submit(job) {
         Err((_, SubmitError::Full)) => {
@@ -616,6 +715,7 @@ fn handle_job(
 /// The worker side of a job: bounded ingest, then the shared simulation
 /// runner — the exact machinery behind offline `simulate`, so the reply
 /// document is byte-identical to `simulate --metrics-out`.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     spec: &JobSpec,
     mut lines_rx: Receiver<IngestItem>,
@@ -623,6 +723,7 @@ fn run_job(
     deadline: Option<Duration>,
     admitted: Instant,
     tel: &Telemetry,
+    stats: &ServerStats,
     trace_id: &str,
 ) {
     let started = admitted;
@@ -743,12 +844,29 @@ fn run_job(
         }
         // Within one job the pool's width is the concurrency budget, so
         // the replay itself runs single-threaded.
-        let outcome = run_sim_job(&inputs, &specs, spec.oracle, 1, Some(cancel));
+        let outcome = run_sim_job(&inputs, &specs, spec.oracle, spec.windows, 1, Some(cancel));
         done.store(true, Ordering::Relaxed);
         outcome
     });
     match outcome {
         Ok(out) => {
+            // Feed the windowed-telemetry gauges: the job's final
+            // window's miss rate and its total drift annotations.
+            if spec.windows {
+                let mut drift = 0u64;
+                let mut rate = 0.0;
+                for bench in &out.benches {
+                    for sim in &bench.sims {
+                        if let Some(w) = &sim.windows {
+                            drift += w.annotations.len() as u64;
+                            if let Some(last) = w.windows.last() {
+                                rate = last.miss_rate();
+                            }
+                        }
+                    }
+                }
+                stats.record_windows(rate, drift);
+            }
             // One span per spec: the sum of that spec's replay cells
             // across all benchmarks, timed inside `run_sim_job`.
             if tel.tracing() {

@@ -50,8 +50,8 @@ use serde::{Deserialize, Serialize, Value};
 use crate::client::Client;
 use crate::proto::{
     encode_end, encode_error, encode_metrics, encode_pong, encode_result, encode_route,
-    encode_shards, encode_stats, encode_trace, is_control_line, parse_request, JobSpec, Reply,
-    Request,
+    encode_shards, encode_stats, encode_trace, encode_watch, is_control_line, parse_request,
+    JobSpec, Reply, Request, WatchRow,
 };
 use crate::retry::RetryPolicy;
 use crate::server::drain_discard;
@@ -85,6 +85,10 @@ pub struct ShardConfig {
     pub log_level: LogLevel,
     /// Spans retained in the in-memory trace ring; 0 disables tracing.
     pub trace_capacity: usize,
+    /// Rotate the log file once (to `<path>.1`) when it would exceed
+    /// this many bytes; `None` (and `Some(0)`) never rotate. Only file
+    /// targets rotate — stderr is unaffected.
+    pub log_max_bytes: Option<u64>,
 }
 
 impl Default for ShardConfig {
@@ -99,6 +103,7 @@ impl Default for ShardConfig {
             log: None,
             log_level: LogLevel::Warn,
             trace_capacity: crate::telemetry::DEFAULT_TRACE_CAPACITY,
+            log_max_bytes: None,
         }
     }
 }
@@ -291,7 +296,12 @@ impl ShardRouter {
         let node = listener
             .local_addr()
             .map_or_else(|_| "router".to_string(), |a| format!("router:{a}"));
-        let logger = Logger::open("gencache-shard", config.log.as_deref(), config.log_level)?;
+        let logger = Logger::open_capped(
+            "gencache-shard",
+            config.log.as_deref(),
+            config.log_level,
+            config.log_max_bytes,
+        )?;
         let ctx = RouterCtx {
             table: ShardTable::new(&config.backends, config.replicas),
             retry: config.retry,
@@ -500,6 +510,69 @@ fn handle_connection(stream: TcpStream, ctx: &RouterCtx) -> io::Result<()> {
                 );
             }
             handle_fetch(ctx, &mut writer, &bench, scale)
+        }
+        Request::Watch { interval_ms, count } => {
+            handle_watch(ctx, &mut writer, interval_ms, count)
+        }
+    }
+}
+
+/// Streams fleet-wide watch snapshots: each tick samples every live
+/// shard's service rates concurrently (one short `watch` round per
+/// shard) and stitches the rows into a single frame in shard-table
+/// order, so a dashboard sees the whole fleet per tick. Runs on the
+/// connection thread; a shard that fails its sample is marked down and
+/// dropped from subsequent ticks until the health loop revives it.
+fn handle_watch(
+    ctx: &RouterCtx,
+    writer: &mut impl Write,
+    interval_ms: u64,
+    count: u64,
+) -> io::Result<()> {
+    let interval = Duration::from_millis(interval_ms.clamp(50, 60_000));
+    // Each shard sample must finish inside the router→shard read
+    // timeout, so long client intervals sample briefly and sleep out
+    // the remainder.
+    let sample = interval.min(ctx.read_timeout / 2).max(Duration::from_millis(50));
+    let mut sent = 0u64;
+    loop {
+        let started = Instant::now();
+        let live: Vec<&Shard> = ctx
+            .table
+            .shards
+            .iter()
+            .filter(|s| s.up.load(Ordering::Relaxed))
+            .collect();
+        if live.is_empty() {
+            return send_line(writer, &encode_error("no live shards"));
+        }
+        let sampled = par_map(&live, live.len(), |shard| {
+            ctx.shard_client(shard)
+                .watch_once(sample.as_millis() as u64)
+        });
+        let mut rows: Vec<WatchRow> = Vec::new();
+        for (shard, result) in live.iter().zip(sampled) {
+            match result {
+                Ok(shard_rows) => rows.extend(shard_rows),
+                Err(_) => {
+                    shard.up.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        while started.elapsed() < interval {
+            if ctx.draining() {
+                return send_line(writer, &encode_end(sent));
+            }
+            let left = interval - started.elapsed();
+            std::thread::sleep(left.min(Duration::from_millis(100)));
+        }
+        if ctx.draining() {
+            return send_line(writer, &encode_end(sent));
+        }
+        send_line(writer, &encode_watch(ctx.telemetry.node(), sent, &rows))?;
+        sent += 1;
+        if count > 0 && sent >= count {
+            return send_line(writer, &encode_end(sent));
         }
     }
 }

@@ -32,6 +32,11 @@ pub struct ServerStats {
     /// histogram keeps only bucket counts; Prometheus `_sum` needs the
     /// exact total).
     pub latency_sum_us: AtomicU64,
+    /// Final-window miss rate of the most recent windowed job, stored
+    /// as `f64::to_bits` so the gauge stays a lock-free atomic.
+    pub window_miss_rate_bits: AtomicU64,
+    /// Drift annotations accumulated across all windowed jobs.
+    pub drift_events: AtomicU64,
     latency_us: Mutex<Log2Histogram>,
 }
 
@@ -58,6 +63,20 @@ impl ServerStats {
             .lock()
             .expect("latency histogram poisoned")
             .record(micros);
+    }
+
+    /// Records the outcome of one windowed (`windows: true`) job: the
+    /// gauge takes the job's final-window miss rate, the counter absorbs
+    /// its drift annotations.
+    pub fn record_windows(&self, miss_rate: f64, drift: u64) {
+        self.window_miss_rate_bits
+            .store(miss_rate.to_bits(), Ordering::Relaxed);
+        ServerStats::add(&self.drift_events, drift);
+    }
+
+    /// The last windowed job's final-window miss rate (0 before any).
+    pub fn window_miss_rate(&self) -> f64 {
+        f64::from_bits(self.window_miss_rate_bits.load(Ordering::Relaxed))
     }
 
     /// A consistent clone of the latency histogram plus its exact sum,
@@ -92,6 +111,11 @@ impl ServerStats {
             ("bytes_ingested".to_string(), get(&self.bytes_ingested)),
             ("lines_served".to_string(), get(&self.lines_served)),
             ("uptime_ms".to_string(), Value::UInt(gauges.uptime_ms)),
+            (
+                "window_miss_rate".to_string(),
+                Value::Float(self.window_miss_rate()),
+            ),
+            ("drift_events".to_string(), get(&self.drift_events)),
             ("latency_us".to_string(), latency.to_value()),
         ])
     }

@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 use std::fs::OpenOptions;
 use std::io::{self, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -267,6 +268,11 @@ impl Telemetry {
         self.capacity > 0
     }
 
+    /// The node label this recorder stamps on spans.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
     /// Milliseconds since this recorder (daemon) started.
     pub fn uptime_ms(&self) -> u64 {
         self.origin.elapsed().as_millis() as u64
@@ -355,12 +361,54 @@ impl LogLevel {
     }
 }
 
+/// Where a [`Logger`]'s records go, plus the size accounting that
+/// drives optional rotation. Only file sinks rotate: when writing the
+/// next record would push the file past `max_bytes`, the current file
+/// is renamed to `<path>.1` (replacing any previous `.1`) and a fresh
+/// file is started — a single-step rotation, so the log never holds
+/// more than two generations on disk.
+struct LogSink {
+    writer: Box<dyn Write + Send>,
+    /// `Some` only for file sinks (stderr never rotates).
+    path: Option<PathBuf>,
+    /// Rotation threshold; `None` means grow without bound.
+    max_bytes: Option<u64>,
+    /// Current file size in bytes (seeded from the existing file when
+    /// appending).
+    size: u64,
+}
+
+impl LogSink {
+    fn write_line(&mut self, line: &str) {
+        let record_len = line.len() as u64 + 1;
+        if let (Some(path), Some(max)) = (&self.path, self.max_bytes) {
+            if self.size + record_len > max && self.size > 0 {
+                let _ = self.writer.flush();
+                let rotated = {
+                    let mut name = path.as_os_str().to_owned();
+                    name.push(".1");
+                    PathBuf::from(name)
+                };
+                if std::fs::rename(path, &rotated).is_ok() {
+                    if let Ok(f) = OpenOptions::new().create(true).append(true).open(path) {
+                        self.writer = Box::new(f);
+                        self.size = 0;
+                    }
+                }
+            }
+        }
+        let _ = writeln!(self.writer, "{line}");
+        let _ = self.writer.flush();
+        self.size += record_len;
+    }
+}
+
 /// Levelled JSONL logger. Each record is one line:
 /// `{"ts_ms":…,"level":"…","component":"…","event":"…","trace_id":…,…}`.
 pub struct Logger {
     component: String,
     level: LogLevel,
-    sink: Option<Mutex<Box<dyn Write + Send>>>,
+    sink: Option<Mutex<LogSink>>,
 }
 
 impl std::fmt::Debug for Logger {
@@ -385,14 +433,40 @@ impl Logger {
 
     /// Opens a logger for `component` writing to `target`:
     /// `None`/`"none"` disables, `"-"` writes to stderr, anything else
-    /// is a file path (created or appended to).
+    /// is a file path (created or appended to). The file grows without
+    /// bound; see [`Logger::open_capped`] for rotation.
     pub fn open(component: &str, target: Option<&str>, level: LogLevel) -> io::Result<Logger> {
-        let sink: Option<Box<dyn Write + Send>> = match target {
+        Logger::open_capped(component, target, level, None)
+    }
+
+    /// Like [`Logger::open`], but a file sink rotates once it would
+    /// exceed `max_bytes`: the current file is renamed to `<path>.1`
+    /// (replacing any earlier `.1`) and a fresh file begins. Stderr
+    /// sinks ignore the cap. `None` disables rotation.
+    pub fn open_capped(
+        component: &str,
+        target: Option<&str>,
+        level: LogLevel,
+        max_bytes: Option<u64>,
+    ) -> io::Result<Logger> {
+        let sink: Option<LogSink> = match target {
             None | Some("none") | Some("off") => None,
-            Some("-") => Some(Box::new(io::stderr())),
-            Some(path) => Some(Box::new(
-                OpenOptions::new().create(true).append(true).open(path)?,
-            )),
+            Some("-") => Some(LogSink {
+                writer: Box::new(io::stderr()),
+                path: None,
+                max_bytes: None,
+                size: 0,
+            }),
+            Some(path) => {
+                let file = OpenOptions::new().create(true).append(true).open(path)?;
+                let size = file.metadata().map(|m| m.len()).unwrap_or(0);
+                Some(LogSink {
+                    writer: Box::new(file),
+                    path: Some(PathBuf::from(path)),
+                    max_bytes: max_bytes.filter(|&m| m > 0),
+                    size,
+                })
+            }
         };
         Ok(Logger {
             component: component.to_string(),
@@ -440,9 +514,7 @@ impl Logger {
         }
         let line = gencache_bench::value_to_json(&Value::Object(pairs));
         if let Some(sink) = &self.sink {
-            let mut w = sink.lock().unwrap();
-            let _ = writeln!(w, "{line}");
-            let _ = w.flush();
+            sink.lock().unwrap().write_line(&line);
         }
     }
 }
@@ -476,6 +548,12 @@ impl PromText {
 
     /// Appends a point-in-time gauge.
     pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "gauge", help);
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Appends a floating-point gauge (rates, ratios).
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
         self.header(name, "gauge", help);
         self.out.push_str(&format!("{name} {value}\n"));
     }
@@ -607,6 +685,54 @@ mod tests {
         assert!(lines[0].contains("\"trace_id\":\"deadbeef\""));
         assert!(lines[0].contains("\"queue_depth\":3"));
         serde_json::value_from_str(lines[0]).expect("record is valid JSON");
+    }
+
+    #[test]
+    fn capped_logger_rotates_once_to_dot_one() {
+        let dir = std::env::temp_dir().join(format!("gencache-logrot-{}", new_trace_id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.log");
+        let rotated = dir.join("serve.log.1");
+        // Small cap: every record is ~90 bytes, so a 256-byte cap forces
+        // several rotations across 12 records.
+        let logger =
+            Logger::open_capped("serve", path.to_str(), LogLevel::Info, Some(256)).unwrap();
+        for i in 0..12 {
+            logger.event(LogLevel::Info, "tick", None, &[("i", Value::UInt(i))]);
+        }
+        let live = std::fs::metadata(&path).unwrap().len();
+        assert!(live <= 256, "live log exceeded the cap: {live} bytes");
+        assert!(rotated.exists(), "no rotated generation written");
+        let old = std::fs::metadata(&rotated).unwrap().len();
+        assert!(old <= 256, "rotated log exceeded the cap: {old} bytes");
+        // Only one rotated generation ever exists.
+        assert!(!dir.join("serve.log.2").exists());
+        // Every surviving line is intact JSON — rotation never splits a
+        // record.
+        for file in [&path, &rotated] {
+            let text = std::fs::read_to_string(file).unwrap();
+            for line in text.lines() {
+                serde_json::value_from_str(line).expect("rotated record is valid JSON");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncapped_logger_never_rotates() {
+        let dir = std::env::temp_dir().join(format!("gencache-logrot-{}", new_trace_id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.log");
+        let logger = Logger::open("serve", path.to_str(), LogLevel::Info).unwrap();
+        for i in 0..50 {
+            logger.event(LogLevel::Info, "tick", None, &[("i", Value::UInt(i))]);
+        }
+        assert!(!dir.join("serve.log.1").exists(), "default must not rotate");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            50
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

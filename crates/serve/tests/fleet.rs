@@ -58,9 +58,10 @@ fn fleet_spec() -> JobSpec {
 }
 
 /// What single-node `simulate --metrics-out` writes for this export and
-/// the fleet spec set, with or without the oracle (and so with or
-/// without per-spec regret sections) — the byte-identity reference.
-fn offline_doc_with(oracle: bool) -> String {
+/// the fleet spec set, with or without the oracle/windows sections (and
+/// so with or without the optional per-spec subtrees) — the
+/// byte-identity reference.
+fn offline_doc_with(oracle: bool, windows: bool) -> String {
     let mut ingest = StreamIngest::new();
     for line in export().lines() {
         ingest.push_line(line).unwrap();
@@ -68,13 +69,13 @@ fn offline_doc_with(oracle: bool) -> String {
     let inputs = ingest.into_inputs(None, None, None).unwrap();
     let spec = fleet_spec();
     let specs = resolve_sim_specs(&spec.specs, spec.grid).unwrap();
-    let out = run_sim_job(&inputs, &specs, oracle, 1, None).unwrap();
+    let out = run_sim_job(&inputs, &specs, oracle, windows, 1, None).unwrap();
     value_to_json(&sim_metrics_doc(&out))
 }
 
 fn offline_doc() -> &'static str {
     static DOC: OnceLock<String> = OnceLock::new();
-    DOC.get_or_init(|| offline_doc_with(false))
+    DOC.get_or_init(|| offline_doc_with(false, false))
 }
 
 struct TestServer {
@@ -196,7 +197,7 @@ fn fleet_reply_is_byte_identical_to_offline_simulate() {
         } => {
             assert_eq!(
                 doc,
-                offline_doc_with(true),
+                offline_doc_with(true, false),
                 "fleet doc diverged from offline simulate"
             );
             assert!(
@@ -428,6 +429,69 @@ fn trace_id_propagates_from_client_through_router_to_every_shard() {
             "{node} missing replay spans"
         );
     }
+}
+
+#[test]
+fn windowed_fleet_doc_is_byte_identical_to_offline_simulate() {
+    let shards: Vec<TestServer> = (0..3).map(|_| TestServer::start()).collect();
+    let router = TestRouter::start(
+        shards.iter().map(|s| s.addr.clone()).collect(),
+        Duration::from_millis(200),
+    );
+    let spec = JobSpec {
+        windows: true,
+        ..fleet_spec()
+    };
+    match submit_via(&router.addr, &spec) {
+        Reply::Result { doc, .. } => {
+            assert_eq!(
+                doc,
+                offline_doc_with(false, true),
+                "windowed fleet doc diverged from offline simulate --windows"
+            );
+            assert!(
+                doc.contains("\"windows\":{\"window_accesses\":"),
+                "windowed fleet doc carries no windows section"
+            );
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    // The plain doc is untouched by the windows machinery: same job
+    // without the flag still answers the exact pre-windows bytes.
+    match submit_via(&router.addr, &fleet_spec()) {
+        Reply::Result { doc, .. } => assert_eq!(doc, offline_doc()),
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[test]
+fn watch_frames_flow_through_daemon_and_router() {
+    let shard = TestServer::start();
+    // Straight to the daemon: one snapshot, one row, sane fields.
+    let rows = Client::new(&shard.addr)
+        .watch_once(100)
+        .expect("daemon watch");
+    assert_eq!(rows.len(), 1, "daemon watch returned {rows:?}");
+    assert!(!rows[0].node.is_empty());
+    assert_eq!(rows[0].jobs_total, 0);
+
+    // Through the router: the frame carries the backend's row (stitched
+    // from a live one-shot shard sample), not router-local numbers.
+    let router = TestRouter::start(vec![shard.addr.clone()], Duration::from_millis(100));
+    let mut frames = 0u64;
+    let received = router
+        .client()
+        .watch(150, 2, |node, seq, rows| {
+            assert!(node.starts_with("router:"), "watch frame from {node}");
+            assert_eq!(seq, frames);
+            assert_eq!(rows.len(), 1, "router frame rows: {rows:?}");
+            assert_eq!(rows[0].node, format!("serve:{}", shard.addr));
+            frames += 1;
+            true
+        })
+        .expect("router watch");
+    assert_eq!(received, 2);
+    assert_eq!(frames, 2);
 }
 
 #[test]

@@ -54,7 +54,7 @@ fn offline_doc(export: &str, labels: &[&str], grid: bool, oracle: bool) -> Strin
     let inputs = ingest.into_inputs(None, None, None).unwrap();
     let labels: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
     let specs = resolve_sim_specs(&labels, grid).unwrap();
-    let out = run_sim_job(&inputs, &specs, oracle, 1, None).unwrap();
+    let out = run_sim_job(&inputs, &specs, oracle, false, 1, None).unwrap();
     value_to_json(&sim_metrics_doc(&out))
 }
 

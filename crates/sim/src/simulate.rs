@@ -24,7 +24,7 @@ use gencache_core::{
 };
 use gencache_obs::{
     CostObserver, CostReport, MetricsObserver, MetricsReport, NextUseIndex, Observer,
-    RegretObserver, RegretReport, SimTrace, TraceOp,
+    RegretObserver, RegretReport, SimTrace, TraceOp, WindowObserver, WindowReport,
 };
 use gencache_program::{Addr, Time};
 
@@ -317,6 +317,22 @@ pub fn simulate_regret(
     (result, observer.report())
 }
 
+/// [`replay_sim_observed`] through a [`WindowObserver`]: the event
+/// stream folded into fixed access-count windows with drift
+/// annotations. `window_accesses` is the window width; using the same
+/// ~64-sample interval rule as the timeline keeps the series
+/// deterministic and reproducible offline.
+pub fn simulate_windows(
+    log: &AccessLog,
+    spec: SimSpec,
+    capacity: u64,
+    window_accesses: u64,
+) -> (ReplayResult, WindowReport) {
+    let (result, observer) =
+        replay_sim_observed(log, spec, capacity, WindowObserver::new(window_accesses));
+    (result, observer.report())
+}
+
 /// One simulated configuration's full outcome.
 #[derive(Debug, Clone)]
 pub struct SimulatedSpec {
@@ -333,33 +349,58 @@ pub struct SimulatedSpec {
     /// run asked for the oracle (`--oracle`), absent otherwise so
     /// oracle-free documents keep their exact bytes.
     pub regret: Option<RegretReport>,
+    /// Windowed time-series telemetry with drift annotations; present
+    /// only when the run asked for it (`--windows`), absent otherwise
+    /// so window-free documents keep their exact bytes.
+    pub windows: Option<WindowReport>,
+}
+
+/// Replay-wide knobs for [`simulate_grid`], shared by every cell.
+#[derive(Debug, Clone, Copy)]
+pub struct GridOptions<'a> {
+    /// Phase count for cost and regret attribution.
+    pub phases: u32,
+    /// Occupancy sampling stride; also the window width when `windows`
+    /// is set.
+    pub sample_every: u64,
+    /// Worker fan-out; results reassemble in grid order regardless.
+    pub jobs: usize,
+    /// Additionally score each spec's evictions for Belady regret
+    /// against this next-use index.
+    pub regret_index: Option<&'a NextUseIndex>,
+    /// Attach a windowed time-series report to each spec.
+    pub windows: bool,
 }
 
 /// Replays `log` against every spec in the grid, fanning the grid
-/// across up to `jobs` workers. Results are reassembled in grid order,
-/// so the output is bit-identical for every `jobs` value. When a
-/// [`NextUseIndex`] is supplied, each spec's evictions are additionally
-/// scored for Belady regret against it.
+/// across up to `options.jobs` workers. Results are reassembled in
+/// grid order, so the output is bit-identical for every `jobs` value.
+/// When [`GridOptions::regret_index`] is supplied, each spec's
+/// evictions are additionally scored for Belady regret against it;
+/// when [`GridOptions::windows`] is set, each spec also gets a
+/// windowed time-series report (window width = `sample_every`).
 pub fn simulate_grid(
     log: &AccessLog,
     specs: &[SimSpec],
     capacity: u64,
-    phases: u32,
-    sample_every: u64,
-    jobs: usize,
-    regret_index: Option<&NextUseIndex>,
+    options: GridOptions<'_>,
 ) -> Vec<SimulatedSpec> {
-    crate::par::par_map(specs, jobs, |&spec| {
-        let (result, metrics) = simulate_metrics(log, spec, capacity, sample_every);
-        let (_, costs) = simulate_costs(log, spec, capacity, phases);
-        let regret =
-            regret_index.map(|index| simulate_regret(log, spec, capacity, phases, index).1);
+    crate::par::par_map(specs, options.jobs, |&spec| {
+        let (result, metrics) = simulate_metrics(log, spec, capacity, options.sample_every);
+        let (_, costs) = simulate_costs(log, spec, capacity, options.phases);
+        let regret = options
+            .regret_index
+            .map(|index| simulate_regret(log, spec, capacity, options.phases, index).1);
+        let windows = options
+            .windows
+            .then(|| simulate_windows(log, spec, capacity, options.sample_every.max(1)).1);
         SimulatedSpec {
             label: spec.label(),
             result,
             metrics,
             costs,
             regret,
+            windows,
         }
     })
 }
@@ -484,7 +525,14 @@ mod tests {
             SimSpec::Model(ModelSpec::best_generational()),
             SimSpec::Local(LocalPolicy::Lru),
         ];
-        let serial = simulate_grid(&log, &specs, 600, 4, 16, 1, Some(&index));
+        let options = |jobs| GridOptions {
+            phases: 4,
+            sample_every: 16,
+            jobs,
+            regret_index: Some(&index),
+            windows: true,
+        };
+        let serial = simulate_grid(&log, &specs, 600, options(1));
         assert!(
             serial.iter().any(|s| s
                 .regret
@@ -493,16 +541,32 @@ mod tests {
             "a 600-byte budget over 1200 bytes of traces must evict"
         );
         for jobs in [2, 8] {
-            let par = simulate_grid(&log, &specs, 600, 4, 16, jobs, Some(&index));
+            let par = simulate_grid(&log, &specs, 600, options(jobs));
             for (a, b) in serial.iter().zip(&par) {
                 assert_eq!(a.label, b.label);
                 assert_eq!(a.metrics, b.metrics);
                 assert_eq!(a.costs, b.costs);
                 assert_eq!(a.regret, b.regret);
+                assert_eq!(a.windows, b.windows);
                 assert_eq!(a.result.metrics, b.result.metrics);
             }
         }
-        let bare = simulate_grid(&log, &specs, 600, 4, 16, 1, None);
-        assert!(bare.iter().all(|s| s.regret.is_none()));
+        assert!(
+            serial
+                .iter()
+                .all(|s| s.windows.as_ref().is_some_and(|w| !w.windows.is_empty())),
+            "windowed reports must be populated when requested"
+        );
+        let bare = simulate_grid(
+            &log,
+            &specs,
+            600,
+            GridOptions {
+                regret_index: None,
+                windows: false,
+                ..options(1)
+            },
+        );
+        assert!(bare.iter().all(|s| s.regret.is_none() && s.windows.is_none()));
     }
 }

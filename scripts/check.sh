@@ -23,6 +23,7 @@ live_metrics="target/tmp/check-metrics-live.json"
 sim_metrics="target/tmp/check-metrics-sim.json"
 baseline="target/tmp/check-baseline.json"
 regret_metrics="target/tmp/check-metrics-regret.json"
+win_metrics="target/tmp/check-metrics-windows.json"
 serve_metrics="target/tmp/check-metrics-serve.json"
 serve_log="target/tmp/check-serve.log"
 serve_events_log="target/tmp/check-serve-events.jsonl"
@@ -42,6 +43,7 @@ cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null
   done
   rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" "$regret_metrics" \
+    "$win_metrics" \
     "$serve_metrics" "$serve_log" "$serve_events_log" \
     "$fleet_events" "$fleet_second" "$fleet_sim" "$fleet_served" \
     "$shard1_log" "$shard2_log" "$router_log"
@@ -80,6 +82,17 @@ cmp "$live_metrics" "$sim_metrics" \
 ./target/release/simulate --events "$events" --watch "$baseline" > /dev/null \
   || { echo "simulate --watch failed against a fresh baseline"; exit 1; }
 
+echo "=== windows smoke: drift-annotated window series rides the metrics doc"
+./target/release/simulate --events "$events" --windows \
+  --metrics-out "$win_metrics" > /dev/null
+grep -q '"windows":{"window_accesses":' "$win_metrics" \
+  || { echo "windowed metrics doc has no windows section"; exit 1; }
+grep -q '"annotations":\[' "$win_metrics" \
+  || { echo "windows section has no annotations field"; exit 1; }
+# The plain doc must not grow a windows section (byte stability).
+grep -q '"windows":' "$sim_metrics" \
+  && { echo "plain simulate doc unexpectedly carries windows"; exit 1; }
+
 echo "=== regret smoke: oracle regret attribution is populated end to end"
 ./target/release/simulate --events "$events" --grid --oracle \
   --metrics-out "$regret_metrics" > /dev/null
@@ -117,6 +130,9 @@ cmp "$sim_metrics" "$serve_metrics" \
   || { echo "stats did not report the completed job"; exit 1; }
 grep -q '"event":"job_admitted"' "$serve_events_log" \
   || { echo "structured log has no job_admitted record"; cat "$serve_events_log"; exit 1; }
+./target/release/gencache-client watch --addr "$addr" --count 1 --plain \
+  | grep -q "snapshot #0: 1 node(s)" \
+  || { echo "watch returned no snapshot frame"; exit 1; }
 kill -TERM "$serve_pid"
 wait "$serve_pid" \
   || { echo "daemon exited nonzero after SIGTERM"; exit 1; }

@@ -21,7 +21,8 @@ use gencache_bench::sample_interval;
 use gencache_obs::{oracle_replay, reconstruct_trace, NextUseIndex};
 use gencache_sim::{
     collect_costs, collect_events, collect_metrics, parse_spec, record, simulate_costs,
-    simulate_grid, simulate_metrics, sweep_with_jobs, trace_to_log, AccessLog, ModelSpec, SimSpec,
+    simulate_grid, simulate_metrics, sweep_with_jobs, trace_to_log, AccessLog, GridOptions,
+    ModelSpec, SimSpec,
 };
 use gencache_workloads::benchmark;
 
@@ -98,13 +99,24 @@ fn simulated_grid_is_jobs_invariant() {
     let (_, events) = collect_events(&original, ModelSpec::Unified);
     let trace = reconstruct_trace(&events).expect("stream inverts");
     let index = NextUseIndex::build(&trace);
-    let serial = simulate_grid(&reconstructed, &specs, capacity, 12, every, 1, Some(&index));
+    let options = |jobs| GridOptions {
+        phases: 12,
+        sample_every: every,
+        jobs,
+        regret_index: Some(&index),
+        windows: true,
+    };
+    let serial = simulate_grid(&reconstructed, &specs, capacity, options(1));
     assert!(
         serial.iter().all(|s| s.regret.is_some()),
         "every grid cell gets a regret report when an index is supplied"
     );
+    assert!(
+        serial.iter().all(|s| s.windows.is_some()),
+        "every grid cell gets a windowed report when requested"
+    );
     for jobs in [2, 8] {
-        let parallel = simulate_grid(&reconstructed, &specs, capacity, 12, every, jobs, Some(&index));
+        let parallel = simulate_grid(&reconstructed, &specs, capacity, options(jobs));
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.label, b.label, "jobs={jobs}");
@@ -115,6 +127,12 @@ fn simulated_grid_is_jobs_invariant() {
                 serde_json::to_string(&a.regret).unwrap(),
                 serde_json::to_string(&b.regret).unwrap(),
                 "{} regret jobs={jobs}",
+                a.label
+            );
+            assert_eq!(
+                serde_json::to_string(&a.windows).unwrap(),
+                serde_json::to_string(&b.windows).unwrap(),
+                "{} windows jobs={jobs}",
                 a.label
             );
         }
