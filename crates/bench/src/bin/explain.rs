@@ -28,13 +28,17 @@ use std::process::ExitCode;
 
 use gencache_bench::ingest::open_lines;
 use gencache_bench::{export_specs, export_telemetry, HarnessOptions};
+use gencache_core::{SwitchKind, SwitchReport};
 use gencache_obs::{
-    oracle_replay, parse_stream_line, reconstruct_trace, CacheEvent, CostObserver, Log2Histogram,
-    MetricsObserver, MetricsReport, NextUseIndex, Observer, OracleResult, Region, RegretObserver,
-    SamplingObserver, SamplingParams, StreamLine, WindowObserver, WindowReport,
+    oracle_replay, parse_stream_line, reconstruct_trace, CacheEvent, CostObserver, EventBuffer,
+    Log2Histogram, MetricsObserver, MetricsReport, NextUseIndex, Observer, OracleResult, Region,
+    RegretObserver, SamplingObserver, SamplingParams, StreamLine, WindowObserver, WindowReport,
 };
 use gencache_sim::report::{bar, fmt_bytes, sparkline, TextTable};
-use gencache_sim::{collect_events, record, ModelSpec, ReplayResult};
+use gencache_sim::{
+    collect_events, parse_spec, record, replay_sim_observed, simulate_switches, ModelSpec,
+    ReplayResult, SimSpec,
+};
 use gencache_workloads::{benchmark, WorkloadProfile};
 
 struct ExplainOptions {
@@ -42,6 +46,9 @@ struct ExplainOptions {
     top: usize,
     oracle: bool,
     windows: bool,
+    window_width: Option<u64>,
+    regret_top: Option<usize>,
+    specs: Vec<String>,
     parse_events: Option<String>,
     harness: HarnessOptions,
 }
@@ -60,6 +67,9 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
         top: 10,
         oracle: false,
         windows: false,
+        window_width: None,
+        regret_top: None,
+        specs: Vec::new(),
         parse_events: None,
         harness: HarnessOptions {
             scale: 1,
@@ -81,6 +91,21 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
             }
             "--oracle" => opts.oracle = true,
             "--windows" => opts.windows = true,
+            "--window-width" => {
+                let v = it.next().expect("--window-width needs an access count");
+                let width: u64 = v.parse().expect("--window-width must be a positive integer");
+                assert!(width > 0, "--window-width must be positive");
+                opts.window_width = Some(width);
+            }
+            "--regret-top" => {
+                let v = it.next().expect("--regret-top needs a count");
+                let top: usize = v.parse().expect("--regret-top must be a positive integer");
+                assert!(top > 0, "--regret-top must be positive");
+                opts.regret_top = Some(top);
+            }
+            "--spec" => {
+                opts.specs.push(it.next().expect("--spec needs a label"));
+            }
             "--scale" => {
                 let v = it.next().expect("--scale needs a value");
                 opts.harness.scale = v.parse().expect("--scale must be a positive integer");
@@ -113,7 +138,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> ExplainOptions {
             }
             other => panic!(
                 "unknown argument {other:?}; use --bench NAME / --scale N / --jobs N / \
-                 --top N / --oracle / --windows / --events-out FILE / --metrics-out FILE / \
+                 --top N / --oracle / --windows / --window-width N / --regret-top N / \
+                 --spec LABEL / --events-out FILE / --metrics-out FILE / \
                  --sample N / --sample-seed S / --parse-events FILE"
             ),
         }
@@ -454,9 +480,14 @@ fn render_regret(
     result: &ReplayResult,
     events: &[CacheEvent],
     top: usize,
+    contributor_cap: Option<usize>,
 ) {
-    let mut observer =
-        RegretObserver::with_phases(&oracle.index, profile.phases.max(1), duration_us);
+    let mut observer = match contributor_cap {
+        Some(cap) => {
+            RegretObserver::with_top(&oracle.index, profile.phases.max(1), duration_us, cap)
+        }
+        None => RegretObserver::with_phases(&oracle.index, profile.phases.max(1), duration_us),
+    };
     for event in events {
         observer.on_event(event);
     }
@@ -612,6 +643,48 @@ fn render_windows(sample_every: u64, events: &[CacheEvent]) {
     }
 }
 
+/// Narrates the adaptive policy controller's run: the epoch cadence,
+/// the drift detections, and every probe/commit decision in epoch
+/// order — the event-level account behind a `switches` section of the
+/// metrics document.
+fn render_switches(report: &SwitchReport) {
+    println!(
+        "\nAdaptive controller ({} epochs of {} accesses): {} drift detections, \
+         {} probe installs, {} committed switches, {} temperature promotions",
+        report.epochs,
+        report.epoch_accesses,
+        report.drifts,
+        report.probes,
+        report.switches,
+        report.hot_promotions,
+    );
+    if report.records.is_empty() {
+        println!("  No drift detected: the initial configuration served the whole run.");
+        return;
+    }
+    for r in &report.records {
+        match r.kind {
+            SwitchKind::Probe => println!(
+                "  epoch {:>4} @ {:>9}µs: probe  {} -> {} (miss rate {:.2}% vs baseline {:.2}%)",
+                r.epoch,
+                r.time_us,
+                r.from,
+                r.to,
+                r.miss_rate * 100.0,
+                r.baseline * 100.0,
+            ),
+            SwitchKind::Commit => println!(
+                "  epoch {:>4} @ {:>9}µs: commit {} -> {} (winning audition miss rate {:.2}%)",
+                r.epoch,
+                r.time_us,
+                r.from,
+                r.to,
+                r.miss_rate * 100.0,
+            ),
+        }
+    }
+}
+
 fn render_histogram(label: &str, hist: &Log2Histogram) {
     if hist.is_empty() {
         return;
@@ -700,11 +773,19 @@ fn explain_model(
     }
     render_timeline(&report, &regions);
     if opts.windows {
-        render_windows(sample_every, events);
+        render_windows(opts.window_width.unwrap_or(sample_every), events);
     }
     render_churn(&report, top);
     if let Some(oracle) = oracle {
-        render_regret(profile, duration_us, oracle, result, events, top);
+        render_regret(
+            profile,
+            duration_us,
+            oracle,
+            result,
+            events,
+            top,
+            opts.regret_top,
+        );
     }
     for &region in &regions {
         let r = report.region(region);
@@ -721,6 +802,14 @@ fn main() -> ExitCode {
         return parse_events(path);
     }
 
+    let extra_specs: Vec<(String, SimSpec)> = opts
+        .specs
+        .iter()
+        .map(|label| {
+            let spec = parse_spec(label).unwrap_or_else(|e| panic!("{e}"));
+            (label.clone(), spec)
+        })
+        .collect();
     let mut profile = benchmark(&opts.bench)
         .unwrap_or_else(|| panic!("unknown benchmark {:?}", opts.bench));
     if opts.harness.scale > 1 {
@@ -762,6 +851,15 @@ fn main() -> ExitCode {
     for (label, spec) in export_specs() {
         let (result, events) = collect_events(&run.log, spec);
         explain_model(&ctx, label, &result, &events, &opts);
+    }
+    // Extra --spec models ride the same narrative path; adaptive specs
+    // additionally get their controller's decision log narrated.
+    for (label, spec) in &extra_specs {
+        let (result, buffer) = replay_sim_observed(&run.log, *spec, capacity, EventBuffer::new());
+        explain_model(&ctx, label, &result, &buffer.events, &opts);
+        if let Some(report) = simulate_switches(&run.log, *spec, capacity) {
+            render_switches(&report);
+        }
     }
 
     let runs = vec![(profile, run)];

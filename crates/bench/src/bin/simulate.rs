@@ -39,8 +39,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use gencache_bench::ingest::{
-    open_lines, render_sim_tables, resolve_sim_specs, run_sim_job, sim_metrics_doc, SimJobOutput,
-    StreamIngest,
+    open_lines, render_sim_tables, resolve_sim_specs, run_sim_job, sim_metrics_doc, SimJobOptions,
+    SimJobOutput, StreamIngest,
 };
 use gencache_bench::write_metrics_doc;
 use gencache_obs::OracleResult;
@@ -49,8 +49,9 @@ use gencache_sim::SimulatedSpec;
 use serde::{Deserialize, Serialize};
 
 const USAGE: &str = "use --events FILE / --spec LABEL / --grid / --oracle / --windows / \
-     --capacity BYTES / --jobs N / --bench NAME / --model LABEL / --metrics-out FILE / \
-     --baseline-out FILE / --stats-out FILE / --watch FILE / --tolerance FRAC";
+     --window-width N / --regret-top N / --capacity BYTES / --jobs N / --bench NAME / \
+     --model LABEL / --metrics-out FILE / --baseline-out FILE / --stats-out FILE / \
+     --watch FILE / --tolerance FRAC";
 
 struct SimOptions {
     events: String,
@@ -58,6 +59,8 @@ struct SimOptions {
     grid: bool,
     oracle: bool,
     windows: bool,
+    window_width: Option<u64>,
+    regret_top: Option<usize>,
     capacity: Option<u64>,
     jobs: Option<usize>,
     bench: Option<String>,
@@ -76,6 +79,8 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> SimOptions {
         grid: false,
         oracle: false,
         windows: false,
+        window_width: None,
+        regret_top: None,
         capacity: None,
         jobs: None,
         bench: None,
@@ -94,6 +99,18 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> SimOptions {
             "--grid" => opts.grid = true,
             "--oracle" => opts.oracle = true,
             "--windows" => opts.windows = true,
+            "--window-width" => {
+                let v = it.next().expect("--window-width needs an access count");
+                let width: u64 = v.parse().expect("--window-width must be a positive integer");
+                assert!(width > 0, "--window-width must be positive");
+                opts.window_width = Some(width);
+            }
+            "--regret-top" => {
+                let v = it.next().expect("--regret-top needs a count");
+                let top: usize = v.parse().expect("--regret-top must be a positive integer");
+                assert!(top > 0, "--regret-top must be positive");
+                opts.regret_top = Some(top);
+            }
             "--capacity" => {
                 let v = it.next().expect("--capacity needs a byte count");
                 let bytes: u64 = v.parse().expect("--capacity must be a positive integer");
@@ -278,6 +295,74 @@ fn replay_stats_doc(cells: u64, wall_us: u64) -> String {
     gencache_bench::value_to_json(&doc)
 }
 
+/// Scores every adaptive spec against the static rows on the
+/// oracle-regret scale — one block per benchmark that simulated at
+/// least one adaptive spec and one static spec under `--oracle`.
+/// The verdict line is the machine-checkable judgment `check.sh`
+/// gates on.
+fn render_adaptive_regret(out: &SimJobOutput) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for bench in &out.benches {
+        let adaptive: Vec<&SimulatedSpec> = bench
+            .sims
+            .iter()
+            .filter(|s| s.switches.is_some() && s.regret.is_some())
+            .collect();
+        let statics: Vec<&SimulatedSpec> = bench
+            .sims
+            .iter()
+            .filter(|s| s.switches.is_none() && s.regret.is_some())
+            .collect();
+        if adaptive.is_empty() || statics.is_empty() {
+            continue;
+        }
+        let regret_of = |s: &SimulatedSpec| s.regret.as_ref().expect("filtered").total.regret_sum;
+        let best = statics
+            .iter()
+            .min_by_key(|s| (regret_of(s), s.label.clone()))
+            .expect("non-empty");
+        let worst = statics
+            .iter()
+            .max_by_key(|s| (regret_of(s), s.label.clone()))
+            .expect("non-empty");
+        let _ = writeln!(text, "\n=== adaptive vs static regret: {} ===", bench.name);
+        let _ = writeln!(
+            text,
+            "  best static  {:<24} regret {}",
+            best.label,
+            regret_of(best)
+        );
+        let _ = writeln!(
+            text,
+            "  worst static {:<24} regret {}",
+            worst.label,
+            regret_of(worst)
+        );
+        for sim in adaptive {
+            let report = sim.switches.as_ref().expect("filtered");
+            let a = regret_of(sim);
+            let _ = writeln!(
+                text,
+                "  adaptive     {:<24} regret {} ({} epochs, {} drifts, {} probes, {} switches)",
+                sim.label, a, report.epochs, report.drifts, report.probes, report.switches
+            );
+            let verdict = if a < regret_of(best) {
+                "adaptive beats every static spec".to_string()
+            } else if a < regret_of(worst) {
+                format!(
+                    "adaptive beats worst static, trails best static by {}",
+                    a - regret_of(best)
+                )
+            } else {
+                "adaptive does not beat worst static".to_string()
+            };
+            let _ = writeln!(text, "  verdict[{}]: {}", sim.label, verdict);
+        }
+    }
+    text
+}
+
 /// Relative drift between a baseline and a current value.
 fn drift(base: f64, current: f64) -> f64 {
     if base == current {
@@ -392,7 +477,13 @@ fn main() -> ExitCode {
         specs.len()
     );
     let started = Instant::now();
-    let out = match run_sim_job(&inputs, &specs, opts.oracle, opts.windows, jobs, None) {
+    let job_options = SimJobOptions {
+        oracle: opts.oracle,
+        windows: opts.windows,
+        window_width: opts.window_width,
+        regret_top: opts.regret_top,
+    };
+    let out = match run_sim_job(&inputs, &specs, job_options, jobs, None) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
@@ -402,6 +493,7 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed();
 
     print!("{}", render_sim_tables(&out));
+    print!("{}", render_adaptive_regret(&out));
     eprintln!(
         "simulated {} replays in {:.3}s wall-clock",
         out.benches.len() * out.labels.len(),

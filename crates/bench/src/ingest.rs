@@ -33,11 +33,13 @@ use gencache_obs::{
     RegretReport, RunMeta, SimTrace, StreamLine, TraceRebuilder, WindowReport, METRICS_SCHEMA,
     METRICS_VERSION,
 };
+use gencache_core::SwitchReport;
 use gencache_sim::par::par_map;
 use gencache_sim::report::TextTable;
 use gencache_sim::{
     parse_spec, policy_grid, proportion_grid, simulate_costs, simulate_metrics, simulate_regret,
-    simulate_windows, trace_to_log, AccessLog, ModelSpec, SimSpec, SimulatedSpec,
+    simulate_regret_top, simulate_switches, simulate_windows, trace_to_log, AccessLog, ModelSpec,
+    SimSpec, SimulatedSpec,
 };
 use serde::{Deserialize, Value};
 
@@ -431,12 +433,45 @@ pub struct SimJobOutput {
     pub benches: Vec<BenchSim>,
 }
 
+/// Per-job analysis knobs shared by every `run_sim_job` caller: the
+/// offline `simulate` tool, the serve daemon, and the fleet router all
+/// thread the same options through, so a served reply stays
+/// byte-identical to the offline document for the same knob values.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimJobOptions {
+    /// Replay the Belady oracle per benchmark and attach a regret
+    /// attribution to every cell.
+    pub oracle: bool,
+    /// Fold every cell's event stream into a windowed time-series
+    /// report with drift annotations.
+    pub windows: bool,
+    /// Window width in accesses for the `windows` report. `None` keeps
+    /// the default: the timeline sample interval (≈ accesses / 64).
+    pub window_width: Option<u64>,
+    /// Cap on per-trace regret contributors kept per phase and in the
+    /// run total. `None` keeps the default cap.
+    pub regret_top: Option<usize>,
+}
+
+impl SimJobOptions {
+    /// Options with one knob set: `oracle`, everything else default —
+    /// the most common caller shape.
+    pub fn oracle(oracle: bool) -> Self {
+        SimJobOptions {
+            oracle,
+            ..SimJobOptions::default()
+        }
+    }
+}
+
 /// Runs the benchmark × spec cross product across `jobs` workers,
 /// reassembling in input order — bit-identical for any worker count,
 /// and byte-identical whether driven by the offline tool or the serve
-/// daemon. When `windows` is set, every cell also folds its event
-/// stream into a windowed time-series report with drift annotations
-/// (window width = the timeline sample interval).
+/// daemon. When `options.windows` is set, every cell also folds its
+/// event stream into a windowed time-series report with drift
+/// annotations (window width = `options.window_width`, defaulting to
+/// the timeline sample interval). Adaptive cells additionally replay
+/// their policy controller and attach its switch report.
 ///
 /// `cancel` is polled between cells: once set (deadline expiry,
 /// shutdown), remaining cells are skipped and the job returns an error
@@ -448,8 +483,7 @@ pub struct SimJobOutput {
 pub fn run_sim_job(
     inputs: &[SimJobInput],
     specs: &[SimSpec],
-    oracle: bool,
-    windows: bool,
+    options: SimJobOptions,
     jobs: usize,
     cancel: Option<&AtomicBool>,
 ) -> Result<SimJobOutput, String> {
@@ -464,7 +498,7 @@ pub fn run_sim_job(
     // trace. Built once per input, shared by all of that input's cells.
     let indexes: Vec<Option<NextUseIndex>> = inputs
         .iter()
-        .map(|input| oracle.then(|| NextUseIndex::build(&input.trace)))
+        .map(|input| options.oracle.then(|| NextUseIndex::build(&input.trace)))
         .collect();
     let simulated: Vec<Option<(SimulatedSpec, u64)>> = par_map(&cells, jobs, |&(i, spec)| {
         if canceled() {
@@ -473,13 +507,19 @@ pub fn run_sim_job(
         let started = std::time::Instant::now();
         let input = &inputs[i];
         let every = sample_interval(&input.log);
+        let width = options.window_width.unwrap_or(every).max(1);
         let (result, metrics) = simulate_metrics(&input.log, spec, input.capacity, every);
         let (_, costs) = simulate_costs(&input.log, spec, input.capacity, input.phases);
-        let regret = indexes[i]
-            .as_ref()
-            .map(|index| simulate_regret(&input.log, spec, input.capacity, input.phases, index).1);
-        let windows =
-            windows.then(|| simulate_windows(&input.log, spec, input.capacity, every).1);
+        let regret = indexes[i].as_ref().map(|index| match options.regret_top {
+            Some(top) => {
+                simulate_regret_top(&input.log, spec, input.capacity, input.phases, index, top).1
+            }
+            None => simulate_regret(&input.log, spec, input.capacity, input.phases, index).1,
+        });
+        let windows = options
+            .windows
+            .then(|| simulate_windows(&input.log, spec, input.capacity, width).1);
+        let switches = simulate_switches(&input.log, spec, input.capacity);
         let sim = SimulatedSpec {
             label: spec.label(),
             result,
@@ -487,6 +527,7 @@ pub fn run_sim_job(
             costs,
             regret,
             windows,
+            switches,
         };
         Some((sim, started.elapsed().as_micros() as u64))
     });
@@ -495,7 +536,7 @@ pub fn run_sim_job(
     }
     let (simulated, cell_us): (Vec<SimulatedSpec>, Vec<u64>) =
         simulated.into_iter().flatten().unzip();
-    let oracles: Vec<Option<OracleResult>> = if oracle {
+    let oracles: Vec<Option<OracleResult>> = if options.oracle {
         let results = par_map(inputs, jobs, |input| {
             if canceled() {
                 None
@@ -550,6 +591,7 @@ pub fn sim_metrics_doc(out: &SimJobOutput) -> Value {
                         None,
                         sim.regret.clone(),
                         sim.windows.clone(),
+                        sim.switches.clone(),
                     )
                 })
                 .collect();
@@ -764,7 +806,14 @@ pub fn merge_metrics_docs(order: &[String], docs: &[Value]) -> Result<Value, Str
                     ),
                     None => None,
                 };
-                reports.push((metrics, costs, None, regret, windows));
+                let switches = match doc_field(section, "switches") {
+                    Some(v) => Some(
+                        SwitchReport::from_value(v)
+                            .map_err(|e| format!("{name}/{label}: bad switches: {e}"))?,
+                    ),
+                    None => None,
+                };
+                reports.push((metrics, costs, None, regret, windows, switches));
             }
             if sections.insert(name.clone(), reports).is_some() {
                 return Err(format!("benchmark {name:?} appears in more than one shard doc"));
@@ -952,14 +1001,14 @@ mod tests {
         assert_eq!(inputs.len(), 2);
         let order: Vec<String> = inputs.iter().map(|i| i.name.clone()).collect();
         let specs = resolve_sim_specs(&[], false).unwrap();
-        let whole = run_sim_job(&inputs, &specs, false, false, 1, None).unwrap();
+        let whole = run_sim_job(&inputs, &specs, SimJobOptions::default(), 1, None).unwrap();
         let whole_doc = crate::value_to_json(&sim_metrics_doc(&whole));
         let whole_table = render_sim_tables(&whole);
         // Split the job as the fleet router would: one benchmark per
         // "shard", merged back in upload order.
         let second = inputs.split_off(1);
-        let out_a = run_sim_job(&inputs, &specs, false, false, 1, None).unwrap();
-        let out_b = run_sim_job(&second, &specs, false, false, 1, None).unwrap();
+        let out_a = run_sim_job(&inputs, &specs, SimJobOptions::default(), 1, None).unwrap();
+        let out_b = run_sim_job(&second, &specs, SimJobOptions::default(), 1, None).unwrap();
         let docs = [sim_metrics_doc(&out_b), sim_metrics_doc(&out_a)];
         let merged = merge_metrics_docs(&order, &docs).unwrap();
         assert_eq!(
@@ -975,6 +1024,41 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_doc_is_jobs_invariant() {
+        let text = suite_export(2, "adaptive-jobs");
+        let mut ingest = StreamIngest::new();
+        for line in text.lines() {
+            ingest.push_line(line).unwrap();
+        }
+        let inputs = ingest.into_inputs(None, None, None).unwrap();
+        let specs = resolve_sim_specs(
+            &["adaptive".to_string(), "lru".to_string()],
+            false,
+        )
+        .unwrap();
+        let options = SimJobOptions {
+            oracle: true,
+            windows: true,
+            window_width: Some(32),
+            regret_top: Some(8),
+        };
+        let serial = run_sim_job(&inputs, &specs, options, 1, None).unwrap();
+        let serial_doc = crate::value_to_json(&sim_metrics_doc(&serial));
+        assert!(
+            serial_doc.contains("\"switches\""),
+            "adaptive spec must emit a switches section"
+        );
+        for jobs in [2, 8] {
+            let par = run_sim_job(&inputs, &specs, options, jobs, None).unwrap();
+            assert_eq!(
+                crate::value_to_json(&sim_metrics_doc(&par)),
+                serial_doc,
+                "adaptive doc with {jobs} jobs diverged from serial"
+            );
+        }
+    }
+
+    #[test]
     fn canceled_job_returns_error_not_partial_output() {
         let text = tiny_export();
         let mut ingest = StreamIngest::new();
@@ -984,7 +1068,7 @@ mod tests {
         let inputs = ingest.into_inputs(None, None, None).unwrap();
         let specs = resolve_sim_specs(&[], false).unwrap();
         let cancel = AtomicBool::new(true);
-        let err = run_sim_job(&inputs, &specs, false, false, 1, Some(&cancel)).unwrap_err();
+        let err = run_sim_job(&inputs, &specs, SimJobOptions::default(), 1, Some(&cancel)).unwrap_err();
         assert!(err.contains("canceled"), "unexpected error: {err}");
     }
 }

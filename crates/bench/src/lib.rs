@@ -44,6 +44,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
+use gencache_core::SwitchReport;
 use gencache_obs::{
     CostReport, JsonlSink, MetricsReport, RegretReport, RunMeta, SampledReport, SamplingParams,
     StreamHeader, WindowReport, METRICS_SCHEMA, METRICS_VERSION,
@@ -127,7 +128,8 @@ impl HarnessOptions {
                     opts.suite = Some(match v.as_str() {
                         "spec" | "spec2000" => Suite::Spec2000,
                         "interactive" | "windows" => Suite::Interactive,
-                        other => panic!("unknown suite {other:?}; use spec|interactive"),
+                        "adversarial" => Suite::Adversarial,
+                        other => panic!("unknown suite {other:?}; use spec|interactive|adversarial"),
                     });
                 }
                 "--jobs" => {
@@ -423,15 +425,17 @@ pub fn export_telemetry_streamed(opts: &HarnessOptions, recs: &[StreamedRun]) ->
 /// One model's section of the metrics document: exact aggregates, the
 /// Table 2 cost attribution, (under `--sample`) the bounded-memory
 /// sampled report, (under `--oracle`) the Belady-regret attribution,
-/// and (under `--windows`) the windowed time-series with drift
-/// annotations. Optional sections are emitted only when present, so
-/// documents produced without them keep their exact bytes.
+/// (under `--windows`) the windowed time-series with drift annotations,
+/// and (for adaptive specs) the controller's switch report. Optional
+/// sections are emitted only when present, so documents produced
+/// without them keep their exact bytes.
 fn spec_section(
     metrics: &MetricsReport,
     costs: &CostReport,
     sampled: Option<&SampledReport>,
     regret: Option<&RegretReport>,
     windows: Option<&WindowReport>,
+    switches: Option<&SwitchReport>,
 ) -> Value {
     let mut pairs = vec![
         ("metrics".to_string(), metrics.to_value()),
@@ -445,6 +449,9 @@ fn spec_section(
     }
     if let Some(w) = windows {
         pairs.push(("windows".to_string(), w.to_value()));
+    }
+    if let Some(s) = switches {
+        pairs.push(("switches".to_string(), s.to_value()));
     }
     Value::Object(pairs)
 }
@@ -526,13 +533,15 @@ pub fn stream_events_to<W: Write>(mut writer: W, recs: &[StreamedRun]) -> io::Re
 
 /// Per-benchmark artifacts for one exported model: exact metrics, cost
 /// attribution, optional sampled report, optional Belady-regret
-/// attribution, optional windowed time-series.
+/// attribution, optional windowed time-series, and (adaptive specs
+/// only) the policy controller's switch report.
 pub type SpecReports = (
     MetricsReport,
     CostReport,
     Option<SampledReport>,
     Option<RegretReport>,
     Option<WindowReport>,
+    Option<SwitchReport>,
 );
 
 /// Assembles the `--metrics-out` document from per-benchmark report
@@ -547,12 +556,12 @@ pub type SpecReports = (
 pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)]) -> Value {
     let mut suite: Vec<SpecReports> = labels
         .iter()
-        .map(|_| (MetricsReport::new(), CostReport::new(1), None, None, None))
+        .map(|_| (MetricsReport::new(), CostReport::new(1), None, None, None, None))
         .collect();
     let mut bench_values = Vec::with_capacity(benchmarks.len());
     for (name, reports) in benchmarks {
         let mut pairs = vec![("benchmark".to_string(), Value::Str(name.clone()))];
-        for ((label, (metrics, costs, sampled, regret, windows)), merged) in
+        for ((label, (metrics, costs, sampled, regret, windows, switches)), merged) in
             labels.iter().zip(reports).zip(suite.iter_mut())
         {
             merged.0.merge(metrics);
@@ -575,6 +584,12 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
                     Some(m) => m.merge(w),
                 }
             }
+            if let Some(s) = switches {
+                match merged.5.as_mut() {
+                    None => merged.5 = Some(s.clone()),
+                    Some(m) => m.merge(s),
+                }
+            }
             pairs.push((
                 label.clone(),
                 spec_section(
@@ -583,6 +598,7 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
                     sampled.as_ref(),
                     regret.as_ref(),
                     windows.as_ref(),
+                    switches.as_ref(),
                 ),
             ));
         }
@@ -591,7 +607,7 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
     let suite_pairs: Vec<(String, Value)> = labels
         .iter()
         .zip(&suite)
-        .map(|(label, (metrics, costs, sampled, regret, windows))| {
+        .map(|(label, (metrics, costs, sampled, regret, windows, switches))| {
             (
                 label.clone(),
                 spec_section(
@@ -600,6 +616,7 @@ pub fn metrics_doc(labels: &[String], benchmarks: &[(String, Vec<SpecReports>)])
                     sampled.as_ref(),
                     regret.as_ref(),
                     windows.as_ref(),
+                    switches.as_ref(),
                 ),
             )
         })
@@ -643,7 +660,7 @@ fn write_metrics(path: &str, runs: &[Run], opts: &HarnessOptions) -> io::Result<
                 let metrics = collect_metrics(&run.log, spec, every).1;
                 let costs = collect_costs(&run.log, spec, profile.phases.max(1)).1;
                 let sampled = sampling.map(|p| collect_sampled(&run.log, spec, p, every).1);
-                (metrics, costs, sampled, None, None)
+                (metrics, costs, sampled, None, None, None)
             })
             .collect()
     });
@@ -670,7 +687,7 @@ fn write_metrics_streamed(path: &str, recs: &[StreamedRun], opts: &HarnessOption
                 let metrics = rec.collect_metrics(spec, every).1;
                 let costs = rec.collect_costs(spec, profile.phases.max(1)).1;
                 let sampled = sampling.map(|p| rec.collect_sampled(spec, p, every).1);
-                (metrics, costs, sampled, None, None)
+                (metrics, costs, sampled, None, None, None)
             })
             .collect()
     });

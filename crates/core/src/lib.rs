@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod config;
 pub mod cost;
 mod lifetime;
@@ -65,6 +66,10 @@ mod model;
 mod replay;
 mod unified;
 
+pub use adaptive::{
+    AdaptiveModel, Candidate, CandidateSet, SwitchKind, SwitchRecord, SwitchReport,
+    TemperatureTracker, DEFAULT_EPOCH_ACCESSES, MAX_CANDIDATES,
+};
 pub use config::{GenerationalConfig, PromotionPolicy, Proportions};
 pub use cost::{overhead_ratio, CostLedger};
 pub use lifetime::{LifetimeHistogram, LifetimeTracker};

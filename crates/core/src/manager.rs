@@ -28,6 +28,7 @@ use gencache_cache::{
 use gencache_obs::{CacheEvent, FrontendOp, NullObserver, Observer, Region};
 use gencache_program::Time;
 
+use crate::adaptive::TemperatureTracker;
 use crate::config::{GenerationalConfig, PromotionPolicy};
 use crate::cost::CostLedger;
 use crate::model::{AccessOutcome, CacheModel, Generation, ModelMetrics};
@@ -63,6 +64,7 @@ pub struct GenerationalModel<O: Observer = NullObserver> {
     metrics: ModelMetrics,
     ledger: CostLedger,
     observer: O,
+    temperature: Option<TemperatureTracker>,
 }
 
 impl GenerationalModel {
@@ -85,7 +87,67 @@ impl<O: Observer> GenerationalModel<O> {
             metrics: ModelMetrics::default(),
             ledger: CostLedger::new(),
             observer,
+            temperature: None,
         }
+    }
+
+    /// Attaches (or detaches) a TRRIP-style per-trace temperature
+    /// tracker. While attached, a probation trace whose predicted
+    /// re-reference interval is "hot" is promoted to the persistent
+    /// cache even when the configured [`PromotionPolicy`] alone would
+    /// not promote it. Detached by default, so static models are
+    /// byte-for-byte unaffected.
+    pub fn set_temperature(&mut self, tracker: Option<TemperatureTracker>) {
+        self.temperature = tracker;
+    }
+
+    /// The attached temperature tracker, if any.
+    pub fn temperature(&self) -> Option<&TemperatureTracker> {
+        self.temperature.as_ref()
+    }
+
+    /// The attached temperature tracker, mutably.
+    pub fn temperature_mut(&mut self) -> Option<&mut TemperatureTracker> {
+        self.temperature.as_mut()
+    }
+
+    /// Flushes all three generations and rebuilds the hierarchy under
+    /// `config` — the hot-swap primitive of the adaptive policy engine.
+    ///
+    /// Every resident trace leaves with an [`CacheEvent::Evict`] carrying
+    /// [`EvictionCause::Flush`], emitted in ascending trace-id order
+    /// (`trace_ids` is hash-ordered, so the sort is what keeps replays
+    /// byte-identical at any job count), and is charged to the cost
+    /// ledger like any other eviction. Metrics, ledger, observer and
+    /// temperature state carry across: a reconfiguration is a management
+    /// action inside one run, not a new model. Pinned entries are
+    /// flushed too — the swap rebuilds the arenas, so nothing can stay.
+    pub fn reconfigure(&mut self, config: GenerationalConfig, now: Time) {
+        for region in [Region::Nursery, Region::Probation, Region::Persistent] {
+            let cache = match region {
+                Region::Nursery => &mut self.nursery,
+                Region::Probation => &mut self.probation,
+                _ => &mut self.persistent,
+            };
+            let mut ids = cache.trace_ids();
+            ids.sort_unstable();
+            let mut flushed = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(info) = cache.remove(id, EvictionCause::Flush) {
+                    flushed.push(info);
+                }
+            }
+            for info in flushed {
+                self.ledger.charge_eviction(info.size_bytes());
+                if self.observer.enabled() {
+                    self.emit_evict(region, &info, EvictionCause::Flush, now);
+                }
+            }
+        }
+        self.nursery = PseudoCircularCache::new(config.nursery_bytes);
+        self.probation = PseudoCircularCache::new(config.probation_bytes);
+        self.persistent = PseudoCircularCache::new(config.persistent_bytes);
+        self.config = config;
     }
 
     /// The attached observer.
@@ -248,13 +310,26 @@ impl<O: Observer> GenerationalModel<O> {
     /// promotion to persistent if it was executed enough while on
     /// probation, deletion otherwise (Figure 8).
     fn judge_probation_evictee(&mut self, victim: EntryInfo, now: Time) {
-        let promote = match self.config.promotion {
+        let policy_promote = match self.config.promotion {
             PromotionPolicy::OnEviction { threshold } => victim.access_count > threshold,
             // Under on-hit promotion, qualifying traces left probation the
             // moment they were executed; anything still around at eviction
             // time failed to attract a hit.
             PromotionPolicy::OnHit { .. } => false,
         };
+        // The temperature signal can save an evictee the policy would
+        // delete: a short predicted re-reference interval means the miss
+        // is imminent.
+        let hot = self
+            .temperature
+            .as_ref()
+            .is_some_and(|t| t.is_hot(victim.id()));
+        let promote = policy_promote || hot;
+        if promote && !policy_promote {
+            if let Some(t) = &mut self.temperature {
+                t.note_hot_promotion();
+            }
+        }
         if promote {
             self.promote_to_persistent(victim, Region::Probation, now);
         } else {
@@ -329,6 +404,9 @@ impl<O: Observer> CacheModel for GenerationalModel<O> {
 
     fn on_access(&mut self, rec: TraceRecord, now: Time) -> AccessOutcome {
         self.metrics.accesses += 1;
+        if let Some(t) = &mut self.temperature {
+            t.observe(rec.id);
+        }
 
         // Reuse intervals need the pre-touch access time; only pay for
         // the extra lookup when instrumented.
@@ -378,13 +456,21 @@ impl<O: Observer> CacheModel for GenerationalModel<O> {
             }
             // Counter-free promotion: the N-th probation hit immediately
             // upgrades the trace to the persistent cache (Section 5.3).
+            // A temperature-hot trace (short predicted re-reference
+            // interval) promotes on any probation hit.
             if let PromotionPolicy::OnHit { hits } = self.config.promotion {
                 let count = self
                     .probation
                     .entry(rec.id)
                     .expect("touched entry is resident")
                     .access_count;
-                if count >= hits {
+                let hot = self.temperature.as_ref().is_some_and(|t| t.is_hot(rec.id));
+                if count >= hits || hot {
+                    if count < hits {
+                        if let Some(t) = &mut self.temperature {
+                            t.note_hot_promotion();
+                        }
+                    }
                     // Promote the *resident entry*, not the incoming
                     // access record: the entry carries the access count
                     // and insert time accumulated on probation.

@@ -427,7 +427,8 @@ impl Observer for CostObserver {
             | CacheEvent::Pin { .. }
             | CacheEvent::Unpin { .. }
             | CacheEvent::Noop { .. }
-            | CacheEvent::PointerReset { .. } => {}
+            | CacheEvent::PointerReset { .. }
+            | CacheEvent::PolicySwap { .. } => {}
         }
     }
 }

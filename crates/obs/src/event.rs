@@ -220,6 +220,24 @@ pub enum CacheEvent {
         /// When the insertion that caused the resets happened.
         time: Time,
     },
+    /// The adaptive controller hot-swapped the active generational
+    /// configuration at an epoch boundary. The indices refer to the
+    /// adaptive model's candidate set (in spec-label order); the flush
+    /// the swap forces is recorded separately as ordinary
+    /// [`Evict`](CacheEvent::Evict) events with
+    /// [`EvictionCause::Flush`].
+    PolicySwap {
+        /// Controller epoch (epochs since replay start) that committed
+        /// the swap.
+        epoch: u64,
+        /// Candidate index active before the swap.
+        from: u8,
+        /// Candidate index installed by the swap.
+        to: u8,
+        /// When the swap happened (the clock of the access that closed
+        /// the epoch).
+        time: Time,
+    },
 }
 
 impl CacheEvent {
@@ -235,7 +253,8 @@ impl CacheEvent {
             | CacheEvent::Pin { time, .. }
             | CacheEvent::Unpin { time, .. }
             | CacheEvent::Noop { time, .. }
-            | CacheEvent::PointerReset { time, .. } => time,
+            | CacheEvent::PointerReset { time, .. }
+            | CacheEvent::PolicySwap { time, .. } => time,
         }
     }
 
@@ -251,7 +270,7 @@ impl CacheEvent {
             | CacheEvent::Pin { trace, .. }
             | CacheEvent::Unpin { trace, .. }
             | CacheEvent::Noop { trace, .. } => Some(trace),
-            CacheEvent::PointerReset { .. } => None,
+            CacheEvent::PointerReset { .. } | CacheEvent::PolicySwap { .. } => None,
         }
     }
 }

@@ -80,5 +80,6 @@ pub use simstream::{reconstruct_trace, SimTrace, TraceOp, TraceRebuilder};
 pub use sample::{ReservoirSnapshot, SampledReport, SamplingObserver, SamplingParams, SamplingSummary};
 pub use window::{
     detect_drift, DriftAnnotation, DriftKind, Window, WindowObserver, WindowReport,
-    DEFAULT_WINDOW_CAP,
+    CHURN_BURST_FACTOR, CHURN_MIN_REMISSES, DEFAULT_WINDOW_CAP, EWMA_ALPHA, PH_DELTA, PH_LAMBDA,
+    THRASH_MISS_RATE,
 };

@@ -385,6 +385,9 @@ impl Observer for MetricsObserver {
             CacheEvent::PointerReset { region, resets, .. } => {
                 self.region_mut(region).pointer_resets += u64::from(resets);
             }
+            // Adaptive swaps are narrated by the switch report; the
+            // flush they force arrives as ordinary `Evict` events.
+            CacheEvent::PolicySwap { .. } => {}
         }
     }
 }

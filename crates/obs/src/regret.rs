@@ -40,7 +40,8 @@ use crate::event::{CacheEvent, Region};
 use crate::observer::Observer;
 use crate::oracle::NextUseIndex;
 
-/// How many top-regret contributor traces a report keeps.
+/// Default cap on the contributor traces a report keeps; override with
+/// [`RegretObserver::with_top`] (the CLI's `--regret-top`).
 pub const TOP_REGRET: usize = 20;
 
 /// Regret aggregates for one phase × region × cause cell (and for the
@@ -252,12 +253,16 @@ pub struct RegretReport {
     /// Executions walked (hits + misses), for context and alignment
     /// validation.
     pub accesses: u64,
+    /// The contributor-table truncation cap this report was built with
+    /// ([`TOP_REGRET`] unless overridden by `--regret-top`). Kept in the
+    /// document so merged reports know the honest cap.
+    pub top: u64,
     /// Run-wide regret aggregates.
     pub total: RegretCell,
     /// Per-phase attribution, in phase order.
     pub phases: Vec<PhaseRegret>,
     /// The worst contributor traces, sorted by (regret desc, remisses
-    /// desc, trace asc), truncated to [`TOP_REGRET`].
+    /// desc, trace asc), truncated to the report's `top` cap.
     pub contributors: Vec<RegretContributor>,
 }
 
@@ -265,6 +270,7 @@ impl RegretReport {
     /// An empty report with `phases` phase slots present.
     pub fn new(phases: usize) -> Self {
         RegretReport {
+            top: TOP_REGRET as u64,
             phases: (0..phases.max(1)).map(|_| PhaseRegret::new()).collect(),
             ..RegretReport::default()
         }
@@ -276,6 +282,9 @@ impl RegretReport {
     /// is deterministic for any job count.
     pub fn merge(&mut self, other: &RegretReport) {
         self.accesses += other.accesses;
+        // Honest cap after a merge: the larger of the two inputs'
+        // (a default-constructed accumulator starts at 0).
+        self.top = self.top.max(other.top);
         self.total.merge(&other.total);
         if self.phases.len() < other.phases.len() {
             self.phases.resize(other.phases.len(), PhaseRegret::new());
@@ -299,20 +308,21 @@ impl RegretReport {
                 })
                 .or_insert_with(|| e.clone());
         }
-        self.contributors = sort_contributors(by_trace.into_values().collect());
+        self.contributors =
+            sort_contributors(by_trace.into_values().collect(), self.top as usize);
     }
 }
 
 /// Sorts contributors by (regret desc, remisses desc, trace asc) and
-/// keeps the top [`TOP_REGRET`].
-fn sort_contributors(mut entries: Vec<RegretContributor>) -> Vec<RegretContributor> {
+/// keeps the top `top`.
+fn sort_contributors(mut entries: Vec<RegretContributor>, top: usize) -> Vec<RegretContributor> {
     entries.sort_by(|a, b| {
         b.regret_sum
             .cmp(&a.regret_sum)
             .then(b.remisses.cmp(&a.remisses))
             .then(a.trace.cmp(&b.trace))
     });
-    entries.truncate(TOP_REGRET);
+    entries.truncate(top);
     entries
 }
 
@@ -351,6 +361,8 @@ pub struct RegretObserver<'a> {
     index: &'a NextUseIndex,
     phases: u32,
     duration_us: u64,
+    /// Contributor-table truncation cap for the report.
+    top: usize,
     /// Executions consumed so far = current execution position.
     exec: usize,
     /// Each trace's next execution position, as of its last execution.
@@ -375,11 +387,23 @@ impl<'a> RegretObserver<'a> {
     /// run lasting `duration_us` microseconds — the same convention as
     /// [`CostObserver`](crate::CostObserver).
     pub fn with_phases(index: &'a NextUseIndex, phases: u32, duration_us: u64) -> Self {
+        RegretObserver::with_top(index, phases, duration_us, TOP_REGRET)
+    }
+
+    /// A walker whose report keeps up to `top` contributor traces
+    /// (minimum 1) instead of the default [`TOP_REGRET`].
+    pub fn with_top(
+        index: &'a NextUseIndex,
+        phases: u32,
+        duration_us: u64,
+        top: usize,
+    ) -> Self {
         let phases = phases.max(1);
         RegretObserver {
             index,
             phases,
             duration_us,
+            top: top.max(1),
             exec: 0,
             next_of: HashMap::new(),
             resident: HashMap::new(),
@@ -513,9 +537,10 @@ impl<'a> RegretObserver<'a> {
             .collect();
         RegretReport {
             accesses: self.accesses,
+            top: self.top as u64,
             total: self.total,
             phases: self.phase_cells.clone(),
-            contributors: sort_contributors(contributors),
+            contributors: sort_contributors(contributors, self.top),
         }
     }
 }
@@ -590,7 +615,8 @@ impl Observer for RegretObserver<'_> {
             CacheEvent::Promote { .. }
             | CacheEvent::PromotedIn { .. }
             | CacheEvent::Noop { .. }
-            | CacheEvent::PointerReset { .. } => {}
+            | CacheEvent::PointerReset { .. }
+            | CacheEvent::PolicySwap { .. } => {}
         }
     }
 }

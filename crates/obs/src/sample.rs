@@ -501,6 +501,7 @@ impl<O: Observer> Observer for SamplingObserver<O> {
             CacheEvent::PointerReset { region, resets, .. } => {
                 self.region_mut(region).pointer_resets += u64::from(resets);
             }
+            CacheEvent::PolicySwap { .. } => {}
         }
     }
 }

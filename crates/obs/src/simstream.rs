@@ -175,7 +175,8 @@ impl TraceRebuilder {
             | CacheEvent::Evict { .. }
             | CacheEvent::Promote { .. }
             | CacheEvent::PromotedIn { .. }
-            | CacheEvent::PointerReset { .. } => return Ok(None),
+            | CacheEvent::PointerReset { .. }
+            | CacheEvent::PolicySwap { .. } => return Ok(None),
         }))
     }
 }

@@ -132,22 +132,26 @@ pub struct DriftAnnotation {
 }
 
 /// EWMA smoothing factor for the baseline miss rate.
-const EWMA_ALPHA: f64 = 0.25;
+///
+/// Public (with the other drift constants) so the online adaptive
+/// controller in `gencache_core::adaptive` runs the *same* detector the
+/// post-hoc annotator does — one set of thresholds, two consumers.
+pub const EWMA_ALPHA: f64 = 0.25;
 /// Page–Hinkley slack: per-window deviations smaller than this never
 /// accumulate toward a detection.
-const PH_DELTA: f64 = 0.004;
+pub const PH_DELTA: f64 = 0.004;
 /// Page–Hinkley threshold: the cumulative deviation that fires.
-const PH_LAMBDA: f64 = 0.02;
+pub const PH_LAMBDA: f64 = 0.02;
 /// A rise classifies as [`DriftKind::ThrashOnset`] only above this
 /// absolute miss rate and with churn-dominated misses.
-const THRASH_MISS_RATE: f64 = 0.05;
+pub const THRASH_MISS_RATE: f64 = 0.05;
 /// Churn channel: a window needs at least this many re-misses to count
 /// as a burst — small-count noise never fires.
-const CHURN_MIN_REMISSES: u64 = 8;
+pub const CHURN_MIN_REMISSES: u64 = 8;
 /// Churn channel: a burst must exceed the EWMA churn baseline by this
 /// factor (against a floor of one re-miss, so a quiet baseline still
 /// demands an absolute burst).
-const CHURN_BURST_FACTOR: f64 = 4.0;
+pub const CHURN_BURST_FACTOR: f64 = 4.0;
 
 /// Runs the online drift detector over a window series — two
 /// independent channels, both pure and deterministic (merged reports
@@ -414,7 +418,8 @@ impl Observer for WindowObserver {
             CacheEvent::Pin { .. }
             | CacheEvent::Unpin { .. }
             | CacheEvent::Noop { .. }
-            | CacheEvent::PointerReset { .. } => {}
+            | CacheEvent::PointerReset { .. }
+            | CacheEvent::PolicySwap { .. } => {}
         }
     }
 }

@@ -113,6 +113,18 @@ fn parse_submit(mut it: impl Iterator<Item = String>) -> SubmitArgs {
             "--grid" => args.spec.grid = true,
             "--oracle" => args.spec.oracle = true,
             "--windows" => args.spec.windows = true,
+            "--window-width" => {
+                let v = it.next().expect("--window-width needs an access count");
+                let width: u64 = v.parse().expect("--window-width must be a positive integer");
+                assert!(width > 0, "--window-width must be positive");
+                args.spec.window_width = Some(width);
+            }
+            "--regret-top" => {
+                let v = it.next().expect("--regret-top needs a count");
+                let top: u64 = v.parse().expect("--regret-top must be a positive integer");
+                assert!(top > 0, "--regret-top must be positive");
+                args.spec.regret_top = Some(top);
+            }
             "--capacity" => {
                 let v = it.next().expect("--capacity needs a byte count");
                 args.spec.capacity =

@@ -33,6 +33,12 @@ pub struct JobSpec {
     /// Attach the windowed time-series/drift section to each simulated
     /// spec (the `simulate --windows` doc shape).
     pub windows: bool,
+    /// Window width in accesses for the windowed section; `None` keeps
+    /// the default (the timeline sample interval).
+    pub window_width: Option<u64>,
+    /// Cap on regret contributors kept per phase and in the run total;
+    /// `None` keeps the default cap.
+    pub regret_top: Option<u64>,
     /// Cache-budget override in bytes.
     pub capacity: Option<u64>,
     /// Restrict to one benchmark of the export.
@@ -228,6 +234,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 grid: opt_bool(pairs, "grid")?,
                 oracle: opt_bool(pairs, "oracle")?,
                 windows: opt_bool(pairs, "windows")?,
+                window_width: opt_u64(pairs, "window_width")?,
+                regret_top: opt_u64(pairs, "regret_top")?,
                 capacity: opt_u64(pairs, "capacity")?,
                 bench: opt_str(pairs, "bench")?,
                 model: opt_str(pairs, "model")?,
@@ -418,6 +426,12 @@ pub fn encode_job(spec: &JobSpec) -> String {
         // Pushed only when set so frames sent to pre-windows daemons
         // keep the exact bytes they already accept.
         pairs.push(("windows", Value::Bool(true)));
+    }
+    if let Some(w) = spec.window_width {
+        pairs.push(("window_width", Value::UInt(w)));
+    }
+    if let Some(t) = spec.regret_top {
+        pairs.push(("regret_top", Value::UInt(t)));
     }
     if let Some(c) = spec.capacity {
         pairs.push(("capacity", Value::UInt(c)));
@@ -636,6 +650,8 @@ mod tests {
             grid: true,
             oracle: true,
             windows: true,
+            window_width: Some(512),
+            regret_top: Some(8),
             capacity: Some(4096),
             bench: Some("word".to_string()),
             model: None,
@@ -648,6 +664,8 @@ mod tests {
             Request::Job(parsed) => {
                 assert_eq!(parsed.specs, spec.specs);
                 assert!(parsed.grid && parsed.oracle && parsed.windows);
+                assert_eq!(parsed.window_width, Some(512));
+                assert_eq!(parsed.regret_top, Some(8));
                 assert_eq!(parsed.capacity, Some(4096));
                 assert_eq!(parsed.bench.as_deref(), Some("word"));
                 assert_eq!(parsed.model, None);
@@ -690,10 +708,12 @@ mod tests {
 
     #[test]
     fn job_without_windows_keeps_pre_windows_bytes() {
-        // The optional field must stay off the wire when unset so old
+        // The optional fields must stay off the wire when unset so old
         // daemons keep parsing new clients' default frames.
         let line = encode_job(&JobSpec::default());
         assert!(!line.contains("windows"));
+        assert!(!line.contains("window_width"));
+        assert!(!line.contains("regret_top"));
         match parse_request(&line).unwrap() {
             Request::Job(parsed) => assert!(!parsed.windows),
             other => panic!("expected job, got {other:?}"),

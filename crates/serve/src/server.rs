@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gencache_bench::ingest::{
-    render_sim_tables, resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest,
+    render_sim_tables, resolve_sim_specs, run_sim_job, sim_metrics_doc, SimJobOptions, StreamIngest,
 };
 use gencache_bench::stream_events_to;
 use gencache_sim::par::effective_jobs;
@@ -844,7 +844,13 @@ fn run_job(
         }
         // Within one job the pool's width is the concurrency budget, so
         // the replay itself runs single-threaded.
-        let outcome = run_sim_job(&inputs, &specs, spec.oracle, spec.windows, 1, Some(cancel));
+        let options = SimJobOptions {
+            oracle: spec.oracle,
+            windows: spec.windows,
+            window_width: spec.window_width,
+            regret_top: spec.regret_top.map(|t| t as usize),
+        };
+        let outcome = run_sim_job(&inputs, &specs, options, 1, Some(cancel));
         done.store(true, Ordering::Relaxed);
         outcome
     });

@@ -13,7 +13,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use gencache_bench::ingest::{resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest};
+use gencache_bench::ingest::{
+    resolve_sim_specs, run_sim_job, sim_metrics_doc, SimJobOptions, StreamIngest,
+};
 use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
 use gencache_serve::{
     Client, JobSpec, Reply, RetryPolicy, Server, ServerConfig, ShardConfig, ShardRouter, Span,
@@ -47,11 +49,17 @@ fn export() -> &'static str {
     })
 }
 
-/// The spec set every fleet test submits: explicit labels plus the §6
-/// grid, so all shards resolve the identical label list.
+/// The spec set every fleet test submits: explicit labels (including
+/// the adaptive controller, whose switch report must survive the merge
+/// byte-for-byte) plus the §6 grid, so all shards resolve the identical
+/// label list.
 fn fleet_spec() -> JobSpec {
     JobSpec {
-        specs: vec!["unified".to_string(), "lru".to_string()],
+        specs: vec![
+            "unified".to_string(),
+            "lru".to_string(),
+            "adaptive".to_string(),
+        ],
         grid: true,
         ..JobSpec::default()
     }
@@ -69,7 +77,12 @@ fn offline_doc_with(oracle: bool, windows: bool) -> String {
     let inputs = ingest.into_inputs(None, None, None).unwrap();
     let spec = fleet_spec();
     let specs = resolve_sim_specs(&spec.specs, spec.grid).unwrap();
-    let out = run_sim_job(&inputs, &specs, oracle, windows, 1, None).unwrap();
+    let options = SimJobOptions {
+        oracle,
+        windows,
+        ..SimJobOptions::default()
+    };
+    let out = run_sim_job(&inputs, &specs, options, 1, None).unwrap();
     value_to_json(&sim_metrics_doc(&out))
 }
 

@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use gencache_bench::ingest::{
-    resolve_sim_specs, run_sim_job, sim_metrics_doc, StreamIngest,
+    resolve_sim_specs, run_sim_job, sim_metrics_doc, SimJobOptions, StreamIngest,
 };
 use gencache_bench::{export_telemetry, record_all, value_to_json, HarnessOptions};
 use gencache_obs::{parse_stream_line, StreamLine};
@@ -54,7 +54,7 @@ fn offline_doc(export: &str, labels: &[&str], grid: bool, oracle: bool) -> Strin
     let inputs = ingest.into_inputs(None, None, None).unwrap();
     let labels: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
     let specs = resolve_sim_specs(&labels, grid).unwrap();
-    let out = run_sim_job(&inputs, &specs, oracle, false, 1, None).unwrap();
+    let out = run_sim_job(&inputs, &specs, SimJobOptions::oracle(oracle), 1, None).unwrap();
     value_to_json(&sim_metrics_doc(&out))
 }
 

@@ -20,11 +20,12 @@ use gencache_cache::{
     PseudoCircularCache, TraceRecord, UnboundedCache,
 };
 use gencache_core::{
-    CacheModel, GenerationalConfig, GenerationalModel, PromotionPolicy, Proportions, UnifiedModel,
+    AdaptiveModel, CacheModel, Candidate, CandidateSet, GenerationalConfig, GenerationalModel,
+    PromotionPolicy, Proportions, SwitchReport, UnifiedModel,
 };
 use gencache_obs::{
     CostObserver, CostReport, MetricsObserver, MetricsReport, NextUseIndex, Observer,
-    RegretObserver, RegretReport, SimTrace, TraceOp, WindowObserver, WindowReport,
+    RegretObserver, RegretReport, SimTrace, TraceOp, WindowObserver, WindowReport, TOP_REGRET,
 };
 use gencache_program::{Addr, Time};
 
@@ -125,6 +126,9 @@ impl LocalPolicy {
 }
 
 /// One hypothetical configuration the simulator can drive.
+// The Adaptive variant inlines its fixed-size candidate roster because
+// SimSpec must stay Copy for the par_map fan-out; boxing would lose that.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimSpec {
     /// A configuration the live export path also knows: the unified
@@ -132,6 +136,9 @@ pub enum SimSpec {
     Model(ModelSpec),
     /// A local replacement policy in unified cost accounting.
     Local(LocalPolicy),
+    /// The adaptive policy engine auditioning a candidate set of
+    /// generational configurations online.
+    Adaptive(CandidateSet),
 }
 
 impl SimSpec {
@@ -146,6 +153,7 @@ impl SimSpec {
                 policy,
             }) => format!("gen-{proportions}@{}", policy_label(policy)),
             SimSpec::Local(policy) => policy.name().to_string(),
+            SimSpec::Adaptive(set) => set.label(),
         }
     }
 }
@@ -167,7 +175,13 @@ fn policy_label(policy: PromotionPolicy) -> String {
 /// * `N-P-S@POLICY` (optionally prefixed `gen-`) — a generational
 ///   hierarchy splitting the budget N%/P%/S% (normalized, so `33-33-33`
 ///   means exact thirds) with promotion rule `hitK` or `evictK`, e.g.
-///   `45-10-45@hit1` or `gen-30-20-50@evict5`.
+///   `45-10-45@hit1` or `gen-30-20-50@evict5`;
+/// * `adaptive` — the adaptive policy engine over its default §6
+///   candidate roster;
+/// * `adaptive:BODY+BODY+…` — the adaptive engine over an explicit
+///   candidate list, each `BODY` an `N-P-S@POLICY` form as above (up to
+///   [`gencache_core::MAX_CANDIDATES`]), index 0 initial, e.g.
+///   `adaptive:45-10-45@hit1+25-50-25@evict5`.
 pub fn parse_spec(label: &str) -> Result<SimSpec, String> {
     if label == "unified" {
         return Ok(SimSpec::Model(ModelSpec::Unified));
@@ -175,7 +189,30 @@ pub fn parse_spec(label: &str) -> Result<SimSpec, String> {
     if let Some(policy) = LocalPolicy::ALL.iter().find(|p| p.name() == label) {
         return Ok(SimSpec::Local(*policy));
     }
+    if label == "adaptive" {
+        return Ok(SimSpec::Adaptive(CandidateSet::default_set()));
+    }
+    if let Some(list) = label.strip_prefix("adaptive:") {
+        let candidates: Vec<Candidate> = list
+            .split('+')
+            .map(|body| {
+                let (proportions, policy) = parse_gen_body(label, body)?;
+                Ok(Candidate::new(proportions, policy))
+            })
+            .collect::<Result<_, String>>()?;
+        return CandidateSet::new(&candidates).map(SimSpec::Adaptive);
+    }
     let body = label.strip_prefix("gen-").unwrap_or(label);
+    let (proportions, policy) = parse_gen_body(label, body)?;
+    Ok(SimSpec::Model(ModelSpec::Generational {
+        proportions,
+        policy,
+    }))
+}
+
+/// Parses one `N-P-S@POLICY` body (shared by the `gen-` and
+/// `adaptive:` grammars); `label` is only for error messages.
+fn parse_gen_body(label: &str, body: &str) -> Result<(Proportions, PromotionPolicy), String> {
     let (props, policy) = body
         .split_once('@')
         .ok_or_else(|| format!("spec {label:?} is not unified, a local policy, or N-P-S@POLICY"))?;
@@ -217,10 +254,7 @@ pub fn parse_spec(label: &str) -> Result<SimSpec, String> {
             "unknown promotion rule {policy:?} in spec {label:?}; use hitK or evictK"
         ));
     };
-    Ok(SimSpec::Model(ModelSpec::Generational {
-        proportions,
-        policy,
-    }))
+    Ok((proportions, policy))
 }
 
 /// Replays `log` into the configuration named by `spec` over an
@@ -272,7 +306,30 @@ pub fn replay_sim_observed<O: Observer>(
             };
             (result, model.into_observer())
         }
+        SimSpec::Adaptive(set) => {
+            let mut model = AdaptiveModel::observed(set, capacity, observer);
+            replay_into(log, &mut model);
+            let result = ReplayResult {
+                model: model.name(),
+                metrics: *model.metrics(),
+                ledger: *model.ledger(),
+            };
+            (result, model.into_observer())
+        }
     }
+}
+
+/// Replays an adaptive spec and returns the controller's account of the
+/// run — epochs, drift detections, probe auditions and committed
+/// switches. Returns `None` for non-adaptive specs, which have no
+/// controller to narrate.
+pub fn simulate_switches(log: &AccessLog, spec: SimSpec, capacity: u64) -> Option<SwitchReport> {
+    let SimSpec::Adaptive(set) = spec else {
+        return None;
+    };
+    let mut model = AdaptiveModel::new(set, capacity);
+    replay_into(log, &mut model);
+    Some(model.switch_report())
 }
 
 /// [`replay_sim_observed`] through a [`MetricsObserver`]; `sample_every`
@@ -312,7 +369,21 @@ pub fn simulate_regret(
     phases: u32,
     index: &NextUseIndex,
 ) -> (ReplayResult, RegretReport) {
-    let observer = RegretObserver::with_phases(index, phases, log.duration.as_micros());
+    simulate_regret_top(log, spec, capacity, phases, index, TOP_REGRET)
+}
+
+/// [`simulate_regret`] with an explicit contributor cap: the report
+/// keeps the `top` highest-regret traces instead of the default
+/// [`TOP_REGRET`].
+pub fn simulate_regret_top(
+    log: &AccessLog,
+    spec: SimSpec,
+    capacity: u64,
+    phases: u32,
+    index: &NextUseIndex,
+    top: usize,
+) -> (ReplayResult, RegretReport) {
+    let observer = RegretObserver::with_top(index, phases, log.duration.as_micros(), top);
     let (result, observer) = replay_sim_observed(log, spec, capacity, observer);
     (result, observer.report())
 }
@@ -353,6 +424,10 @@ pub struct SimulatedSpec {
     /// only when the run asked for it (`--windows`), absent otherwise
     /// so window-free documents keep their exact bytes.
     pub windows: Option<WindowReport>,
+    /// The adaptive controller's switch narrative; present only for
+    /// [`SimSpec::Adaptive`] specs, absent for every static spec so
+    /// static documents keep their exact bytes.
+    pub switches: Option<SwitchReport>,
 }
 
 /// Replay-wide knobs for [`simulate_grid`], shared by every cell.
@@ -370,6 +445,12 @@ pub struct GridOptions<'a> {
     pub regret_index: Option<&'a NextUseIndex>,
     /// Attach a windowed time-series report to each spec.
     pub windows: bool,
+    /// Explicit window width in accesses; `None` falls back to
+    /// `sample_every` (the historical accesses/64 rule).
+    pub window_width: Option<u64>,
+    /// Regret-contributor cap; `None` keeps the default
+    /// [`TOP_REGRET`].
+    pub regret_top: Option<usize>,
 }
 
 /// Replays `log` against every spec in the grid, fanning the grid
@@ -388,12 +469,15 @@ pub fn simulate_grid(
     crate::par::par_map(specs, options.jobs, |&spec| {
         let (result, metrics) = simulate_metrics(log, spec, capacity, options.sample_every);
         let (_, costs) = simulate_costs(log, spec, capacity, options.phases);
+        let top = options.regret_top.unwrap_or(TOP_REGRET);
         let regret = options
             .regret_index
-            .map(|index| simulate_regret(log, spec, capacity, options.phases, index).1);
+            .map(|index| simulate_regret_top(log, spec, capacity, options.phases, index, top).1);
+        let width = options.window_width.unwrap_or(options.sample_every).max(1);
         let windows = options
             .windows
-            .then(|| simulate_windows(log, spec, capacity, options.sample_every.max(1)).1);
+            .then(|| simulate_windows(log, spec, capacity, width).1);
+        let switches = simulate_switches(log, spec, capacity);
         SimulatedSpec {
             label: spec.label(),
             result,
@@ -401,6 +485,7 @@ pub fn simulate_grid(
             costs,
             regret,
             windows,
+            switches,
         }
     })
 }
@@ -421,12 +506,31 @@ mod tests {
             }),
             SimSpec::Local(LocalPolicy::Lru),
             SimSpec::Local(LocalPolicy::PreemptiveFlush),
+            SimSpec::Adaptive(CandidateSet::default_set()),
+            SimSpec::Adaptive(
+                CandidateSet::new(&[
+                    Candidate::new(
+                        Proportions::best_overall(),
+                        PromotionPolicy::OnHit { hits: 1 },
+                    ),
+                    Candidate::new(
+                        Proportions::probation_heavy(),
+                        PromotionPolicy::OnEviction { threshold: 5 },
+                    ),
+                ])
+                .unwrap(),
+            ),
         ];
         for spec in specs {
             let label = spec.label();
             let back = parse_spec(&label).unwrap();
             assert_eq!(back, spec, "label {label}");
         }
+        assert_eq!(
+            SimSpec::Adaptive(CandidateSet::default_set()).label(),
+            "adaptive",
+            "the default roster canonicalizes to the bare spec name"
+        );
         assert_eq!(
             SimSpec::Model(ModelSpec::best_generational()).label(),
             "gen-45-10-45@hit1",
@@ -524,6 +628,7 @@ mod tests {
             SimSpec::Model(ModelSpec::Unified),
             SimSpec::Model(ModelSpec::best_generational()),
             SimSpec::Local(LocalPolicy::Lru),
+            SimSpec::Adaptive(CandidateSet::default_set()),
         ];
         let options = |jobs| GridOptions {
             phases: 4,
@@ -531,6 +636,8 @@ mod tests {
             jobs,
             regret_index: Some(&index),
             windows: true,
+            window_width: None,
+            regret_top: None,
         };
         let serial = simulate_grid(&log, &specs, 600, options(1));
         assert!(
@@ -548,9 +655,16 @@ mod tests {
                 assert_eq!(a.costs, b.costs);
                 assert_eq!(a.regret, b.regret);
                 assert_eq!(a.windows, b.windows);
+                assert_eq!(a.switches, b.switches);
                 assert_eq!(a.result.metrics, b.result.metrics);
             }
         }
+        assert!(
+            serial
+                .iter()
+                .all(|s| s.switches.is_some() == (s.label == "adaptive")),
+            "only adaptive specs carry a switch report"
+        );
         assert!(
             serial
                 .iter()

@@ -4,22 +4,33 @@
 //! [`RegretObserver`] charges every miss on a previously-evicted trace
 //! to the cell of its most recent eviction — deliberately the same rule
 //! [`MetricsObserver`] uses for its `top_churn` table. Walking one
-//! event stream through both observers must therefore agree exactly:
-//! same total re-miss count, and per-trace the same (bytes, evictions,
-//! remisses) triples. The id universe is kept under the tables'
-//! 20-entry truncation cap so the churn and contributor tables are both
-//! complete and the comparison is total, across all six local policies.
+//! event stream through both observers must therefore agree exactly.
+//! The id universe (64 traces) deliberately exceeds both tables'
+//! default 20-entry truncation caps, so the test folds the churn rule
+//! itself as an independent reference and runs the scorer at two caps:
+//! one wide enough to keep every contributor (the comparison stays
+//! total, across all six local policies) and one far below the
+//! universe, whose report must be a truncation — same totals, and a
+//! contributor table equal to the leading entries of the wide run's.
 
 use std::collections::HashMap;
 
 use gencache_cache::{TraceId, TraceRecord};
 use gencache_core::{CacheModel, UnifiedModel};
 use gencache_obs::{
-    reconstruct_trace, EventBuffer, MetricsObserver, NextUseIndex, Observer, RegretObserver,
+    reconstruct_trace, CacheEvent, EventBuffer, MetricsObserver, NextUseIndex, Observer,
+    RegretObserver, TOP_CHURN,
 };
 use gencache_program::{Addr, Time};
 use gencache_sim::LocalPolicy;
 use proptest::prelude::*;
+
+/// Trace-id universe: wider than [`TOP_CHURN`] and the regret table's
+/// default cap so truncation actually bites.
+const UNIVERSE: u64 = 64;
+
+/// Contributor cap for the narrow scorer run: far below the universe.
+const NARROW_TOP: usize = 4;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -30,9 +41,9 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        8 => (0u64..16, 50u32..400).prop_map(|(id, size)| Op::Access { id, size }),
-        1 => (0u64..16).prop_map(|id| Op::Unmap { id }),
-        1 => (0u64..16, any::<bool>()).prop_map(|(id, pinned)| Op::Pin { id, pinned }),
+        8 => (0u64..UNIVERSE, 50u32..400).prop_map(|(id, size)| Op::Access { id, size }),
+        1 => (0u64..UNIVERSE).prop_map(|id| Op::Unmap { id }),
+        1 => (0u64..UNIVERSE, any::<bool>()).prop_map(|(id, pinned)| Op::Pin { id, pinned }),
     ]
 }
 
@@ -58,11 +69,50 @@ fn run_ops(model: &mut dyn CacheModel, ops: &[Op]) {
     }
 }
 
+/// Per-trace churn state folded straight from the event stream — an
+/// independent, untruncated reference for the rule both observers
+/// implement: a miss re-misses iff the trace was evicted before.
+#[derive(Debug, Clone, Copy, Default)]
+struct Churn {
+    bytes: u32,
+    evictions: u64,
+    remisses: u64,
+}
+
+fn fold_churn(events: &[CacheEvent]) -> HashMap<u64, Churn> {
+    let mut churn: HashMap<u64, Churn> = HashMap::new();
+    for event in events {
+        match *event {
+            CacheEvent::Insert { trace, bytes, .. } => {
+                churn.entry(trace.as_u64()).or_insert(Churn {
+                    bytes,
+                    ..Churn::default()
+                });
+            }
+            CacheEvent::Miss { trace, .. } => {
+                if let Some(state) = churn.get_mut(&trace.as_u64()) {
+                    if state.evictions > 0 {
+                        state.remisses += 1;
+                    }
+                }
+            }
+            CacheEvent::Evict { trace, bytes, .. } => {
+                let state = churn.entry(trace.as_u64()).or_default();
+                state.bytes = bytes;
+                state.evictions += 1;
+            }
+            _ => {}
+        }
+    }
+    churn
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// For every local policy, regret re-misses reconcile with the
-    /// metrics pipeline's churn counters, trace by trace.
+    /// metrics pipeline's churn counters, trace by trace, with the
+    /// trace universe wider than either table's truncation cap.
     #[test]
     fn regret_remisses_match_metrics_churn(
         ops in proptest::collection::vec(op_strategy(), 1..250),
@@ -80,27 +130,43 @@ proptest! {
             let trace = reconstruct_trace(&events).expect("stream inverts");
             let index = NextUseIndex::build(&trace);
             let mut metrics = MetricsObserver::new();
-            let mut scorer = RegretObserver::new(&index);
+            let mut scorer = RegretObserver::with_top(&index, 1, 0, UNIVERSE as usize);
+            let mut narrow = RegretObserver::with_top(&index, 1, 0, NARROW_TOP);
             for event in &events {
                 metrics.on_event(event);
                 scorer.on_event(event);
+                narrow.on_event(event);
             }
             let churn = metrics.report().top_churn;
             let regret = scorer.report();
+            prop_assert_eq!(regret.top, UNIVERSE, "{}", policy.name());
 
             prop_assert_eq!(regret.accesses, metrics.report().accesses, "{}", policy.name());
 
-            let churn_total: u64 = churn.iter().map(|e| e.remisses).sum();
+            // Totals against the independent fold: exact, untruncated.
+            let reference = fold_churn(&events);
+            let reference_total: u64 = reference.values().map(|c| c.remisses).sum();
             prop_assert_eq!(
-                regret.total.remisses, churn_total,
-                "{}: regret re-misses diverge from churn", policy.name()
+                regret.total.remisses, reference_total,
+                "{}: regret re-misses diverge from event-stream churn", policy.name()
             );
             let phase_total: u64 =
                 regret.phases.iter().map(|p| p.total.remisses).sum();
             prop_assert_eq!(regret.total.remisses, phase_total, "{}", policy.name());
 
+            // The metrics table truncates at TOP_CHURN but every entry
+            // it does keep must carry exact counts.
+            prop_assert!(churn.len() <= TOP_CHURN, "{}", policy.name());
+            let churn_total: u64 = churn.iter().map(|e| e.remisses).sum();
+            prop_assert!(
+                churn_total <= regret.total.remisses,
+                "{}: truncated churn exceeds total re-misses", policy.name()
+            );
+
             // Per-trace: every churn entry has a matching contributor
-            // with identical eviction/re-miss/bytes accounting.
+            // with identical eviction/re-miss/bytes accounting. The
+            // wide scorer keeps the whole universe, so the lookup is
+            // total even though the churn table is not.
             let by_trace: HashMap<u64, _> =
                 regret.contributors.iter().map(|c| (c.trace, c)).collect();
             for entry in &churn {
@@ -111,6 +177,20 @@ proptest! {
                 prop_assert_eq!(c.evictions, entry.evictions, "{} t{}", policy.name(), entry.trace);
                 prop_assert_eq!(c.bytes, entry.bytes, "{} t{}", policy.name(), entry.trace);
             }
+
+            // The narrow scorer saw the same events: identical totals
+            // and phase splits, and its contributor table is exactly
+            // the head of the wide run's ranking.
+            let narrow = narrow.report();
+            prop_assert_eq!(narrow.top, NARROW_TOP as u64, "{}", policy.name());
+            prop_assert!(narrow.contributors.len() <= NARROW_TOP, "{}", policy.name());
+            prop_assert_eq!(&narrow.total, &regret.total, "{}", policy.name());
+            prop_assert_eq!(&narrow.phases, &regret.phases, "{}", policy.name());
+            let head = &regret.contributors[..regret.contributors.len().min(NARROW_TOP)];
+            prop_assert_eq!(
+                &narrow.contributors[..], head,
+                "{}: narrow table is not a prefix of the wide ranking", policy.name()
+            );
         }
     }
 }

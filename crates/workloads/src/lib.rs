@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adversarial;
 mod events;
 mod interactive;
 mod plan;
@@ -39,10 +40,11 @@ mod profile;
 mod spec;
 mod stream;
 
+pub use adversarial::{adversarial, adversarial_benchmark};
 pub use events::{TimedEvent, WorkloadEvent};
 pub use interactive::{interactive, interactive_benchmark};
 pub use plan::{ExecutionPlan, PlanError, PlanStep, PlannedRegion, Role};
-pub use profile::{Suite, WorkloadProfile, WorkloadProfileBuilder};
+pub use profile::{RegimeShift, Suite, WorkloadProfile, WorkloadProfileBuilder};
 pub use spec::{spec2000, spec_benchmark};
 pub use stream::EventStream;
 
@@ -54,9 +56,12 @@ pub fn all_benchmarks() -> Vec<WorkloadProfile> {
     all
 }
 
-/// Looks up any benchmark by name across both suites.
+/// Looks up any benchmark by name: both paper suites, plus the
+/// adversarial stress profiles (which stay out of [`all_benchmarks`]).
 pub fn benchmark(name: &str) -> Option<WorkloadProfile> {
-    spec_benchmark(name).or_else(|| interactive_benchmark(name))
+    spec_benchmark(name)
+        .or_else(|| interactive_benchmark(name))
+        .or_else(|| adversarial_benchmark(name))
 }
 
 #[cfg(test)]

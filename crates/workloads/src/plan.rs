@@ -231,15 +231,37 @@ impl ExecutionPlan {
         exe_indices.shuffle(&mut rng);
 
         let persistent_target = (total_path as f64 * profile.persistent_frac) as u64;
-        let medium_target = (total_path as f64 * profile.medium_frac) as u64;
+        let mut base_persistents: Vec<usize> = Vec::new();
+        let mut alt_persistents: Vec<usize> = Vec::new();
         let mut assigned = 0u64;
         let mut cursor = 0usize;
         while cursor < exe_indices.len() && assigned < persistent_target {
             let idx = exe_indices[cursor];
             regions[idx].role = Role::Persistent;
+            base_persistents.push(idx);
             assigned += regions[idx].path_bytes;
             cursor += 1;
         }
+        if let Some(shift) = &profile.shift {
+            // The alternate regime gets its own, disjoint long-lived
+            // working set, sized by its own fraction: when the regime
+            // flips, the hot set flips with it.
+            let alt_target = (total_path as f64 * shift.persistent_frac) as u64;
+            assigned = 0;
+            while cursor < exe_indices.len() && assigned < alt_target {
+                let idx = exe_indices[cursor];
+                regions[idx].role = Role::Persistent;
+                alt_persistents.push(idx);
+                assigned += regions[idx].path_bytes;
+                cursor += 1;
+            }
+        }
+        let medium_frac = profile
+            .shift
+            .map_or(profile.medium_frac, |s| {
+                (profile.medium_frac + s.medium_frac) / 2.0
+            });
+        let medium_target = (total_path as f64 * medium_frac) as u64;
         assigned = 0;
         while cursor < exe_indices.len() && assigned < medium_target {
             let idx = exe_indices[cursor];
@@ -253,10 +275,28 @@ impl ExecutionPlan {
             assigned += regions[idx].path_bytes;
             cursor += 1;
         }
-        // Remaining executable regions are phase-local, spread evenly.
+        // Remaining executable regions are phase-local, spread evenly —
+        // or, under a regime shift, weighted so flood-regime phases
+        // receive `flood`× the transient code of calm ones.
+        let local_phases: Vec<u32> = match &profile.shift {
+            None => (0..profile.phases).collect(),
+            Some(shift) => {
+                let mut slots = Vec::new();
+                for p in 0..profile.phases {
+                    let w = if (p / shift.period) % 2 == 1 {
+                        shift.flood
+                    } else {
+                        1.0
+                    };
+                    let count = (w * 4.0).round().max(1.0) as usize;
+                    slots.extend(std::iter::repeat_n(p, count));
+                }
+                slots
+            }
+        };
         for (i, &idx) in exe_indices[cursor..].iter().enumerate() {
             regions[idx].role = Role::PhaseLocal {
-                phase: (i as u32) % profile.phases,
+                phase: local_phases[i % local_phases.len()],
             };
         }
 
@@ -295,12 +335,18 @@ impl ExecutionPlan {
         }
 
         // ---- 5. Build the phase schedule --------------------------------
-        let persistents: Vec<usize> = regions
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.role == Role::Persistent)
-            .map(|(i, _)| i)
-            .collect();
+        // Ascending region order (the pre-shift schedule's order); the
+        // alternate group is empty without a shift, so regime 0 — the
+        // only regime — sees every persistent region.
+        base_persistents.sort_unstable();
+        alt_persistents.sort_unstable();
+        let persistent_groups: [Vec<usize>; 2] = [base_persistents, alt_persistents];
+        let regime_of = |p: u32| -> usize {
+            profile
+                .shift
+                .map_or(0, |s| usize::from((p / s.period) % 2 == 1))
+        };
+        let mut warmed = vec![false; regions.len()];
         let mut steps: Vec<PlanStep> = Vec::new();
         let warmup = |rng: &mut StdRng, profile: &WorkloadProfile| -> u32 {
             let extra = profile.warmup_extra_iters.max(5);
@@ -312,6 +358,7 @@ impl ExecutionPlan {
         };
 
         for p in 0..profile.phases {
+            let persistents: &[usize] = &persistent_groups[regime_of(p)];
             let locals: Vec<usize> = regions
                 .iter()
                 .enumerate()
@@ -351,8 +398,17 @@ impl ExecutionPlan {
                 // random thread, so over the run every thread executes
                 // every shared region and each thread's private code
                 // cache ends up building its own copy of the hot traces.
-                let run_persistent = |rng: &mut StdRng, steps: &mut Vec<PlanStep>, per: usize| {
-                    let iters = if p == 0 && round == 0 {
+                let run_persistent = |rng: &mut StdRng,
+                                      steps: &mut Vec<PlanStep>,
+                                      warmed: &mut [bool],
+                                      per: usize| {
+                    // First activation warms the region past the trace
+                    // threshold — for the base group that is phase 0
+                    // round 0 (the pre-shift behavior, bit for bit); an
+                    // alternate-regime group warms when its first
+                    // regime segment begins.
+                    let iters = if !warmed[per] {
+                        warmed[per] = true;
                         warmup(rng, profile)
                     } else {
                         revisit(rng, profile)
@@ -384,7 +440,7 @@ impl ExecutionPlan {
                     });
                     let target = (k + 1) * persistents.len() / chunk.len();
                     while drained < target {
-                        run_persistent(&mut rng, &mut steps, persistents[drained]);
+                        run_persistent(&mut rng, &mut steps, &mut warmed, persistents[drained]);
                         drained += 1;
                     }
                 }
@@ -417,7 +473,7 @@ impl ExecutionPlan {
                 // Any persistents not drained by the interleave (always
                 // all of them when the round has no new chunk).
                 while drained < persistents.len() {
-                    run_persistent(&mut rng, &mut steps, persistents[drained]);
+                    run_persistent(&mut rng, &mut steps, &mut warmed, persistents[drained]);
                     drained += 1;
                 }
                 prev_chunk = chunk;

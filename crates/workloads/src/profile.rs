@@ -16,6 +16,10 @@ pub enum Suite {
     Spec2000,
     /// Large interactive Windows applications (Table 1).
     Interactive,
+    /// Synthetic stress workloads outside the paper's evaluation:
+    /// phase-shifting and churn-adversarial streams built to defeat any
+    /// single static configuration.
+    Adversarial,
 }
 
 impl std::fmt::Display for Suite {
@@ -23,8 +27,34 @@ impl std::fmt::Display for Suite {
         match self {
             Suite::Spec2000 => f.write_str("SPEC2000"),
             Suite::Interactive => f.write_str("Interactive"),
+            Suite::Adversarial => f.write_str("Adversarial"),
         }
     }
+}
+
+/// An optional mid-run regime alternation: every `period` phases the
+/// workload flips between the profile's own lifetime mix and this
+/// alternate mix, with its *own* set of long-lived regions and a
+/// `flood`-weighted share of the short-lived code.
+///
+/// The two regimes deliberately reward different cache layouts — a
+/// persistent-lean calm regime and a nursery-hungry flood regime — so a
+/// run containing both has no single best static configuration. This is
+/// the lever behind the [`Suite::Adversarial`] profiles the adaptive
+/// policy engine is judged on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegimeShift {
+    /// Phases per regime segment; segment index `phase / period` is even
+    /// for the base regime, odd for the alternate one.
+    pub period: u32,
+    /// Alternate-regime fraction of hot-code bytes that is long-lived.
+    pub persistent_frac: f64,
+    /// Alternate-regime fraction with medium lifetimes.
+    pub medium_frac: f64,
+    /// Weight of alternate-regime phases when spreading short-lived
+    /// code: `2.0` gives flood phases twice the transient code of calm
+    /// ones.
+    pub flood: f64,
 }
 
 /// The synthetic description of one benchmark.
@@ -88,6 +118,10 @@ pub struct WorkloadProfile {
     /// regions are thread-private. Defaults to 1 (the paper's
     /// single-threaded evaluation).
     pub threads: u32,
+    /// Optional regime alternation (see [`RegimeShift`]); `None` — the
+    /// default, and every paper benchmark — keeps one stationary regime
+    /// for the whole run.
+    pub shift: Option<RegimeShift>,
 }
 
 impl WorkloadProfile {
@@ -118,6 +152,7 @@ impl WorkloadProfile {
                 revisit_iters: 6,
                 seed,
                 threads: 1,
+                shift: None,
             },
         }
     }
@@ -179,6 +214,30 @@ impl WorkloadProfile {
                 "dll_unload_frac {} out of [0,1]",
                 self.dll_unload_frac
             ));
+        }
+        if let Some(shift) = &self.shift {
+            if shift.period == 0 {
+                return Err("regime shift period must be nonzero".into());
+            }
+            if shift.period >= self.phases {
+                return Err(format!(
+                    "regime shift period {} must leave room for both regimes in {} phases",
+                    shift.period, self.phases
+                ));
+            }
+            let frac_sum = shift.persistent_frac + shift.medium_frac;
+            if !(0.0..=1.0).contains(&shift.persistent_frac)
+                || !(0.0..=1.0).contains(&shift.medium_frac)
+                || frac_sum > 1.0
+            {
+                return Err(format!(
+                    "shift persistent ({}) + medium ({}) fractions must fit in [0,1]",
+                    shift.persistent_frac, shift.medium_frac
+                ));
+            }
+            if shift.flood <= 0.0 || !shift.flood.is_finite() {
+                return Err(format!("shift flood weight {} must be positive", shift.flood));
+            }
         }
         Ok(())
     }
@@ -251,6 +310,12 @@ impl WorkloadProfileBuilder {
     /// Sets the number of guest threads (see [`WorkloadProfile::threads`]).
     pub fn threads(mut self, threads: u32) -> Self {
         self.profile.threads = threads;
+        self
+    }
+
+    /// Enables mid-run regime alternation (see [`RegimeShift`]).
+    pub fn regime_shift(mut self, shift: RegimeShift) -> Self {
+        self.profile.shift = Some(shift);
         self
     }
 

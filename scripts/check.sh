@@ -28,6 +28,7 @@ serve_metrics="target/tmp/check-metrics-serve.json"
 serve_log="target/tmp/check-serve.log"
 serve_events_log="target/tmp/check-serve-events.jsonl"
 serve_pid=""
+adaptive_events="target/tmp/check-adaptive-events.jsonl"
 fleet_events="target/tmp/check-fleet-events.jsonl"
 fleet_second="target/tmp/check-fleet-second.jsonl"
 fleet_sim="target/tmp/check-metrics-fleet-sim.json"
@@ -43,7 +44,7 @@ cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null
   done
   rm -f "$events" "$live_metrics" "$sim_metrics" "$baseline" "$regret_metrics" \
-    "$win_metrics" \
+    "$win_metrics" "$adaptive_events" \
     "$serve_metrics" "$serve_log" "$serve_events_log" \
     "$fleet_events" "$fleet_second" "$fleet_sim" "$fleet_served" \
     "$shard1_log" "$shard2_log" "$router_log"
@@ -108,6 +109,23 @@ echo "$regret_out" | grep -q "Oracle regret:" \
   || { echo "explain --oracle printed no regret summary"; exit 1; }
 echo "$regret_out" | grep -q "Worst decisions:" \
   || { echo "explain --oracle printed no worst-decision narratives"; exit 1; }
+
+echo "=== adaptive smoke: controller beats the worst static grid row and narrates its switches"
+./target/release/explain --bench phaseflip --scale 16 \
+  --events-out "$adaptive_events" > /dev/null
+adaptive_out="$(./target/release/simulate --events "$adaptive_events" \
+  --grid --oracle --spec adaptive)"
+echo "$adaptive_out" | grep -q '=== adaptive vs static regret: phaseflip ===' \
+  || { echo "simulate printed no adaptive-vs-static regret table"; exit 1; }
+echo "$adaptive_out" | grep -qE 'verdict\[adaptive\]: adaptive beats' \
+  || { echo "adaptive regret is not strictly below the worst static grid row"; \
+       echo "$adaptive_out" | tail -8; exit 1; }
+switch_out="$(./target/release/explain --bench phaseflip --scale 16 \
+  --oracle --spec adaptive)"
+echo "$switch_out" | grep -q "Adaptive controller" \
+  || { echo "explain --spec adaptive printed no controller summary"; exit 1; }
+echo "$switch_out" | grep -qE '^  epoch +[0-9]+ @ +[0-9]+µs: (probe|commit) ' \
+  || { echo "explain --spec adaptive narrated no probe/commit switches"; exit 1; }
 
 echo "=== serve smoke: daemon reply is byte-identical to offline simulate"
 ./target/release/gencache-serve --addr 127.0.0.1:0 \

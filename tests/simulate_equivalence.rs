@@ -105,6 +105,8 @@ fn simulated_grid_is_jobs_invariant() {
         jobs,
         regret_index: Some(&index),
         windows: true,
+        window_width: None,
+        regret_top: None,
     };
     let serial = simulate_grid(&reconstructed, &specs, capacity, options(1));
     assert!(
